@@ -1,0 +1,308 @@
+// Package heterogen's benchmark harness regenerates every table and figure
+// of the paper's evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkTableI            — the seven case-study protocols
+//	BenchmarkTableII           — merged-directory state/transition counts
+//	BenchmarkFigure3           — Dekker on the SC×TSO compound machine
+//	BenchmarkLitmusSuite       — §VII-B heterogeneous litmus validation
+//	BenchmarkDeadlockFreedom   — §VII-C reachability search
+//	BenchmarkFigure10          — §VIII speedup and traffic vs HCC
+//	BenchmarkAblation*         — design-choice ablations (DESIGN.md)
+//
+// The -short benchmarks keep iteration times in seconds; EXPERIMENTS.md
+// records full-scale runs produced by the cmd tools.
+package heterogen
+
+import (
+	"fmt"
+	"testing"
+
+	"heterogen/internal/armor"
+	"heterogen/internal/core"
+	"heterogen/internal/litmus"
+	"heterogen/internal/mcheck"
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+	"heterogen/internal/sim"
+	"heterogen/internal/spec"
+	"heterogen/internal/workload"
+)
+
+// BenchmarkTableI builds and validates the seven input protocols.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range protocols.All() {
+			if err := p.Validate(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(protocols.Names())), "protocols")
+}
+
+// BenchmarkTableII enumerates the merged-directory FSM for all eight case
+// studies (quick mode; `heterogen -tableii -full` for the full search).
+func BenchmarkTableII(b *testing.B) {
+	var states, trans int
+	for i := 0; i < b.N; i++ {
+		states, trans = 0, 0
+		for _, pair := range core.TableIIPairs() {
+			f, err := core.Fuse(core.Options{},
+				protocols.MustByName(pair[0]), protocols.MustByName(pair[1]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, _, err := core.EnumerateFSM(f, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states += e.States
+			trans += e.Transitions
+		}
+	}
+	b.ReportMetric(float64(states), "total-states")
+	b.ReportMetric(float64(trans), "total-transitions")
+}
+
+// BenchmarkFigure3 evaluates the Dekker verdicts on the SC×TSO compound.
+func BenchmarkFigure3(b *testing.B) {
+	cm, err := memmodel.NewCompound(
+		[]memmodel.Model{memmodel.MustByID(memmodel.SC), memmodel.MustByID(memmodel.TSO)},
+		[]int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pa := memmodel.NewProgram(
+			[]*memmodel.Op{memmodel.St("x", 1), memmodel.Ld("y")},
+			[]*memmodel.Op{memmodel.St("y", 1), memmodel.Ld("x")})
+		pb := memmodel.NewProgram(
+			[]*memmodel.Op{memmodel.St("x", 1), memmodel.Ld("y")},
+			[]*memmodel.Op{memmodel.St("y", 1), memmodel.Fn(), memmodel.Ld("x")})
+		la, lb := pa.Loads(), pb.Loads()
+		zeroA := memmodel.Outcome{memmodel.LoadKey(la[0]): 0, memmodel.LoadKey(la[1]): 0}
+		zeroB := memmodel.Outcome{memmodel.LoadKey(lb[0]): 0, memmodel.LoadKey(lb[1]): 0}
+		if !memmodel.AllowedOutcomes(pa, cm).Has(zeroA) {
+			b.Fatal("Figure 3(a) verdict wrong")
+		}
+		if memmodel.AllowedOutcomes(pb, cm).Has(zeroB) {
+			b.Fatal("Figure 3(b) verdict wrong")
+		}
+	}
+}
+
+// BenchmarkLitmusSuite runs the heterogeneous litmus validation: the
+// 2-thread shapes on every Table II pair with both heterogeneous
+// allocations (the 3/4-thread shapes and full allocation sweeps run via
+// cmd/hglitmus; EXPERIMENTS.md records a full run).
+func BenchmarkLitmusSuite(b *testing.B) {
+	var tests, passed int
+	for i := 0; i < b.N; i++ {
+		tests, passed = 0, 0
+		for _, pair := range core.TableIIPairs() {
+			f, err := core.Fuse(core.Options{},
+				protocols.MustByName(pair[0]), protocols.MustByName(pair[1]))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, shape := range litmus.Shapes() {
+				threads := len(shape.Prog().Threads)
+				if threads > 2 {
+					continue
+				}
+				for _, assign := range litmus.Allocations(threads, 2, false) {
+					r := litmus.RunFused(f, shape, assign, litmus.Options{})
+					tests++
+					if r.Pass() {
+						passed++
+					} else {
+						b.Fatalf("litmus failure: %s", r)
+					}
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(tests), "tests")
+	b.ReportMetric(float64(passed), "passed")
+}
+
+// deadlockDriver matches cmd/hgcheck's stress workload.
+func deadlockDriver(cores, addrs int) [][]spec.CoreReq {
+	progs := make([][]spec.CoreReq, cores)
+	for c := 0; c < cores; c++ {
+		for a := 0; a < addrs; a++ {
+			progs[c] = append(progs[c],
+				spec.CoreReq{Op: spec.OpStore, Addr: spec.Addr(a), Value: c + 1},
+				spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr((a + 1) % addrs)})
+		}
+		progs[c] = append(progs[c], spec.CoreReq{Op: spec.OpRelease}, spec.CoreReq{Op: spec.OpAcquire})
+	}
+	return progs
+}
+
+// BenchmarkDeadlockFreedom is the §VII-C exhaustive reachability search on
+// the headline fusion (2 addresses, 1 cache per cluster, evictions free).
+func BenchmarkDeadlockFreedom(b *testing.B) {
+	var states int
+	for i := 0; i < b.N; i++ {
+		f, err := core.Fuse(core.Options{},
+			protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, _ := core.BuildSystem(f, []int{1, 1})
+		sys.SetPrograms(deadlockDriver(2, 2))
+		res := mcheck.Explore(sys, mcheck.Options{Evictions: true, HashCompaction: true})
+		if res.Deadlocks > 0 || res.Truncated {
+			b.Fatalf("deadlocks=%d truncated=%t", res.Deadlocks, res.Truncated)
+		}
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkFigure10 regenerates the §VIII comparison at reduced trace
+// scale (cmd/hgsim runs it at full scale).
+func BenchmarkFigure10(b *testing.B) {
+	var rows []sim.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = sim.RunFigure10(sim.TableIII(), 0.15)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sim.GeoMean(rows, func(r sim.Row) float64 { return r.SpeedupNoHS }), "gmean-noHS")
+	b.ReportMetric(sim.GeoMean(rows, func(r sim.Row) float64 { return r.SpeedupWrHS }), "gmean-wrHS")
+	b.ReportMetric(sim.GeoMean(rows, func(r sim.Row) float64 { return r.TrafficNoHS }), "traffic-noHS")
+}
+
+// BenchmarkAblationHandshake compares the three §VIII handshake variants
+// on the handshake-sensitive benchmark (ligra-bf).
+func BenchmarkAblationHandshake(b *testing.B) {
+	cfg := sim.TableIII()
+	params, err := workload.BenchmarkByName("ligra-bf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl := workload.Generate(params, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}).Scale(0.3)
+	for _, v := range sim.Figure10Variants() {
+		v := v
+		b.Run(v.Name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				st, err := sim.RunBenchmark(cfg, v, wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationProxyPool sweeps the merged directory's bridging
+// concurrency (the aggressive design's inter-address overlap).
+func BenchmarkAblationProxyPool(b *testing.B) {
+	cfg := sim.TableIII()
+	params, _ := workload.BenchmarkByName("ligra-cc")
+	wl := workload.Generate(params, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}).Scale(0.3)
+	for _, pool := range []int{1, 4, 16} {
+		pool := pool
+		b.Run(fmt.Sprintf("pool%d", pool), func(b *testing.B) {
+			c := cfg
+			c.ProxyPool = pool
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				st, err := sim.RunBenchmark(c, sim.Variant{Name: "noHS", Handshake: core.HSNone}, wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationConservative compares the conservative processor-centric
+// design against the aggressive memory-centric one on the same workload
+// (§VI-D2), using the MESI&RCC-O fusion where both are legal.
+func BenchmarkAblationConservative(b *testing.B) {
+	cfg := sim.TableIII()
+	params, _ := workload.BenchmarkByName("cilk5-cs")
+	wl := workload.Generate(params, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}).Scale(0.3)
+	for _, cons := range []bool{false, true} {
+		cons := cons
+		name := "aggressive"
+		if cons {
+			name = "conservative"
+		}
+		b.Run(name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				f, err := core.Fuse(core.Options{ForceConservative: cons, ProxyPool: cfg.ProxyPool},
+					protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := sim.New(cfg, f, wl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = st.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkMOSTTranslation measures the ArMOR table construction and
+// SC-equivalent sequence derivation.
+func BenchmarkMOSTTranslation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, id := range memmodel.AllIDs() {
+			m := memmodel.MustByID(id)
+			armor.BuildMOST(m)
+			if _, err := armor.ProxyStoreSeq(id); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := armor.ProxyLoadSeq(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStateExploration measures raw model-checker throughput on the
+// homogeneous MSI Dekker configuration.
+func BenchmarkStateExploration(b *testing.B) {
+	progs := [][]spec.CoreReq{
+		{{Op: spec.OpStore, Addr: 0, Value: 1}, {Op: spec.OpLoad, Addr: 1}},
+		{{Op: spec.OpStore, Addr: 1, Value: 1}, {Op: spec.OpLoad, Addr: 0}},
+	}
+	var states int
+	for i := 0; i < b.N; i++ {
+		sys := mcheck.NewHomogeneous(protocols.MustByName(protocols.NameMSI), 2)
+		sys.SetPrograms(progs)
+		res := mcheck.Explore(sys, mcheck.Options{})
+		states = res.States
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkFusion measures the synthesis step itself (analysis + fusion).
+func BenchmarkFusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := core.Fuse(core.Options{},
+			protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command heterogen is the synthesis front end: it lists the built-in
+// protocols (Table I), fuses protocol pairs into heterogeneous merged
+// directories, prints the §VI-D analyses and ArMOR translations, and
+// enumerates the merged directory FSMs (Table II).
+//
+// Usage:
+//
+//	heterogen -list
+//	heterogen -pair MESI,RCC-O            # fuse and describe
+//	heterogen -pair MESI,RCC-O -fsm       # dump the enumerated FSM
+//	heterogen -tableii                    # all eight case studies
+//	heterogen -export MSI                 # print a protocol in PCC form
+//	heterogen -spec my.pcc -pair -,MESI   # fuse a user protocol ("-")
+//	heterogen -most                       # print the ArMOR MOST tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heterogen/internal/armor"
+	"heterogen/internal/core"
+	exportpkg "heterogen/internal/export"
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the built-in protocols (Table I)")
+	pair := flag.String("pair", "", "comma-separated protocols to fuse ('-' uses -spec)")
+	fsm := flag.Bool("fsm", false, "dump the enumerated merged-directory FSM")
+	full := flag.Bool("full", false, "full FSM enumeration (explores evictions; slower)")
+	tableii := flag.Bool("tableii", false, "enumerate all eight Table II case studies")
+	export := flag.String("export", "", "print a built-in protocol in the PCC-like format")
+	specFile := flag.String("spec", "", "PCC-like protocol description file")
+	most := flag.Bool("most", false, "print the ArMOR ordering tables")
+	hs := flag.String("handshake", "none", "handshake variant: none|writes|all")
+	dot := flag.String("dot", "", "emit a protocol's controllers as Graphviz DOT")
+	murphi := flag.String("murphi", "", "emit a protocol as a CMurphi model")
+	flag.Parse()
+
+	if err := run(*list, *pair, *fsm, *full, *tableii, *export, *specFile, *most, *hs, *dot, *murphi); err != nil {
+		fmt.Fprintln(os.Stderr, "heterogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(list bool, pair string, fsm, full, tableii bool, export, specFile string, most bool, hs, dot, murphi string) error {
+	switch {
+	case dot != "":
+		p, err := protocols.ByName(dot)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exportpkg.DOTProtocol(p))
+		return nil
+	case murphi != "":
+		p, err := protocols.ByName(murphi)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exportpkg.Murphi(p, exportpkg.DefaultMurphiConfig()))
+		return nil
+	case list:
+		fmt.Println("Table I: protocols used in the case studies")
+		for _, p := range protocols.All() {
+			fmt.Println(" ", protocols.Describe(p))
+		}
+		return nil
+	case export != "":
+		p, err := protocols.ByName(export)
+		if err != nil {
+			return err
+		}
+		fmt.Print(spec.ExportPCC(p))
+		return nil
+	case most:
+		for _, id := range memmodel.AllIDs() {
+			fmt.Println(armor.BuildMOST(memmodel.MustByID(id)).Format())
+		}
+		return nil
+	case tableii:
+		var entries []*core.TableIIEntry
+		for _, pr := range core.TableIIPairs() {
+			f, err := fuse(hs, pr[0], pr[1], specFile)
+			if err != nil {
+				return err
+			}
+			e, _, err := core.EnumerateFSM(f, !full)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, e)
+		}
+		fmt.Print(core.FormatTableII(entries))
+		return nil
+	case pair != "":
+		names := strings.Split(pair, ",")
+		if len(names) < 2 {
+			return fmt.Errorf("-pair needs at least two protocols")
+		}
+		f, err := fuse(hs, names[0], names[1], specFile, names[2:]...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(f.Describe())
+		e, rec, err := core.EnumerateFSM(f, !full)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("merged directory: %d states, %d transitions (%d system states explored)\n",
+			e.States, e.Transitions, e.Explored)
+		if fsm {
+			fmt.Print(rec.ExportFSM(f.Name()))
+		}
+		return nil
+	}
+	flag.Usage()
+	return nil
+}
+
+func fuse(hs, a, b, specFile string, more ...string) (*core.Fusion, error) {
+	var mode core.HandshakeMode
+	switch hs {
+	case "none":
+		mode = core.HSNone
+	case "writes":
+		mode = core.HSWrites
+	case "all":
+		mode = core.HSAll
+	default:
+		return nil, fmt.Errorf("unknown handshake mode %q", hs)
+	}
+	resolve := func(name string) (*spec.Protocol, error) {
+		if name == "-" {
+			if specFile == "" {
+				return nil, fmt.Errorf("'-' protocol requires -spec")
+			}
+			src, err := os.ReadFile(specFile)
+			if err != nil {
+				return nil, err
+			}
+			return spec.ParsePCC(string(src))
+		}
+		return protocols.ByName(name)
+	}
+	var ps []*spec.Protocol
+	for _, n := range append([]string{a, b}, more...) {
+		p, err := resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return core.Fuse(core.Options{Handshake: mode}, ps...)
+}

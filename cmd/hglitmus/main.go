@@ -1,0 +1,144 @@
+// Command hglitmus runs heterogeneous litmus testing (§VII-B): the classic
+// shapes, translated per cluster model, over thread→cluster allocations,
+// validated exhaustively against the compound consistency model. The
+// report mirrors the artifact's Test_Result.txt.
+//
+// Usage:
+//
+//	hglitmus                         # all Table II pairs, all shapes
+//	hglitmus -pair MESI,RCC-O        # one pair
+//	hglitmus -shape MP,SB            # selected shapes
+//	hglitmus -all-allocs -evict      # every allocation, with replacements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heterogen/internal/core"
+	"heterogen/internal/litmus"
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+)
+
+func main() {
+	pairFlag := flag.String("pair", "", "protocol pair A,B (default: all Table II pairs)")
+	protoFlag := flag.String("protocol", "", "validate a single protocol homogeneously")
+	shapeFlag := flag.String("shape", "", "comma-separated shapes (default: all 13)")
+	fileFlag := flag.String("file", "", "run a litmus test from a text file")
+	allAllocs := flag.Bool("all-allocs", false, "every thread→cluster allocation (default: heterogeneous only)")
+	evict := flag.Bool("evict", false, "explore replacements at any time")
+	maxThreads := flag.Int("max-threads", 3, "skip shapes with more threads (IRIW=4 is expensive)")
+	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
+	flag.Parse()
+
+	if *verdicts {
+		vs, err := litmus.VerdictMatrix(memmodel.AllIDs())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hglitmus:", err)
+			os.Exit(1)
+		}
+		fmt.Print(litmus.FormatVerdicts(vs))
+		return
+	}
+	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads); err != nil {
+		fmt.Fprintln(os.Stderr, "hglitmus:", err)
+		os.Exit(1)
+	}
+}
+
+func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads int) error {
+	var pairs [][2]string
+	if pairFlag != "" {
+		parts := strings.Split(pairFlag, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-pair needs exactly two protocols")
+		}
+		pairs = [][2]string{{parts[0], parts[1]}}
+	} else {
+		pairs = core.TableIIPairs()
+	}
+
+	shapes := litmus.Shapes()
+	if shapeFlag != "" {
+		var sel []litmus.Shape
+		for _, name := range strings.Split(shapeFlag, ",") {
+			s, ok := litmus.ShapeByName(name)
+			if !ok {
+				return fmt.Errorf("unknown shape %q", name)
+			}
+			sel = append(sel, s)
+		}
+		shapes = sel
+	}
+	if fileFlag != "" {
+		src, err := os.ReadFile(fileFlag)
+		if err != nil {
+			return err
+		}
+		pt, err := litmus.ParseTest(string(src))
+		if err != nil {
+			return err
+		}
+		shapes = []litmus.Shape{pt.Shape()}
+	}
+
+	opts0 := litmus.Options{Evictions: evict, AllAllocations: allAllocs}
+	if protoFlag != "" {
+		p, err := protocols.ByName(protoFlag)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for _, shape := range shapes {
+			if len(shape.Prog().Threads) > maxThreads {
+				continue
+			}
+			r := litmus.RunHomogeneous(p, shape, opts0)
+			fmt.Println(r)
+			if !r.Pass() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d homogeneous litmus failures", failed)
+		}
+		return nil
+	}
+
+	opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs}
+	report := &litmus.SuiteReport{}
+	for _, pr := range pairs {
+		a, err := protocols.ByName(pr[0])
+		if err != nil {
+			return err
+		}
+		b, err := protocols.ByName(pr[1])
+		if err != nil {
+			return err
+		}
+		f, err := core.Fuse(core.Options{}, a, b)
+		if err != nil {
+			return err
+		}
+		for _, shape := range shapes {
+			threads := len(shape.Prog().Threads)
+			if threads > maxThreads {
+				continue
+			}
+			for _, assign := range litmus.Allocations(threads, 2, allAllocs) {
+				r := litmus.RunFused(f, shape, assign, opts)
+				report.Results = append(report.Results, r)
+				fmt.Println(r)
+			}
+		}
+	}
+	fmt.Printf("litmus: %d tests, %d passed, %d failed\n",
+		len(report.Results), report.Passed(), report.Failed())
+	if report.Failed() > 0 {
+		return fmt.Errorf("%d litmus failures", report.Failed())
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command hgsim regenerates the §VIII performance comparison (Figure 10):
+// the HeteroGen-generated MESI/RCC-O protocol — without handshakes and
+// with write handshakes — against the manually-fused HCC-style baseline,
+// on the Table III 64-core heterogeneous system over the 13 synthetic
+// benchmark workloads.
+//
+// Usage:
+//
+//	hgsim -params            # print the Table III configuration
+//	hgsim                    # full Figure 10
+//	hgsim -scale 0.25        # quick run with shortened traces
+//	hgsim -bench cilk5-nq    # one benchmark, all three variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"heterogen/internal/sim"
+	"heterogen/internal/spec"
+	"heterogen/internal/workload"
+)
+
+func main() {
+	params := flag.Bool("params", false, "print the simulated system parameters (Table III)")
+	bench := flag.String("bench", "", "run a single benchmark")
+	scale := flag.Float64("scale", 1.0, "trace length scale factor")
+	flag.Parse()
+
+	if err := run(*params, *bench, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "hgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(params bool, bench string, scale float64) error {
+	cfg := sim.TableIII()
+	if params {
+		fmt.Println(cfg.Format())
+		return nil
+	}
+	if bench != "" {
+		p, err := workload.BenchmarkByName(bench)
+		if err != nil {
+			return err
+		}
+		wl := workload.Generate(p, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}).Scale(scale)
+		ops, loads, stores, syncs := wl.Stats()
+		fmt.Printf("%s: %d ops (%d loads, %d stores, %d syncs)\n", p.Name, ops, loads, stores, syncs)
+		for _, v := range sim.Figure10Variants() {
+			st, err := sim.RunBenchmark(cfg, v, wl)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-16s cycles=%-10d msgs=%-8d flits=%-9d handshakes=%-6d avg-load-stall=%.1f\n",
+				v.Name, st.Cycles, st.Messages, st.Flits, st.Handshakes,
+				float64(st.LoadStall)/float64(max64(st.Loads, 1)))
+			types := make([]string, 0, len(st.ByType))
+			for mt := range st.ByType {
+				types = append(types, string(mt))
+			}
+			sort.Strings(types)
+			fmt.Printf("   traffic:")
+			for _, mt := range types {
+				fmt.Printf(" %s=%d", mt, st.ByType[spec.MsgType(mt)])
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	rows, err := sim.RunFigure10(cfg, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sim.FormatFigure10(rows))
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

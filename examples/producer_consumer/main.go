@@ -1,0 +1,80 @@
+// Producer/consumer reproduces Figure 4: a C11-style producer/consumer
+// pattern compiled onto a heterogeneous RC×TSO machine. Compound
+// consistency preserves each cluster's compiler mappings (§V-D): the C11
+// release on the RC cluster compiles to a release store, while the C11
+// acquire on the TSO cluster compiles to a plain load. The example prints
+// the per-cluster "assembly", verifies the pattern axiomatically, and
+// validates it on the fused RCC (RC) & TSO-CC (TSO) protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heterogen/internal/armor"
+	"heterogen/internal/core"
+	"heterogen/internal/litmus"
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+)
+
+func main() {
+	// The C11 program: producer writes data then releases the flag;
+	// consumer acquires the flag and reads the data.
+	producer := []*memmodel.Op{memmodel.St("data", 1), memmodel.StRel("flag", 1)}
+	consumer := []*memmodel.Op{memmodel.LdAcq("flag"), memmodel.Ld("data")}
+
+	rc := memmodel.MustByID(memmodel.RC)
+	tso := memmodel.MustByID(memmodel.TSO)
+
+	fmt.Println("C11 source:")
+	fmt.Println("  producer: Store(data=1); Release(flag=1)")
+	fmt.Println("  consumer: while(Acquire(flag)!=1); Load(data)")
+	fmt.Println()
+
+	// Figure 4(b): the compiler mapping per cluster, via ArMOR.
+	prodRC := armor.AdaptThread(producer, rc)
+	consTSO := armor.AdaptThread(consumer, tso)
+	fmt.Println("compiled for the RC cluster (producer):")
+	for _, op := range prodRC {
+		fmt.Println("   ", op)
+	}
+	fmt.Println("compiled for the TSO cluster (consumer):")
+	for _, op := range consTSO {
+		fmt.Println("   ", op)
+	}
+	fmt.Println()
+
+	// The compound model guarantees the pattern: flag=1 implies data=1.
+	cm, err := memmodel.NewCompound([]memmodel.Model{rc, tso}, []int{0, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := memmodel.NewProgram(prodRC, consTSO)
+	loads := prog.Loads()
+	stale := memmodel.Outcome{
+		memmodel.LoadKey(loads[0]): 1, memmodel.LoadKey(loads[1]): 0}
+	allowed := memmodel.AllowedOutcomes(prog, cm)
+	fmt.Printf("stale outcome (flag=1, data=0) allowed under %s: %t\n",
+		cm.ID(), allowed.Has(stale))
+	if allowed.Has(stale) {
+		log.Fatal("compound model failed to order the pattern")
+	}
+
+	// And on the synthesized protocol: RCC & TSO-CC fused by HeteroGen.
+	fusion, err := core.Fuse(core.Options{},
+		protocols.MustByName(protocols.NameRCC),
+		protocols.MustByName(protocols.NameTSOCC))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nexhaustive check on the fused RCC & TSO-CC protocol:")
+	shape, _ := litmus.ShapeByName("MP")
+	// Producer on cluster 0 (RC), consumer on cluster 1 (TSO).
+	r := litmus.RunFused(fusion, shape, []int{0, 1}, litmus.Options{})
+	fmt.Println(" ", r)
+	if !r.Pass() || !r.Forbidden {
+		log.Fatal("protocol violates the producer/consumer guarantee")
+	}
+	fmt.Println("producer_consumer: guarantee holds")
+}

@@ -1,0 +1,3 @@
+module heterogen
+
+go 1.22

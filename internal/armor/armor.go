@@ -1,0 +1,335 @@
+// Package armor implements the consistency-model translation HeteroGen
+// borrows from ArMOR (Lustig et al., ISCA'15): memory-ordering
+// specification tables (MOSTs) per model, translation of synchronization
+// between models, and — the use HeteroGen makes of it (§VI-C) — the
+// SC-equivalent access sequences a proxy cache issues in a foreign cluster
+// to propagate a write (or fetch fresh data) through that cluster's own
+// coherence protocol.
+package armor
+
+import (
+	"fmt"
+	"strings"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// AccessType labels the rows/columns of a MOST.
+type AccessType int
+
+// The access types ArMOR-style tables distinguish.
+const (
+	LD AccessType = iota
+	ST
+	LDAcq
+	STRel
+	FENCE
+	numAccessTypes
+)
+
+func (a AccessType) String() string {
+	switch a {
+	case LD:
+		return "LD"
+	case ST:
+		return "ST"
+	case LDAcq:
+		return "LD.acq"
+	case STRel:
+		return "ST.rel"
+	case FENCE:
+		return "FENCE"
+	}
+	return fmt.Sprintf("AccessType(%d)", int(a))
+}
+
+// opFor builds a representative memmodel op of the access type; addresses
+// are distinct placeholders so same-address (coherence) ordering does not
+// mask model ordering.
+func opFor(a AccessType, addr string, idx int) *memmodel.Op {
+	var op *memmodel.Op
+	switch a {
+	case LD:
+		op = memmodel.Ld(addr)
+	case ST:
+		op = memmodel.St(addr, 1)
+	case LDAcq:
+		op = memmodel.LdAcq(addr)
+	case STRel:
+		op = memmodel.StRel(addr, 1)
+	case FENCE:
+		op = memmodel.Fn()
+	}
+	op.Index = idx
+	return op
+}
+
+// MOST is a memory-ordering specification table: Preserved[a][b] reports
+// whether an access of type a is ordered before a following access of type
+// b under the model.
+type MOST struct {
+	Model     memmodel.ID
+	Preserved [numAccessTypes][numAccessTypes]bool
+}
+
+// BuildMOST derives a model's MOST from its ppo predicate.
+func BuildMOST(m memmodel.Model) *MOST {
+	t := &MOST{Model: m.ID()}
+	for a := AccessType(0); a < numAccessTypes; a++ {
+		for b := AccessType(0); b < numAccessTypes; b++ {
+			if a == FENCE || b == FENCE {
+				continue // fences are contextual, not pairwise
+			}
+			o1 := opFor(a, "x", 0)
+			o2 := opFor(b, "y", 1)
+			t.Preserved[a][b] = m.Preserved([]*memmodel.Op{o1, o2}, 0, 1)
+		}
+	}
+	return t
+}
+
+// Format renders the MOST as an aligned table.
+func (t *MOST) Format() string {
+	var b strings.Builder
+	types := []AccessType{LD, ST, LDAcq, STRel}
+	fmt.Fprintf(&b, "MOST %s\n%8s", t.Model, "")
+	for _, c := range types {
+		fmt.Fprintf(&b, "%8s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range types {
+		fmt.Fprintf(&b, "%8s", r)
+		for _, c := range types {
+			v := "-"
+			if t.Preserved[r][c] {
+				v = "Y"
+			}
+			fmt.Fprintf(&b, "%8s", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// scStrong reports whether the model preserves all four plain-access
+// orderings (i.e. plain accesses are already SC-ordered).
+func scStrong(t *MOST) bool {
+	return t.Preserved[LD][LD] && t.Preserved[LD][ST] && t.Preserved[ST][LD] && t.Preserved[ST][ST]
+}
+
+// AdaptThread translates a thread written against the compound programming
+// discipline (release/acquire annotations plus fences) into the equivalent
+// thread for the given cluster model — the compiler-mapping story of §V-D
+// and the fence-reduction step of §VII-B. The result uses only
+// synchronization the model actually needs:
+//
+//   - models that natively order plain accesses drop redundant sync,
+//   - RC keeps acquire/acquire annotations,
+//   - models lacking R→R insert a fence after an acquire-load,
+//   - models lacking W→R keep fences that separate a store from a load.
+func AdaptThread(ops []*memmodel.Op, m memmodel.Model) []*memmodel.Op {
+	t := BuildMOST(m)
+	native := m.ID() == memmodel.RC // acquire/release are first-class
+	var out []*memmodel.Op
+	for i, op := range ops {
+		switch {
+		case op.Kind == memmodel.Fence:
+			if fenceNeeded(t, ops, i) {
+				out = append(out, memmodel.Fn())
+			}
+		case op.Kind == memmodel.Load && op.Ord == memmodel.Acquire:
+			if native {
+				out = append(out, memmodel.LdAcq(op.Addr))
+				continue
+			}
+			ld := memmodel.Ld(op.Addr)
+			out = append(out, ld)
+			// Acquire orders the load before everything after it; insert a
+			// fence when the model lacks R→R or R→W.
+			if !t.Preserved[LD][LD] || !t.Preserved[LD][ST] {
+				out = append(out, memmodel.Fn())
+			}
+		case op.Kind == memmodel.Store && op.Ord == memmodel.Release:
+			if native {
+				out = append(out, memmodel.StRel(op.Addr, op.Value))
+				continue
+			}
+			// Release orders everything before it before the store; insert
+			// a fence when the model lacks R→W or W→W.
+			if !t.Preserved[LD][ST] || !t.Preserved[ST][ST] {
+				out = append(out, memmodel.Fn())
+			}
+			out = append(out, memmodel.St(op.Addr, op.Value))
+		default:
+			cp := *op
+			cp.Ord = memmodel.Plain
+			out = append(out, &cp)
+		}
+	}
+	for i, op := range out {
+		op.Index = i
+	}
+	return out
+}
+
+// fenceNeeded reports whether a fence at position i of the original thread
+// still enforces an ordering the model lacks.
+func fenceNeeded(t *MOST, ops []*memmodel.Op, i int) bool {
+	if scStrong(t) {
+		return false
+	}
+	// Consider the nearest memory ops on either side.
+	var before, after *memmodel.Op
+	for j := i - 1; j >= 0; j-- {
+		if ops[j].IsMem() {
+			before = ops[j]
+			break
+		}
+	}
+	for j := i + 1; j < len(ops); j++ {
+		if ops[j].IsMem() {
+			after = ops[j]
+			break
+		}
+	}
+	if before == nil || after == nil {
+		return false
+	}
+	return !t.Preserved[classify(before)][classify(after)]
+}
+
+func classify(op *memmodel.Op) AccessType {
+	switch {
+	case op.Kind == memmodel.Load && op.Ord == memmodel.Acquire:
+		return LDAcq
+	case op.Kind == memmodel.Load:
+		return LD
+	case op.Kind == memmodel.Store && op.Ord == memmodel.Release:
+		return STRel
+	case op.Kind == memmodel.Store:
+		return ST
+	}
+	return FENCE
+}
+
+// ProxyStoreSeq returns the core-op sequence a proxy cache issues in a
+// cluster of the given model to make a foreign write globally visible
+// there before the original request completes — the SC-equivalent store of
+// §VI-C. The store op itself (with address and value) is represented by
+// OpStore; the caller fills in address/value.
+func ProxyStoreSeq(m memmodel.ID) ([]spec.CoreOp, error) {
+	switch m {
+	case memmodel.SC, memmodel.TSO, memmodel.PLO:
+		// Stores complete globally in these protocols' write paths.
+		return []spec.CoreOp{spec.OpStore}, nil
+	case memmodel.RC:
+		// The SC-equivalent of a store under RC is a release: buffer the
+		// value, then flush it (and wait) so it is globally visible.
+		return []spec.CoreOp{spec.OpStore, spec.OpRelease}, nil
+	}
+	return nil, fmt.Errorf("armor: no store translation for model %s", m)
+}
+
+// ProxyLoadSeq returns the core-op sequence a proxy cache issues to obtain
+// globally fresh data in a cluster of the given model — the SC-equivalent
+// load of §VI-C.
+func ProxyLoadSeq(m memmodel.ID) ([]spec.CoreOp, error) {
+	switch m {
+	case memmodel.SC:
+		return []spec.CoreOp{spec.OpLoad}, nil
+	case memmodel.TSO:
+		// Discard possibly-stale local copies, then load (TSO natively
+		// orders the load before later accesses).
+		return []spec.CoreOp{spec.OpFence, spec.OpLoad}, nil
+	case memmodel.PLO:
+		// PLO lacks R→R, so acquiring semantics need a trailing fence too.
+		return []spec.CoreOp{spec.OpFence, spec.OpLoad, spec.OpFence}, nil
+	case memmodel.RC:
+		// The SC-equivalent of a load under RC is an acquire.
+		return []spec.CoreOp{spec.OpAcquire, spec.OpLoad}, nil
+	}
+	return nil, fmt.Errorf("armor: no load translation for model %s", m)
+}
+
+// VerifyStoreSeq checks, against the axiomatic model, that the proxy store
+// sequence is ordered at least as strongly as an SC store: a preceding
+// sequence completion implies the value is visible (modeled as the sequence
+// acting like a release-store under the model's own ppo). It returns an
+// error when the sequence's final store could still be buffered
+// (i.e. nothing in the sequence orders prior stores before it).
+func VerifyStoreSeq(m memmodel.Model, seq []spec.CoreOp) error {
+	// Build: St a=1; <seq on b>; and require ST(a) → ST(b) preserved.
+	ops := []*memmodel.Op{memmodel.St("a", 1)}
+	ops = append(ops, seqOps(seq, "b")...)
+	prog := memmodel.NewProgram(ops)
+	th := prog.Threads[0]
+	// Find the last store (the sequence's store).
+	last := -1
+	for i, op := range th {
+		if op.Kind == memmodel.Store && op.Addr == "b" {
+			last = i
+		}
+	}
+	if last < 0 {
+		return fmt.Errorf("armor: store sequence %v contains no store", seq)
+	}
+	if !m.Preserved(th, 0, last) {
+		return fmt.Errorf("armor: sequence %v does not order prior stores under %s", seq, m.ID())
+	}
+	return nil
+}
+
+// VerifyLoadSeq checks that the proxy load sequence is ordered at least as
+// strongly as an SC load: the loaded value is fresh, modeled as the load
+// being ordered after any preceding op of the sequence and before later
+// accesses (acquire semantics).
+func VerifyLoadSeq(m memmodel.Model, seq []spec.CoreOp) error {
+	ops := seqOps(seq, "a")
+	ops = append(ops, memmodel.Ld("b"))
+	prog := memmodel.NewProgram(ops)
+	th := prog.Threads[0]
+	first := -1
+	for i, op := range th {
+		if op.Kind == memmodel.Load && op.Addr == "a" {
+			first = i
+		}
+	}
+	if first < 0 {
+		return fmt.Errorf("armor: load sequence %v contains no load", seq)
+	}
+	if !m.Preserved(th, first, len(th)-1) {
+		return fmt.Errorf("armor: sequence %v does not order later loads under %s", seq, m.ID())
+	}
+	return nil
+}
+
+// seqOps renders a proxy core-op sequence as annotated memmodel ops for
+// verification. Release/acquire core ops annotate the adjacent access; a
+// trailing Release after a store becomes a release-store.
+func seqOps(seq []spec.CoreOp, addr string) []*memmodel.Op {
+	var out []*memmodel.Op
+	for i, op := range seq {
+		switch op {
+		case spec.OpLoad:
+			// An Acquire before the load makes it an acquire-load.
+			if i > 0 && seq[i-1] == spec.OpAcquire {
+				out = append(out, memmodel.LdAcq(addr))
+			} else {
+				out = append(out, memmodel.Ld(addr))
+			}
+		case spec.OpStore:
+			// A Release after the store makes it a release-store.
+			if i+1 < len(seq) && seq[i+1] == spec.OpRelease {
+				out = append(out, memmodel.StRel(addr, 1))
+			} else {
+				out = append(out, memmodel.St(addr, 1))
+			}
+		case spec.OpFence:
+			out = append(out, memmodel.Fn())
+		case spec.OpAcquire, spec.OpRelease:
+			// Consumed as annotations above.
+		}
+	}
+	return out
+}

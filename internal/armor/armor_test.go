@@ -1,0 +1,192 @@
+package armor
+
+import (
+	"strings"
+	"testing"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+func TestBuildMOST(t *testing.T) {
+	sc := BuildMOST(memmodel.MustByID(memmodel.SC))
+	for _, a := range []AccessType{LD, ST} {
+		for _, b := range []AccessType{LD, ST} {
+			if !sc.Preserved[a][b] {
+				t.Errorf("SC MOST missing %s→%s", a, b)
+			}
+		}
+	}
+	tso := BuildMOST(memmodel.MustByID(memmodel.TSO))
+	if tso.Preserved[ST][LD] {
+		t.Error("TSO MOST preserves ST→LD")
+	}
+	if !tso.Preserved[ST][ST] || !tso.Preserved[LD][LD] || !tso.Preserved[LD][ST] {
+		t.Error("TSO MOST missing a preserved ordering")
+	}
+	rc := BuildMOST(memmodel.MustByID(memmodel.RC))
+	if rc.Preserved[LD][LD] || rc.Preserved[ST][ST] {
+		t.Error("RC MOST preserves plain orderings")
+	}
+	if !rc.Preserved[LDAcq][LD] || !rc.Preserved[LDAcq][ST] {
+		t.Error("RC MOST: acquire must order later accesses")
+	}
+	if !rc.Preserved[LD][STRel] || !rc.Preserved[ST][STRel] {
+		t.Error("RC MOST: release must be ordered after earlier accesses")
+	}
+	plo := BuildMOST(memmodel.MustByID(memmodel.PLO))
+	if !plo.Preserved[ST][ST] || !plo.Preserved[LD][ST] {
+		t.Error("PLO MOST missing W→W or R→W")
+	}
+	if plo.Preserved[LD][LD] || plo.Preserved[ST][LD] {
+		t.Error("PLO MOST preserves R→R or W→R")
+	}
+}
+
+func TestMOSTFormat(t *testing.T) {
+	s := BuildMOST(memmodel.MustByID(memmodel.TSO)).Format()
+	if !strings.Contains(s, "MOST TSO") || !strings.Contains(s, "LD") {
+		t.Errorf("unexpected MOST format:\n%s", s)
+	}
+}
+
+func TestProxySeqsVerify(t *testing.T) {
+	for _, id := range memmodel.AllIDs() {
+		m := memmodel.MustByID(id)
+		st, err := ProxyStoreSeq(id)
+		if err != nil {
+			t.Fatalf("ProxyStoreSeq(%s): %v", id, err)
+		}
+		if err := VerifyStoreSeq(m, st); err != nil {
+			t.Errorf("store sequence for %s unsound: %v", id, err)
+		}
+		ld, err := ProxyLoadSeq(id)
+		if err != nil {
+			t.Fatalf("ProxyLoadSeq(%s): %v", id, err)
+		}
+		if err := VerifyLoadSeq(m, ld); err != nil {
+			t.Errorf("load sequence for %s unsound: %v", id, err)
+		}
+	}
+}
+
+func TestRCPlainSequencesRejected(t *testing.T) {
+	rc := memmodel.MustByID(memmodel.RC)
+	if err := VerifyStoreSeq(rc, []spec.CoreOp{spec.OpStore}); err == nil {
+		t.Error("plain store accepted as SC-equivalent under RC")
+	}
+	if err := VerifyLoadSeq(rc, []spec.CoreOp{spec.OpLoad}); err == nil {
+		t.Error("plain load accepted as SC-equivalent under RC")
+	}
+}
+
+func TestRCTranslationsAreSyncOps(t *testing.T) {
+	st, _ := ProxyStoreSeq(memmodel.RC)
+	if len(st) != 2 || st[0] != spec.OpStore || st[1] != spec.OpRelease {
+		t.Errorf("RC store translation = %v, want store;release", st)
+	}
+	ld, _ := ProxyLoadSeq(memmodel.RC)
+	if len(ld) != 2 || ld[0] != spec.OpAcquire || ld[1] != spec.OpLoad {
+		t.Errorf("RC load translation = %v, want acquire;load", ld)
+	}
+}
+
+func TestAdaptThreadSC(t *testing.T) {
+	// SC drops all synchronization.
+	in := []*memmodel.Op{memmodel.St("x", 1), memmodel.Fn(), memmodel.StRel("y", 1), memmodel.LdAcq("z")}
+	out := AdaptThread(in, memmodel.MustByID(memmodel.SC))
+	if len(out) != 3 {
+		t.Fatalf("SC adaptation = %v", out)
+	}
+	for _, op := range out {
+		if op.Kind == memmodel.Fence || op.Ord != memmodel.Plain {
+			t.Errorf("SC adaptation kept sync: %v", op)
+		}
+	}
+}
+
+func TestAdaptThreadTSO(t *testing.T) {
+	tso := memmodel.MustByID(memmodel.TSO)
+	// Figure 4: a C11 acquire compiles to a plain load on TSO.
+	out := AdaptThread([]*memmodel.Op{memmodel.LdAcq("y"), memmodel.Ld("x")}, tso)
+	if len(out) != 2 || out[0].Kind != memmodel.Load || out[0].Ord != memmodel.Plain {
+		t.Errorf("TSO acquire mapping = %v, want plain load", out)
+	}
+	// A fence between St and Ld is needed on TSO (Dekker).
+	out = AdaptThread([]*memmodel.Op{memmodel.St("y", 1), memmodel.Fn(), memmodel.Ld("x")}, tso)
+	if len(out) != 3 || out[1].Kind != memmodel.Fence {
+		t.Errorf("TSO kept %v, want store;fence;load", out)
+	}
+	// A fence between two stores is redundant on TSO.
+	out = AdaptThread([]*memmodel.Op{memmodel.St("y", 1), memmodel.Fn(), memmodel.St("x", 1)}, tso)
+	if len(out) != 2 {
+		t.Errorf("TSO kept redundant fence: %v", out)
+	}
+}
+
+func TestAdaptThreadRC(t *testing.T) {
+	rc := memmodel.MustByID(memmodel.RC)
+	// Figure 4: a C11 release compiles to a release store on RC.
+	out := AdaptThread([]*memmodel.Op{memmodel.St("x", 1), memmodel.StRel("y", 1)}, rc)
+	if len(out) != 2 || out[1].Ord != memmodel.Release {
+		t.Errorf("RC release mapping = %v", out)
+	}
+	out = AdaptThread([]*memmodel.Op{memmodel.LdAcq("y"), memmodel.Ld("x")}, rc)
+	if len(out) != 2 || out[0].Ord != memmodel.Acquire {
+		t.Errorf("RC acquire mapping = %v", out)
+	}
+}
+
+func TestAdaptThreadPLO(t *testing.T) {
+	plo := memmodel.MustByID(memmodel.PLO)
+	// Acquire-load needs a trailing fence (PLO lacks R→R).
+	out := AdaptThread([]*memmodel.Op{memmodel.LdAcq("y"), memmodel.Ld("x")}, plo)
+	if len(out) != 3 || out[1].Kind != memmodel.Fence {
+		t.Errorf("PLO acquire mapping = %v, want load;fence;load", out)
+	}
+	// Release-store is free (PLO preserves R→W and W→W).
+	out = AdaptThread([]*memmodel.Op{memmodel.St("x", 1), memmodel.StRel("y", 1)}, plo)
+	if len(out) != 2 || out[1].Ord != memmodel.Plain {
+		t.Errorf("PLO release mapping = %v, want two plain stores", out)
+	}
+}
+
+func TestAdaptedThreadsPreserveShapeOrdering(t *testing.T) {
+	// Whatever the model, the adapted MP producer/consumer must forbid the
+	// stale outcome under that model.
+	for _, id := range memmodel.AllIDs() {
+		m := memmodel.MustByID(id)
+		prod := AdaptThread([]*memmodel.Op{memmodel.St("x", 1), memmodel.StRel("y", 1)}, m)
+		cons := AdaptThread([]*memmodel.Op{memmodel.LdAcq("y"), memmodel.Ld("x")}, m)
+		p := memmodel.NewProgram(prod, cons)
+		var flag, data *memmodel.Op
+		for _, op := range p.Loads() {
+			if op.Addr == "y" {
+				flag = op
+			} else {
+				data = op
+			}
+		}
+		stale := memmodel.Outcome{memmodel.LoadKey(flag): 1, memmodel.LoadKey(data): 0}
+		if memmodel.AllowedOutcomes(p, m).Has(stale) {
+			t.Errorf("%s: adapted MP still allows the stale outcome", id)
+		}
+	}
+}
+
+func TestFenceAtThreadEdgesDropped(t *testing.T) {
+	tso := memmodel.MustByID(memmodel.TSO)
+	out := AdaptThread([]*memmodel.Op{memmodel.Fn(), memmodel.St("x", 1), memmodel.Fn()}, tso)
+	if len(out) != 1 {
+		t.Errorf("edge fences kept: %v", out)
+	}
+}
+
+func TestUnknownModelErrors(t *testing.T) {
+	if _, err := ProxyStoreSeq("bogus"); err == nil {
+		t.Error("ProxyStoreSeq accepted unknown model")
+	}
+	if _, err := ProxyLoadSeq("bogus"); err == nil {
+		t.Error("ProxyLoadSeq accepted unknown model")
+	}
+}

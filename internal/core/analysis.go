@@ -1,0 +1,274 @@
+// Package core implements HeteroGen itself (§VI): static analysis of the
+// input protocols, and synthesis of the merged directory that fuses
+// per-cluster directory controllers — bridging them with proxy caches and
+// ArMOR consistency translation so the composite enforces the compound
+// consistency model.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"heterogen/internal/spec"
+)
+
+// Analysis is the result of statically analyzing one input protocol's
+// controllers (§VI-D1, §VI-D2).
+type Analysis struct {
+	Protocol *spec.Protocol
+	// GVWrites classifies cache→directory request types whose handling
+	// makes a write globally visible: value-carrying write-backs and
+	// write-throughs, plus permission requests whose final state allows
+	// silent store hits that forwarded requests can observe.
+	GVWrites map[spec.MsgType]bool
+	// ReadFills classifies cache→directory request types whose transaction
+	// fills the line with data (reads, including read-for-write fetches);
+	// these need fresh data when another cluster owns the block.
+	ReadFills map[spec.MsgType]bool
+	// EarlyWriteAck reports whether any write is acknowledged to the core
+	// before its transaction completes (e.g. GPU write-throughs); if any
+	// input protocol has this property the fusion uses the conservative
+	// processor-centric proxy design.
+	EarlyWriteAck bool
+	// FinalStates maps each request type to the stable cache states its
+	// transaction can complete in.
+	FinalStates map[spec.MsgType][]spec.State
+}
+
+// Analyze performs the static analysis of §VI-D on a protocol.
+func Analyze(p *spec.Protocol) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Protocol:    p,
+		GVWrites:    map[spec.MsgType]bool{},
+		ReadFills:   map[spec.MsgType]bool{},
+		FinalStates: map[spec.MsgType][]spec.State{},
+	}
+	cache := p.Cache
+
+	// Find every request type a cache sends to its directory, the
+	// transient state entered when it is sent, and whether the send
+	// carries data (write-back / write-through).
+	type origin struct {
+		from  spec.State
+		next  spec.State
+		data  bool
+		early bool // CoreDone in the same transition (early completion)
+	}
+	origins := map[spec.MsgType][]origin{}
+	for _, t := range cache.Rows {
+		for _, act := range t.Actions {
+			if act.Op != spec.ActSend || act.Dst != spec.ToDir {
+				continue
+			}
+			// Only request-network messages are directory requests; data
+			// responses a cache copies back to the directory mid-transaction
+			// (e.g. the M→S downgrade's write-back copy) are not.
+			if p.VNetOf(act.Msg) != spec.VReq {
+				continue
+			}
+			early := false
+			for _, a2 := range t.Actions {
+				if a2.Op == spec.ActCoreDone && !cache.IsStable(t.Next) {
+					early = true
+				}
+			}
+			origins[act.Msg] = append(origins[act.Msg], origin{
+				from:  t.From,
+				next:  t.Next,
+				data:  act.Payload == spec.PayloadLine || act.Payload == spec.PayloadStore,
+				early: early,
+			})
+		}
+	}
+
+	for msg, orgs := range origins {
+		carriesData := false
+		fillsData := false
+		finals := map[spec.State]bool{}
+		for _, o := range orgs {
+			if o.data {
+				carriesData = true
+			}
+			if o.early {
+				// Early completion of a store request.
+				if isWriteOrigin(cache, o.from, msg) {
+					a.EarlyWriteAck = true
+				}
+			}
+			for _, s := range reachableStables(cache, o.next) {
+				finals[s] = true
+			}
+			if transactionFills(cache, o.next) {
+				fillsData = true
+			}
+		}
+		var fs []spec.State
+		for s := range finals {
+			fs = append(fs, s)
+		}
+		sort.Slice(fs, func(i, j int) bool { return fs[i] < fs[j] })
+		a.FinalStates[msg] = fs
+
+		switch {
+		case carriesData:
+			// Write-backs and write-throughs carry the value to the shared
+			// cache: globally visible writes by definition.
+			a.GVWrites[msg] = true
+		case a.isPermissionWrite(fs):
+			a.GVWrites[msg] = true
+		case fillsData:
+			a.ReadFills[msg] = true
+		}
+	}
+	return a, nil
+}
+
+// isWriteOrigin reports whether the request msg is (also) issued on a store
+// path from the given state.
+func isWriteOrigin(cache *spec.Machine, from spec.State, msg spec.MsgType) bool {
+	t := cache.OnCoreOp(from, spec.OpStore)
+	if t == nil {
+		return false
+	}
+	for _, act := range t.Actions {
+		if act.Op == spec.ActSend && act.Dst == spec.ToDir && act.Msg == msg {
+			return true
+		}
+	}
+	return false
+}
+
+// reachableStables follows message-driven transitions from a transient
+// state to every stable state the transaction can complete in.
+func reachableStables(cache *spec.Machine, start spec.State) []spec.State {
+	seen := map[spec.State]bool{}
+	var stables []spec.State
+	var walk func(s spec.State)
+	walk = func(s spec.State) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		if cache.IsStable(s) {
+			stables = append(stables, s)
+			return
+		}
+		for _, t := range cache.TransitionsFrom(s) {
+			if t.On.IsCore() {
+				continue // transactions complete via messages
+			}
+			walk(t.Next)
+		}
+	}
+	walk(start)
+	sort.Slice(stables, func(i, j int) bool { return stables[i] < stables[j] })
+	return stables
+}
+
+// transactionFills reports whether any message transition reachable from
+// the transient state fills the line with response data.
+func transactionFills(cache *spec.Machine, start spec.State) bool {
+	seen := map[spec.State]bool{}
+	var walk func(s spec.State) bool
+	walk = func(s spec.State) bool {
+		if seen[s] || cache.IsStable(s) {
+			return false
+		}
+		seen[s] = true
+		for _, t := range cache.TransitionsFrom(s) {
+			if t.On.IsCore() {
+				continue
+			}
+			for _, act := range t.Actions {
+				if act.Op == spec.ActLoadMsgData {
+					return true
+				}
+			}
+			if walk(t.Next) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(start)
+}
+
+// isPermissionWrite applies the two-condition test of §VI-D1 to the
+// transaction's final states: (a) some final state s1 allows stores to hit
+// without external communication (possibly moving to s2), and (b) s1 or s2
+// accepts a forwarded request that produces a data response.
+func (a *Analysis) isPermissionWrite(finals []spec.State) bool {
+	cache := a.Protocol.Cache
+	for _, s1 := range finals {
+		s2, localHit := localStoreHit(cache, s1)
+		if !localHit {
+			continue
+		}
+		if acceptsDataForward(cache, s1) || acceptsDataForward(cache, s2) {
+			return true
+		}
+	}
+	return false
+}
+
+// localStoreHit reports whether a store hits in state s without external
+// communication, returning the post-store state.
+func localStoreHit(cache *spec.Machine, s spec.State) (spec.State, bool) {
+	t := cache.OnCoreOp(s, spec.OpStore)
+	if t == nil {
+		return "", false
+	}
+	for _, act := range t.Actions {
+		if act.Op == spec.ActSend {
+			return "", false
+		}
+	}
+	done := false
+	for _, act := range t.Actions {
+		if act.Op == spec.ActCoreDone {
+			done = true
+		}
+	}
+	if !done {
+		return "", false
+	}
+	return t.Next, true
+}
+
+// acceptsDataForward reports whether state s has a message transition that
+// responds with the line's data (a forwarded request observing the value).
+func acceptsDataForward(cache *spec.Machine, s spec.State) bool {
+	if s == "" {
+		return false
+	}
+	for _, t := range cache.TransitionsFrom(s) {
+		if t.On.IsCore() || t.On.Msg == spec.EvLastAck {
+			continue
+		}
+		for _, act := range t.Actions {
+			if act.Op == spec.ActSend && act.Payload == spec.PayloadLine &&
+				(act.Dst == spec.ToMsgReq || act.Dst == spec.ToMsgSrc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Summary renders the analysis for CLI/docs output.
+func (a *Analysis) Summary() string {
+	var gv, rd []string
+	for m := range a.GVWrites {
+		gv = append(gv, string(m))
+	}
+	for m := range a.ReadFills {
+		rd = append(rd, string(m))
+	}
+	sort.Strings(gv)
+	sort.Strings(rd)
+	return fmt.Sprintf("%s: globally-visible writes=%v reads=%v earlyWriteAck=%t",
+		a.Protocol.Name, gv, rd, a.EarlyWriteAck)
+}

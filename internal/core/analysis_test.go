@@ -1,0 +1,175 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+func analyze(t *testing.T, name string) *Analysis {
+	t.Helper()
+	a, err := Analyze(protocols.MustByName(name))
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", name, err)
+	}
+	return a
+}
+
+// TestGVWriteClassification checks §VI-D1's classification on each input
+// protocol, including the paper's two worked examples: the RC protocol
+// whose store-triggered fetch is *not* a globally visible write (valid
+// lines take no forwards), and MESI's E-granting read which *is* (E
+// silently upgrades to M, which serves forwards).
+func TestGVWriteClassification(t *testing.T) {
+	cases := []struct {
+		proto    string
+		gvWrites []spec.MsgType
+		reads    []spec.MsgType
+	}{
+		{protocols.NameMSI, []spec.MsgType{"GetM", "PutM"}, []spec.MsgType{"GetS"}},
+		{protocols.NameMESI, []spec.MsgType{"GetM", "GetS", "PutM"}, nil},
+		{protocols.NameTSOCC, []spec.MsgType{"GetM", "PutM"}, []spec.MsgType{"GetS"}},
+		{protocols.NameRCC, []spec.MsgType{"WB"}, []spec.MsgType{"GetV"}},
+		{protocols.NameRCCO, []spec.MsgType{"GetO", "PutO"}, []spec.MsgType{"GetV"}},
+		{protocols.NameGPU, []spec.MsgType{"WT"}, []spec.MsgType{"GetV"}},
+		{protocols.NamePLOCC, []spec.MsgType{"GetO", "PutO"}, []spec.MsgType{"GetV"}},
+	}
+	for _, c := range cases {
+		a := analyze(t, c.proto)
+		if len(a.GVWrites) != len(c.gvWrites) {
+			t.Errorf("%s: GV writes = %v, want %v", c.proto, a.GVWrites, c.gvWrites)
+		}
+		for _, m := range c.gvWrites {
+			if !a.GVWrites[m] {
+				t.Errorf("%s: %s not classified as globally visible write", c.proto, m)
+			}
+		}
+		for _, m := range c.reads {
+			if !a.ReadFills[m] {
+				t.Errorf("%s: %s not classified as read", c.proto, m)
+			}
+			if a.GVWrites[m] {
+				t.Errorf("%s: %s classified both read and GV write", c.proto, m)
+			}
+		}
+	}
+}
+
+func TestEarlyWriteAckDetection(t *testing.T) {
+	for _, c := range []struct {
+		proto string
+		early bool
+	}{
+		{protocols.NameMSI, false},
+		{protocols.NameMESI, false},
+		{protocols.NameTSOCC, false},
+		{protocols.NameRCC, false},
+		{protocols.NameRCCO, false},
+		{protocols.NameGPU, true}, // write-throughs complete before the ack
+		{protocols.NamePLOCC, false},
+	} {
+		if a := analyze(t, c.proto); a.EarlyWriteAck != c.early {
+			t.Errorf("%s: EarlyWriteAck = %t, want %t", c.proto, a.EarlyWriteAck, c.early)
+		}
+	}
+}
+
+func TestAnalysisSummary(t *testing.T) {
+	s := analyze(t, protocols.NameRCCO).Summary()
+	if !strings.Contains(s, "GetO") || !strings.Contains(s, "RCC-O") {
+		t.Errorf("summary missing content: %s", s)
+	}
+}
+
+func TestFinalStates(t *testing.T) {
+	a := analyze(t, protocols.NameMESI)
+	fs := a.FinalStates["GetS"]
+	if len(fs) != 2 || fs[0] != "E" || fs[1] != "S" {
+		t.Errorf("MESI GetS final states = %v, want [E S]", fs)
+	}
+	a = analyze(t, protocols.NameMSI)
+	if fs := a.FinalStates["GetM"]; len(fs) != 1 || fs[0] != "M" {
+		t.Errorf("MSI GetM final states = %v, want [M]", fs)
+	}
+}
+
+func TestFuseValidation(t *testing.T) {
+	msi := protocols.MustByName(protocols.NameMSI)
+	if _, err := Fuse(Options{}, msi); err != ErrTooFewClusters {
+		t.Errorf("single-protocol fusion error = %v", err)
+	}
+	upd := protocols.MustByName(protocols.NameMSI)
+	upd.Class = spec.ClassUpdate
+	if _, err := Fuse(Options{}, msi, upd); err == nil || !strings.Contains(err.Error(), "update") {
+		t.Errorf("update-protocol fusion error = %v", err)
+	}
+	lease := protocols.MustByName(protocols.NameMSI)
+	lease.Class = spec.ClassLease
+	if _, err := Fuse(Options{}, msi, lease); err == nil || !strings.Contains(err.Error(), "lease") {
+		t.Errorf("lease-protocol fusion error = %v", err)
+	}
+}
+
+func TestConservativeSelection(t *testing.T) {
+	mesi := protocols.MustByName(protocols.NameMESI)
+	gpu := protocols.MustByName(protocols.NameGPU)
+	f, err := Fuse(Options{}, mesi, gpu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Conservative {
+		t.Error("GPU input (early write acks) must select the conservative design")
+	}
+	if f.Opts.ProxyPool != 1 {
+		t.Errorf("conservative design must serialize the proxy, pool=%d", f.Opts.ProxyPool)
+	}
+
+	rcco := protocols.MustByName(protocols.NameRCCO)
+	f2, err := Fuse(Options{}, protocols.MustByName(protocols.NameMESI), rcco)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Conservative {
+		t.Error("MESI&RCC-O should use the aggressive memory-centric design")
+	}
+	if f2.Opts.ProxyPool < 2 {
+		t.Errorf("aggressive design should allow inter-address overlap, pool=%d", f2.Opts.ProxyPool)
+	}
+}
+
+func TestFusionDescribeAndName(t *testing.T) {
+	f, err := Fuse(Options{Handshake: HSWrites},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "MESI&RCC-O" {
+		t.Errorf("fusion name = %s", f.Name())
+	}
+	d := f.Describe()
+	if !strings.Contains(d, "aggressive") || !strings.Contains(d, "writes") {
+		t.Errorf("describe missing content:\n%s", d)
+	}
+}
+
+func TestCompoundModelFromFusion(t *testing.T) {
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameMSI), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := f.CompoundModel([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.ID() != "SCxRC" {
+		t.Errorf("compound model = %s", cm.ID())
+	}
+}
+
+func TestHandshakeModeString(t *testing.T) {
+	if HSNone.String() != "none" || HSWrites.String() != "writes" || HSAll.String() != "all" {
+		t.Error("handshake mode strings wrong")
+	}
+}

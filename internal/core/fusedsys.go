@@ -1,0 +1,47 @@
+package core
+
+import (
+	"heterogen/internal/mcheck"
+	"heterogen/internal/spec"
+)
+
+// SystemLayout describes a concrete heterogeneous machine instantiated
+// from a fusion: which cache endpoints belong to which cluster and the
+// thread→cluster assignment (thread t drives cache t).
+type SystemLayout struct {
+	CacheIDs [][]spec.NodeID
+	Assign   []int
+	Merged   *MergedDir
+}
+
+// BuildSystem instantiates a model-checkable heterogeneous system:
+// cachesPerCluster[i] caches of cluster i's protocol (with one core each),
+// all served by one merged directory. Cache node ids are dense from 0 in
+// cluster order, so core/thread t drives cache t.
+func BuildSystem(f *Fusion, cachesPerCluster []int) (*mcheck.System, *SystemLayout) {
+	layout := &SystemLayout{}
+	var next spec.NodeID
+	for _, n := range cachesPerCluster {
+		ids := make([]spec.NodeID, n)
+		for i := range ids {
+			ids[i] = next
+			next++
+		}
+		layout.CacheIDs = append(layout.CacheIDs, ids)
+	}
+	dl := f.DefaultLayout(next)
+	merged := NewMergedDir(f, dl)
+	layout.Merged = merged
+
+	var comps []spec.Component
+	var cores []*mcheck.Core
+	for ci, ids := range layout.CacheIDs {
+		for _, id := range ids {
+			comps = append(comps, spec.NewCacheInst(id, dl.DirIDs[ci], f.Protocols[ci]))
+			cores = append(cores, &mcheck.Core{Cache: id})
+			layout.Assign = append(layout.Assign, ci)
+		}
+	}
+	comps = append(comps, merged)
+	return mcheck.NewSystem(comps, cores, merged.Memory()), layout
+}

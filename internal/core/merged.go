@@ -1,0 +1,684 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heterogen/internal/spec"
+)
+
+// Handshake message types (merged-directory internal, §VIII variants).
+const (
+	msgHSReq spec.MsgType = "__hsreq"
+	msgHSAck spec.MsgType = "__hsack"
+)
+
+// Layout assigns interconnect endpoints to the merged directory: one
+// directory id per cluster (where that cluster's caches send requests) and
+// a pool of proxy-cache ids per cluster.
+type Layout struct {
+	DirIDs   []spec.NodeID
+	ProxyIDs [][]spec.NodeID
+}
+
+// DefaultLayout allocates ids after the given first free id.
+func (f *Fusion) DefaultLayout(first spec.NodeID) Layout {
+	var l Layout
+	next := first
+	for range f.Protocols {
+		l.DirIDs = append(l.DirIDs, next)
+		next++
+	}
+	for range f.Protocols {
+		pool := make([]spec.NodeID, f.Opts.ProxyPool)
+		for i := range pool {
+			pool[i] = next
+			next++
+		}
+		l.ProxyIDs = append(l.ProxyIDs, pool)
+	}
+	return l
+}
+
+// bridgePhase sequences a bridge through its steps.
+type bridgePhase int
+
+const (
+	phaseHS bridgePhase = iota
+	phaseFetch
+	phaseProp
+	phaseDeliver
+)
+
+func (p bridgePhase) String() string {
+	switch p {
+	case phaseHS:
+		return "hs"
+	case phaseFetch:
+		return "fetch"
+	case phaseProp:
+		return "prop"
+	case phaseDeliver:
+		return "deliver"
+	}
+	return "?"
+}
+
+// proxyTask drives one proxy cache through an access sequence and the
+// final eviction in one cluster.
+type proxyTask struct {
+	cluster  int
+	proxyIdx int // pool index, -1 until allocated
+	seq      []spec.CoreReq
+	idx      int
+	issued   bool
+	evicting bool
+	done     bool
+	// captured is the globally fresh value this task established: the
+	// store value for propagation tasks, the loaded value for fetch tasks.
+	// It is written to the shared LLC/memory when the sequence completes —
+	// the proxy line itself may already be gone (e.g. a trailing fence in
+	// the PLO load sequence self-invalidates it).
+	captured    int
+	hasCaptured bool
+}
+
+func (t *proxyTask) snapshot(b *spec.SnapshotWriter) {
+	fmt.Fprintf(b, "t{c%d,p%d,i%d,%t,%t,%t}", t.cluster, t.proxyIdx, t.idx, t.issued, t.evicting, t.done)
+}
+
+// bridge is one in-flight cross-cluster operation: the write-propagation or
+// read-fetch triggered by an intercepted request (§VI-C, Figure 7).
+type bridge struct {
+	addr     spec.Addr
+	origin   int
+	orig     spec.Msg
+	isWrite  bool
+	value    int
+	hasValue bool
+	phase    bridgePhase
+	hsSent   bool
+	hsDone   bool
+	hsWith   int // cluster handshaken with
+	fetch    *proxyTask
+	props    []*proxyTask
+}
+
+func (br *bridge) snapshot(b *spec.SnapshotWriter) {
+	fmt.Fprintf(b, "br{a%d,o%d,%s,w=%t,v=%d/%t,hs=%t/%t,orig=%s", br.addr, br.origin, br.phase, br.isWrite, br.value, br.hasValue, br.hsSent, br.hsDone, br.orig)
+	if br.fetch != nil {
+		b.WriteString(",f=")
+		br.fetch.snapshot(b)
+	}
+	for _, t := range br.props {
+		b.WriteString(",")
+		t.snapshot(b)
+	}
+	b.WriteString("}")
+}
+
+// MergedDir is the heterogeneous directory controller HeteroGen
+// synthesizes: the per-cluster directories, one proxy-cache pool per
+// cluster, per-address owner metadata and the bridging logic, all behind
+// the cluster-facing directory interfaces (the red box of Figure 7).
+type MergedDir struct {
+	fusion *Fusion
+	layout Layout
+	mem    *spec.Memory
+
+	dirs    []*spec.DirInst
+	proxies [][]*spec.CacheInst
+
+	owner     map[spec.Addr]int
+	bridges   map[spec.Addr]*bridge
+	busySrc   map[spec.NodeID]bool
+	proxyBusy map[spec.NodeID]bool
+
+	rec   *Recorder
+	trace func(string)
+}
+
+// NewMergedDir instantiates the merged directory over a fresh shared
+// memory.
+func NewMergedDir(f *Fusion, layout Layout) *MergedDir {
+	mem := spec.NewMemory()
+	d := &MergedDir{fusion: f, layout: layout, mem: mem,
+		owner: map[spec.Addr]int{}, bridges: map[spec.Addr]*bridge{},
+		busySrc: map[spec.NodeID]bool{}, proxyBusy: map[spec.NodeID]bool{}}
+	for i, p := range f.Protocols {
+		d.dirs = append(d.dirs, spec.NewDirInst(layout.DirIDs[i], p, mem))
+		var pool []*spec.CacheInst
+		for _, id := range layout.ProxyIDs[i] {
+			pool = append(pool, spec.NewCacheInst(id, layout.DirIDs[i], p))
+		}
+		d.proxies = append(d.proxies, pool)
+	}
+	return d
+}
+
+// SetTrace installs a trace sink for debugging and the worked examples.
+func (d *MergedDir) SetTrace(fn func(string)) {
+	d.trace = fn
+	for _, dir := range d.dirs {
+		dir.SetTrace(fn)
+	}
+	for _, pool := range d.proxies {
+		for _, p := range pool {
+			p.SetTrace(fn)
+		}
+	}
+}
+
+// SetRecorder installs a shared FSM/stats recorder (Table II extraction).
+func (d *MergedDir) SetRecorder(r *Recorder) { d.rec = r }
+
+// Memory exposes the shared LLC/memory.
+func (d *MergedDir) Memory() *spec.Memory { return d.mem }
+
+// Fusion returns the fusion this directory was built from.
+func (d *MergedDir) Fusion() *Fusion { return d.fusion }
+
+// DirID returns the directory endpoint for a cluster.
+func (d *MergedDir) DirID(cluster int) spec.NodeID { return d.layout.DirIDs[cluster] }
+
+// Owner returns the owning cluster of an address (-1 if none).
+func (d *MergedDir) Owner(a spec.Addr) int {
+	if o, ok := d.owner[a]; ok {
+		return o
+	}
+	return -1
+}
+
+// OwnedIDs implements spec.Component.
+func (d *MergedDir) OwnedIDs() []spec.NodeID {
+	var out []spec.NodeID
+	out = append(out, d.layout.DirIDs...)
+	for _, pool := range d.layout.ProxyIDs {
+		out = append(out, pool...)
+	}
+	return out
+}
+
+// clusterOfDir returns the cluster whose directory id this is, or -1.
+func (d *MergedDir) clusterOfDir(id spec.NodeID) int {
+	for i, did := range d.layout.DirIDs {
+		if did == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// proxyAt returns (cluster, poolIdx) for a proxy id, or (-1, -1).
+func (d *MergedDir) proxyAt(id spec.NodeID) (int, int) {
+	for i, pool := range d.layout.ProxyIDs {
+		for j, pid := range pool {
+			if pid == id {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// isProxySrc reports whether the sender is one of cluster i's proxies.
+func (d *MergedDir) isProxySrc(cluster int, src spec.NodeID) bool {
+	for _, pid := range d.layout.ProxyIDs[cluster] {
+		if pid == src {
+			return true
+		}
+	}
+	return false
+}
+
+// Deliver implements spec.Component: route to a proxy, handle handshakes,
+// or run a directory intake with bridging interception.
+func (d *MergedDir) Deliver(env spec.Env, m spec.Msg) bool {
+	var before string
+	if d.rec != nil {
+		before = d.LocalState(m.Addr)
+	}
+	ok := d.deliver(env, m)
+	if ok && d.rec != nil {
+		d.rec.Record(d.fusion, m, before, d.LocalState(m.Addr))
+	}
+	return ok
+}
+
+func (d *MergedDir) deliver(env spec.Env, m spec.Msg) bool {
+	defer d.advance(env)
+	switch m.Type {
+	case msgHSReq:
+		env.Send(spec.Msg{Type: msgHSAck, Addr: m.Addr, Src: m.Dst, Dst: m.Src, VNet: spec.VResp})
+		return true
+	case msgHSAck:
+		if br := d.bridges[m.Addr]; br != nil {
+			br.hsDone = true
+		}
+		return true
+	}
+	if ci, pi := d.proxyAt(m.Dst); ci >= 0 {
+		return d.proxies[ci][pi].Deliver(env, m)
+	}
+	cluster := d.clusterOfDir(m.Dst)
+	if cluster < 0 {
+		panic(fmt.Sprintf("core: merged directory received message for foreign node %d", m.Dst))
+	}
+	// Proxy-originated traffic and responses flow straight to the
+	// sub-directory; only fresh requests from real caches are intercepted.
+	if d.isProxySrc(cluster, m.Src) || m.VNet != spec.VReq {
+		return d.dirs[cluster].Deliver(env, m)
+	}
+	return d.intake(env, cluster, m)
+}
+
+// intake applies the §VI-D5 rules to a request from a real cache.
+func (d *MergedDir) intake(env spec.Env, cluster int, m spec.Msg) bool {
+	if d.bridges[m.Addr] != nil {
+		return false // address blocked while a bridge is in flight
+	}
+	if d.fusion.Conservative && d.busySrc[m.Src] {
+		return false // processor-centric: initiating processor blocked
+	}
+	an := d.fusion.Analyses[cluster]
+	owner := d.Owner(m.Addr)
+	switch {
+	case an.GVWrites[m.Type]:
+		// Consult the cluster directory before propagating: if it would
+		// stall the request, stall here too; if it would discard the
+		// request as a stale write-back (a non-owner race — the matched
+		// row does not write memory), the write is not globally visible
+		// and must not be re-propagated.
+		tr := d.dirs[cluster].Lookup(&m)
+		if tr == nil {
+			return false
+		}
+		if m.HasData && !writesMem(tr) {
+			return d.dirs[cluster].Deliver(env, m)
+		}
+		d.startBridge(env, cluster, m, true)
+		return true
+	case an.ReadFills[m.Type] && owner >= 0 && owner != cluster:
+		d.startBridge(env, cluster, m, false)
+		return true
+	default:
+		return d.dirs[cluster].Deliver(env, m)
+	}
+}
+
+// writesMem reports whether the transition stores the message payload to
+// memory (the mark of an accepted write-back).
+func writesMem(t *spec.Transition) bool {
+	for _, a := range t.Actions {
+		if a.Op == spec.ActWriteMem {
+			return true
+		}
+	}
+	return false
+}
+
+// startBridge intercepts the request and begins bridging (Figure 7).
+func (d *MergedDir) startBridge(env spec.Env, cluster int, m spec.Msg, isWrite bool) {
+	br := &bridge{addr: m.Addr, origin: cluster, orig: m, isWrite: isWrite,
+		value: m.Data, hasValue: m.HasData, hsWith: -1}
+	owner := d.Owner(m.Addr)
+	needHS := owner >= 0 && owner != cluster &&
+		(d.fusion.Opts.Handshake == HSAll || (d.fusion.Opts.Handshake == HSWrites && isWrite))
+	if needHS {
+		br.phase = phaseHS
+		br.hsWith = owner
+	} else {
+		br.phase = phaseFetch
+	}
+	if owner >= 0 && owner != cluster {
+		br.fetch = &proxyTask{cluster: owner, proxyIdx: -1,
+			seq: reqsOf(d.fusion.LoadSeqs[owner], m.Addr, 0)}
+	}
+	if isWrite {
+		for j := range d.fusion.Protocols {
+			if j == cluster {
+				continue
+			}
+			br.props = append(br.props, &proxyTask{cluster: j, proxyIdx: -1,
+				seq: reqsOf(d.fusion.StoreSeqs[j], m.Addr, 0)})
+		}
+	}
+	d.bridges[m.Addr] = br
+	if d.fusion.Conservative {
+		d.busySrc[m.Src] = true
+	}
+	if d.trace != nil {
+		kind := "read"
+		if isWrite {
+			kind = "write"
+		}
+		d.trace(fmt.Sprintf("merged-dir a%d: %s bridge for %s from cluster%d (owner=%d)", m.Addr, kind, m.Type, cluster, owner))
+	}
+}
+
+// reqsOf instantiates an armor core-op sequence for an address.
+func reqsOf(seq []spec.CoreOp, a spec.Addr, value int) []spec.CoreReq {
+	out := make([]spec.CoreReq, len(seq))
+	for i, op := range seq {
+		out[i] = spec.CoreReq{Op: op, Addr: a, Value: value}
+	}
+	return out
+}
+
+// advance drives every in-flight bridge to a fixpoint: completing one
+// bridge can free the proxy pool another bridge is waiting for, so passes
+// repeat until nothing changes (otherwise a bridge visited earlier in the
+// pass could miss the wakeup and stall forever).
+func (d *MergedDir) advance(env spec.Env) {
+	for {
+		progressed := false
+		addrs := make([]int, 0, len(d.bridges))
+		for a := range d.bridges {
+			addrs = append(addrs, int(a))
+		}
+		sort.Ints(addrs)
+		for _, ai := range addrs {
+			br := d.bridges[spec.Addr(ai)]
+			if br != nil && d.advanceBridge(env, br) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// advanceBridge drives one bridge; it reports whether any state changed.
+func (d *MergedDir) advanceBridge(env spec.Env, br *bridge) bool {
+	acted := false
+	switch br.phase {
+	case phaseHS:
+		if !br.hsSent {
+			br.hsSent = true
+			acted = true
+			env.Send(spec.Msg{Type: msgHSReq, Addr: br.addr,
+				Src: d.layout.DirIDs[br.origin], Dst: d.layout.DirIDs[br.hsWith], VNet: spec.VResp})
+		}
+		if !br.hsDone {
+			return acted
+		}
+		br.phase = phaseFetch
+		acted = true
+		fallthrough
+	case phaseFetch:
+		if br.fetch != nil {
+			done, a := d.driveTask(env, br, br.fetch)
+			acted = acted || a
+			if !done {
+				return acted
+			}
+		}
+		br.phase = phaseProp
+		acted = true
+		fallthrough
+	case phaseProp:
+		allDone := true
+		for _, t := range br.props {
+			done, a := d.driveTask(env, br, t)
+			acted = acted || a
+			if !done {
+				allDone = false
+			}
+		}
+		if !allDone {
+			return acted
+		}
+		br.phase = phaseDeliver
+		acted = true
+		fallthrough
+	case phaseDeliver:
+		if !d.dirs[br.origin].Deliver(env, br.orig) {
+			return acted // sub-directory transiently busy; retried later
+		}
+		if br.isWrite {
+			d.owner[br.addr] = br.origin
+		}
+		delete(d.bridges, br.addr)
+		if d.fusion.Conservative {
+			delete(d.busySrc, br.orig.Src)
+		}
+		if d.trace != nil {
+			d.trace(fmt.Sprintf("merged-dir a%d: bridge complete, owner=cluster%d", br.addr, d.Owner(br.addr)))
+		}
+		return true
+	}
+	return acted
+}
+
+// driveTask advances a proxy task; done reports the line fully
+// relinquished, acted whether any state changed.
+func (d *MergedDir) driveTask(env spec.Env, br *bridge, t *proxyTask) (done, acted bool) {
+	if t.done {
+		return true, false
+	}
+	if t.proxyIdx < 0 {
+		idx := d.allocProxy(t.cluster)
+		if idx < 0 {
+			return false, false // pool exhausted; wait for another bridge
+		}
+		t.proxyIdx = idx
+		acted = true
+	}
+	proxy := d.proxies[t.cluster][t.proxyIdx]
+	if t.evicting {
+		done, a := d.driveEvict(env, t, proxy)
+		return done, acted || a
+	}
+	if t.issued {
+		if !proxy.Idle() {
+			return false, acted // waiting for the transaction
+		}
+		t.issued = false
+		t.idx++
+		acted = true
+	}
+	if t.idx >= len(t.seq) {
+		// Sequence complete: fetch tasks captured the loaded value, store
+		// tasks the propagated one — write it to the shared LLC/memory,
+		// then relinquish the line through the protocol's eviction path.
+		if !t.hasCaptured {
+			t.captured = proxy.LastLoad()
+			t.hasCaptured = true
+		}
+		d.mem.Write(br.addr, t.captured)
+		t.evicting = true
+		done, _ := d.driveEvict(env, t, proxy)
+		return done, true
+	}
+	req := t.seq[t.idx]
+	if req.Op == spec.OpStore {
+		if br.hasValue {
+			req.Value = br.value
+		} else {
+			req.Value = d.mem.Read(br.addr)
+		}
+		t.captured = req.Value
+		t.hasCaptured = true
+	}
+	if proxy.Issue(env, req) {
+		t.issued = true
+		if proxy.Idle() {
+			// The op completed synchronously (hits, sync no-ops).
+			t.issued = false
+			t.idx++
+			done, _ := d.driveTask(env, br, t)
+			return done, true
+		}
+		return false, true
+	}
+	return false, acted
+}
+
+// driveEvict relinquishes the proxy's line and frees the pool slot.
+func (d *MergedDir) driveEvict(env spec.Env, t *proxyTask, proxy *spec.CacheInst) (done, acted bool) {
+	st := proxy.LineState(t.seqAddr())
+	if st == proxy.Protocol().Cache.Init {
+		t.done = true
+		d.freeProxy(t.cluster, t.proxyIdx)
+		return true, true
+	}
+	if !proxy.Protocol().Cache.IsStable(st) {
+		return false, false // transaction (store drain or eviction) in flight
+	}
+	if proxy.CanEvict(t.seqAddr()) {
+		proxy.Evict(env, t.seqAddr())
+		st = proxy.LineState(t.seqAddr())
+		if st == proxy.Protocol().Cache.Init {
+			t.done = true
+			d.freeProxy(t.cluster, t.proxyIdx)
+			return true, true
+		}
+		return false, true
+	}
+	return false, false
+}
+
+// seqAddr returns the address the task operates on.
+func (t *proxyTask) seqAddr() spec.Addr {
+	if len(t.seq) > 0 {
+		return t.seq[0].Addr
+	}
+	return 0
+}
+
+// allocProxy grabs a free pool slot of the cluster, or -1.
+func (d *MergedDir) allocProxy(cluster int) int {
+	for i, id := range d.layout.ProxyIDs[cluster] {
+		if !d.proxyBusy[id] {
+			d.proxyBusy[id] = true
+			return i
+		}
+	}
+	return -1
+}
+
+func (d *MergedDir) freeProxy(cluster, idx int) {
+	delete(d.proxyBusy, d.layout.ProxyIDs[cluster][idx])
+}
+
+// LocalState renders the merged directory's composite local state for an
+// address — the flattened FSM state (Figure 9's "VxS" notation, extended
+// with proxy and bridge phases).
+func (d *MergedDir) LocalState(a spec.Addr) string {
+	var parts []string
+	for _, dir := range d.dirs {
+		parts = append(parts, string(dir.LineState(a)))
+	}
+	s := strings.Join(parts, "x")
+	for ci, pool := range d.proxies {
+		for _, p := range pool {
+			if st := p.LineState(a); st != p.Protocol().Cache.Init {
+				s += fmt.Sprintf("+p%d:%s", ci, st)
+			}
+		}
+	}
+	if br := d.bridges[a]; br != nil {
+		kind := "rd"
+		if br.isWrite {
+			kind = "wr"
+		}
+		s += fmt.Sprintf("/%s-%s", kind, br.phase)
+	}
+	if o := d.Owner(a); o >= 0 {
+		s += fmt.Sprintf("·o%d", o)
+	}
+	return s
+}
+
+// Clone implements spec.Component.
+func (d *MergedDir) Clone() spec.Component { return d.CloneWithMemory(d.mem.Clone()) }
+
+// CloneWithMemory implements mcheck.MemoryCloner.
+func (d *MergedDir) CloneWithMemory(mem *spec.Memory) spec.Component {
+	cp := &MergedDir{fusion: d.fusion, layout: d.layout, mem: mem,
+		owner: map[spec.Addr]int{}, bridges: map[spec.Addr]*bridge{},
+		busySrc: map[spec.NodeID]bool{}, proxyBusy: map[spec.NodeID]bool{}, rec: d.rec}
+	for _, dir := range d.dirs {
+		cp.dirs = append(cp.dirs, dir.CloneDir(mem))
+	}
+	for _, pool := range d.proxies {
+		var npool []*spec.CacheInst
+		for _, p := range pool {
+			npool = append(npool, p.CloneCache())
+		}
+		cp.proxies = append(cp.proxies, npool)
+	}
+	for a, o := range d.owner {
+		cp.owner[a] = o
+	}
+	for a, br := range d.bridges {
+		cp.bridges[a] = br.clone()
+	}
+	for s := range d.busySrc {
+		cp.busySrc[s] = true
+	}
+	for p := range d.proxyBusy {
+		cp.proxyBusy[p] = true
+	}
+	return cp
+}
+
+func (br *bridge) clone() *bridge {
+	cp := *br
+	if br.fetch != nil {
+		f := *br.fetch
+		f.seq = append([]spec.CoreReq(nil), br.fetch.seq...)
+		cp.fetch = &f
+	}
+	cp.props = nil
+	for _, t := range br.props {
+		nt := *t
+		nt.seq = append([]spec.CoreReq(nil), t.seq...)
+		cp.props = append(cp.props, &nt)
+	}
+	return &cp
+}
+
+// Snapshot implements spec.Component.
+func (d *MergedDir) Snapshot(b *spec.SnapshotWriter) {
+	b.WriteString("merged{")
+	for _, dir := range d.dirs {
+		dir.Snapshot(b)
+	}
+	for _, pool := range d.proxies {
+		for _, p := range pool {
+			p.Snapshot(b)
+		}
+	}
+	owners := make([]int, 0, len(d.owner))
+	for a := range d.owner {
+		owners = append(owners, int(a))
+	}
+	sort.Ints(owners)
+	for _, a := range owners {
+		fmt.Fprintf(b, "o[a%d]=%d;", a, d.owner[spec.Addr(a)])
+	}
+	baddrs := make([]int, 0, len(d.bridges))
+	for a := range d.bridges {
+		baddrs = append(baddrs, int(a))
+	}
+	sort.Ints(baddrs)
+	for _, a := range baddrs {
+		d.bridges[spec.Addr(a)].snapshot(b)
+	}
+	srcs := make([]int, 0, len(d.busySrc))
+	for s := range d.busySrc {
+		srcs = append(srcs, int(s))
+	}
+	sort.Ints(srcs)
+	pbusy := make([]int, 0, len(d.proxyBusy))
+	for p := range d.proxyBusy {
+		pbusy = append(pbusy, int(p))
+	}
+	sort.Ints(pbusy)
+	fmt.Fprintf(b, "busy%v pbusy%v}", srcs, pbusy)
+}
+
+var _ spec.Component = (*MergedDir)(nil)

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heterogen/internal/spec"
+)
+
+// Recorder accumulates the merged directory's flattened FSM as it is
+// exercised: distinct composite local states and (state, event, state')
+// transitions. Running the model checker over a driver workload with a
+// Recorder attached enumerates the reachable FSM — the state/transition
+// counts reported in Table II.
+//
+// A single Recorder is shared by every clone of a merged directory during
+// state-space search (it aggregates over the whole exploration).
+type Recorder struct {
+	States      map[string]bool
+	Transitions map[string]bool
+	// Edges holds the structured transition list (for DOT export etc.).
+	Edges []Edge
+}
+
+// Edge is one merged-directory FSM transition.
+type Edge struct {
+	From, Event, To string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{States: map[string]bool{}, Transitions: map[string]bool{}}
+}
+
+// Record notes one applied delivery.
+func (r *Recorder) Record(f *Fusion, m spec.Msg, before, after string) {
+	r.States[before] = true
+	r.States[after] = true
+	key := fmt.Sprintf("%s --%s--> %s", before, m.Type, after)
+	if !r.Transitions[key] {
+		r.Transitions[key] = true
+		r.Edges = append(r.Edges, Edge{From: before, Event: string(m.Type), To: after})
+	}
+}
+
+// Counts returns (#states, #transitions) of the enumerated FSM.
+func (r *Recorder) Counts() (int, int) { return len(r.States), len(r.Transitions) }
+
+// ExportFSM renders the enumerated merged-directory FSM as text, one
+// transition per line, sorted — the moral equivalent of the Murphi output
+// the artifact emits.
+func (r *Recorder) ExportFSM(name string) string {
+	var b strings.Builder
+	states := make([]string, 0, len(r.States))
+	for s := range r.States {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	trans := make([]string, 0, len(r.Transitions))
+	for t := range r.Transitions {
+		trans = append(trans, t)
+	}
+	sort.Strings(trans)
+	fmt.Fprintf(&b, "-- HeteroGen merged directory %s: %d states, %d transitions\n", name, len(states), len(trans))
+	fmt.Fprintf(&b, "-- states:\n")
+	for _, s := range states {
+		fmt.Fprintf(&b, "--   %s\n", s)
+	}
+	fmt.Fprintf(&b, "-- transitions:\n")
+	for _, t := range trans {
+		fmt.Fprintf(&b, "%s\n", t)
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"heterogen/internal/protocols"
+)
+
+func TestTableIIPairs(t *testing.T) {
+	pairs := TableIIPairs()
+	if len(pairs) != 8 {
+		t.Fatalf("got %d pairs, want the 8 of Table II", len(pairs))
+	}
+	for _, pair := range pairs {
+		if _, err := protocols.ByName(pair[0]); err != nil {
+			t.Errorf("unknown protocol %s", pair[0])
+		}
+		if _, err := protocols.ByName(pair[1]); err != nil {
+			t.Errorf("unknown protocol %s", pair[1])
+		}
+	}
+}
+
+func TestEnumerateFSMQuickAllPairs(t *testing.T) {
+	var entries []*TableIIEntry
+	var prev int
+	for i, pair := range TableIIPairs() {
+		f, err := Fuse(Options{}, protocols.MustByName(pair[0]), protocols.MustByName(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, rec, err := EnumerateFSM(f, true)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if !e.Ok {
+			t.Errorf("%s: enumeration not clean", e.Pair)
+		}
+		if e.States < 3 || e.Transitions < e.States/2 {
+			t.Errorf("%s: implausibly small FSM %d/%d", e.Pair, e.States, e.Transitions)
+		}
+		if s, tr := rec.Counts(); s != e.States || tr != e.Transitions {
+			t.Errorf("%s: recorder/entry mismatch", e.Pair)
+		}
+		entries = append(entries, e)
+		// Trend property from the paper's Table II: the SC&SC fusion is the
+		// largest, RCC&RCC the smallest.
+		if i == 0 {
+			prev = e.States
+		}
+		_ = prev
+	}
+	if entries[0].States <= entries[len(entries)-1].States {
+		t.Errorf("MSI&MSI (%d states) should exceed RCC&RCC (%d states)",
+			entries[0].States, entries[len(entries)-1].States)
+	}
+	// Rows 2-4 (MESI fused with the ownership/self-invalidation family)
+	// match each other, mirroring the identical 17/88 rows of the paper.
+	if entries[1].States != entries[2].States {
+		t.Errorf("MESI&TSO-CC (%d) and MESI&PLO-CC (%d) should enumerate identically",
+			entries[1].States, entries[2].States)
+	}
+	out := FormatTableII(entries)
+	if !strings.Contains(out, "MSI&MSI") || !strings.Contains(out, "states") {
+		t.Errorf("Table II format missing content:\n%s", out)
+	}
+}
+
+func TestEnumerateFSMFullSmallestPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameRCC), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, _, err := EnumerateFSM(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := EnumerateFSM(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.States < quick.States {
+		t.Errorf("full enumeration (%d states) smaller than quick (%d)", full.States, quick.States)
+	}
+}

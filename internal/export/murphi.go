@@ -1,0 +1,440 @@
+package export
+
+import (
+	"fmt"
+	"strings"
+
+	"heterogen/internal/spec"
+)
+
+// MurphiConfig sizes the emitted model.
+type MurphiConfig struct {
+	Caches int // caches sharing one directory
+	Addrs  int // addresses
+	Values int // distinct store values
+	NetMax int // per-channel capacity
+}
+
+// DefaultMurphiConfig mirrors the artifact's small verification configs.
+func DefaultMurphiConfig() MurphiConfig {
+	return MurphiConfig{Caches: 2, Addrs: 1, Values: 2, NetMax: 8}
+}
+
+// Murphi emits a complete CMurphi model of a homogeneous protocol: the
+// cache and directory controllers as rule-generated state machines over
+// ordered per-channel networks, with free-running cores issuing loads and
+// stores of arbitrary values — the format the HeteroGen artifact outputs
+// for verification (§IV). The emitted text targets CMurphi 5.4.9.1.
+func Murphi(p *spec.Protocol, cfg MurphiConfig) string {
+	g := &murphiGen{p: p, cfg: cfg}
+	return g.generate()
+}
+
+type murphiGen struct {
+	p   *spec.Protocol
+	cfg MurphiConfig
+	b   strings.Builder
+}
+
+func (g *murphiGen) printf(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+// ident sanitizes a state or message name into a Murphi identifier.
+func ident(prefix string, s string) string {
+	r := strings.NewReplacer("-", "_", "+", "p", " ", "_", ".", "_")
+	return prefix + r.Replace(s)
+}
+
+func (g *murphiGen) generate() string {
+	p, cfg := g.p, g.cfg
+	g.printf("-- Murphi model generated from protocol %s (model %s)\n", p.Name, p.Model)
+	g.printf("-- HeteroGen-in-Go emitter; target: CMurphi 5.4.9.1\n\n")
+
+	g.printf("const\n  NCACHE: %d;\n  NADDR: %d;\n  NVALUE: %d;\n  NET_MAX: %d;\n\n",
+		cfg.Caches, cfg.Addrs, cfg.Values, cfg.NetMax)
+
+	g.printf("type\n")
+	g.printf("  CacheID: 1..NCACHE;\n")
+	g.printf("  NodeID: 0..NCACHE;  -- 0 is the directory\n")
+	g.printf("  AddrT: 0..NADDR-1;\n")
+	g.printf("  ValueT: 0..NVALUE;\n")
+	g.printf("  AckT: -NCACHE..NCACHE;\n")
+	g.printf("  VNetT: 0..2;\n")
+
+	g.printf("  CacheState: enum {")
+	for i, s := range p.Cache.States() {
+		if i > 0 {
+			g.printf(", ")
+		}
+		g.printf("%s", ident("C_", string(s)))
+	}
+	g.printf("};\n")
+	g.printf("  DirState: enum {")
+	for i, s := range p.Dir.States() {
+		if i > 0 {
+			g.printf(", ")
+		}
+		g.printf("%s", ident("D_", string(s)))
+	}
+	g.printf("};\n")
+	g.printf("  MsgT: enum {")
+	for i, t := range p.MsgTypes() {
+		if i > 0 {
+			g.printf(", ")
+		}
+		g.printf("%s", ident("M_", string(t)))
+	}
+	g.printf("};\n")
+	g.printf(`  Message: record
+    mtype: MsgT;
+    addr: AddrT;
+    src: NodeID;
+    req: NodeID;
+    data: ValueT;
+    hasdata: boolean;
+    ack: AckT;
+  end;
+  Channel: record
+    buf: array [0..NET_MAX-1] of Message;
+    cnt: 0..NET_MAX;
+  end;
+
+var
+  mem: array [AddrT] of ValueT;
+  dstate: array [AddrT] of DirState;
+  sharers: array [AddrT] of array [CacheID] of boolean;
+  owner: array [AddrT] of NodeID; -- 0 = none
+  cstate: array [CacheID] of array [AddrT] of CacheState;
+  cdata: array [CacheID] of array [AddrT] of ValueT;
+  chasdata: array [CacheID] of array [AddrT] of boolean;
+  ackbal: array [CacheID] of array [AddrT] of AckT;
+  ackarmed: array [CacheID] of array [AddrT] of boolean;
+  pendval: array [CacheID] of ValueT; -- value of the store in flight
+  net: array [NodeID] of array [NodeID] of array [VNetT] of Channel;
+
+procedure Send(mtype: MsgT; addr: AddrT; src: NodeID; dst: NodeID;
+               req: NodeID; data: ValueT; hasdata: boolean;
+               ack: AckT; vnet: VNetT);
+begin
+  Assert net[src][dst][vnet].cnt < NET_MAX "network overflow";
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].mtype := mtype;
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].addr := addr;
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].src := src;
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].req := req;
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].data := data;
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].hasdata := hasdata;
+  net[src][dst][vnet].buf[net[src][dst][vnet].cnt].ack := ack;
+  net[src][dst][vnet].cnt := net[src][dst][vnet].cnt + 1;
+end;
+
+procedure Pop(src: NodeID; dst: NodeID; vnet: VNetT);
+begin
+  for i: 0..NET_MAX-2 do
+    net[src][dst][vnet].buf[i] := net[src][dst][vnet].buf[i+1];
+  end;
+  net[src][dst][vnet].cnt := net[src][dst][vnet].cnt - 1;
+end;
+
+function SharerAcks(addr: AddrT; req: NodeID) : AckT;
+var n: AckT;
+begin
+  n := 0;
+  for c: CacheID do
+    if sharers[addr][c] & c != req then n := n + 1; end;
+  end;
+  return n;
+end;
+
+`)
+
+	g.cacheHandler()
+	g.dirHandler()
+	g.rules()
+	g.startAndInvariants()
+	return g.b.String()
+}
+
+// vnetOf returns the numeric vnet of a message type.
+func (g *murphiGen) vnetOf(t spec.MsgType) int { return int(g.p.VNetOf(t)) }
+
+// emitSend renders one ActSend as a Murphi Send call inside a cache
+// handler (ctx "c") or directory handler (ctx "dir").
+func (g *murphiGen) emitSend(indent string, a spec.Action, dirCtx bool) {
+	payload := "0, false"
+	switch a.Payload {
+	case spec.PayloadLine:
+		payload = "cdata[c][addr], true"
+	case spec.PayloadStore:
+		payload = "pendval[c], true"
+	case spec.PayloadMem:
+		payload = "mem[addr], true"
+	case spec.PayloadMsg:
+		payload = "msg.data, msg.hasdata"
+	}
+	ackExpr := "0"
+	if a.AckFromSharers {
+		ackExpr = "SharerAcks(addr, msg.req)"
+	}
+	var src, dst, req string
+	if dirCtx {
+		src = "0"
+		switch a.Dst {
+		case spec.ToMsgSrc:
+			dst = "msg.src"
+		case spec.ToMsgReq:
+			dst = "msg.req"
+		case spec.ToOwner:
+			dst = "owner[addr]"
+		}
+		req = "msg.req"
+		if a.ReqFromMsgSrc {
+			req = "msg.src"
+		}
+	} else {
+		src = "c"
+		switch a.Dst {
+		case spec.ToDir:
+			dst, req = "0", "c"
+		case spec.ToMsgSrc:
+			dst, req = "msg.src", "msg.req"
+		case spec.ToMsgReq:
+			dst, req = "msg.req", "msg.req"
+		}
+	}
+	g.printf("%sSend(%s, addr, %s, %s, %s, %s, %s, %d);\n",
+		indent, ident("M_", string(a.Msg)), src, dst, req, payload, ackExpr, g.vnetOf(a.Msg))
+}
+
+// emitActions renders a transition's actions.
+func (g *murphiGen) emitActions(indent string, t *spec.Transition, dirCtx bool) {
+	for _, a := range t.Actions {
+		switch a.Op {
+		case spec.ActSend:
+			g.emitSend(indent, a, dirCtx)
+		case spec.ActInvSharers:
+			g.printf("%sfor s: CacheID do\n", indent)
+			g.printf("%s  if sharers[addr][s] & s != msg.req then\n", indent)
+			g.printf("%s    Send(%s, addr, 0, s, msg.req, 0, false, 0, %d);\n",
+				indent, ident("M_", string(a.Msg)), g.vnetOf(a.Msg))
+			g.printf("%s  end;\n%send;\n", indent, indent)
+		case spec.ActAddSharer:
+			g.printf("%sif msg.src != 0 then sharers[addr][msg.src] := true; end;\n", indent)
+		case spec.ActRemoveSharer:
+			g.printf("%sif msg.src != 0 then sharers[addr][msg.src] := false; end;\n", indent)
+		case spec.ActClearSharers:
+			g.printf("%sfor s: CacheID do sharers[addr][s] := false; end;\n", indent)
+		case spec.ActOwnerToSharers:
+			g.printf("%sif owner[addr] != 0 then sharers[addr][owner[addr]] := true; end;\n", indent)
+		case spec.ActSetOwner:
+			g.printf("%sowner[addr] := msg.src;\n", indent)
+		case spec.ActClearOwner:
+			g.printf("%sowner[addr] := 0;\n", indent)
+		case spec.ActWriteMem:
+			g.printf("%sif msg.hasdata then mem[addr] := msg.data; end;\n", indent)
+		case spec.ActStoreValue:
+			g.printf("%scdata[c][addr] := pendval[c]; chasdata[c][addr] := true;\n", indent)
+		case spec.ActLoadMsgData:
+			g.printf("%scdata[c][addr] := msg.data; chasdata[c][addr] := true;\n", indent)
+			g.emitFillInvalidation(indent)
+		case spec.ActSetAcks:
+			g.printf("%sackarmed[c][addr] := true; ackbal[c][addr] := ackbal[c][addr] + msg.ack;\n", indent)
+		case spec.ActCoreDone:
+			g.printf("%s-- core operation completes\n", indent)
+		}
+	}
+	prefix := "cstate[c][addr]"
+	id := ident("C_", string(t.Next))
+	if dirCtx {
+		prefix = "dstate[addr]"
+		id = ident("D_", string(t.Next))
+	}
+	g.printf("%s%s := %s;\n", indent, prefix, id)
+}
+
+// emitFillInvalidation renders the InvalidateOnFill hook.
+func (g *murphiGen) emitFillInvalidation(indent string) {
+	if len(g.p.Cache.InvalidateOnFill) == 0 {
+		return
+	}
+	g.printf("%sfor oa: AddrT do\n%s  if oa != addr", indent, indent)
+	for _, s := range g.p.Cache.InvalidateOnFill {
+		g.printf(" & cstate[c][oa] = %s", ident("C_", string(s)))
+	}
+	g.printf(" then\n%s    cstate[c][oa] := %s; chasdata[c][oa] := false;\n%s  end;\n%send;\n",
+		indent, ident("C_", string(g.p.Cache.Init)), indent, indent)
+}
+
+// cond renders a transition's condition guard.
+func condGuard(t *spec.Transition, dirCtx bool) string {
+	switch t.On.Cond {
+	case spec.CondAckZero:
+		return " & msg.ack = 0"
+	case spec.CondAckPos:
+		return " & msg.ack > 0"
+	case spec.CondFromOwner:
+		return " & msg.src = owner[addr]"
+	case spec.CondNotOwner:
+		return " & msg.src != owner[addr]"
+	case spec.CondLastSharer:
+		return " & SharerAcks(addr, msg.src) = 0 & msg.src != 0 & sharers[addr][msg.src]"
+	case spec.CondNotLastSharer:
+		return " & !(SharerAcks(addr, msg.src) = 0 & msg.src != 0 & sharers[addr][msg.src])"
+	}
+	return ""
+}
+
+// cacheHandler emits the cache message-delivery procedure.
+func (g *murphiGen) cacheHandler() {
+	g.printf("-- cache controller message handler; returns false on a stall\n")
+	g.printf("function CacheRecv(c: CacheID; msg: Message) : boolean;\nvar addr: AddrT;\nbegin\n  addr := msg.addr;\n")
+	if g.p.AckType != "" {
+		g.printf("  if msg.mtype = %s then\n    ackbal[c][addr] := ackbal[c][addr] - 1;\n    return true;\n  end;\n",
+			ident("M_", string(g.p.AckType)))
+	}
+	for i := range g.p.Cache.Rows {
+		t := &g.p.Cache.Rows[i]
+		if t.On.IsCore() || t.On.Msg == spec.EvLastAck {
+			continue
+		}
+		g.printf("  if cstate[c][addr] = %s & msg.mtype = %s%s then\n",
+			ident("C_", string(t.From)), ident("M_", string(t.On.Msg)), condGuard(t, false))
+		g.emitActions("    ", t, false)
+		g.printf("    return true;\n  end;\n")
+	}
+	g.printf("  return false; -- stall\nend;\n\n")
+
+	// The synthesized last-ack event.
+	g.printf("-- runtime-synthesized final-invalidation-acknowledgment event\n")
+	g.printf("procedure CacheLastAck(c: CacheID; addr: AddrT);\nvar msg: Message;\nbegin\n  msg.addr := addr; msg.src := c; msg.req := c; msg.ack := 0; msg.hasdata := false; msg.data := 0;\n")
+	for i := range g.p.Cache.Rows {
+		t := &g.p.Cache.Rows[i]
+		if t.On.Msg != spec.EvLastAck {
+			continue
+		}
+		g.printf("  if cstate[c][addr] = %s then\n    ackarmed[c][addr] := false;\n", ident("C_", string(t.From)))
+		g.emitActions("    ", t, false)
+		g.printf("  end;\n")
+	}
+	g.printf("end;\n\n")
+}
+
+// dirHandler emits the directory message-delivery procedure.
+func (g *murphiGen) dirHandler() {
+	g.printf("-- directory controller message handler; returns false on a stall\n")
+	g.printf("function DirRecv(msg: Message) : boolean;\nvar addr: AddrT;\nbegin\n  addr := msg.addr;\n")
+	for i := range g.p.Dir.Rows {
+		t := &g.p.Dir.Rows[i]
+		g.printf("  if dstate[addr] = %s & msg.mtype = %s%s then\n",
+			ident("D_", string(t.From)), ident("M_", string(t.On.Msg)), condGuard(t, true))
+		g.emitActions("    ", t, true)
+		g.printf("    return true;\n  end;\n")
+	}
+	g.printf("  return false; -- stall\nend;\n\n")
+}
+
+// rules emits the nondeterministic rule sets: core loads/stores/evictions
+// and message deliveries with per-channel FIFO order.
+func (g *murphiGen) rules() {
+	// Core-op rules: one ruleset per core-event transition.
+	for i := range g.p.Cache.Rows {
+		t := &g.p.Cache.Rows[i]
+		if !t.On.IsCore() {
+			continue
+		}
+		name := fmt.Sprintf("%s %s at %s", g.p.Name, t.On.Core, t.From)
+		switch t.On.Core {
+		case spec.OpLoad, spec.OpEvict:
+			g.printf("ruleset c: CacheID do ruleset addr: AddrT do\n")
+			g.printf("  rule \"%s\"\n    cstate[c][addr] = %s\n  ==>\n  var msg: Message;\n  begin\n",
+				name, ident("C_", string(t.From)))
+			g.printf("    msg.addr := addr; msg.src := c; msg.req := c; msg.ack := 0; msg.hasdata := false; msg.data := 0;\n")
+			g.emitActions("    ", t, false)
+			g.printf("  end;\nend; end;\n\n")
+		case spec.OpStore:
+			g.printf("ruleset c: CacheID do ruleset addr: AddrT do ruleset v: 1..NVALUE do\n")
+			g.printf("  rule \"%s\"\n    cstate[c][addr] = %s\n  ==>\n  var msg: Message;\n  begin\n",
+				name, ident("C_", string(t.From)))
+			g.printf("    msg.addr := addr; msg.src := c; msg.req := c; msg.ack := 0; msg.hasdata := false; msg.data := 0;\n")
+			g.printf("    pendval[c] := v;\n")
+			g.emitActions("    ", t, false)
+			g.printf("  end;\nend; end; end;\n\n")
+		}
+	}
+
+	// Delivery rules.
+	g.printf(`ruleset src: NodeID do ruleset dst: NodeID do ruleset v: VNetT do
+  rule "deliver"
+    net[src][dst][v].cnt > 0
+  ==>
+  var msg: Message; ok: boolean;
+  begin
+    msg := net[src][dst][v].buf[0];
+    if dst = 0 then
+      ok := DirRecv(msg);
+    else
+      ok := CacheRecv(dst, msg);
+    end;
+    if ok then
+      Pop(src, dst, v);
+      if dst != 0 then
+        if ackarmed[dst][msg.addr] & ackbal[dst][msg.addr] = 0 then
+          CacheLastAck(dst, msg.addr);
+        end;
+      end;
+    end;
+  end;
+end; end; end;
+
+`)
+}
+
+func (g *murphiGen) startAndInvariants() {
+	g.printf("startstate\nbegin\n")
+	g.printf("  for a: AddrT do\n    mem[a] := 0;\n    dstate[a] := %s;\n    owner[a] := 0;\n", ident("D_", string(g.p.Dir.Init)))
+	g.printf("    for c: CacheID do\n      sharers[a][c] := false;\n      cstate[c][a] := %s;\n      cdata[c][a] := 0; chasdata[c][a] := false;\n      ackbal[c][a] := 0; ackarmed[c][a] := false;\n    end;\n  end;\n", ident("C_", string(g.p.Cache.Init)))
+	g.printf("  for c: CacheID do pendval[c] := 0; end;\n")
+	g.printf("  for s: NodeID do for d: NodeID do for v: VNetT do net[s][d][v].cnt := 0; end; end; end;\n")
+	g.printf("end;\n\n")
+
+	// Single-writer invariant for SWMR (SC) protocols: at most one cache
+	// in a state that hits stores locally. Self-invalidation protocols
+	// legitimately buffer multiple dirty copies, so no invariant is
+	// emitted for them (their correctness criterion is the litmus suite).
+	if g.p.Model != "SC" {
+		return
+	}
+	var writeStates []spec.State
+	for _, s := range g.p.Cache.Stable {
+		if t := g.p.Cache.OnCoreOp(s, spec.OpStore); t != nil {
+			local := true
+			for _, a := range t.Actions {
+				if a.Op == spec.ActSend {
+					local = false
+				}
+			}
+			if local {
+				writeStates = append(writeStates, s)
+			}
+		}
+	}
+	if len(writeStates) > 0 {
+		g.printf("invariant \"at most one writable copy\"\n")
+		g.printf("  forall a: AddrT do forall c1: CacheID do forall c2: CacheID do\n")
+		g.printf("    (c1 != c2) ->\n      !(")
+		for i, s := range writeStates {
+			if i > 0 {
+				g.printf(" | ")
+			}
+			g.printf("cstate[c1][a] = %s", ident("C_", string(s)))
+		}
+		g.printf(")\n      | !(")
+		for i, s := range writeStates {
+			if i > 0 {
+				g.printf(" | ")
+			}
+			g.printf("cstate[c2][a] = %s", ident("C_", string(s)))
+		}
+		g.printf(")\n  end end end;\n")
+	}
+}

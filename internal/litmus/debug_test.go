@@ -1,0 +1,70 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/mcheck"
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+// debugShape finds and prints a path to an outcome satisfying pred.
+func debugShape(t *testing.T, pair []string, shapeName string, assign []int, pred func(memmodel.Outcome) bool) {
+	t.Helper()
+	f := fuse(t, pair...)
+	shape, _ := ShapeByName(shapeName)
+	p := shape.Prog()
+	ap, progsByThread, keysByThread, addrs := Translate(p, f.Compound, assign)
+	_ = ap
+	perCluster := make([]int, len(f.Protocols))
+	for _, c := range assign {
+		perCluster[c]++
+	}
+	sys, _ := core.BuildSystem(f, perCluster)
+	progs := make([][]spec.CoreReq, len(assign))
+	keys := make([][]string, len(assign))
+	base := make([]int, len(perCluster))
+	for c := 1; c < len(perCluster); c++ {
+		base[c] = base[c-1] + perCluster[c-1]
+	}
+	next := make([]int, len(perCluster))
+	for ti := range p.Threads {
+		c := assign[ti]
+		idx := base[c] + next[c]
+		next[c]++
+		progs[idx] = progsByThread[ti]
+		keys[idx] = keysByThread[ti]
+	}
+	sys.SetPrograms(progs)
+	var observe []spec.Addr
+	for _, a := range addrs {
+		observe = append(observe, a)
+	}
+	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
+	opts := mcheck.Options{LoadKeys: keys, ObserveMem: observe}
+	path := mcheck.FindPath(sys.Clone(), opts, pred)
+	if path != nil {
+		fresh := sys.Clone()
+		for _, line := range mcheck.Replay(fresh, path) {
+			fmt.Println(line)
+		}
+		t.Fatalf("counterexample path of %d moves found (trace above)", len(path))
+	}
+}
+
+// TestDebugLostWrite is a regression canary for the PLO proxy-fence capture
+// bug: no MP execution may lose a store.
+func TestDebugLostWrite(t *testing.T) {
+	debugShape(t, []string{protocols.NameMESI, protocols.NamePLOCC}, "MP", []int{1, 0},
+		func(o memmodel.Outcome) bool { return o["m:0"] == 0 || o["m:1"] == 0 })
+}
+
+// TestDebug22W traces the 2+2W coherence-order violation on MESI&RCC-O.
+func TestDebug22W(t *testing.T) {
+	debugShape(t, []string{protocols.NameMESI, protocols.NameRCCO}, "2+2W", []int{0, 1},
+		func(o memmodel.Outcome) bool { return o["m:0"] == 1 && o["m:1"] == 1 })
+}

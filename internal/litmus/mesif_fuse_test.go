@@ -1,0 +1,26 @@
+package litmus
+
+import (
+	"testing"
+
+	"heterogen/internal/protocols"
+)
+
+func TestMESIFFusions(t *testing.T) {
+	for _, partner := range []string{protocols.NameRCCO, protocols.NameGPU} {
+		partner := partner
+		t.Run(partner, func(t *testing.T) {
+			t.Parallel()
+			f := fuse(t, protocols.NameMESIF, partner)
+			for _, name := range []string{"MP", "SB"} {
+				shape, _ := ShapeByName(name)
+				for _, assign := range Allocations(2, 2, false) {
+					r := RunFused(f, shape, assign, Options{})
+					if !r.Pass() {
+						t.Errorf("FAILED: %s (bad=%v)", r, r.BadOutcomes)
+					}
+				}
+			}
+		})
+	}
+}

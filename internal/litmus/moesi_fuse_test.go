@@ -1,0 +1,26 @@
+package litmus
+
+import (
+	"testing"
+
+	"heterogen/internal/protocols"
+)
+
+func TestMOESIFusions(t *testing.T) {
+	for _, partner := range []string{protocols.NameRCCO, protocols.NameTSOCC, protocols.NameMOESI} {
+		partner := partner
+		t.Run(partner, func(t *testing.T) {
+			t.Parallel()
+			f := fuse(t, protocols.NameMOESI, partner)
+			for _, name := range []string{"MP", "SB", "LB"} {
+				shape, _ := ShapeByName(name)
+				for _, assign := range Allocations(2, 2, false) {
+					r := RunFused(f, shape, assign, Options{})
+					if !r.Pass() {
+						t.Errorf("FAILED: %s (bad=%v)", r, r.BadOutcomes)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,209 @@
+package litmus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"heterogen/internal/memmodel"
+)
+
+// ParsedTest is a litmus test loaded from the text format.
+type ParsedTest struct {
+	Name string
+	Prog *memmodel.Program
+	// Exists is the outcome the test probes for (nil if none given).
+	// Register keys use "T<thread>:<n-th load>" positions; memory finals
+	// use "m:<addr>".
+	Exists memmodel.Outcome
+}
+
+// ParseTest parses a litmus test in a small herd-inspired text format:
+//
+//	name MP+sync
+//	T0: St x=1; StRel y=1
+//	T1: LdAcq y; Ld x
+//	exists: T1:0=1 & T1:1=0 & m:x=1
+//
+// Ops: St a=v, StRel a=v, Ld a, LdAcq a, Fence. Register conditions use
+// the thread's n-th load (0-based). '#' starts a comment.
+func ParseTest(src string) (*ParsedTest, error) {
+	test := &ParsedTest{}
+	var threads [][]*memmodel.Op
+	var existsLine string
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "name "):
+			test.Name = strings.TrimSpace(strings.TrimPrefix(line, "name "))
+		case strings.HasPrefix(line, "exists:"):
+			existsLine = strings.TrimSpace(strings.TrimPrefix(line, "exists:"))
+		case strings.HasPrefix(line, "T"):
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				return nil, fmt.Errorf("litmus: line %d: missing ':'", ln+1)
+			}
+			idx, err := strconv.Atoi(line[1:colon])
+			if err != nil || idx != len(threads) {
+				return nil, fmt.Errorf("litmus: line %d: threads must be declared in order T0, T1, ...", ln+1)
+			}
+			ops, err := parseOps(line[colon+1:])
+			if err != nil {
+				return nil, fmt.Errorf("litmus: line %d: %w", ln+1, err)
+			}
+			threads = append(threads, ops)
+		default:
+			return nil, fmt.Errorf("litmus: line %d: unrecognized %q", ln+1, line)
+		}
+	}
+	if len(threads) == 0 {
+		return nil, fmt.Errorf("litmus: no threads")
+	}
+	test.Prog = memmodel.NewProgram(threads...)
+	if existsLine != "" {
+		out, err := parseExists(existsLine, test.Prog)
+		if err != nil {
+			return nil, err
+		}
+		test.Exists = out
+	}
+	return test, nil
+}
+
+func parseOps(s string) ([]*memmodel.Op, error) {
+	var ops []*memmodel.Op
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Fields(part)
+		switch f[0] {
+		case "Fence":
+			ops = append(ops, memmodel.Fn())
+		case "Ld", "LdAcq":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("load needs an address: %q", part)
+			}
+			if f[0] == "Ld" {
+				ops = append(ops, memmodel.Ld(f[1]))
+			} else {
+				ops = append(ops, memmodel.LdAcq(f[1]))
+			}
+		case "St", "StRel":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("store needs addr=value: %q", part)
+			}
+			eq := strings.SplitN(f[1], "=", 2)
+			if len(eq) != 2 {
+				return nil, fmt.Errorf("store needs addr=value: %q", part)
+			}
+			v, err := strconv.Atoi(eq[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad store value in %q", part)
+			}
+			if f[0] == "St" {
+				ops = append(ops, memmodel.St(eq[0], v))
+			} else {
+				ops = append(ops, memmodel.StRel(eq[0], v))
+			}
+		default:
+			return nil, fmt.Errorf("unknown op %q", f[0])
+		}
+	}
+	return ops, nil
+}
+
+// parseExists maps "T1:0=1 & m:x=0" to an Outcome keyed like memmodel's:
+// T<t>:<k-th load> conditions resolve to the load's program position.
+func parseExists(s string, prog *memmodel.Program) (memmodel.Outcome, error) {
+	out := memmodel.Outcome{}
+	for _, clause := range strings.Split(s, "&") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		eq := strings.SplitN(clause, "=", 2)
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("litmus: bad condition %q", clause)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(eq[1]))
+		if err != nil {
+			return nil, fmt.Errorf("litmus: bad value in %q", clause)
+		}
+		key := strings.TrimSpace(eq[0])
+		switch {
+		case strings.HasPrefix(key, "m:"):
+			out[key] = v
+		case strings.HasPrefix(key, "T"):
+			parts := strings.SplitN(key[1:], ":", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("litmus: bad register %q", key)
+			}
+			t, err1 := strconv.Atoi(parts[0])
+			k, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil || t >= len(prog.Threads) {
+				return nil, fmt.Errorf("litmus: bad register %q", key)
+			}
+			n := 0
+			found := false
+			for _, op := range prog.Threads[t] {
+				if op.Kind == memmodel.Load {
+					if n == k {
+						out[memmodel.LoadKey(op)] = v
+						found = true
+						break
+					}
+					n++
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("litmus: thread %d has no load %d", t, k)
+			}
+		default:
+			return nil, fmt.Errorf("litmus: bad condition key %q", key)
+		}
+	}
+	return out, nil
+}
+
+// Shape converts a parsed test into a Shape runnable by the suite
+// machinery.
+func (t *ParsedTest) Shape() Shape {
+	prog := t.Prog
+	exists := t.Exists
+	sh := Shape{
+		Name: t.Name,
+		Prog: func() *memmodel.Program {
+			// Deep-copy so adaptation never mutates the parsed original.
+			threads := make([][]*memmodel.Op, len(prog.Threads))
+			for i, th := range prog.Threads {
+				for _, op := range th {
+					cp := *op
+					threads[i] = append(threads[i], &cp)
+				}
+			}
+			return memmodel.NewProgram(threads...)
+		},
+	}
+	if exists != nil {
+		sh.Exposed = func(p *memmodel.Program) memmodel.Outcome {
+			// Keys were resolved against the original program; positions
+			// carry over because the copy preserves structure, except m:
+			// keys which pass through unchanged.
+			out := memmodel.Outcome{}
+			for k, v := range exists {
+				out[k] = v
+			}
+			return out
+		}
+	}
+	return sh
+}

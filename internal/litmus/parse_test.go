@@ -1,0 +1,132 @@
+package litmus
+
+import (
+	"testing"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+)
+
+const mpText = `
+# message passing with synchronization
+name MP+sync
+T0: St x=1; StRel y=1
+T1: LdAcq y; Ld x
+exists: T1:0=1 & T1:1=0
+`
+
+func TestParseTest(t *testing.T) {
+	pt, err := ParseTest(mpText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Name != "MP+sync" {
+		t.Errorf("name = %q", pt.Name)
+	}
+	if len(pt.Prog.Threads) != 2 || len(pt.Prog.Threads[0]) != 2 {
+		t.Fatalf("program shape wrong: %s", pt.Prog)
+	}
+	if pt.Prog.Threads[0][1].Ord != memmodel.Release {
+		t.Error("StRel annotation lost")
+	}
+	if pt.Prog.Threads[1][0].Ord != memmodel.Acquire {
+		t.Error("LdAcq annotation lost")
+	}
+	loads := pt.Prog.Loads()
+	want := memmodel.Outcome{
+		memmodel.LoadKey(loads[0]): 1,
+		memmodel.LoadKey(loads[1]): 0,
+	}
+	if pt.Exists.Key() != want.Key() {
+		t.Errorf("exists = %s, want %s", pt.Exists.Key(), want.Key())
+	}
+}
+
+func TestParseTestWithMemCondition(t *testing.T) {
+	pt, err := ParseTest(`
+name 2+2W
+T0: St x=1; StRel y=2
+T1: St y=1; StRel x=2
+exists: m:x=1 & m:y=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Exists["m:x"] != 1 || pt.Exists["m:y"] != 1 {
+		t.Errorf("mem conditions = %v", pt.Exists)
+	}
+}
+
+func TestParseTestErrors(t *testing.T) {
+	cases := []string{
+		"",                             // empty
+		"T1: Ld x",                     // threads out of order
+		"T0: Jump x",                   // unknown op
+		"T0: St x",                     // missing value
+		"T0: Ld",                       // missing address
+		"T0: Ld x\nexists: T0:5=1",     // no such load
+		"T0: Ld x\nexists: bogus=1",    // bad key
+		"T0: Ld x\nexists: T0:0=zebra", // bad value
+		"garbage line",                 // unrecognized
+	}
+	for _, src := range cases {
+		if _, err := ParseTest(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestParsedTestRunsFused(t *testing.T) {
+	pt, err := ParseTest(mpText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fuse(t, protocols.NameMESI, protocols.NameRCCO)
+	r := RunFused(f, pt.Shape(), []int{0, 1}, Options{})
+	if !r.Pass() {
+		t.Fatalf("parsed test failed: %s (bad=%v)", r, r.BadOutcomes)
+	}
+	if !r.Forbidden {
+		t.Error("MP+sync exposed outcome should be forbidden")
+	}
+}
+
+func TestRunHomogeneousAllProtocols(t *testing.T) {
+	// Every constituent protocol passes MP and SB against its own model —
+	// the §VII sanity check on the Table I inputs (plus MOESI).
+	for _, name := range protocols.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p := protocols.MustByName(name)
+			for _, shapeName := range []string{"MP", "SB"} {
+				shape, _ := ShapeByName(shapeName)
+				r := RunHomogeneous(p, shape, Options{})
+				if !r.Pass() {
+					t.Errorf("%s/%s failed: %s (bad=%v)", name, shapeName, r, r.BadOutcomes)
+				}
+			}
+		})
+	}
+}
+
+func TestRunHomogeneousExposesRelaxation(t *testing.T) {
+	// Under TSO-CC, the unfenced SB outcome is allowed (Forbidden=false
+	// when the shape is run without its fences).
+	pt, err := ParseTest(`
+name SB-plain
+T0: St x=1; Ld y
+T1: St y=1; Ld x
+exists: T0:0=0 & T1:0=0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := RunHomogeneous(protocols.MustByName(protocols.NameTSOCC), pt.Shape(), Options{})
+	if r.Forbidden {
+		t.Error("plain SB should be allowed under TSO")
+	}
+	if !r.Pass() {
+		t.Errorf("conformance failure: %v", r.BadOutcomes)
+	}
+}

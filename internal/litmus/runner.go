@@ -1,0 +1,346 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heterogen/internal/armor"
+	"heterogen/internal/core"
+	"heterogen/internal/mcheck"
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// Options configure test execution.
+type Options struct {
+	// Evictions explores spontaneous replacements too.
+	Evictions bool
+	// MaxStates bounds each test's state space (0 = checker default).
+	MaxStates int
+	// Fusion forwards fusion options (handshake variant etc.).
+	Fusion core.Options
+	// AllAllocations enumerates every thread→cluster assignment; the
+	// default skips assignments that leave a cluster empty (those are the
+	// homogeneous cases, validated separately).
+	AllAllocations bool
+	// MaxThreads skips shapes with more threads in RunSuite (0 = no
+	// limit; IRIW's 4 threads explore ~40k states per allocation).
+	MaxThreads int
+}
+
+// Result is the verdict of one litmus test run.
+type Result struct {
+	Shape       string
+	Pair        string
+	Assign      []int
+	States      int
+	Forbidden   bool     // the compound model forbids the exposed outcome
+	Observed    bool     // ... and the protocol exhibited it (a failure)
+	BadOutcomes []string // observable outcomes outside the allowed set
+	Deadlocks   int
+	// DeadlockState holds the first deadlocked state's snapshot (debug).
+	DeadlockState string
+	Truncated     bool
+	Outcomes      int // distinct observable outcomes
+}
+
+// Pass reports whether the protocol passed this test.
+func (r *Result) Pass() bool {
+	return !r.Observed && len(r.BadOutcomes) == 0 && r.Deadlocks == 0 && !r.Truncated
+}
+
+// String renders the result Murphi-report-style (§A.5.1).
+func (r *Result) String() string {
+	status := "pass"
+	switch {
+	case r.Deadlocks > 0:
+		status = "Deadlock"
+	case r.Observed || len(r.BadOutcomes) > 0:
+		status = "Litmus test fail"
+	case r.Truncated:
+		status = "Out of memory"
+	}
+	return fmt.Sprintf("%-8s %-18s alloc=%v states=%-7d outcomes=%-3d %s",
+		r.Shape, r.Pair, r.Assign, r.States, r.Outcomes, status)
+}
+
+// Allocations enumerates thread→cluster assignments. When all is false,
+// only assignments using at least two distinct clusters are returned.
+func Allocations(threads, clusters int, all bool) [][]int {
+	var out [][]int
+	assign := make([]int, threads)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == threads {
+			used := map[int]bool{}
+			for _, c := range assign {
+				used[c] = true
+			}
+			if all || len(used) > 1 || clusters == 1 {
+				out = append(out, append([]int(nil), assign...))
+			}
+			return
+		}
+		for c := 0; c < clusters; c++ {
+			assign[i] = c
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Translate adapts the annotated program per cluster (armor) and lowers it
+// to core requests plus load keys and the address map. Writer threads get
+// a flush epilogue (evictions) so final memory equals the
+// write-serialization-final value.
+func Translate(p *memmodel.Program, models []memmodel.Model, assign []int) (*memmodel.Program, [][]spec.CoreReq, [][]string, map[string]spec.Addr) {
+	adapted := make([][]*memmodel.Op, len(p.Threads))
+	for i, th := range p.Threads {
+		adapted[i] = armor.AdaptThread(th, models[assign[i]])
+	}
+	ap := memmodel.NewProgram(adapted...)
+
+	addrs := map[string]spec.Addr{}
+	for i, a := range ap.Addrs() {
+		addrs[a] = spec.Addr(i)
+	}
+	progs := make([][]spec.CoreReq, len(ap.Threads))
+	keys := make([][]string, len(ap.Threads))
+	for ti, ops := range ap.Threads {
+		wrote := map[spec.Addr]bool{}
+		for _, op := range ops {
+			switch op.Kind {
+			case memmodel.Load:
+				if op.Ord == memmodel.Acquire {
+					progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpAcquire})
+				}
+				progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpLoad, Addr: addrs[op.Addr]})
+				keys[ti] = append(keys[ti], memmodel.LoadKey(op))
+			case memmodel.Store:
+				if op.Ord == memmodel.Release {
+					progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpRelease})
+				}
+				progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpStore, Addr: addrs[op.Addr], Value: op.Value})
+				if op.Ord == memmodel.Release {
+					progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpRelease})
+				}
+				wrote[addrs[op.Addr]] = true
+			case memmodel.Fence:
+				progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpFence})
+			}
+		}
+		// Flush epilogue: write back whatever this thread may still hold
+		// dirty, so quiescent memory is the coherence-final value.
+		was := make([]spec.Addr, 0, len(wrote))
+		for a := range wrote {
+			was = append(was, a)
+		}
+		sort.Slice(was, func(i, j int) bool { return was[i] < was[j] })
+		for _, a := range was {
+			progs[ti] = append(progs[ti], spec.CoreReq{Op: spec.OpEvict, Addr: a})
+		}
+	}
+	return ap, progs, keys, addrs
+}
+
+// RunFused executes one shape on a fusion with the given thread→cluster
+// assignment, model-checking the heterogeneous system exhaustively.
+func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
+	p := shape.Prog()
+	ap, progsByThread, keysByThread, addrs := Translate(p, f.Compound, assign)
+
+	perCluster := make([]int, len(f.Protocols))
+	for _, c := range assign {
+		perCluster[c]++
+	}
+	sys, layout := core.BuildSystem(f, perCluster)
+
+	// BuildSystem is cluster-major; scatter thread programs onto cores.
+	progs := make([][]spec.CoreReq, len(assign))
+	keys := make([][]string, len(assign))
+	base := make([]int, len(perCluster))
+	for c := 1; c < len(perCluster); c++ {
+		base[c] = base[c-1] + perCluster[c-1]
+	}
+	next := make([]int, len(perCluster))
+	for ti := range ap.Threads {
+		c := assign[ti]
+		idx := base[c] + next[c]
+		next[c]++
+		progs[idx] = progsByThread[ti]
+		keys[idx] = keysByThread[ti]
+	}
+	sys.SetPrograms(progs)
+	_ = layout
+
+	var observe []spec.Addr
+	memKeys := map[string]string{}
+	for name, a := range addrs {
+		observe = append(observe, a)
+		memKeys[name] = fmt.Sprintf("%d", a)
+	}
+	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
+
+	res := mcheck.Explore(sys, mcheck.Options{
+		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
+		LoadKeys: keys, ObserveMem: observe,
+	})
+
+	cm, err := f.CompoundModel(assign)
+	if err != nil {
+		panic(err)
+	}
+	allowed := memmodel.AllowedOutcomesMem(ap, cm, memKeys)
+
+	out := &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
+		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
+		Truncated: res.Truncated, Outcomes: len(res.Outcomes)}
+	for k := range res.Outcomes {
+		if _, ok := allowed[k]; !ok {
+			out.BadOutcomes = append(out.BadOutcomes, k)
+		}
+	}
+	sort.Strings(out.BadOutcomes)
+	if shape.Exposed != nil {
+		// Rebuild the exposed outcome against the adapted program (load
+		// keys may have shifted) by renaming memory keys.
+		exposed := exposedFor(shape, p, ap, memKeys)
+		if exposed != nil {
+			out.Forbidden = !allowed.HasMatch(exposed)
+			out.Observed = out.Forbidden && res.Outcomes.HasMatch(exposed)
+		}
+	}
+	return out
+}
+
+// exposedFor maps the shape's exposed outcome onto the adapted program:
+// load keys are matched by load position (adaptation preserves the number
+// and order of loads), memory keys by address.
+func exposedFor(shape Shape, orig, adapted *memmodel.Program, memKeys map[string]string) memmodel.Outcome {
+	src := shape.Exposed(orig)
+	origLoads := orig.Loads()
+	adLoads := adapted.Loads()
+	if len(origLoads) != len(adLoads) {
+		return nil
+	}
+	out := memmodel.Outcome{}
+	for k, v := range src {
+		if strings.HasPrefix(k, "m:") {
+			name := strings.TrimPrefix(k, "m:")
+			suffix, ok := memKeys[name]
+			if !ok {
+				return nil
+			}
+			out["m:"+suffix] = v
+			continue
+		}
+		found := false
+		for i, ol := range origLoads {
+			if memmodel.LoadKey(ol) == k {
+				out[memmodel.LoadKey(adLoads[i])] = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}
+
+// SuiteReport aggregates a suite run, in the spirit of the artifact's
+// Test_Result.txt.
+type SuiteReport struct {
+	Results []*Result
+}
+
+// Passed and Failed count verdicts.
+func (s *SuiteReport) Passed() int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Pass() {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed counts failing tests.
+func (s *SuiteReport) Failed() int { return len(s.Results) - s.Passed() }
+
+// String renders the report.
+func (s *SuiteReport) String() string {
+	var b strings.Builder
+	for _, r := range s.Results {
+		fmt.Fprintln(&b, r)
+	}
+	fmt.Fprintf(&b, "litmus: %d tests, %d passed, %d failed\n", len(s.Results), s.Passed(), s.Failed())
+	return b.String()
+}
+
+// RunHomogeneous validates one shape on a single-cluster system of the
+// given protocol: the §VII methodology applied to a constituent protocol
+// against its own consistency model.
+func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
+	prog := shape.Prog()
+	model := memmodel.MustByID(p.Model)
+	models := []memmodel.Model{model}
+	assign := make([]int, len(prog.Threads))
+	ap, progs, keys, addrs := Translate(prog, models, assign)
+
+	sys := mcheck.NewHomogeneous(p, len(ap.Threads))
+	sys.SetPrograms(progs)
+	var observe []spec.Addr
+	memKeys := map[string]string{}
+	for name, a := range addrs {
+		observe = append(observe, a)
+		memKeys[name] = fmt.Sprintf("%d", a)
+	}
+	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
+	res := mcheck.Explore(sys, mcheck.Options{
+		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
+		LoadKeys: keys, ObserveMem: observe})
+
+	allowed := memmodel.AllowedOutcomesMem(ap, memmodel.Homogeneous(model, len(ap.Threads)), memKeys)
+	out := &Result{Shape: shape.Name, Pair: p.Name, Assign: assign,
+		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
+		Truncated: res.Truncated, Outcomes: len(res.Outcomes)}
+	for k := range res.Outcomes {
+		if _, ok := allowed[k]; !ok {
+			out.BadOutcomes = append(out.BadOutcomes, k)
+		}
+	}
+	sort.Strings(out.BadOutcomes)
+	if shape.Exposed != nil {
+		if exposed := exposedFor(shape, prog, ap, memKeys); exposed != nil {
+			out.Forbidden = !allowed.HasMatch(exposed)
+			out.Observed = out.Forbidden && res.Outcomes.HasMatch(exposed)
+		}
+	}
+	return out
+}
+
+// RunSuite runs every shape over every allocation for the fusion of each
+// protocol pair (names resolved by the caller into fresh fusions via mk).
+func RunSuite(pairs [][]*spec.Protocol, opts Options) (*SuiteReport, error) {
+	report := &SuiteReport{}
+	for _, protos := range pairs {
+		f, err := core.Fuse(opts.Fusion, protos...)
+		if err != nil {
+			return nil, err
+		}
+		for _, shape := range Shapes() {
+			threads := len(shape.Prog().Threads)
+			if opts.MaxThreads > 0 && threads > opts.MaxThreads {
+				continue
+			}
+			for _, assign := range Allocations(threads, len(protos), opts.AllAllocations) {
+				report.Results = append(report.Results, RunFused(f, shape, assign, opts))
+			}
+		}
+	}
+	return report, nil
+}

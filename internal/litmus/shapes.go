@@ -1,0 +1,230 @@
+// Package litmus implements heterogeneous litmus testing (§VII-B): the
+// classic litmus shapes written against the compound programming
+// discipline (release/acquire annotations and fences, as for the weakest
+// constituent model), per-cluster translation of the synchronization via
+// armor, enumeration of thread→cluster allocations, and validation of
+// HeteroGen-fused protocols against the compound model's allowed outcomes.
+package litmus
+
+import (
+	"heterogen/internal/memmodel"
+)
+
+// Shape is one litmus test family: an annotated program plus the classic
+// "exposed" outcome the shape probes for. Whether the exposed outcome is
+// forbidden is decided by the compound model of each concrete allocation —
+// the axiomatic framework is the oracle, exactly as herd7 is for the paper.
+type Shape struct {
+	Name string
+	// Prog builds a fresh annotated program (fresh Ops so adaptation can
+	// renumber them).
+	Prog func() *memmodel.Program
+	// Exposed returns the outcome the shape historically probes (register
+	// values keyed like memmodel outcomes; final memory under "m:<addr>").
+	// Nil entries mean the shape is validated by conformance only.
+	Exposed func(p *memmodel.Program) memmodel.Outcome
+}
+
+func ld(a string) *memmodel.Op         { return memmodel.Ld(a) }
+func ldA(a string) *memmodel.Op        { return memmodel.LdAcq(a) }
+func st(a string, v int) *memmodel.Op  { return memmodel.St(a, v) }
+func stR(a string, v int) *memmodel.Op { return memmodel.StRel(a, v) }
+func fence() *memmodel.Op              { return memmodel.Fn() }
+
+// loadKeyAt returns the outcome key of the i-th load of the program.
+func loadKeyAt(p *memmodel.Program, i int) string {
+	return memmodel.LoadKey(p.Loads()[i])
+}
+
+// Shapes returns the 13 classic families of §VII-B: MP, S, IRIW, 2+2W,
+// CoRR, LB, R, RWC, SB, WRC, WRW+WR, WRW+2W, WWC. Synchronization is
+// written for the weakest model (RC-style annotations plus fences); armor
+// removes whatever a stronger cluster does not need.
+func Shapes() []Shape {
+	return []Shape{
+		{
+			Name: "MP",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1), stR("y", 1)},
+					[]*memmodel.Op{ldA("y"), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 0}
+			},
+		},
+		{
+			Name: "S",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 2), stR("y", 1)},
+					[]*memmodel.Op{ldA("y"), st("x", 1)},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 1, "m:x": 2}
+			},
+		},
+		{
+			Name: "IRIW",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1)},
+					[]*memmodel.Op{st("y", 1)},
+					[]*memmodel.Op{ldA("x"), ld("y")},
+					[]*memmodel.Op{ldA("y"), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{
+					loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 0,
+					loadKeyAt(p, 2): 1, loadKeyAt(p, 3): 0,
+				}
+			},
+		},
+		{
+			Name: "2+2W",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1), stR("y", 2)},
+					[]*memmodel.Op{st("y", 1), stR("x", 2)},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{"m:x": 1, "m:y": 1}
+			},
+		},
+		{
+			Name: "CoRR",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1)},
+					[]*memmodel.Op{ld("x"), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 0}
+			},
+		},
+		{
+			Name: "LB",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{ldA("x"), st("y", 1)},
+					[]*memmodel.Op{ldA("y"), st("x", 1)},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 1}
+			},
+		},
+		{
+			Name: "R",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1), stR("y", 1)},
+					[]*memmodel.Op{st("y", 2), fence(), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 0, "m:y": 2}
+			},
+		},
+		{
+			Name: "RWC",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1)},
+					[]*memmodel.Op{ldA("x"), ld("y")},
+					[]*memmodel.Op{st("y", 1), fence(), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{
+					loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 0, loadKeyAt(p, 2): 0,
+				}
+			},
+		},
+		{
+			Name: "SB",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1), fence(), ld("y")},
+					[]*memmodel.Op{st("y", 1), fence(), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 0, loadKeyAt(p, 1): 0}
+			},
+		},
+		{
+			Name: "WRC",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1)},
+					[]*memmodel.Op{ldA("x"), stR("y", 1)},
+					[]*memmodel.Op{ldA("y"), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{
+					loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 1, loadKeyAt(p, 2): 0,
+				}
+			},
+		},
+		{
+			Name: "WRW+WR",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 1)},
+					[]*memmodel.Op{ldA("x"), stR("y", 1)},
+					[]*memmodel.Op{st("y", 2), fence(), ld("x")},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{
+					loadKeyAt(p, 0): 1, loadKeyAt(p, 1): 0, "m:y": 2,
+				}
+			},
+		},
+		{
+			Name: "WRW+2W",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 2)},
+					[]*memmodel.Op{ldA("x"), stR("y", 1)},
+					[]*memmodel.Op{st("y", 2), fence(), st("x", 1)},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{loadKeyAt(p, 0): 2, "m:x": 2, "m:y": 2}
+			},
+		},
+		{
+			Name: "WWC",
+			Prog: func() *memmodel.Program {
+				return memmodel.NewProgram(
+					[]*memmodel.Op{st("x", 2)},
+					[]*memmodel.Op{ldA("x"), stR("y", 1)},
+					[]*memmodel.Op{ldA("y"), st("x", 1)},
+				)
+			},
+			Exposed: func(p *memmodel.Program) memmodel.Outcome {
+				return memmodel.Outcome{
+					loadKeyAt(p, 0): 2, loadKeyAt(p, 1): 1, "m:x": 2,
+				}
+			},
+		},
+	}
+}
+
+// ShapeByName returns the named shape.
+func ShapeByName(name string) (Shape, bool) {
+	for _, s := range Shapes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Shape{}, false
+}

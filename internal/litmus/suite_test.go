@@ -1,0 +1,26 @@
+package litmus
+
+import (
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+func TestRunSuiteMaxThreads(t *testing.T) {
+	pairs := [][]*spec.Protocol{
+		{protocols.MustByName(protocols.NameRCC), protocols.MustByName(protocols.NameRCC)},
+	}
+	rep, err := RunSuite(pairs, Options{MaxThreads: 2, Fusion: core.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 two-thread shapes × 2 heterogeneous allocations.
+	if len(rep.Results) != 14 {
+		t.Fatalf("suite ran %d tests, want 14", len(rep.Results))
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("failures:\n%s", rep)
+	}
+}

@@ -1,0 +1,112 @@
+package litmus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"heterogen/internal/memmodel"
+)
+
+// Verdict records whether a shape's exposed outcome is forbidden under a
+// compound model for a particular thread→cluster assignment.
+type Verdict struct {
+	Shape     string
+	Models    []memmodel.ID
+	Assign    []int
+	Forbidden bool
+}
+
+// VerdictMatrix computes, purely axiomatically, the forbidden/allowed
+// verdict of every shape's exposed outcome under every pairwise compound
+// of the given models (all heterogeneous allocations). This is the ground
+// truth the protocol-level suite validates against, and doubles as a
+// machine-checked summary of what each compound model promises.
+func VerdictMatrix(models []memmodel.ID) ([]Verdict, error) {
+	var out []Verdict
+	for _, a := range models {
+		for _, b := range models {
+			ma, err := memmodel.ByID(a)
+			if err != nil {
+				return nil, err
+			}
+			mb, err := memmodel.ByID(b)
+			if err != nil {
+				return nil, err
+			}
+			pair := []memmodel.Model{ma, mb}
+			ids := []memmodel.ID{a, b}
+			for _, shape := range Shapes() {
+				if shape.Exposed == nil {
+					continue
+				}
+				threads := len(shape.Prog().Threads)
+				for _, assign := range Allocations(threads, 2, false) {
+					prog := shape.Prog()
+					adapted, _, _, addrs := Translate(prog, pair, assign)
+					memKeys := map[string]string{}
+					for name, ad := range addrs {
+						memKeys[name] = fmt.Sprintf("%d", ad)
+					}
+					cm, err := memmodel.NewCompound(pair, assign)
+					if err != nil {
+						return nil, err
+					}
+					allowed := memmodel.AllowedOutcomesMem(adapted, cm, memKeys)
+					exposed := exposedFor(shape, prog, adapted, memKeys)
+					if exposed == nil {
+						return nil, fmt.Errorf("litmus: %s: exposed outcome unmappable", shape.Name)
+					}
+					out = append(out, Verdict{
+						Shape: shape.Name, Models: ids, Assign: assign,
+						Forbidden: !allowed.HasMatch(exposed),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatVerdicts renders the matrix with one row per (shape, compound):
+// "forbidden", "allowed", or "mixed" when it depends on the allocation.
+func FormatVerdicts(vs []Verdict) string {
+	type key struct {
+		shape, compound string
+	}
+	agg := map[key][2]int{} // forbidden, allowed counts
+	var order []key
+	for _, v := range vs {
+		k := key{v.Shape, fmt.Sprintf("%sx%s", v.Models[0], v.Models[1])}
+		if _, ok := agg[k]; !ok {
+			order = append(order, k)
+		}
+		c := agg[k]
+		if v.Forbidden {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		agg[k] = c
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].shape != order[j].shape {
+			return order[i].shape < order[j].shape
+		}
+		return order[i].compound < order[j].compound
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-10s %s\n", "shape", "compound", "verdict (exposed outcome, synchronized form)")
+	for _, k := range order {
+		c := agg[k]
+		verdict := "forbidden"
+		switch {
+		case c[0] == 0:
+			verdict = "allowed"
+		case c[1] > 0:
+			verdict = "mixed (allocation-dependent)"
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %s\n", k.shape, k.compound, verdict)
+	}
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"heterogen/internal/memmodel"
+)
+
+func TestVerdictMatrix(t *testing.T) {
+	vs, err := VerdictMatrix(memmodel.AllIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) == 0 {
+		t.Fatal("empty verdict matrix")
+	}
+	// The shapes carry full synchronization, so the exposed outcomes must
+	// be forbidden under every compound of our multi-copy-atomic models.
+	for _, v := range vs {
+		if !v.Forbidden {
+			t.Errorf("%s under %sx%s alloc %v: exposed outcome allowed despite full sync",
+				v.Shape, v.Models[0], v.Models[1], v.Assign)
+		}
+	}
+	s := FormatVerdicts(vs)
+	if !strings.Contains(s, "MP") || !strings.Contains(s, "SCxTSO") || !strings.Contains(s, "forbidden") {
+		t.Errorf("verdict table malformed:\n%s", s)
+	}
+	if strings.Contains(s, "mixed") {
+		t.Errorf("unexpected allocation-dependent verdicts:\n%s", s)
+	}
+}
+
+func TestVerdictMatrixUnknownModel(t *testing.T) {
+	if _, err := VerdictMatrix([]memmodel.ID{"zzz"}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,25 @@
+package mcheck
+
+import (
+	"testing"
+
+	"heterogen/internal/memmodel"
+)
+
+func TestMESIFEnforcesSC(t *testing.T) {
+	for _, prog := range []*memmodel.Program{sb(), mpPlain()} {
+		res := run(t, "MESIF", prog, true)
+		checkConforms(t, "MESIF", res, prog, memmodel.MustByID(memmodel.SC))
+	}
+}
+
+func TestMESIFThreeCachesForwarding(t *testing.T) {
+	// Three readers chained so the F role hops, then a writer invalidates.
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.Ld("x")},
+		[]*memmodel.Op{memmodel.Ld("x")},
+		[]*memmodel.Op{memmodel.Ld("x"), memmodel.St("x", 1), memmodel.Ld("x")},
+	)
+	res := run(t, "MESIF", prog, true)
+	checkConforms(t, "MESIF", res, prog, memmodel.MustByID(memmodel.SC))
+}

@@ -1,0 +1,26 @@
+package mcheck
+
+import (
+	"testing"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+)
+
+func TestMOESIEnforcesSC(t *testing.T) {
+	for _, prog := range []*memmodel.Program{sb(), mpPlain()} {
+		res := run(t, "MOESI", prog, true)
+		checkConforms(t, "MOESI", res, prog, memmodel.MustByID(memmodel.SC))
+	}
+}
+
+func TestMOESIThreeCaches(t *testing.T) {
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 1)},
+		[]*memmodel.Op{memmodel.Ld("x"), memmodel.St("x", 2)},
+		[]*memmodel.Op{memmodel.Ld("x"), memmodel.Ld("x")},
+	)
+	res := run(t, "MOESI", prog, true)
+	checkConforms(t, "MOESI", res, prog, memmodel.MustByID(memmodel.SC))
+	_ = protocols.NameMOESI
+}

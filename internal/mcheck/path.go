@@ -1,0 +1,73 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"heterogen/internal/memmodel"
+)
+
+// FindPath searches for a quiescent state whose outcome satisfies pred and
+// returns the move sequence reaching it (nil if none). It is a debugging
+// aid: when a litmus test fails, the returned trace is the counterexample.
+func FindPath(initial *System, opts Options, pred func(memmodel.Outcome) bool) []Move {
+	type node struct {
+		sys  *System
+		path []Move
+	}
+	visited := map[string]bool{initial.Snapshot(): true}
+	queue := []node{{initial, nil}}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 4 << 20
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		moves := cur.sys.Moves(opts.Evictions)
+		progressed := false
+		for _, mv := range moves {
+			next := cur.sys.Clone()
+			if !next.Apply(mv) {
+				continue
+			}
+			progressed = true
+			snap := next.Snapshot()
+			if visited[snap] {
+				continue
+			}
+			visited[snap] = true
+			if len(visited) > maxStates {
+				return nil
+			}
+			npath := append(append([]Move(nil), cur.path...), mv)
+			queue = append(queue, node{next, npath})
+		}
+		if !progressed && cur.sys.Quiescent() {
+			o := outcomeOf(cur.sys, opts.LoadKeys)
+			for _, a := range opts.ObserveMem {
+				o[fmt.Sprintf("m:%d", a)] = cur.sys.Mem.Read(a)
+			}
+			if pred(o) {
+				return cur.path
+			}
+		}
+	}
+	return nil
+}
+
+// Replay applies a move sequence to a system, returning a line per move
+// (with the message delivered, when applicable) for diagnostics.
+func Replay(sys *System, path []Move) []string {
+	var out []string
+	for _, mv := range path {
+		desc := mv.String()
+		if mv.Kind == MoveDeliver {
+			if q := sys.queues[mv.Chan]; len(q) > 0 {
+				desc += ": " + q[0].String()
+			}
+		}
+		ok := sys.Apply(mv)
+		out = append(out, fmt.Sprintf("%-60s ok=%t", desc, ok))
+	}
+	return out
+}

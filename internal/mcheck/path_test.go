@@ -1,0 +1,67 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+func TestFindPathAndReplay(t *testing.T) {
+	pr := protocols.MustByName(protocols.NameMSI)
+	progs := [][]spec.CoreReq{
+		{{Op: spec.OpStore, Addr: 0, Value: 1}},
+		{{Op: spec.OpLoad, Addr: 0}},
+	}
+	sys := NewHomogeneous(pr, 2)
+	sys.SetPrograms(progs)
+	// Find the execution where the reader observes the store.
+	path := FindPath(sys.Clone(), Options{}, func(o memmodel.Outcome) bool {
+		return o["T1:0"] == 1
+	})
+	if path == nil {
+		t.Fatal("no path to the observing outcome")
+	}
+	lines := Replay(sys.Clone(), path)
+	if len(lines) != len(path) {
+		t.Fatalf("replay produced %d lines for %d moves", len(lines), len(path))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "GetM") || strings.Contains(joined, "ok=false") {
+		t.Errorf("replay trace unexpected:\n%s", joined)
+	}
+	// An unsatisfiable predicate yields nil.
+	if p := FindPath(sys.Clone(), Options{}, func(o memmodel.Outcome) bool {
+		return o["T1:0"] == 99
+	}); p != nil {
+		t.Error("found a path to an impossible outcome")
+	}
+}
+
+func TestSingleOwnerInvariantViaSearch(t *testing.T) {
+	pr := protocols.MustByName(protocols.NameRCCO)
+	progs := [][]spec.CoreReq{
+		{{Op: spec.OpStore, Addr: 0, Value: 1}},
+		{{Op: spec.OpStore, Addr: 0, Value: 2}},
+	}
+	sys := NewHomogeneous(pr, 2)
+	sys.SetPrograms(progs)
+	res := Explore(sys, Options{Invariants: []Invariant{SingleOwnerInvariant("O")}})
+	if !res.Ok() {
+		t.Fatalf("RCC-O violates single-owner: %v", res.Violations)
+	}
+}
+
+func TestMoveString(t *testing.T) {
+	for _, m := range []Move{
+		{Kind: MoveDeliver, Chan: chanKey{1, 2, 0}},
+		{Kind: MoveIssue, Core: 3},
+		{Kind: MoveEvict, Cache: 1, Addr: 4},
+	} {
+		if m.String() == "" || m.String() == "move?" {
+			t.Errorf("bad move string for %+v", m)
+		}
+	}
+}

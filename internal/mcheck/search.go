@@ -1,0 +1,180 @@
+package mcheck
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// Invariant inspects a reachable state and returns an error if violated.
+type Invariant func(*System) error
+
+// Options configure a search.
+type Options struct {
+	// Evictions explores spontaneous replacements of stable lines ("we
+	// ensure that loads and stores are executed based on the litmus test,
+	// while permitting evictions at any time", §VII-B).
+	Evictions bool
+	// MaxStates aborts the search beyond this many visited states
+	// (0 = 4M). Mirrors Murphi's memory bound.
+	MaxStates int
+	// HashCompaction stores 64-bit state hashes instead of full encodings,
+	// trading a vanishing omission probability for memory — the technique
+	// §VII-C uses for >1 cache per cluster.
+	HashCompaction bool
+	// Invariants are checked at every reachable state.
+	Invariants []Invariant
+	// LoadKeys labels each core's loads for outcome collection; absent
+	// entries use "T<core>:<n-th load>".
+	LoadKeys [][]string
+	// ObserveMem adds the final shared-memory value of each listed address
+	// to every outcome under key "m:<addr>". Programs should flush dirty
+	// lines (eviction epilogue) for the observation to equal the
+	// write-serialization-final value.
+	ObserveMem []spec.Addr
+}
+
+// Result summarizes a search.
+type Result struct {
+	States      int                 // distinct states visited
+	Transitions int                 // moves applied
+	Deadlocks   int                 // states with pending work but no moves
+	DeadlockAt  string              // snapshot of the first deadlock (debugging)
+	Outcomes    memmodel.OutcomeSet // outcomes at quiescent states
+	Violations  []string            // invariant failures
+	Truncated   bool                // MaxStates hit
+}
+
+// Ok reports whether the search finished with no deadlocks or violations.
+func (r *Result) Ok() bool {
+	return r.Deadlocks == 0 && len(r.Violations) == 0 && !r.Truncated
+}
+
+// Explore runs an exhaustive breadth-first search from the initial system
+// state.
+func Explore(initial *System, opts Options) *Result {
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = 4 << 20
+	}
+	res := &Result{Outcomes: memmodel.OutcomeSet{}}
+
+	type key = string
+	visited := map[key]bool{}
+	hkey := func(snap string) key {
+		if !opts.HashCompaction {
+			return snap
+		}
+		h := fnv.New64a()
+		h.Write([]byte(snap))
+		return string(h.Sum(nil))
+	}
+
+	queue := []*System{initial}
+	visited[hkey(initial.Snapshot())] = true
+
+	for len(queue) > 0 {
+		if len(visited) > maxStates {
+			res.Truncated = true
+			break
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		res.States++
+
+		for _, inv := range opts.Invariants {
+			if err := inv(cur); err != nil {
+				res.Violations = append(res.Violations, err.Error())
+			}
+		}
+
+		moves := cur.Moves(opts.Evictions)
+		progressed := false
+		for _, mv := range moves {
+			next := cur.Clone()
+			if !next.Apply(mv) {
+				continue
+			}
+			progressed = true
+			res.Transitions++
+			k := hkey(next.Snapshot())
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			queue = append(queue, next)
+		}
+
+		if !progressed {
+			if cur.Quiescent() {
+				o := outcomeOf(cur, opts.LoadKeys)
+				for _, a := range opts.ObserveMem {
+					o[fmt.Sprintf("m:%d", a)] = cur.Mem.Read(a)
+				}
+				res.Outcomes.Add(o)
+			} else {
+				res.Deadlocks++
+				if res.DeadlockAt == "" {
+					res.DeadlockAt = cur.Snapshot()
+				}
+			}
+		}
+	}
+	return res
+}
+
+// outcomeOf extracts the litmus outcome of a quiescent state.
+func outcomeOf(s *System, loadKeys [][]string) memmodel.Outcome {
+	out := memmodel.Outcome{}
+	for t, core := range s.Cores {
+		for i, v := range core.Loads {
+			k := fmt.Sprintf("T%d:%d", t, i)
+			if t < len(loadKeys) && i < len(loadKeys[t]) {
+				k = loadKeys[t][i]
+			}
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// SWMRInvariant returns an invariant asserting the Single-Writer-Multiple-
+// Reader property: for every address, at most one cache holds the line in
+// one of the listed write states, and none may while another holds a read
+// state... the classic check for invalidation protocols (not applicable to
+// the self-invalidation family, which is not SWMR by design).
+func SWMRInvariant(writeStates ...spec.State) Invariant {
+	ws := map[spec.State]bool{}
+	for _, s := range writeStates {
+		ws[s] = true
+	}
+	return func(sys *System) error {
+		writers := map[spec.Addr][]spec.NodeID{}
+		for _, c := range sys.Components {
+			cache, ok := c.(*spec.CacheInst)
+			if !ok {
+				continue
+			}
+			for _, a := range cache.Addrs() {
+				if ws[cache.LineState(a)] {
+					writers[a] = append(writers[a], cache.ID())
+				}
+			}
+		}
+		for a, w := range writers {
+			if len(w) > 1 {
+				return fmt.Errorf("mcheck: SWMR violated at a%d: writers %v", a, w)
+			}
+		}
+		return nil
+	}
+}
+
+// SingleOwnerInvariant asserts that at most one cache holds a line in an
+// owned state per address (holds for the ownership-based relaxed protocols
+// as well as for SWMR ones).
+func SingleOwnerInvariant(ownStates ...spec.State) Invariant {
+	return SWMRInvariant(ownStates...)
+}

@@ -1,0 +1,376 @@
+// Package mcheck is an explicit-state model checker for coherence systems
+// built from spec controllers — the stand-in for the Murphi infrastructure
+// the HeteroGen artifact uses (§VII-B/§VII-C). It exhaustively explores
+// every interleaving of message deliveries, core-request issues and
+// (optionally) evictions over small configurations, detecting deadlocks,
+// invariant violations and the set of reachable litmus outcomes.
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"heterogen/internal/spec"
+)
+
+// Core drives one cache with a straight-line program, issuing requests one
+// at a time (the in-order pipeline of §II-B).
+type Core struct {
+	Cache  spec.NodeID    // the cache this core issues to
+	Prog   []spec.CoreReq // the program
+	PC     int            // next op index
+	Issued bool           // an op is outstanding at the cache
+	Loads  []int          // values observed by completed loads, in order
+}
+
+// Done reports whether the core has completed its whole program.
+func (c *Core) Done() bool { return c.PC >= len(c.Prog) && !c.Issued }
+
+func (c *Core) clone() *Core {
+	cp := *c
+	cp.Loads = append([]int(nil), c.Loads...)
+	return &cp
+}
+
+// chanKey identifies one ordered channel of the interconnect.
+type chanKey struct {
+	src, dst spec.NodeID
+	vnet     spec.VNet
+}
+
+// MemoryCloner is implemented by components whose backing memory is shared
+// with others; System.Clone clones the memory once and hands it to each.
+type MemoryCloner interface {
+	CloneWithMemory(mem *spec.Memory) spec.Component
+}
+
+// System is one complete machine configuration: components, cores and the
+// in-flight messages on ordered per-(src,dst,vnet) channels.
+type System struct {
+	Components []spec.Component
+	Cores      []*Core
+	Mem        *spec.Memory // the shared backing store, cloned with the system
+
+	// OnDeliver, when set, observes every successfully delivered message
+	// (scripted walks use it to build sequence charts). It is shared by
+	// clones; state-space searches should leave it nil.
+	OnDeliver func(spec.Msg)
+
+	route  map[spec.NodeID]int
+	queues map[chanKey][]spec.Msg
+}
+
+// NewSystem assembles a system from components, cores and the shared
+// memory the directories were built over.
+func NewSystem(components []spec.Component, cores []*Core, mem *spec.Memory) *System {
+	s := &System{Components: components, Cores: cores, Mem: mem,
+		route: map[spec.NodeID]int{}, queues: map[chanKey][]spec.Msg{}}
+	for i, c := range components {
+		for _, id := range c.OwnedIDs() {
+			s.route[id] = i
+		}
+	}
+	return s
+}
+
+// NewHomogeneous builds the standard single-cluster configuration: nCaches
+// caches of protocol p (node ids 0..nCaches-1) and one directory (node id
+// nCaches), plus one core per cache. Programs are attached afterwards with
+// SetPrograms.
+func NewHomogeneous(p *spec.Protocol, nCaches int) *System {
+	mem := spec.NewMemory()
+	dirID := spec.NodeID(nCaches)
+	comps := make([]spec.Component, 0, nCaches+1)
+	cores := make([]*Core, 0, nCaches)
+	for i := 0; i < nCaches; i++ {
+		comps = append(comps, spec.NewCacheInst(spec.NodeID(i), dirID, p))
+		cores = append(cores, &Core{Cache: spec.NodeID(i)})
+	}
+	comps = append(comps, spec.NewDirInst(dirID, p, mem))
+	return NewSystem(comps, cores, mem)
+}
+
+// SetPrograms assigns one program per core (missing entries leave the core
+// idle).
+func (s *System) SetPrograms(progs [][]spec.CoreReq) {
+	for i, p := range progs {
+		if i < len(s.Cores) {
+			s.Cores[i].Prog = p
+		}
+	}
+}
+
+// Cache returns the CacheInst serving the given node id, or nil.
+func (s *System) Cache(id spec.NodeID) *spec.CacheInst {
+	if i, ok := s.route[id]; ok {
+		if c, ok := s.Components[i].(*spec.CacheInst); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// send enqueues a message on its channel.
+func (s *System) send(m spec.Msg) {
+	k := chanKey{m.Src, m.Dst, m.VNet}
+	s.queues[k] = append(s.queues[k], m)
+}
+
+// env returns an Env that enqueues onto this system.
+func (s *System) env() spec.Env { return spec.EnvFunc(s.send) }
+
+// Clone deep-copies the system.
+func (s *System) Clone() *System {
+	mem := s.Mem.Clone()
+	comps := make([]spec.Component, len(s.Components))
+	for i, c := range s.Components {
+		if mc, ok := c.(MemoryCloner); ok {
+			comps[i] = mc.CloneWithMemory(mem)
+		} else {
+			comps[i] = c.Clone()
+		}
+	}
+	cores := make([]*Core, len(s.Cores))
+	for i, c := range s.Cores {
+		cores[i] = c.clone()
+	}
+	cp := NewSystem(comps, cores, mem)
+	cp.OnDeliver = s.OnDeliver
+	for k, q := range s.queues {
+		cp.queues[k] = append([]spec.Msg(nil), q...)
+	}
+	return cp
+}
+
+// chanKeys returns the nonempty channel keys in deterministic order.
+func (s *System) chanKeys() []chanKey {
+	keys := make([]chanKey, 0, len(s.queues))
+	for k, q := range s.queues {
+		if len(q) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.dst != b.dst {
+			return a.dst < b.dst
+		}
+		return a.vnet < b.vnet
+	})
+	return keys
+}
+
+// syncCores advances cores whose issued op has completed.
+func (s *System) syncCores() {
+	for t, core := range s.Cores {
+		if !core.Issued {
+			continue
+		}
+		cache := s.Cache(core.Cache)
+		if cache == nil || !cache.Idle() {
+			continue
+		}
+		op := core.Prog[core.PC]
+		if op.Op == spec.OpLoad {
+			core.Loads = append(core.Loads, cache.LastLoad())
+		}
+		core.PC++
+		core.Issued = false
+		_ = t
+	}
+}
+
+// Warm preloads every cache with the given addresses by issuing loads and
+// draining the interconnect to quiescence — the litmus-testing methodology
+// of §VII-B ("we preload the caches with the initial values"). Load results
+// are discarded.
+func (s *System) Warm(addrs []spec.Addr) error {
+	for _, core := range s.Cores {
+		cache := s.Cache(core.Cache)
+		if cache == nil {
+			continue
+		}
+		for _, a := range addrs {
+			if !cache.Issue(s.env(), spec.CoreReq{Op: spec.OpLoad, Addr: a}) {
+				return fmt.Errorf("mcheck: warm load of a%d refused by cache %d", a, cache.ID())
+			}
+			if err := s.Drain(); err != nil {
+				return err
+			}
+			if !cache.Idle() {
+				return fmt.Errorf("mcheck: warm load of a%d never completed at cache %d", a, cache.ID())
+			}
+		}
+	}
+	return nil
+}
+
+// Drain delivers queued messages in deterministic order until the
+// interconnect is empty.
+func (s *System) Drain() error {
+	for {
+		keys := s.chanKeys()
+		if len(keys) == 0 {
+			return nil
+		}
+		progress := false
+		for _, k := range keys {
+			if s.Apply(Move{Kind: MoveDeliver, Chan: k}) {
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return fmt.Errorf("mcheck: drain stuck with %d busy channels", len(keys))
+		}
+	}
+}
+
+// Quiescent reports whether all channels are empty and all cores done.
+func (s *System) Quiescent() bool {
+	for _, q := range s.queues {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	for _, c := range s.Cores {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot produces the canonical state encoding used for visited-set
+// hashing.
+func (s *System) Snapshot() string {
+	var b spec.SnapshotWriter
+	for _, c := range s.Components {
+		c.Snapshot(&b)
+	}
+	s.Mem.Snapshot(&b)
+	for _, k := range s.chanKeys() {
+		fmt.Fprintf(&b, "ch%d-%d-%d[", k.src, k.dst, k.vnet)
+		for _, m := range s.queues[k] {
+			fmt.Fprintf(&b, "%s|", m)
+		}
+		b.WriteString("]")
+	}
+	for i, c := range s.Cores {
+		fmt.Fprintf(&b, "core%d{pc=%d,iss=%t,ld=%v}", i, c.PC, c.Issued, c.Loads)
+	}
+	return b.String()
+}
+
+// Move is one enabled step of the system: a message delivery, a core issue
+// or an eviction.
+type Move struct {
+	Kind  MoveKind
+	Chan  chanKey // deliveries
+	Core  int     // issues
+	Cache spec.NodeID
+	Addr  spec.Addr // evictions
+}
+
+// MoveKind classifies a Move.
+type MoveKind int
+
+// Move kinds.
+const (
+	MoveDeliver MoveKind = iota
+	MoveIssue
+	MoveEvict
+)
+
+func (m Move) String() string {
+	switch m.Kind {
+	case MoveDeliver:
+		return fmt.Sprintf("deliver %d->%d vnet%d", m.Chan.src, m.Chan.dst, m.Chan.vnet)
+	case MoveIssue:
+		return fmt.Sprintf("issue core%d", m.Core)
+	case MoveEvict:
+		return fmt.Sprintf("evict cache%d a%d", m.Cache, m.Addr)
+	}
+	return "move?"
+}
+
+// Moves enumerates the enabled moves of the current state. evictions
+// toggles exploration of spontaneous replacements.
+func (s *System) Moves(evictions bool) []Move {
+	var out []Move
+	for _, k := range s.chanKeys() {
+		out = append(out, Move{Kind: MoveDeliver, Chan: k})
+	}
+	for i, core := range s.Cores {
+		if core.Issued || core.PC >= len(core.Prog) {
+			continue
+		}
+		if cache := s.Cache(core.Cache); cache != nil && cache.CanIssue(core.Prog[core.PC]) {
+			out = append(out, Move{Kind: MoveIssue, Core: i})
+		}
+	}
+	if evictions {
+		for _, c := range s.Components {
+			cache, ok := c.(*spec.CacheInst)
+			if !ok {
+				continue
+			}
+			for _, a := range cachedAddrs(cache) {
+				st := cache.LineState(a)
+				if cache.Protocol().Cache.IsStable(st) && st != cache.Protocol().Cache.Init && cache.Idle() {
+					out = append(out, Move{Kind: MoveEvict, Cache: cache.ID(), Addr: a})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// cachedAddrs lists the addresses a cache currently holds, in order.
+func cachedAddrs(c *spec.CacheInst) []spec.Addr { return c.Addrs() }
+
+// Apply executes the move in place. It returns false if the move stalled
+// (delivery refused); the system is unchanged in that case except for
+// harmless line materialization.
+func (s *System) Apply(m Move) bool {
+	switch m.Kind {
+	case MoveDeliver:
+		q := s.queues[m.Chan]
+		if len(q) == 0 {
+			return false
+		}
+		msg := q[0]
+		idx, ok := s.route[msg.Dst]
+		if !ok {
+			panic(fmt.Sprintf("mcheck: message to unrouted node %d", msg.Dst))
+		}
+		if !s.Components[idx].Deliver(s.env(), msg) {
+			return false
+		}
+		if s.OnDeliver != nil {
+			s.OnDeliver(msg)
+		}
+		if len(q) == 1 {
+			delete(s.queues, m.Chan)
+		} else {
+			s.queues[m.Chan] = q[1:]
+		}
+	case MoveIssue:
+		core := s.Cores[m.Core]
+		cache := s.Cache(core.Cache)
+		if cache == nil || !cache.Issue(s.env(), core.Prog[core.PC]) {
+			return false
+		}
+		core.Issued = true
+	case MoveEvict:
+		cache := s.Cache(m.Cache)
+		if cache == nil || !cache.Evict(s.env(), m.Addr) {
+			return false
+		}
+	}
+	s.syncCores()
+	return true
+}

@@ -1,0 +1,155 @@
+package memmodel
+
+// Enumeration of all executions of a litmus program and the outcome sets a
+// model allows. This is the ground truth the litmus package validates
+// synthesized protocols against: an implementation is correct when every
+// outcome it can exhibit is in AllowedOutcomes(program, compoundModel).
+
+// Executions enumerates every structurally valid execution of the program:
+// all reads-from choices crossed with all per-address write serializations.
+// The visit callback may retain the Execution only for the duration of the
+// call (a fresh copy is passed each time, so retaining is in fact safe, but
+// heavy users should extract what they need).
+func Executions(p *Program, visit func(*Execution) bool) {
+	loads := p.Loads()
+	storesByAddr := map[string][]*Op{}
+	for _, st := range p.Stores() {
+		storesByAddr[st.Addr] = append(storesByAddr[st.Addr], st)
+	}
+	addrs := p.Addrs()
+
+	// Enumerate write serializations per address (permutations), then rf
+	// choices per load (any same-address store or nil for init).
+	var wsChoices []map[string][]*Op
+	var build func(i int, cur map[string][]*Op)
+	build = func(i int, cur map[string][]*Op) {
+		if i == len(addrs) {
+			cp := make(map[string][]*Op, len(cur))
+			for k, v := range cur {
+				cp[k] = append([]*Op(nil), v...)
+			}
+			wsChoices = append(wsChoices, cp)
+			return
+		}
+		addr := addrs[i]
+		stores := storesByAddr[addr]
+		permute(stores, func(perm []*Op) {
+			cur[addr] = perm
+			build(i+1, cur)
+		})
+	}
+	build(0, map[string][]*Op{})
+
+	for _, ws := range wsChoices {
+		rf := make(map[*Op]*Op, len(loads))
+		var pick func(i int) bool
+		pick = func(i int) bool {
+			if i == len(loads) {
+				ex := &Execution{Prog: p, RF: copyRF(rf), WS: ws}
+				return visit(ex)
+			}
+			ld := loads[i]
+			// nil = initial value.
+			rf[ld] = nil
+			if !pick(i + 1) {
+				return false
+			}
+			for _, st := range storesByAddr[ld.Addr] {
+				rf[ld] = st
+				if !pick(i + 1) {
+					return false
+				}
+			}
+			delete(rf, ld)
+			return true
+		}
+		if !pick(0) {
+			return
+		}
+	}
+}
+
+func copyRF(rf map[*Op]*Op) map[*Op]*Op {
+	cp := make(map[*Op]*Op, len(rf))
+	for k, v := range rf {
+		cp[k] = v
+	}
+	return cp
+}
+
+// permute invokes f with every permutation of ops (in place; f must not
+// retain the slice).
+func permute(ops []*Op, f func([]*Op)) {
+	n := len(ops)
+	if n == 0 {
+		f(nil)
+		return
+	}
+	perm := append([]*Op(nil), ops...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			f(perm)
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+}
+
+// AllowedOutcomes computes the set of outcomes the model permits for the
+// program: outcomes of executions that are Legal (axiom 1) and Conform
+// (axiom 2/3 with the model's ppo — ppocom for compounds).
+func AllowedOutcomes(p *Program, m Model) OutcomeSet {
+	return AllowedOutcomesMem(p, m, nil)
+}
+
+// AllowedOutcomesMem is AllowedOutcomes extended with the final memory
+// value of each listed address (the last write in ws, or the initial
+// value), under outcome key "m:<addr>". memKeys maps each program address
+// to the key suffix the caller wants (e.g. a numeric cache-block id).
+func AllowedOutcomesMem(p *Program, m Model, memKeys map[string]string) OutcomeSet {
+	out := OutcomeSet{}
+	Executions(p, func(e *Execution) bool {
+		if e.Legal() && e.Conforms(m) {
+			o := e.Outcome()
+			for addr, suffix := range memKeys {
+				o["m:"+suffix] = e.FinalValue(addr)
+			}
+			out.Add(o)
+		}
+		return true
+	})
+	return out
+}
+
+// LegalOutcomes computes outcomes of all legal executions regardless of the
+// model — the weakest sensible semantics (coherence only). Useful for
+// checking that a model actually forbids something in a litmus test.
+func LegalOutcomes(p *Program) OutcomeSet {
+	out := OutcomeSet{}
+	Executions(p, func(e *Execution) bool {
+		if e.Legal() {
+			out.Add(e.Outcome())
+		}
+		return true
+	})
+	return out
+}
+
+// Forbidden reports the outcomes that are legal (coherent) but not allowed
+// by the model — the interesting outcomes litmus tests probe for.
+func Forbidden(p *Program, m Model) OutcomeSet {
+	allowed := AllowedOutcomes(p, m)
+	out := OutcomeSet{}
+	for k, o := range LegalOutcomes(p) {
+		if _, ok := allowed[k]; !ok {
+			out[k] = o
+		}
+	}
+	return out
+}

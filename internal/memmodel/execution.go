@@ -1,0 +1,226 @@
+package memmodel
+
+import (
+	"fmt"
+)
+
+// Execution is one candidate execution of a Program: a reads-from choice for
+// every load and a write-serialization order for every address. The derived
+// relations (fr, rfe) and the §V axioms are computed on demand.
+type Execution struct {
+	Prog *Program
+	// RF maps each load to the store it reads from, or nil when the load
+	// reads the initial value.
+	RF map[*Op]*Op
+	// WS holds, per address, the stores to that address in serialization
+	// order (the initial value is implicitly first).
+	WS map[string][]*Op
+}
+
+// Value returns the value the given load observes in this execution.
+func (e *Execution) Value(load *Op) int {
+	if w := e.RF[load]; w != nil {
+		return w.Value
+	}
+	return InitValue
+}
+
+// Outcome collects the values observed by every load.
+func (e *Execution) Outcome() Outcome {
+	out := Outcome{}
+	for _, ld := range e.Prog.Loads() {
+		out[LoadKey(ld)] = e.Value(ld)
+	}
+	return out
+}
+
+// FinalValue returns the write-serialization-final value of an address in
+// this execution (the last store in ws, or the initial value).
+func (e *Execution) FinalValue(addr string) int {
+	stores := e.WS[addr]
+	if len(stores) == 0 {
+		return InitValue
+	}
+	return stores[len(stores)-1].Value
+}
+
+// wsIndex returns the serialization position of store w at its address
+// (0-based; the initial value occupies position -1 conceptually).
+func (e *Execution) wsIndex(w *Op) int {
+	for i, s := range e.WS[w.Addr] {
+		if s == w {
+			return i
+		}
+	}
+	return -1
+}
+
+// edge is a directed edge in a happens-before graph, labeled for debugging.
+type edge struct {
+	from, to *Op
+	label    string
+}
+
+// commEdges returns the communication edges of the execution:
+// ws, fr (derived) and rf. When externalOnly is true only rfe (inter-thread
+// rf) edges are produced, matching axiom (2)/(3); legality (1) uses all rf.
+func (e *Execution) commEdges(externalOnly bool) []edge {
+	var edges []edge
+	// ws: successive stores per address (transitive reduction suffices for
+	// cycle detection since ws is total per address).
+	for _, stores := range e.WS {
+		for i := 0; i+1 < len(stores); i++ {
+			edges = append(edges, edge{stores[i], stores[i+1], "ws"})
+		}
+	}
+	// rf / rfe.
+	for ld, w := range e.RF {
+		if w == nil {
+			continue
+		}
+		if externalOnly && w.Thread == ld.Thread {
+			continue
+		}
+		edges = append(edges, edge{w, ld, "rf"})
+	}
+	// fr: read r → write w when r reads a store serialized before w (or
+	// reads the initial value, which precedes every store).
+	for _, ld := range e.Prog.Loads() {
+		src := e.RF[ld]
+		start := 0
+		if src != nil {
+			start = e.wsIndex(src) + 1
+		}
+		for _, w := range e.WS[ld.Addr][start:] {
+			edges = append(edges, edge{ld, w, "fr"})
+		}
+	}
+	return edges
+}
+
+// acyclic reports whether the directed graph over the program's memory ops
+// with the given edges has no cycle.
+func acyclic(ops []*Op, edges []edge) bool {
+	adj := make(map[*Op][]*Op, len(ops))
+	for _, ed := range edges {
+		adj[ed.from] = append(adj[ed.from], ed.to)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*Op]int, len(ops))
+	var visit func(*Op) bool
+	visit = func(n *Op) bool {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for _, n := range ops {
+		if color[n] == white {
+			if !visit(n) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Legal implements axiom (1): SC per location —
+// acyclic(po-addr ∪ rf ∪ fr ∪ ws), ensuring e.g. a read returns the most
+// recent same-address write before it in program order.
+func (e *Execution) Legal() bool {
+	edges := e.commEdges(false)
+	// po-addr: same-thread, same-address program order.
+	for _, thread := range e.Prog.Threads {
+		for i := 0; i < len(thread); i++ {
+			if !thread[i].IsMem() {
+				continue
+			}
+			for j := i + 1; j < len(thread); j++ {
+				if thread[j].IsMem() && thread[j].Addr == thread[i].Addr {
+					edges = append(edges, edge{thread[i], thread[j], "po-addr"})
+				}
+			}
+		}
+	}
+	return acyclic(e.Prog.MemOps(), edges)
+}
+
+// ppoEdges computes the model's preserved-program-order edges over the
+// program. For a Compound model this is ppocom of §V-B.
+func ppoEdges(p *Program, m Model) []edge {
+	var edges []edge
+	for _, thread := range p.Threads {
+		for i := 0; i < len(thread); i++ {
+			if !thread[i].IsMem() {
+				continue
+			}
+			for j := i + 1; j < len(thread); j++ {
+				if !thread[j].IsMem() {
+					continue
+				}
+				if m.Preserved(thread, i, j) {
+					edges = append(edges, edge{thread[i], thread[j], "ppo"})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// Conforms implements axiom (2)/(3): the execution conforms to the model iff
+// acyclic(ppo ∪ rfe ∪ fr ∪ ws). Callers should require Legal() first.
+func (e *Execution) Conforms(m Model) bool {
+	edges := e.commEdges(true)
+	edges = append(edges, ppoEdges(e.Prog, m)...)
+	return acyclic(e.Prog.MemOps(), edges)
+}
+
+// Validate checks structural sanity of the execution: every load has an rf
+// entry (possibly nil) to a same-address store, and WS covers exactly the
+// stores per address.
+func (e *Execution) Validate() error {
+	for _, ld := range e.Prog.Loads() {
+		w, ok := e.RF[ld]
+		if !ok {
+			return fmt.Errorf("memmodel: load %s has no rf entry", ld)
+		}
+		if w != nil && (w.Kind != Store || w.Addr != ld.Addr) {
+			return fmt.Errorf("memmodel: load %s reads from incompatible op %s", ld, w)
+		}
+	}
+	count := map[string]int{}
+	for _, st := range e.Prog.Stores() {
+		count[st.Addr]++
+	}
+	for addr, stores := range e.WS {
+		if len(stores) != count[addr] {
+			return fmt.Errorf("memmodel: ws for %s has %d stores, program has %d", addr, len(stores), count[addr])
+		}
+		seen := map[*Op]bool{}
+		for _, s := range stores {
+			if s.Kind != Store || s.Addr != addr || seen[s] {
+				return fmt.Errorf("memmodel: ws for %s is malformed", addr)
+			}
+			seen[s] = true
+		}
+	}
+	for addr, n := range count {
+		if len(e.WS[addr]) != n {
+			return fmt.Errorf("memmodel: ws missing address %s", addr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,340 @@
+package memmodel
+
+import (
+	"testing"
+)
+
+// sb builds the store-buffering (Dekker) litmus test of Figure 3(a):
+// T0: St x=1; Ld y   T1: St y=1; Ld x
+func sb() *Program {
+	return NewProgram(
+		[]*Op{St("x", 1), Ld("y")},
+		[]*Op{St("y", 1), Ld("x")},
+	)
+}
+
+// sbFenceT1 is Figure 3(b): a FENCE between T1's store and load.
+func sbFenceT1() *Program {
+	return NewProgram(
+		[]*Op{St("x", 1), Ld("y")},
+		[]*Op{St("y", 1), Fn(), Ld("x")},
+	)
+}
+
+// mp builds message passing: T0: St x=1; St y=1   T1: Ld y; Ld x
+func mp() *Program {
+	return NewProgram(
+		[]*Op{St("x", 1), St("y", 1)},
+		[]*Op{Ld("y"), Ld("x")},
+	)
+}
+
+// mpRC is MP with RC synchronization: release store to flag, acquire load.
+func mpRC() *Program {
+	return NewProgram(
+		[]*Op{St("x", 1), StRel("y", 1)},
+		[]*Op{LdAcq("y"), Ld("x")},
+	)
+}
+
+func bothZero(p *Program) Outcome {
+	out := Outcome{}
+	for _, ld := range p.Loads() {
+		out[LoadKey(ld)] = 0
+	}
+	return out
+}
+
+// staleMP is the relaxed MP outcome: flag read 1, data read 0.
+func staleMP(p *Program) Outcome {
+	loads := p.Loads()
+	return Outcome{LoadKey(loads[0]): 1, LoadKey(loads[1]): 0}
+}
+
+func TestByID(t *testing.T) {
+	for _, id := range AllIDs() {
+		m, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if m.ID() != id {
+			t.Errorf("ByID(%s).ID() = %s", id, m.ID())
+		}
+		if !m.MultiCopyAtomic() || m.Scoped() {
+			t.Errorf("%s: want multi-copy-atomic, non-scoped", id)
+		}
+	}
+	if _, err := ByID("bogus"); err == nil {
+		t.Error("ByID(bogus) succeeded")
+	}
+}
+
+func TestSCForbidsSB(t *testing.T) {
+	allowed := AllowedOutcomes(sb(), MustByID(SC))
+	if allowed.Has(bothZero(sb())) {
+		t.Fatal("SC allows both-zero Dekker outcome")
+	}
+	// The other three outcomes must be allowed.
+	if len(allowed) != 3 {
+		t.Fatalf("SC Dekker allows %d outcomes, want 3: %v", len(allowed), allowed.Keys())
+	}
+}
+
+func TestTSOAllowsSB(t *testing.T) {
+	p := sb()
+	allowed := AllowedOutcomes(p, MustByID(TSO))
+	if !allowed.Has(bothZero(p)) {
+		t.Fatal("TSO forbids both-zero Dekker outcome")
+	}
+	if len(allowed) != 4 {
+		t.Fatalf("TSO Dekker allows %d outcomes, want 4", len(allowed))
+	}
+}
+
+func TestTSOFenceRestoresSB(t *testing.T) {
+	p := NewProgram(
+		[]*Op{St("x", 1), Fn(), Ld("y")},
+		[]*Op{St("y", 1), Fn(), Ld("x")},
+	)
+	if AllowedOutcomes(p, MustByID(TSO)).Has(bothZero(p)) {
+		t.Fatal("TSO with fences still allows both-zero Dekker outcome")
+	}
+}
+
+// TestFigure3 reproduces Figure 3 exactly: on the SC×TSO compound machine,
+// the both-zero outcome is allowed without the fence (a) and forbidden with
+// a fence only in the TSO thread (b) — the SC thread needs no fence.
+func TestFigure3(t *testing.T) {
+	clusters := []Model{MustByID(SC), MustByID(TSO)}
+	cm, err := NewCompound(clusters, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := sb()
+	if !AllowedOutcomes(pa, cm).Has(bothZero(pa)) {
+		t.Error("Figure 3(a): SCxTSO should allow both loads to return 0")
+	}
+	pb := sbFenceT1()
+	if AllowedOutcomes(pb, cm).Has(bothZero(pb)) {
+		t.Error("Figure 3(b): SCxTSO with TSO-side fence must forbid both-zero")
+	}
+}
+
+// TestSectionVCEquation4 checks the edge-chain argument of §V-C: with the
+// fence in place, if Ld1 reads 0 then Ld2 must read 1.
+func TestSectionVCEquation4(t *testing.T) {
+	cm, _ := NewCompound([]Model{MustByID(SC), MustByID(TSO)}, []int{0, 1})
+	p := sbFenceT1()
+	loads := p.Loads()
+	for _, o := range AllowedOutcomes(p, cm) {
+		if o[LoadKey(loads[0])] == 0 && o[LoadKey(loads[1])] != 1 {
+			t.Fatalf("outcome %s violates equation (4)", o.Key())
+		}
+	}
+}
+
+func TestRCMessagePassing(t *testing.T) {
+	rc := MustByID(RC)
+	// Plain MP is relaxed under RC.
+	if !AllowedOutcomes(mp(), rc).Has(staleMP(mp())) {
+		t.Error("RC should allow stale MP without synchronization")
+	}
+	// Release/acquire MP is ordered.
+	p := mpRC()
+	if AllowedOutcomes(p, rc).Has(staleMP(p)) {
+		t.Error("RC must forbid stale MP with release/acquire")
+	}
+}
+
+func TestPLOOrderings(t *testing.T) {
+	plo := MustByID(PLO)
+	mx := OrderMatrix(plo)
+	// W→W and R→W preserved; R→R and W→R not.
+	if !mx[1][1] || !mx[0][1] {
+		t.Error("PLO must preserve W→W and R→W")
+	}
+	if mx[0][0] || mx[1][0] {
+		t.Error("PLO must not preserve R→R or W→R")
+	}
+	// Consequence: MP stays relaxed (consumer needs R→R), SB stays relaxed.
+	if !AllowedOutcomes(mp(), plo).Has(staleMP(mp())) {
+		t.Error("PLO should allow stale MP")
+	}
+	if !AllowedOutcomes(sb(), plo).Has(bothZero(sb())) {
+		t.Error("PLO should allow both-zero SB")
+	}
+}
+
+func TestOrderMatrices(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want [2][2]bool // [first][second], 0=Load 1=Store
+	}{
+		{SC, [2][2]bool{{true, true}, {true, true}}},
+		{TSO, [2][2]bool{{true, true}, {false, true}}},
+		{RC, [2][2]bool{{false, false}, {false, false}}},
+		{PLO, [2][2]bool{{false, true}, {false, true}}},
+	}
+	for _, c := range cases {
+		if got := OrderMatrix(MustByID(c.id)); got != c.want {
+			t.Errorf("%s order matrix = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestStrongerOrEqual(t *testing.T) {
+	sc, tso, rc, plo := MustByID(SC), MustByID(TSO), MustByID(RC), MustByID(PLO)
+	if !StrongerOrEqual(sc, tso) || !StrongerOrEqual(sc, rc) || !StrongerOrEqual(sc, plo) {
+		t.Error("SC must be at least as strong as every model")
+	}
+	if !StrongerOrEqual(tso, plo) {
+		t.Error("TSO preserves a superset of PLO's plain orderings")
+	}
+	if StrongerOrEqual(rc, tso) {
+		t.Error("RC plain accesses are weaker than TSO")
+	}
+	if StrongerOrEqual(plo, sc) {
+		t.Error("PLO is weaker than SC")
+	}
+}
+
+func TestCompoundValidation(t *testing.T) {
+	if _, err := NewCompound(nil, nil); err == nil {
+		t.Error("empty compound accepted")
+	}
+	if _, err := NewCompound([]Model{MustByID(SC)}, []int{0, 1}); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	cm, err := NewCompound([]Model{MustByID(SC), MustByID(RC)}, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.ID() != "SCxRC" {
+		t.Errorf("compound ID = %s", cm.ID())
+	}
+	if cm.ModelOf(2).ID() != RC {
+		t.Errorf("thread 2 model = %s, want RC", cm.ModelOf(2).ID())
+	}
+}
+
+func TestHomogeneousCompoundMatchesBase(t *testing.T) {
+	for _, id := range AllIDs() {
+		m := MustByID(id)
+		cm := Homogeneous(m, 2)
+		for _, p := range []*Program{sb(), mp(), mpRC()} {
+			a := AllowedOutcomes(p, m)
+			b := AllowedOutcomes(p, cm)
+			if len(a) != len(b) {
+				t.Fatalf("%s: homogeneous compound disagrees with base model on %v", id, p)
+			}
+			for k := range a {
+				if _, ok := b[k]; !ok {
+					t.Fatalf("%s: outcome %s missing from compound", id, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCoherencePerLocation(t *testing.T) {
+	// CoRR: T0: St x=1   T1: Ld x; Ld x — reading 1 then 0 is illegal under
+	// any model (axiom 1), even the weakest.
+	p := NewProgram(
+		[]*Op{St("x", 1)},
+		[]*Op{Ld("x"), Ld("x")},
+	)
+	loads := p.Loads()
+	bad := Outcome{LoadKey(loads[0]): 1, LoadKey(loads[1]): 0}
+	if LegalOutcomes(p).Has(bad) {
+		t.Fatal("per-location SC violated: new-then-old read observed")
+	}
+	for _, id := range AllIDs() {
+		if AllowedOutcomes(p, MustByID(id)).Has(bad) {
+			t.Fatalf("%s allows CoRR violation", id)
+		}
+	}
+}
+
+func TestLoadMustSeeLatestSameThreadStore(t *testing.T) {
+	// T0: St x=1; Ld x must read 1 (no other writers).
+	p := NewProgram([]*Op{St("x", 1), Ld("x")})
+	ld := p.Loads()[0]
+	for _, o := range LegalOutcomes(p) {
+		if o[LoadKey(ld)] != 1 {
+			t.Fatalf("load bypassed its own thread's store: %s", o.Key())
+		}
+	}
+}
+
+func TestForbiddenNonEmptyForSCOnSB(t *testing.T) {
+	f := Forbidden(sb(), MustByID(SC))
+	if !f.Has(bothZero(sb())) {
+		t.Fatal("Forbidden(SC, SB) should contain the both-zero outcome")
+	}
+}
+
+func TestExecutionValidate(t *testing.T) {
+	p := sb()
+	bad := &Execution{Prog: p, RF: map[*Op]*Op{}, WS: map[string][]*Op{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("execution missing rf entries validated")
+	}
+	ok := false
+	Executions(p, func(e *Execution) bool {
+		if err := e.Validate(); err != nil {
+			t.Fatalf("enumerated execution invalid: %v", err)
+		}
+		ok = true
+		return true
+	})
+	if !ok {
+		t.Fatal("no executions enumerated")
+	}
+}
+
+func TestExecutionsCount(t *testing.T) {
+	// SB: 1 store per address (1 ws each), each load has 2 rf choices → 4.
+	n := 0
+	Executions(sb(), func(*Execution) bool { n++; return true })
+	if n != 4 {
+		t.Fatalf("SB executions = %d, want 4", n)
+	}
+	// Early-abort path.
+	n = 0
+	Executions(sb(), func(*Execution) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early abort visited %d executions, want 2", n)
+	}
+}
+
+func TestOutcomeKeyStable(t *testing.T) {
+	o := Outcome{"T1:1": 0, "T0:1": 1}
+	if o.Key() != "T0:1=1 T1:1=0" {
+		t.Errorf("Outcome.Key() = %q", o.Key())
+	}
+	s := OutcomeSet{}
+	s.Add(o)
+	if !s.Has(Outcome{"T0:1": 1, "T1:1": 0}) {
+		t.Error("equivalent outcome not found in set")
+	}
+}
+
+func TestOpAndProgramString(t *testing.T) {
+	if got := St("x", 1).String(); got != "St x=1" {
+		t.Errorf("St string = %q", got)
+	}
+	if got := LdAcq("y").String(); got != "Ld.acq y" {
+		t.Errorf("LdAcq string = %q", got)
+	}
+	if got := StRel("y", 2).String(); got != "St.rel y=2" {
+		t.Errorf("StRel string = %q", got)
+	}
+	if got := Fn().String(); got != "Fence" {
+		t.Errorf("Fence string = %q", got)
+	}
+	p := sb()
+	want := "T0: St x=1; Ld y;\nT1: St y=1; Ld x;\n"
+	if p.String() != want {
+		t.Errorf("Program.String() = %q, want %q", p.String(), want)
+	}
+}

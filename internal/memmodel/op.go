@@ -1,0 +1,273 @@
+// Package memmodel implements the axiomatic memory-consistency framework of
+// HeteroGen §V: multi-copy-atomic memory models expressed as
+// preserved-program-order (ppo) predicates, execution graphs built from the
+// communication relations (rf, ws, fr), legality (SC per location), model
+// conformance (acyclic ppo ∪ rfe ∪ fr ∪ ws), and compound consistency models
+// that assign a per-cluster model to each thread.
+//
+// The package also exhaustively enumerates the outcomes a litmus program is
+// allowed to produce under a given (possibly compound) model; the litmus
+// package compares these against the outcomes a synthesized protocol can
+// actually exhibit.
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a program operation.
+type Kind int
+
+const (
+	// Load reads a memory location into a register.
+	Load Kind = iota
+	// Store writes a value to a memory location.
+	Store
+	// Fence is a synchronization operation with no address.
+	Fence
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "Ld"
+	case Store:
+		return "St"
+	case Fence:
+		return "Fence"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Ordering annotates an operation with release/acquire semantics. Plain
+// operations carry no annotation; Acquire applies to loads and Release to
+// stores, matching the RC coherence interface of §II-B
+// (acquire-read-requests and release-write-requests).
+type Ordering int
+
+const (
+	// Plain carries no synchronization semantics.
+	Plain Ordering = iota
+	// Acquire orders the annotated load before all later operations.
+	Acquire
+	// Release orders all earlier operations before the annotated store.
+	Release
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case Plain:
+		return ""
+	case Acquire:
+		return "acq"
+	case Release:
+		return "rel"
+	}
+	return fmt.Sprintf("Ordering(%d)", int(o))
+}
+
+// Op is one operation of a litmus program. Stores carry the value they
+// write; loads record, per execution, the value they observed (via the
+// Execution, not the Op itself, so Ops are immutable test inputs).
+type Op struct {
+	Thread int  // thread id, dense from 0
+	Index  int  // position within the thread, dense from 0
+	Kind   Kind // Load, Store or Fence
+	Ord    Ordering
+	Addr   string // memory location; empty for fences
+	Value  int    // value written (stores only)
+}
+
+// IsMem reports whether the operation accesses memory (i.e. is not a fence).
+func (o *Op) IsMem() bool { return o.Kind != Fence }
+
+// String renders the op in litmus-style notation, e.g. "St x=1" or
+// "Ld.acq y".
+func (o *Op) String() string {
+	var b strings.Builder
+	b.WriteString(o.Kind.String())
+	if o.Ord != Plain {
+		b.WriteByte('.')
+		b.WriteString(o.Ord.String())
+	}
+	if o.Kind == Fence {
+		return b.String()
+	}
+	b.WriteByte(' ')
+	b.WriteString(o.Addr)
+	if o.Kind == Store {
+		fmt.Fprintf(&b, "=%d", o.Value)
+	}
+	return b.String()
+}
+
+// Program is a multithreaded litmus program: one op slice per thread.
+// All memory locations start holding InitValue.
+type Program struct {
+	Threads [][]*Op
+}
+
+// InitValue is the initial contents of every memory location.
+const InitValue = 0
+
+// NewProgram builds a Program from per-thread op lists and normalizes
+// Thread/Index fields so callers may construct Ops positionally.
+func NewProgram(threads ...[]*Op) *Program {
+	p := &Program{Threads: threads}
+	for t, ops := range threads {
+		for i, op := range ops {
+			op.Thread = t
+			op.Index = i
+		}
+	}
+	return p
+}
+
+// Ld constructs a plain load.
+func Ld(addr string) *Op { return &Op{Kind: Load, Addr: addr} }
+
+// LdAcq constructs an acquire load.
+func LdAcq(addr string) *Op { return &Op{Kind: Load, Ord: Acquire, Addr: addr} }
+
+// St constructs a plain store of value v.
+func St(addr string, v int) *Op { return &Op{Kind: Store, Addr: addr, Value: v} }
+
+// StRel constructs a release store of value v.
+func StRel(addr string, v int) *Op { return &Op{Kind: Store, Ord: Release, Addr: addr, Value: v} }
+
+// Fn constructs a full fence.
+func Fn() *Op { return &Op{Kind: Fence} }
+
+// Ops returns all operations of the program in (thread, index) order.
+func (p *Program) Ops() []*Op {
+	var out []*Op
+	for _, t := range p.Threads {
+		out = append(out, t...)
+	}
+	return out
+}
+
+// MemOps returns all memory operations (loads and stores).
+func (p *Program) MemOps() []*Op {
+	var out []*Op
+	for _, op := range p.Ops() {
+		if op.IsMem() {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Loads returns all loads in (thread, index) order.
+func (p *Program) Loads() []*Op {
+	var out []*Op
+	for _, op := range p.Ops() {
+		if op.Kind == Load {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Stores returns all stores in (thread, index) order.
+func (p *Program) Stores() []*Op {
+	var out []*Op
+	for _, op := range p.Ops() {
+		if op.Kind == Store {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// Addrs returns the sorted set of addresses the program touches.
+func (p *Program) Addrs() []string {
+	seen := map[string]bool{}
+	for _, op := range p.Ops() {
+		if op.IsMem() {
+			seen[op.Addr] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the program as one line per thread.
+func (p *Program) String() string {
+	var b strings.Builder
+	for t, ops := range p.Threads {
+		fmt.Fprintf(&b, "T%d:", t)
+		for _, op := range ops {
+			b.WriteString(" ")
+			b.WriteString(op.String())
+			b.WriteString(";")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Outcome maps each load (identified by "T<thread>:<index>") to the value it
+// observed in one execution. Outcomes are the unit of litmus comparison.
+type Outcome map[string]int
+
+// LoadKey is the Outcome key for the given load op.
+func LoadKey(op *Op) string { return fmt.Sprintf("T%d:%d", op.Thread, op.Index) }
+
+// Key renders the outcome canonically, e.g. "T0:1=0 T1:1=0", so outcomes can
+// be used as map keys and compared across tools.
+func (o Outcome) Key() string {
+	keys := make([]string, 0, len(o))
+	for k := range o {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, o[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// OutcomeSet is a set of outcomes keyed canonically.
+type OutcomeSet map[string]Outcome
+
+// Add inserts the outcome into the set.
+func (s OutcomeSet) Add(o Outcome) { s[o.Key()] = o }
+
+// Has reports whether an equivalent outcome is present.
+func (s OutcomeSet) Has(o Outcome) bool { _, ok := s[o.Key()]; return ok }
+
+// HasMatch reports whether some outcome in the set agrees with the given
+// partial outcome on every key the partial outcome constrains.
+func (s OutcomeSet) HasMatch(partial Outcome) bool {
+	for _, o := range s {
+		match := true
+		for k, v := range partial {
+			if got, ok := o[k]; !ok || got != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Keys returns the sorted canonical keys.
+func (s OutcomeSet) Keys() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,241 @@
+package memmodel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genProgram produces a random small litmus program: 2-3 threads, 1-3 ops
+// each, over addresses {x, y}, with random annotations and fences. Store
+// values are made unique per address so outcomes identify writers.
+type genProgram struct {
+	p *Program
+}
+
+// Generate implements quick.Generator.
+func (genProgram) Generate(r *rand.Rand, _ int) reflect.Value {
+	addrs := []string{"x", "y"}
+	nThreads := 2 + r.Intn(2)
+	nextVal := map[string]int{}
+	var threads [][]*Op
+	for t := 0; t < nThreads; t++ {
+		n := 1 + r.Intn(3)
+		var ops []*Op
+		for i := 0; i < n; i++ {
+			a := addrs[r.Intn(len(addrs))]
+			switch r.Intn(6) {
+			case 0:
+				nextVal[a]++
+				ops = append(ops, St(a, nextVal[a]))
+			case 1:
+				nextVal[a]++
+				ops = append(ops, StRel(a, nextVal[a]))
+			case 2, 3:
+				ops = append(ops, Ld(a))
+			case 4:
+				ops = append(ops, LdAcq(a))
+			case 5:
+				ops = append(ops, Fn())
+			}
+		}
+		threads = append(threads, ops)
+	}
+	return reflect.ValueOf(genProgram{NewProgram(threads...)})
+}
+
+var quickCfg = &quick.Config{MaxCount: 60}
+
+// subset reports a ⊆ b.
+func subset(a, b OutcomeSet) bool {
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropSCStrongest: SC's allowed outcomes are a subset of every weaker
+// model's, and every model's are a subset of the coherent (legal) ones.
+func TestPropSCStrongest(t *testing.T) {
+	f := func(g genProgram) bool {
+		sc := AllowedOutcomes(g.p, MustByID(SC))
+		legal := LegalOutcomes(g.p)
+		for _, id := range AllIDs() {
+			m := AllowedOutcomes(g.p, MustByID(id))
+			if !subset(sc, m) || !subset(m, legal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAllowedNonEmpty: every program has at least one allowed outcome
+// under every model (the interleaved SC execution always exists).
+func TestPropAllowedNonEmpty(t *testing.T) {
+	f := func(g genProgram) bool {
+		for _, id := range AllIDs() {
+			if len(AllowedOutcomes(g.p, MustByID(id))) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCompoundHomogeneous: a compound of identical models equals the
+// base model.
+func TestPropCompoundHomogeneous(t *testing.T) {
+	f := func(g genProgram) bool {
+		for _, id := range AllIDs() {
+			m := MustByID(id)
+			base := AllowedOutcomes(g.p, m)
+			comp := AllowedOutcomes(g.p, Homogeneous(m, len(g.p.Threads)))
+			if !subset(base, comp) || !subset(comp, base) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCompoundBounded: a compound model's allowed set lies between the
+// all-strongest and all-weakest assignments built from its constituents.
+func TestPropCompoundBounded(t *testing.T) {
+	f := func(g genProgram, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		clusters := []Model{MustByID(SC), MustByID(AllIDs()[1+r.Intn(3)])}
+		assign := make([]int, len(g.p.Threads))
+		for i := range assign {
+			assign[i] = r.Intn(2)
+		}
+		cm, err := NewCompound(clusters, assign)
+		if err != nil {
+			return false
+		}
+		comp := AllowedOutcomes(g.p, cm)
+		// Everything SC allows (all threads strongest) is allowed by the
+		// compound; everything the compound allows is allowed when all
+		// threads run the weaker model.
+		strong := AllowedOutcomes(g.p, MustByID(SC))
+		weak := AllowedOutcomes(g.p, Homogeneous(clusters[1], len(g.p.Threads)))
+		return subset(strong, comp) && subset(comp, weak)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropExecutionsValid: every enumerated execution validates, and
+// legality is stable under re-checking.
+func TestPropExecutionsValid(t *testing.T) {
+	f := func(g genProgram) bool {
+		ok := true
+		Executions(g.p, func(e *Execution) bool {
+			if err := e.Validate(); err != nil {
+				ok = false
+				return false
+			}
+			if e.Legal() != e.Legal() {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFinalValueMatchesWS: FinalValue returns the last store of the
+// serialization (or the initial value).
+func TestPropFinalValueMatchesWS(t *testing.T) {
+	f := func(g genProgram) bool {
+		ok := true
+		n := 0
+		Executions(g.p, func(e *Execution) bool {
+			n++
+			for _, a := range g.p.Addrs() {
+				want := InitValue
+				if ws := e.WS[a]; len(ws) > 0 {
+					want = ws[len(ws)-1].Value
+				}
+				if e.FinalValue(a) != want {
+					ok = false
+					return false
+				}
+			}
+			return n < 50
+		})
+		return ok
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFenceMonotonic: adding a fence never enlarges the allowed set.
+func TestPropFenceMonotonic(t *testing.T) {
+	f := func(g genProgram, tIdx, pos uint8) bool {
+		p := g.p
+		ti := int(tIdx) % len(p.Threads)
+		ops := p.Threads[ti]
+		pi := 0
+		if len(ops) > 0 {
+			pi = int(pos) % (len(ops) + 1)
+		}
+		var fenced [][]*Op
+		for i, th := range p.Threads {
+			if i != ti {
+				cp := make([]*Op, len(th))
+				for j, op := range th {
+					c := *op
+					cp[j] = &c
+				}
+				fenced = append(fenced, cp)
+				continue
+			}
+			var cp []*Op
+			for j, op := range th {
+				if j == pi {
+					cp = append(cp, Fn())
+				}
+				c := *op
+				cp = append(cp, &c)
+			}
+			if pi == len(th) {
+				cp = append(cp, Fn())
+			}
+			fenced = append(fenced, cp)
+		}
+		fp := NewProgram(fenced...)
+		for _, id := range AllIDs() {
+			m := MustByID(id)
+			before := AllowedOutcomes(p, m)
+			after := AllowedOutcomes(fp, m)
+			// Outcome keys shift with the inserted fence; compare by count
+			// of distinct load-value vectors instead: map keys positionally.
+			if len(after) > len(before) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package opmodel implements the operational intuition of §VI-B: any
+// multi-copy-atomic memory model can be expressed as processors with local
+// buffering logic connected to an atomic memory, and a compound machine is
+// obtained by merging the memory components while leaving each processor's
+// buffers untouched (Figure 5).
+//
+// Per-model buffering:
+//
+//	SC:  no buffers — loads and stores go straight to memory.
+//	TSO: a FIFO store buffer with forwarding; a FENCE drains it.
+//	RC:  an (unordered-drain) store buffer flushed by a release, and a
+//	     load buffer of possibly-stale copies invalidated by an acquire.
+//	PLO: a FIFO store buffer (preserving W→W) and a load buffer that only
+//	     a FENCE invalidates.
+//
+// The package supports both scripted executions (Figure 6) and exhaustive
+// enumeration of all drain/issue interleavings; the enumerated outcomes
+// cross-validate the axiomatic formalism in internal/memmodel.
+package opmodel
+
+import (
+	"fmt"
+	"sort"
+
+	"heterogen/internal/memmodel"
+)
+
+// entry is one buffered store.
+type entry struct {
+	addr  string
+	value int
+}
+
+// Proc is one processor with its model-specific buffering logic.
+type Proc struct {
+	Model    memmodel.ID
+	storeBuf []entry
+	loadBuf  map[string]int
+	pc       int
+	loads    []int
+}
+
+func newProc(model memmodel.ID) *Proc {
+	return &Proc{Model: model, loadBuf: map[string]int{}}
+}
+
+func (p *Proc) hasStoreBuf() bool { return p.Model != memmodel.SC }
+func (p *Proc) hasLoadBuf() bool  { return p.Model == memmodel.RC || p.Model == memmodel.PLO }
+
+// fifoDrain reports whether the store buffer drains in order (TSO and PLO
+// preserve W→W through FIFO draining; RC may drain in any order).
+func (p *Proc) fifoDrain() bool { return p.Model == memmodel.TSO || p.Model == memmodel.PLO }
+
+func (p *Proc) clone() *Proc {
+	cp := &Proc{Model: p.Model, pc: p.pc,
+		storeBuf: append([]entry(nil), p.storeBuf...),
+		loadBuf:  make(map[string]int, len(p.loadBuf)),
+		loads:    append([]int(nil), p.loads...)}
+	for k, v := range p.loadBuf {
+		cp.loadBuf[k] = v
+	}
+	return cp
+}
+
+// Machine is the compound operational machine: per-cluster processors
+// (with their buffering logic) merged over one atomic memory.
+type Machine struct {
+	Prog  *memmodel.Program
+	Procs []*Proc
+	Mem   map[string]int
+}
+
+// New builds the compound machine for a program whose thread t runs under
+// models[assign[t]].
+func New(p *memmodel.Program, models []memmodel.ID, assign []int) (*Machine, error) {
+	if len(assign) < len(p.Threads) {
+		return nil, fmt.Errorf("opmodel: %d threads but %d assignments", len(p.Threads), len(assign))
+	}
+	m := &Machine{Prog: p, Mem: map[string]int{}}
+	for t := range p.Threads {
+		id := models[assign[t]]
+		if _, err := memmodel.ByID(id); err != nil {
+			return nil, err
+		}
+		m.Procs = append(m.Procs, newProc(id))
+	}
+	return m, nil
+}
+
+func (m *Machine) clone() *Machine {
+	cp := &Machine{Prog: m.Prog, Mem: make(map[string]int, len(m.Mem))}
+	for k, v := range m.Mem {
+		cp.Mem[k] = v
+	}
+	for _, p := range m.Procs {
+		cp.Procs = append(cp.Procs, p.clone())
+	}
+	return cp
+}
+
+// read performs a load on processor t per its buffering semantics.
+func (m *Machine) read(t int, addr string, fresh bool) int {
+	p := m.Procs[t]
+	// Store-buffer forwarding: the newest own buffered store wins.
+	for i := len(p.storeBuf) - 1; i >= 0; i-- {
+		if p.storeBuf[i].addr == addr {
+			return p.storeBuf[i].value
+		}
+	}
+	if p.hasLoadBuf() && !fresh {
+		if v, ok := p.loadBuf[addr]; ok {
+			return v // possibly stale local copy
+		}
+	}
+	v := m.Mem[addr]
+	if p.hasLoadBuf() {
+		p.loadBuf[addr] = v
+	}
+	return v
+}
+
+// CanIssue reports whether thread t's next op can execute now (fences and
+// releases block on a non-empty store buffer).
+func (m *Machine) CanIssue(t int) bool {
+	p := m.Procs[t]
+	ops := m.Prog.Threads[t]
+	if p.pc >= len(ops) {
+		return false
+	}
+	op := ops[p.pc]
+	blocked := len(p.storeBuf) > 0
+	switch {
+	case op.Kind == memmodel.Fence && blocked:
+		return false
+	case op.Kind == memmodel.Store && op.Ord == memmodel.Release && blocked:
+		// A release store flushes prior stores first.
+		return false
+	}
+	return true
+}
+
+// Issue executes thread t's next operation.
+func (m *Machine) Issue(t int) error {
+	if !m.CanIssue(t) {
+		return fmt.Errorf("opmodel: thread %d cannot issue", t)
+	}
+	p := m.Procs[t]
+	op := m.Prog.Threads[t][p.pc]
+	switch op.Kind {
+	case memmodel.Load:
+		if op.Ord == memmodel.Acquire {
+			p.loadBuf = map[string]int{} // self-invalidate
+			p.loads = append(p.loads, m.read(t, op.Addr, true))
+		} else {
+			p.loads = append(p.loads, m.read(t, op.Addr, false))
+		}
+	case memmodel.Store:
+		if !p.hasStoreBuf() || op.Ord == memmodel.Release {
+			// SC stores and releases write the atomic memory directly
+			// (the release's earlier stores were flushed by CanIssue).
+			m.Mem[op.Addr] = op.Value
+		} else {
+			p.storeBuf = append(p.storeBuf, entry{op.Addr, op.Value})
+		}
+	case memmodel.Fence:
+		p.loadBuf = map[string]int{} // conservative: fences invalidate
+	}
+	p.pc++
+	return nil
+}
+
+// CanDrain reports whether thread t's store buffer has a drainable entry
+// at index i (FIFO models only drain index 0).
+func (m *Machine) CanDrain(t, i int) bool {
+	p := m.Procs[t]
+	if i < 0 || i >= len(p.storeBuf) {
+		return false
+	}
+	if p.fifoDrain() && i != 0 {
+		return false
+	}
+	if !p.fifoDrain() {
+		// RC drains any entry, but per-address program order must hold
+		// (coherence): only the oldest entry to its address may drain.
+		for j := 0; j < i; j++ {
+			if p.storeBuf[j].addr == p.storeBuf[i].addr {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Drain writes the i-th buffered store of thread t to memory.
+func (m *Machine) Drain(t, i int) error {
+	if !m.CanDrain(t, i) {
+		return fmt.Errorf("opmodel: thread %d cannot drain entry %d", t, i)
+	}
+	p := m.Procs[t]
+	e := p.storeBuf[i]
+	m.Mem[e.addr] = e.value
+	p.storeBuf = append(p.storeBuf[:i], p.storeBuf[i+1:]...)
+	return nil
+}
+
+// Done reports whether all programs retired and all buffers drained.
+func (m *Machine) Done() bool {
+	for t, p := range m.Procs {
+		if p.pc < len(m.Prog.Threads[t]) || len(p.storeBuf) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Loads returns the values thread t's loads observed so far.
+func (m *Machine) Loads(t int) []int { return append([]int(nil), m.Procs[t].loads...) }
+
+// Outcome collects the observed load values keyed like memmodel outcomes.
+func (m *Machine) Outcome() memmodel.Outcome {
+	out := memmodel.Outcome{}
+	for t, ops := range m.Prog.Threads {
+		n := 0
+		for _, op := range ops {
+			if op.Kind == memmodel.Load {
+				if n < len(m.Procs[t].loads) {
+					out[memmodel.LoadKey(op)] = m.Procs[t].loads[n]
+				}
+				n++
+			}
+		}
+	}
+	return out
+}
+
+// snapshot canonically encodes the machine state for visited-set hashing.
+func (m *Machine) snapshot() string {
+	var b []byte
+	keys := make([]string, 0, len(m.Mem))
+	for k := range m.Mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b = append(b, fmt.Sprintf("m%s=%d;", k, m.Mem[k])...)
+	}
+	for t, p := range m.Procs {
+		b = append(b, fmt.Sprintf("p%d@%d[", t, p.pc)...)
+		for _, e := range p.storeBuf {
+			b = append(b, fmt.Sprintf("%s=%d,", e.addr, e.value)...)
+		}
+		lk := make([]string, 0, len(p.loadBuf))
+		for k := range p.loadBuf {
+			lk = append(lk, k)
+		}
+		sort.Strings(lk)
+		for _, k := range lk {
+			b = append(b, fmt.Sprintf("|%s=%d", k, p.loadBuf[k])...)
+		}
+		b = append(b, fmt.Sprintf("]%v", p.loads)...)
+	}
+	return string(b)
+}
+
+// Outcomes exhaustively enumerates every interleaving of issues and drains
+// and returns the set of final outcomes — the operational semantics of the
+// compound machine.
+func Outcomes(p *memmodel.Program, models []memmodel.ID, assign []int) (memmodel.OutcomeSet, error) {
+	init, err := New(p, models, assign)
+	if err != nil {
+		return nil, err
+	}
+	out := memmodel.OutcomeSet{}
+	visited := map[string]bool{init.snapshot(): true}
+	queue := []*Machine{init}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.Done() {
+			out.Add(cur.Outcome())
+			continue
+		}
+		for t := range cur.Procs {
+			if cur.CanIssue(t) {
+				next := cur.clone()
+				if err := next.Issue(t); err != nil {
+					return nil, err
+				}
+				if s := next.snapshot(); !visited[s] {
+					visited[s] = true
+					queue = append(queue, next)
+				}
+			}
+			for i := range cur.Procs[t].storeBuf {
+				if !cur.CanDrain(t, i) {
+					continue
+				}
+				next := cur.clone()
+				if err := next.Drain(t, i); err != nil {
+					return nil, err
+				}
+				if s := next.snapshot(); !visited[s] {
+					visited[s] = true
+					queue = append(queue, next)
+				}
+			}
+		}
+	}
+	return out, nil
+}

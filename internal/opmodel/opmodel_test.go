@@ -1,0 +1,211 @@
+package opmodel
+
+import (
+	"testing"
+
+	"heterogen/internal/memmodel"
+)
+
+// TestFigure6Execution reproduces the §VI-B compound SC/RC execution of
+// Figure 6 step by step: P1 (SC) writes data then flag directly to memory;
+// P4 (RC) first reads a stale buffered copy of data, then acquires flag
+// and reads the up-to-date value.
+func TestFigure6Execution(t *testing.T) {
+	prog := memmodel.NewProgram(
+		// P1 (SC): Store(data=1); Store(flag=1)
+		[]*memmodel.Op{memmodel.St("data", 1), memmodel.St("flag", 1)},
+		// P4 (RC): Load(data); Acquire(flag); Load(data)
+		[]*memmodel.Op{memmodel.Ld("data"), memmodel.LdAcq("flag"), memmodel.Ld("data")},
+	)
+	m, err := New(prog, []memmodel.ID{memmodel.SC, memmodel.RC}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-populate P4's load buffer with data=0 (its initial copy).
+	if err := m.Issue(1); err != nil { // P4 loads data=0, caching it
+		t.Fatal(err)
+	}
+	// t1, t2: P1 writes data and flag to the atomic memory.
+	if err := m.Issue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Issue(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem["data"] != 1 || m.Mem["flag"] != 1 {
+		t.Fatalf("memory = %v after SC stores", m.Mem)
+	}
+	// t4: acquire of flag reads 1 and invalidates the local buffer.
+	if err := m.Issue(1); err != nil {
+		t.Fatal(err)
+	}
+	// t5: the re-load of data reads the up-to-date 1 from memory.
+	if err := m.Issue(1); err != nil {
+		t.Fatal(err)
+	}
+	loads := m.Loads(1)
+	if len(loads) != 3 || loads[0] != 0 || loads[1] != 1 || loads[2] != 1 {
+		t.Fatalf("P4 loads = %v, want [0 1 1] (Figure 6)", loads)
+	}
+	if !m.Done() {
+		t.Error("machine not done")
+	}
+}
+
+// TestStoreBufferForwarding: a TSO processor reads its own buffered store.
+func TestStoreBufferForwarding(t *testing.T) {
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 7), memmodel.Ld("x")},
+	)
+	m, _ := New(prog, []memmodel.ID{memmodel.TSO}, []int{0})
+	m.Issue(0)
+	if m.Mem["x"] != 0 {
+		t.Fatal("TSO store bypassed the buffer")
+	}
+	m.Issue(0)
+	if got := m.Loads(0); got[0] != 7 {
+		t.Fatalf("forwarded load = %d, want 7", got[0])
+	}
+	if !m.CanDrain(0, 0) {
+		t.Fatal("cannot drain buffered store")
+	}
+	m.Drain(0, 0)
+	if m.Mem["x"] != 7 || !m.Done() {
+		t.Fatal("drain failed")
+	}
+}
+
+func TestFenceBlocksUntilDrained(t *testing.T) {
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 1), memmodel.Fn(), memmodel.Ld("y")},
+	)
+	m, _ := New(prog, []memmodel.ID{memmodel.TSO}, []int{0})
+	m.Issue(0)
+	if m.CanIssue(0) {
+		t.Fatal("fence issued with a buffered store")
+	}
+	m.Drain(0, 0)
+	if !m.CanIssue(0) {
+		t.Fatal("fence blocked after drain")
+	}
+}
+
+func TestRCDrainAnyOrderButCoherent(t *testing.T) {
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 1), memmodel.St("y", 1), memmodel.St("x", 2)},
+	)
+	m, _ := New(prog, []memmodel.ID{memmodel.RC}, []int{0})
+	m.Issue(0)
+	m.Issue(0)
+	m.Issue(0)
+	// Entry 1 (y) may drain before entry 0 (x=1): W→W relaxed.
+	if !m.CanDrain(0, 1) {
+		t.Error("RC cannot reorder independent drains")
+	}
+	// Entry 2 (x=2) must NOT drain before entry 0 (x=1): per-address order.
+	if m.CanDrain(0, 2) {
+		t.Error("RC drains same-address stores out of order")
+	}
+}
+
+func TestSCMachineIsSC(t *testing.T) {
+	// SB on an all-SC machine: both-zero unreachable.
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 1), memmodel.Ld("y")},
+		[]*memmodel.Op{memmodel.St("y", 1), memmodel.Ld("x")},
+	)
+	out, err := Outcomes(prog, []memmodel.ID{memmodel.SC}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := prog.Loads()
+	zero := memmodel.Outcome{memmodel.LoadKey(loads[0]): 0, memmodel.LoadKey(loads[1]): 0}
+	if out.Has(zero) {
+		t.Error("operational SC machine exhibits both-zero SB")
+	}
+	if len(out) != 3 {
+		t.Errorf("SC SB outcomes = %d, want 3", len(out))
+	}
+}
+
+func TestTSOMachineAllowsSB(t *testing.T) {
+	prog := memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 1), memmodel.Ld("y")},
+		[]*memmodel.Op{memmodel.St("y", 1), memmodel.Ld("x")},
+	)
+	out, err := Outcomes(prog, []memmodel.ID{memmodel.TSO}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := prog.Loads()
+	zero := memmodel.Outcome{memmodel.LoadKey(loads[0]): 0, memmodel.LoadKey(loads[1]): 0}
+	if !out.Has(zero) {
+		t.Error("operational TSO machine never exhibits both-zero SB")
+	}
+}
+
+// TestOperationalSubsetOfAxiomatic cross-validates the two formalisms: the
+// operational compound machine's outcomes must be allowed by the axiomatic
+// compound model, across programs, models and assignments.
+func TestOperationalSubsetOfAxiomatic(t *testing.T) {
+	progs := []*memmodel.Program{
+		memmodel.NewProgram( // SB
+			[]*memmodel.Op{memmodel.St("x", 1), memmodel.Ld("y")},
+			[]*memmodel.Op{memmodel.St("y", 1), memmodel.Ld("x")}),
+		memmodel.NewProgram( // MP with sync
+			[]*memmodel.Op{memmodel.St("x", 1), memmodel.StRel("y", 1)},
+			[]*memmodel.Op{memmodel.LdAcq("y"), memmodel.Ld("x")}),
+		memmodel.NewProgram( // MP plain
+			[]*memmodel.Op{memmodel.St("x", 1), memmodel.St("y", 1)},
+			[]*memmodel.Op{memmodel.Ld("y"), memmodel.Ld("x")}),
+		memmodel.NewProgram( // 2+2W
+			[]*memmodel.Op{memmodel.St("x", 1), memmodel.St("y", 2)},
+			[]*memmodel.Op{memmodel.St("y", 1), memmodel.St("x", 2)}),
+	}
+	ids := memmodel.AllIDs()
+	for _, prog := range progs {
+		for _, a := range ids {
+			for _, b := range ids {
+				models := []memmodel.ID{a, b}
+				assign := []int{0, 1}
+				got, err := Outcomes(prog, models, assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cm, err := memmodel.NewCompound(
+					[]memmodel.Model{memmodel.MustByID(a), memmodel.MustByID(b)}, assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				allowed := memmodel.AllowedOutcomes(prog, cm)
+				for k := range got {
+					if _, ok := allowed[k]; !ok {
+						t.Errorf("%sx%s: operational outcome %q not allowed axiomatically\nprogram:\n%s",
+							a, b, k, prog)
+					}
+				}
+				if len(got) == 0 {
+					t.Errorf("%sx%s: no operational outcomes", a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	prog := memmodel.NewProgram([]*memmodel.Op{memmodel.Ld("x")})
+	if _, err := New(prog, []memmodel.ID{memmodel.SC}, nil); err == nil {
+		t.Error("missing assignment accepted")
+	}
+	if _, err := New(prog, []memmodel.ID{"zzz"}, []int{0}); err == nil {
+		t.Error("unknown model accepted")
+	}
+	m, _ := New(prog, []memmodel.ID{memmodel.SC}, []int{0})
+	if err := m.Drain(0, 0); err == nil {
+		t.Error("drain of empty buffer accepted")
+	}
+	m.Issue(0)
+	if err := m.Issue(0); err == nil {
+		t.Error("issue past end accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package protocols
+
+import (
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// NameMESIF is the Intel-style MESIF protocol: a Forward state designates
+// exactly one *clean* sharer as the responder for read misses, so shared
+// data is served cache-to-cache without bothering memory. Like MSI/MESI it
+// enforces SWMR and SC — a third member of the paper's "MOESI variants"
+// family (dirty sharing is still disallowed; contrast MOESI's O state).
+const NameMESIF = "MESIF"
+
+func init() { registry[NameMESIF] = MESIF }
+
+// MESIF builds the five-state MESIF protocol. The directory tracks the
+// forwarder as the line's owner while in the shared state F_S; read misses
+// are forwarded to it, and the *newest* reader becomes the forwarder
+// (Intel's rule — the most-recently-added cache is least likely to evict).
+func MESIF() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "MESIF-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "E", "F", "M"},
+		Rows: []spec.Transition{
+			// ---- reads ----
+			row("I", onLoad, "IS_D", spec.Send(MsgGetS, spec.ToDir, spec.PayloadNone)),
+			row("IS_D", spec.OnMsg(MsgExclData), "E", spec.LoadMsgData, spec.CoreDone),
+			// A fill that makes us the designated forwarder.
+			row("IS_D", spec.OnMsg(MsgDataF), "F", spec.LoadMsgData, spec.CoreDone),
+			row("IS_D", spec.OnMsg(MsgData), "S", spec.LoadMsgData, spec.CoreDone),
+			row("IS_D", spec.OnMsg(MsgDataFwd), "F", spec.LoadMsgData, spec.CoreDone),
+			row("S", onLoad, "S", spec.CoreDone),
+			row("E", onLoad, "E", spec.CoreDone),
+			row("F", onLoad, "F", spec.CoreDone),
+			row("M", onLoad, "M", spec.CoreDone),
+
+			// ---- writes ----
+			row("E", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("M", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("I", onStore, "IM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("S", onStore, "SM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			// A forwarder upgrade first returns the F role (write permission
+			// for an F copy would entangle with the forwarding role at the
+			// directory); the store restarts from I once acknowledged.
+			row("F", onStore, "FM_A", spec.Send(MsgPutF, spec.ToDir, spec.PayloadNone)),
+			row("FM_A", spec.OnMsg(MsgFwdGetS), "FM_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("FM_A", spec.OnMsg(MsgInv), "FMI_A",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("FM_A", spec.OnMsg(MsgPutAck), "IM_AD",
+				spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("FMI_A", spec.OnMsg(MsgPutAck), "IM_AD",
+				spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "IM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("IM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			// Owner-supplied data in the EM write flow: EM never has
+			// sharers, so no acks accompany it.
+			row("IM_AD", spec.OnMsg(MsgDataFwd), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("SM_AD", spec.OnMsg(MsgInv), "IM_AD",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "SM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("SM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			row("SM_AD", spec.OnMsg(MsgDataFwd), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+
+			// ---- forwarded requests ----
+			// The forwarder serves reads and demotes itself to S (the new
+			// reader becomes F via DataF from the directory's metadata).
+			row("F", spec.OnMsg(MsgFwdGetS), "S",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			// Invalidation (writes treat F like any sharer).
+			row("F", spec.OnMsg(MsgInv), "I",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("S", spec.OnMsg(MsgInv), "I",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("E", spec.OnMsg(MsgFwdGetS), "S",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("E", spec.OnMsg(MsgFwdGetM), "I",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			// MESIF forbids dirty sharing: the M holder copies the block
+			// back to the directory while downgrading (the directory's
+			// transient F_SD blocks the address until the copy lands, so
+			// no invalidation can overtake it).
+			row("M", spec.OnMsg(MsgFwdGetS), "S",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetM), "I",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+
+			// ---- evictions ----
+			row("S", onEvict, "SI_A", spec.Send(MsgPutS, spec.ToDir, spec.PayloadNone)),
+			row("F", onEvict, "SI_A", spec.Send(MsgPutF, spec.ToDir, spec.PayloadNone)),
+			row("E", onEvict, "EI_A", spec.Send(MsgPutE, spec.ToDir, spec.PayloadNone)),
+			row("M", onEvict, "MI_A", spec.Send(MsgPutM, spec.ToDir, spec.PayloadLine)),
+			row("SI_A", spec.OnMsg(MsgInv), "II_A",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			// An evicting forwarder still answers reads, including the
+			// directory's copy (the eviction raced the forward).
+			row("SI_A", spec.OnMsg(MsgFwdGetS), "SI_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("SI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("EI_A", spec.OnMsg(MsgFwdGetS), "SI_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("EI_A", spec.OnMsg(MsgFwdGetM), "II_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("EI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("MI_A", spec.OnMsg(MsgFwdGetS), "SI_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgFwdGetM), "II_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("II_A", spec.OnMsg(MsgPutAck), "I"),
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "MESIF-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "F_S", "EM"},
+		Rows: []spec.Transition{
+			// I: memory owns the block; first reader gets E.
+			row("I", spec.OnMsg(MsgGetS), "EM",
+				spec.Send(MsgExclData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgGetM), "EM",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgPutS), "I", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutF, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// S: sharers but no forwarder (the forwarder evicted); serve
+			// from memory and promote the newest reader to F.
+			row("S", spec.OnMsg(MsgGetS), "F_S",
+				spec.Send(MsgDataF, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("S", spec.OnMsg(MsgGetM), "EM",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem),
+				spec.InvSharers(MsgInv), spec.ClearSharers, spec.SetOwner),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondLastSharer), "I",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondNotLastSharer), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutF, spec.CondAny), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// F_S: a designated forwarder (owner) plus sharers. Reads are
+			// forwarded; the directory hands the F role to the requestor.
+			row("F_S", spec.OnMsg(MsgGetS), "F_SD",
+				spec.Fwd(MsgFwdGetS), spec.OwnerToSharers, spec.SetOwner),
+			row("F_S", spec.OnMsg(MsgGetM), "EM",
+				spec.OwnerToSharers,
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem),
+				spec.InvSharers(MsgInv), spec.ClearSharers, spec.SetOwner),
+			// Forwarder eviction: drop to plain S (memory is clean).
+			row("F_S", spec.OnMsgCond(MsgPutF, spec.CondFromOwner), "S",
+				spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("F_S", spec.OnMsgCond(MsgPutF, spec.CondNotOwner), "F_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("F_S", spec.OnMsgCond(MsgPutS, spec.CondAny), "F_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("F_S", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "F_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("F_S", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "F_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// EM: exclusive/modified owner.
+			row("EM", spec.OnMsg(MsgGetS), "F_SD",
+				spec.Fwd(MsgFwdGetS), spec.OwnerToSharers, spec.SetOwner),
+			row("EM", spec.OnMsgCond(MsgGetM, spec.CondNotOwner), "EM",
+				spec.Fwd(MsgFwdGetM), spec.SetOwner),
+			row("EM", spec.OnMsgCond(MsgPutM, spec.CondFromOwner), "I",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutE, spec.CondFromOwner), "I",
+				spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutF, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsg(MsgPutS), "EM", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// F_SD: a read forwarded to an E/M holder; the old owner's
+			// (possibly dirty) copy comes back to memory, requester is F.
+			row("F_SD", spec.OnMsg(MsgData), "F_S", spec.WriteMem),
+			row("F_SD", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "F_SD",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("F_SD", spec.OnMsg(MsgPutS), "F_SD",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameMESIF,
+		Model: memmodel.SC,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetS:     {VNet: spec.VReq},
+			MsgGetM:     {VNet: spec.VReq},
+			MsgPutS:     {VNet: spec.VReq},
+			MsgPutF:     {VNet: spec.VReq},
+			MsgPutE:     {VNet: spec.VReq},
+			MsgPutM:     {VNet: spec.VReq, CarriesData: true},
+			MsgFwdGetS:  {VNet: spec.VFwd},
+			MsgFwdGetM:  {VNet: spec.VFwd},
+			MsgInv:      {VNet: spec.VFwd},
+			MsgPutAck:   {VNet: spec.VFwd},
+			MsgData:     {VNet: spec.VResp, CarriesData: true},
+			MsgDataF:    {VNet: spec.VResp, CarriesData: true},
+			MsgExclData: {VNet: spec.VResp, CarriesData: true},
+			MsgDataFwd:  {VNet: spec.VResp, CarriesData: true},
+			MsgInvAck:   {VNet: spec.VResp},
+		},
+		AckType: MsgInvAck,
+	}
+}
+
+// Messages specific to MESIF.
+const (
+	// MsgDataF grants data plus the forwarder role.
+	MsgDataF spec.MsgType = "DataF"
+	// MsgPutF evicts a forwarder's (clean) copy.
+	MsgPutF spec.MsgType = "PutF"
+)

@@ -1,0 +1,254 @@
+package protocols
+
+import (
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// NameMOESI extends the Table I set with the full five-state MOESI
+// protocol — the paper's "MOESI family" umbrella. The Owned state lets a
+// dirty block be shared without writing it back: the owner keeps serving
+// read requests while the directory tracks both the owner and the sharer
+// set (state O_S).
+const NameMOESI = "MOESI"
+
+// Messages specific to MOESI's forwarded-data flows.
+const (
+	// MsgDataFwd is data served by the current owner (carries no
+	// invalidation-ack count — the directory supplies that separately).
+	MsgDataFwd spec.MsgType = "DataFwd"
+	// MsgAckCnt carries the invalidation-ack count for a write whose data
+	// comes from the owner instead of the directory.
+	MsgAckCnt spec.MsgType = "AckCnt"
+	// MsgPutO writes back an owned (dirty shared) block.
+	MsgPutO2 spec.MsgType = "PutOwned"
+)
+
+func init() { registry[NameMOESI] = MOESI }
+
+// MOESI builds the five-state protocol. The write path must join three
+// asynchronous arrivals — data (from directory or owner), the ack count,
+// and the invalidation acks themselves — hence the transient lattice
+// IM_AD / IM_A / IM_CNT / IM_DAT / IM_DAT_A.
+func MOESI() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "MOESI-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "E", "O", "M"},
+		Rows: []spec.Transition{
+			// ---- reads ----
+			row("I", onLoad, "IS_D", spec.Send(MsgGetS, spec.ToDir, spec.PayloadNone)),
+			row("IS_D", spec.OnMsg(MsgData), "S", spec.LoadMsgData, spec.CoreDone),
+			row("IS_D", spec.OnMsg(MsgExclData), "E", spec.LoadMsgData, spec.CoreDone),
+			row("IS_D", spec.OnMsg(MsgDataFwd), "S", spec.LoadMsgData, spec.CoreDone),
+			row("S", onLoad, "S", spec.CoreDone),
+			row("E", onLoad, "E", spec.CoreDone),
+			row("O", onLoad, "O", spec.CoreDone),
+			row("M", onLoad, "M", spec.CoreDone),
+
+			// ---- writes: hits ----
+			row("E", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("M", onStore, "M", spec.StoreValue, spec.CoreDone),
+
+			// ---- writes: misses and upgrades ----
+			row("I", onStore, "IM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("S", onStore, "SM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			// Owner upgrade: data in hand, needs the ack count + acks.
+			row("O", onStore, "OM_A", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+
+			// IM_AD: need data and count. Data from the directory carries
+			// the count; data from an owner does not.
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "IM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("IM_AD", spec.OnMsg(MsgDataFwd), "IM_CNT", spec.LoadMsgData),
+			row("IM_AD", spec.OnMsgCond(MsgAckCnt, spec.CondAckZero), "IM_DAT"),
+			row("IM_AD", spec.OnMsgCond(MsgAckCnt, spec.CondAckPos), "IM_DAT_A", spec.SetAcks),
+			// IM_A: have data, counting acks.
+			row("IM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			// IM_CNT: have data, need the count.
+			row("IM_CNT", spec.OnMsgCond(MsgAckCnt, spec.CondAckZero), "M",
+				spec.StoreValue, spec.CoreDone),
+			row("IM_CNT", spec.OnMsgCond(MsgAckCnt, spec.CondAckPos), "IM_A", spec.SetAcks),
+			// IM_DAT: acks settled, waiting for data.
+			row("IM_DAT", spec.OnMsg(MsgDataFwd), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("IM_DAT", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			// IM_DAT_A: counting acks, waiting for data.
+			row("IM_DAT_A", spec.OnLastAck(), "IM_DAT"),
+			row("IM_DAT_A", spec.OnMsg(MsgDataFwd), "IM_A", spec.LoadMsgData),
+			// SM_AD: like IM_AD until a racing Inv strips the S copy.
+			row("SM_AD", spec.OnMsg(MsgInv), "IM_AD",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "IM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("SM_AD", spec.OnMsg(MsgDataFwd), "IM_CNT", spec.LoadMsgData),
+			row("SM_AD", spec.OnMsgCond(MsgAckCnt, spec.CondAckZero), "IM_DAT"),
+			row("SM_AD", spec.OnMsgCond(MsgAckCnt, spec.CondAckPos), "IM_DAT_A", spec.SetAcks),
+			// OM_A: owner upgrading; serves reads meanwhile, may lose the
+			// block to a competing writer and restart as IM_AD.
+			row("OM_A", spec.OnMsgCond(MsgAckCnt, spec.CondAckZero), "M",
+				spec.StoreValue, spec.CoreDone),
+			row("OM_A", spec.OnMsgCond(MsgAckCnt, spec.CondAckPos), "OM_AA", spec.SetAcks),
+			row("OM_AA", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			row("OM_A", spec.OnMsg(MsgFwdGetS), "OM_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("OM_A", spec.OnMsg(MsgFwdGetM), "IM_AD",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+
+			// ---- forwarded requests at stable states ----
+			// E stays the (clean) owner on a forwarded read — the
+			// directory keeps it registered as owner in O_S.
+			row("E", spec.OnMsg(MsgFwdGetS), "O",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("E", spec.OnMsg(MsgFwdGetM), "I",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			// M downgrades to Owned on a read: no write-back needed.
+			row("M", spec.OnMsg(MsgFwdGetS), "O",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetM), "I",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("O", spec.OnMsg(MsgFwdGetS), "O",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("O", spec.OnMsg(MsgFwdGetM), "I",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("S", spec.OnMsg(MsgInv), "I",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+
+			// ---- evictions ----
+			row("S", onEvict, "SI_A", spec.Send(MsgPutS, spec.ToDir, spec.PayloadNone)),
+			row("E", onEvict, "EI_A", spec.Send(MsgPutE, spec.ToDir, spec.PayloadNone)),
+			row("O", onEvict, "OI_A", spec.Send(MsgPutO2, spec.ToDir, spec.PayloadLine)),
+			row("M", onEvict, "MI_A", spec.Send(MsgPutM, spec.ToDir, spec.PayloadLine)),
+			row("SI_A", spec.OnMsg(MsgInv), "II_A",
+				spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("EI_A", spec.OnMsg(MsgFwdGetS), "OI_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("EI_A", spec.OnMsg(MsgFwdGetM), "II_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("EI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("OI_A", spec.OnMsg(MsgFwdGetS), "OI_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("OI_A", spec.OnMsg(MsgFwdGetM), "II_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("OI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("MI_A", spec.OnMsg(MsgFwdGetS), "OI_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgFwdGetM), "II_A",
+				spec.Send(MsgDataFwd, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("II_A", spec.OnMsg(MsgPutAck), "I"),
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "MOESI-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "EM", "O_S"},
+		Rows: []spec.Transition{
+			// I
+			row("I", spec.OnMsg(MsgGetS), "EM",
+				spec.Send(MsgExclData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgGetM), "EM",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgPutS), "I", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutO2, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// S (no owner; memory clean)
+			row("S", spec.OnMsg(MsgGetS), "S",
+				spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.AddSharer),
+			row("S", spec.OnMsg(MsgGetM), "EM",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem),
+				spec.InvSharers(MsgInv), spec.ClearSharers, spec.SetOwner),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondLastSharer), "I",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondNotLastSharer), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutO2, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// EM: exclusive owner, no sharers. Reads move to O_S with the
+			// owner serving data (no write-back).
+			row("EM", spec.OnMsg(MsgGetS), "O_S", spec.Fwd(MsgFwdGetS), spec.AddSharer),
+			row("EM", spec.OnMsgCond(MsgGetM, spec.CondNotOwner), "EM",
+				spec.Fwd(MsgFwdGetM),
+				spec.SendAck(MsgAckCnt, spec.ToMsgSrc, spec.PayloadNone), spec.SetOwner),
+			row("EM", spec.OnMsgCond(MsgPutM, spec.CondFromOwner), "I",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutE, spec.CondFromOwner), "I",
+				spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutO2, spec.CondFromOwner), "I",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutO2, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsg(MsgPutS), "EM", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// O_S: an owner plus sharers.
+			row("O_S", spec.OnMsg(MsgGetS), "O_S", spec.Fwd(MsgFwdGetS), spec.AddSharer),
+			row("O_S", spec.OnMsgCond(MsgGetM, spec.CondFromOwner), "EM",
+				spec.SendAck(MsgAckCnt, spec.ToMsgSrc, spec.PayloadNone),
+				spec.InvSharers(MsgInv), spec.ClearSharers),
+			row("O_S", spec.OnMsgCond(MsgGetM, spec.CondNotOwner), "EM",
+				spec.Fwd(MsgFwdGetM),
+				spec.SendAck(MsgAckCnt, spec.ToMsgSrc, spec.PayloadNone),
+				spec.InvSharers(MsgInv), spec.ClearSharers, spec.SetOwner),
+			// Owner eviction with sharers left: write back, demote to S.
+			row("O_S", spec.OnMsgCond(MsgPutO2, spec.CondFromOwner), "S",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O_S", spec.OnMsgCond(MsgPutO2, spec.CondNotOwner), "O_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O_S", spec.OnMsgCond(MsgPutM, spec.CondFromOwner), "S",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O_S", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "O_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O_S", spec.OnMsgCond(MsgPutE, spec.CondFromOwner), "S",
+				spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O_S", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "O_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O_S", spec.OnMsgCond(MsgPutS, spec.CondAny), "O_S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameMOESI,
+		Model: memmodel.SC,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetS:     {VNet: spec.VReq},
+			MsgGetM:     {VNet: spec.VReq},
+			MsgPutS:     {VNet: spec.VReq},
+			MsgPutE:     {VNet: spec.VReq},
+			MsgPutM:     {VNet: spec.VReq, CarriesData: true},
+			MsgPutO2:    {VNet: spec.VReq, CarriesData: true},
+			MsgFwdGetS:  {VNet: spec.VFwd},
+			MsgFwdGetM:  {VNet: spec.VFwd},
+			MsgInv:      {VNet: spec.VFwd},
+			MsgPutAck:   {VNet: spec.VFwd},
+			MsgAckCnt:   {VNet: spec.VFwd},
+			MsgData:     {VNet: spec.VResp, CarriesData: true},
+			MsgExclData: {VNet: spec.VResp, CarriesData: true},
+			MsgDataFwd:  {VNet: spec.VResp, CarriesData: true},
+			MsgInvAck:   {VNet: spec.VResp},
+		},
+		AckType: MsgInvAck,
+	}
+}

@@ -1,0 +1,298 @@
+package protocols
+
+import (
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// Shared message type names. Protocols that use the same flow reuse the
+// same names; fusion namespaces them per cluster.
+const (
+	MsgGetS     spec.MsgType = "GetS"
+	MsgGetM     spec.MsgType = "GetM"
+	MsgPutS     spec.MsgType = "PutS"
+	MsgPutM     spec.MsgType = "PutM"
+	MsgPutE     spec.MsgType = "PutE"
+	MsgFwdGetS  spec.MsgType = "FwdGetS"
+	MsgFwdGetM  spec.MsgType = "FwdGetM"
+	MsgInv      spec.MsgType = "Inv"
+	MsgInvAck   spec.MsgType = "InvAck"
+	MsgData     spec.MsgType = "Data"
+	MsgExclData spec.MsgType = "ExclData"
+	MsgPutAck   spec.MsgType = "PutAck"
+)
+
+// Event shorthands used across the protocol tables.
+var (
+	onLoad  = spec.OnCore(spec.OpLoad)
+	onStore = spec.OnCore(spec.OpStore)
+	onEvict = spec.OnCore(spec.OpEvict)
+)
+
+func row(from spec.State, on spec.Event, next spec.State, actions ...spec.Action) spec.Transition {
+	return spec.Transition{From: from, On: on, Actions: actions, Next: next}
+}
+
+// MSI builds the classic three-state writer-initiated invalidation
+// directory protocol (Sorin et al., Primer ch. 8). It enforces SWMR and,
+// with a blocking in-order core, SC.
+func MSI() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "MSI-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "M"},
+		Rows: []spec.Transition{
+			// I
+			row("I", onLoad, "IS_D", spec.Send(MsgGetS, spec.ToDir, spec.PayloadNone)),
+			row("I", onStore, "IM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			// S
+			row("S", onLoad, "S", spec.CoreDone),
+			row("S", onStore, "SM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("S", onEvict, "SI_A", spec.Send(MsgPutS, spec.ToDir, spec.PayloadNone)),
+			row("S", spec.OnMsg(MsgInv), "I", spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			// M
+			row("M", onLoad, "M", spec.CoreDone),
+			row("M", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("M", onEvict, "MI_A", spec.Send(MsgPutM, spec.ToDir, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetS), "S",
+				spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetM), "I", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			// IS_D: awaiting data for a load.
+			row("IS_D", spec.OnMsg(MsgData), "S", spec.LoadMsgData, spec.CoreDone),
+			// IM_AD: awaiting data and acks for a store from I.
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "IM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("IM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			// SM_AD: upgrading from S; may lose the S copy to a racing Inv.
+			row("SM_AD", spec.OnMsg(MsgInv), "IM_AD", spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "SM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("SM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			// MI_A: write-back in flight; may be asked to hand the block on.
+			row("MI_A", spec.OnMsg(MsgFwdGetS), "SI_A",
+				spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgFwdGetM), "II_A", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgPutAck), "I"),
+			// SI_A: PutS in flight; may be invalidated first.
+			row("SI_A", spec.OnMsg(MsgInv), "II_A", spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SI_A", spec.OnMsg(MsgPutAck), "I"),
+			// II_A: line relinquished; just await the PutAck.
+			row("II_A", spec.OnMsg(MsgPutAck), "I"),
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "MSI-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "M"},
+		Rows: []spec.Transition{
+			// I: memory owns the block.
+			row("I", spec.OnMsg(MsgGetS), "S",
+				spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.AddSharer),
+			row("I", spec.OnMsg(MsgGetM), "M",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgPutS), "I", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// S: read-shared.
+			row("S", spec.OnMsg(MsgGetS), "S",
+				spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.AddSharer),
+			row("S", spec.OnMsg(MsgGetM), "M",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem),
+				spec.InvSharers(MsgInv), spec.ClearSharers, spec.SetOwner),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondLastSharer), "I",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondNotLastSharer), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// M: a cache owns the block.
+			row("M", spec.OnMsg(MsgGetS), "S_D",
+				spec.Fwd(MsgFwdGetS), spec.OwnerToSharers, spec.AddSharer, spec.ClearOwner),
+			row("M", spec.OnMsg(MsgGetM), "M", spec.Fwd(MsgFwdGetM), spec.SetOwner),
+			row("M", spec.OnMsgCond(MsgPutM, spec.CondFromOwner), "I",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("M", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "M",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("M", spec.OnMsg(MsgPutS), "M", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// S_D: downgrade in progress, waiting for the owner's copy.
+			row("S_D", spec.OnMsg(MsgData), "S", spec.WriteMem),
+			row("S_D", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "S_D",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S_D", spec.OnMsg(MsgPutS), "S_D",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameMSI,
+		Model: memmodel.SC,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetS:    {VNet: spec.VReq},
+			MsgGetM:    {VNet: spec.VReq},
+			MsgPutS:    {VNet: spec.VReq},
+			MsgPutM:    {VNet: spec.VReq, CarriesData: true},
+			MsgFwdGetS: {VNet: spec.VFwd},
+			MsgFwdGetM: {VNet: spec.VFwd},
+			MsgInv:     {VNet: spec.VFwd},
+			MsgPutAck:  {VNet: spec.VFwd},
+			MsgData:    {VNet: spec.VResp, CarriesData: true},
+			MsgInvAck:  {VNet: spec.VResp},
+		},
+		AckType: MsgInvAck,
+	}
+}
+
+// MESI extends MSI with an Exclusive state: a read miss with no other
+// sharers returns the block exclusively, letting the first store hit
+// silently.
+func MESI() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "MESI-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "E", "M"},
+		Rows: []spec.Transition{
+			// I
+			row("I", onLoad, "IS_D", spec.Send(MsgGetS, spec.ToDir, spec.PayloadNone)),
+			row("I", onStore, "IM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			// S
+			row("S", onLoad, "S", spec.CoreDone),
+			row("S", onStore, "SM_AD", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("S", onEvict, "SI_A", spec.Send(MsgPutS, spec.ToDir, spec.PayloadNone)),
+			row("S", spec.OnMsg(MsgInv), "I", spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			// E: exclusive clean; stores hit with a silent E→M upgrade.
+			row("E", onLoad, "E", spec.CoreDone),
+			row("E", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("E", onEvict, "EI_A", spec.Send(MsgPutE, spec.ToDir, spec.PayloadNone)),
+			row("E", spec.OnMsg(MsgFwdGetS), "S",
+				spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("E", spec.OnMsg(MsgFwdGetM), "I", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			// M
+			row("M", onLoad, "M", spec.CoreDone),
+			row("M", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("M", onEvict, "MI_A", spec.Send(MsgPutM, spec.ToDir, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetS), "S",
+				spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetM), "I", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			// IS_D
+			row("IS_D", spec.OnMsg(MsgData), "S", spec.LoadMsgData, spec.CoreDone),
+			row("IS_D", spec.OnMsg(MsgExclData), "E", spec.LoadMsgData, spec.CoreDone),
+			// IM_AD / IM_A
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("IM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "IM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("IM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			// SM_AD / SM_A
+			row("SM_AD", spec.OnMsg(MsgInv), "IM_AD", spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckZero), "M",
+				spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("SM_AD", spec.OnMsgCond(MsgData, spec.CondAckPos), "SM_A",
+				spec.LoadMsgData, spec.SetAcks),
+			row("SM_A", spec.OnLastAck(), "M", spec.StoreValue, spec.CoreDone),
+			// MI_A / EI_A / SI_A / II_A
+			row("MI_A", spec.OnMsg(MsgFwdGetS), "SI_A",
+				spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgFwdGetM), "II_A", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("EI_A", spec.OnMsg(MsgFwdGetS), "SI_A",
+				spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine),
+				spec.Send(MsgData, spec.ToDir, spec.PayloadLine)),
+			row("EI_A", spec.OnMsg(MsgFwdGetM), "II_A", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("EI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("SI_A", spec.OnMsg(MsgInv), "II_A", spec.Send(MsgInvAck, spec.ToMsgReq, spec.PayloadNone)),
+			row("SI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("II_A", spec.OnMsg(MsgPutAck), "I"),
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "MESI-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "EM"},
+		Rows: []spec.Transition{
+			// I: grant exclusivity on a read miss with no sharers.
+			row("I", spec.OnMsg(MsgGetS), "EM",
+				spec.Send(MsgExclData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgGetM), "EM",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("I", spec.OnMsg(MsgPutS), "I", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("I", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "I",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// S
+			row("S", spec.OnMsg(MsgGetS), "S",
+				spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem), spec.AddSharer),
+			row("S", spec.OnMsg(MsgGetM), "EM",
+				spec.SendAck(MsgData, spec.ToMsgSrc, spec.PayloadMem),
+				spec.InvSharers(MsgInv), spec.ClearSharers, spec.SetOwner),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondLastSharer), "I",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutS, spec.CondNotLastSharer), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "S",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// EM: one cache holds the block in E or M.
+			row("EM", spec.OnMsg(MsgGetS), "S_D",
+				spec.Fwd(MsgFwdGetS), spec.OwnerToSharers, spec.AddSharer, spec.ClearOwner),
+			row("EM", spec.OnMsg(MsgGetM), "EM", spec.Fwd(MsgFwdGetM), spec.SetOwner),
+			row("EM", spec.OnMsgCond(MsgPutM, spec.CondFromOwner), "I",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutE, spec.CondFromOwner), "I",
+				spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "EM",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("EM", spec.OnMsg(MsgPutS), "EM", spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// S_D
+			row("S_D", spec.OnMsg(MsgData), "S", spec.WriteMem),
+			row("S_D", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "S_D",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S_D", spec.OnMsgCond(MsgPutE, spec.CondNotOwner), "S_D",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("S_D", spec.OnMsg(MsgPutS), "S_D",
+				spec.RemoveSharer, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameMESI,
+		Model: memmodel.SC,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetS:     {VNet: spec.VReq},
+			MsgGetM:     {VNet: spec.VReq},
+			MsgPutS:     {VNet: spec.VReq},
+			MsgPutM:     {VNet: spec.VReq, CarriesData: true},
+			MsgPutE:     {VNet: spec.VReq},
+			MsgFwdGetS:  {VNet: spec.VFwd},
+			MsgFwdGetM:  {VNet: spec.VFwd},
+			MsgInv:      {VNet: spec.VFwd},
+			MsgPutAck:   {VNet: spec.VFwd},
+			MsgData:     {VNet: spec.VResp, CarriesData: true},
+			MsgExclData: {VNet: spec.VResp, CarriesData: true},
+			MsgInvAck:   {VNet: spec.VResp},
+		},
+		AckType: MsgInvAck,
+	}
+}

@@ -1,0 +1,97 @@
+// Package protocols provides the seven homogeneous input protocols of
+// HeteroGen's case studies (Table I):
+//
+//	SC:  MSI, MESI          — writer-initiated invalidation, SWMR
+//	TSO: TSO-CC             — consistency-directed, stale shared reads
+//	RC:  RCC, RCC-O, GPU    — self-invalidation / ownership / write-through
+//	PLO: PLO-CC             — RCC-O without a release
+//
+// Each protocol is a spec.Protocol: declarative cache and directory
+// controller tables over the spec action vocabulary, executable by the
+// shared runtime and analyzable by the fusion engine.
+package protocols
+
+import (
+	"fmt"
+	"sort"
+
+	"heterogen/internal/spec"
+)
+
+// Names of the built-in protocols.
+const (
+	NameMSI   = "MSI"
+	NameMESI  = "MESI"
+	NameTSOCC = "TSO-CC"
+	NameRCC   = "RCC"
+	NameRCCO  = "RCC-O"
+	NameGPU   = "GPU"
+	NamePLOCC = "PLO-CC"
+)
+
+// registry builds protocols lazily so each caller gets an isolated copy
+// (fusion rewrites tables in place on its clones).
+var registry = map[string]func() *spec.Protocol{
+	NameMSI:   MSI,
+	NameMESI:  MESI,
+	NameTSOCC: TSOCC,
+	NameRCC:   RCC,
+	NameRCCO:  RCCO,
+	NameGPU:   GPU,
+	NamePLOCC: PLOCC,
+}
+
+// ByName returns a fresh instance of the named protocol.
+func ByName(name string) (*spec.Protocol, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("protocols: unknown protocol %q (have %v)", name, Names())
+	}
+	return mk(), nil
+}
+
+// MustByName is ByName for statically known names.
+func MustByName(name string) *spec.Protocol {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Names lists the built-in protocol names: the seven of Table I in
+// canonical order, then extensions (MOESI, MESIF).
+func Names() []string {
+	return []string{NameMSI, NameMESI, NameTSOCC, NameRCC, NameRCCO, NameGPU, NamePLOCC, NameMOESI, NameMESIF}
+}
+
+// TableINames lists exactly the seven case-study protocols of Table I.
+func TableINames() []string {
+	return []string{NameMSI, NameMESI, NameTSOCC, NameRCC, NameRCCO, NameGPU, NamePLOCC}
+}
+
+// All returns fresh instances of every built-in protocol.
+func All() []*spec.Protocol {
+	names := Names()
+	out := make([]*spec.Protocol, len(names))
+	for i, n := range names {
+		out[i] = MustByName(n)
+	}
+	return out
+}
+
+// sortedMsgs is a helper for deterministic docs output.
+func sortedMsgs(m map[spec.MsgType]spec.MsgInfo) []spec.MsgType {
+	out := make([]spec.MsgType, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Describe renders a one-line summary of a protocol for Table I output.
+func Describe(p *spec.Protocol) string {
+	return fmt.Sprintf("%-7s model=%-3s cacheStates=%d dirStates=%d msgs=%d",
+		p.Name, p.Model, len(p.Cache.States()), len(p.Dir.States()), len(sortedMsgs(p.Msgs)))
+}

@@ -1,0 +1,245 @@
+package protocols
+
+import (
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// Message types used by the relaxed protocols.
+const (
+	MsgGetV    spec.MsgType = "GetV"    // read a valid copy
+	MsgGetO    spec.MsgType = "GetO"    // obtain ownership (RCC-O / PLO-CC)
+	MsgPutO    spec.MsgType = "PutO"    // write back an owned block
+	MsgWB      spec.MsgType = "WB"      // write back dirty data (RCC)
+	MsgWT      spec.MsgType = "WT"      // write-through (GPU)
+	MsgFwdGetV spec.MsgType = "FwdGetV" // directory asks the owner for data
+	MsgFwdGetO spec.MsgType = "FwdGetO" // directory transfers ownership
+	MsgDataO   spec.MsgType = "DataO"   // data granting ownership
+	MsgWBAck   spec.MsgType = "WBAck"
+	MsgWTAck   spec.MsgType = "WTAck"
+)
+
+// RCC is the simple release-consistency protocol of [27]: stores buffer in
+// the cache without any directory traffic, a release writes back all dirty
+// lines, and an acquire self-invalidates all clean valid lines. The
+// directory is a plain memory interface with no tracking state.
+func RCC() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "RCC-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "V", "D"},
+		Rows: []spec.Transition{
+			row("I", onLoad, "IV_D", spec.Send(MsgGetV, spec.ToDir, spec.PayloadNone)),
+			row("I", onStore, "ID_D", spec.Send(MsgGetV, spec.ToDir, spec.PayloadNone)),
+			row("IV_D", spec.OnMsg(MsgData), "V", spec.LoadMsgData, spec.CoreDone),
+			row("ID_D", spec.OnMsg(MsgData), "D", spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("V", onLoad, "V", spec.CoreDone),
+			row("V", onStore, "D", spec.StoreValue, spec.CoreDone), // buffered locally
+			row("V", onEvict, "I"), // clean lines drop silently
+			row("D", onLoad, "D", spec.CoreDone),
+			row("D", onStore, "D", spec.StoreValue, spec.CoreDone),
+			row("D", onEvict, "DI_A", spec.Send(MsgWB, spec.ToDir, spec.PayloadLine)),
+			row("DI_A", spec.OnMsg(MsgWBAck), "I"),
+		},
+		Sync: map[spec.CoreOp]spec.SyncBehavior{
+			spec.OpAcquire: {Invalidate: []spec.State{"V"}},
+			spec.OpRelease: {Writeback: []spec.State{"D"}, WaitOutstanding: true},
+			// A full fence is a release followed by an acquire.
+			spec.OpFence: {Invalidate: []spec.State{"V"}, Writeback: []spec.State{"D"}, WaitOutstanding: true},
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "RCC-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "V",
+		Stable: []spec.State{"V"},
+		Rows: []spec.Transition{
+			row("V", spec.OnMsg(MsgGetV), "V", spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem)),
+			row("V", spec.OnMsg(MsgWB), "V",
+				spec.WriteMem, spec.Send(MsgWBAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameRCC,
+		Model: memmodel.RC,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetV:  {VNet: spec.VReq},
+			MsgWB:    {VNet: spec.VReq, CarriesData: true},
+			MsgData:  {VNet: spec.VResp, CarriesData: true},
+			MsgWBAck: {VNet: spec.VResp},
+		},
+	}
+}
+
+// rccoCache builds the shared RCC-O / PLO-CC cache machine: a block-granular
+// DeNovo-style protocol that obtains ownership on every store, so writes are
+// globally visible at the directory the moment they complete.
+func rccoCache(name string) *spec.Machine {
+	return &spec.Machine{
+		Name:   name,
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "V", "O"},
+		Rows: []spec.Transition{
+			row("I", onLoad, "IV_D", spec.Send(MsgGetV, spec.ToDir, spec.PayloadNone)),
+			row("I", onStore, "IO_D", spec.Send(MsgGetO, spec.ToDir, spec.PayloadNone)),
+			row("IV_D", spec.OnMsg(MsgData), "V", spec.LoadMsgData, spec.CoreDone),
+			row("IO_D", spec.OnMsg(MsgDataO), "O", spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("V", onLoad, "V", spec.CoreDone),
+			row("V", onStore, "IO_D", spec.Send(MsgGetO, spec.ToDir, spec.PayloadNone)),
+			row("V", onEvict, "I"), // clean valid copies drop silently
+			row("O", onLoad, "O", spec.CoreDone),
+			row("O", onStore, "O", spec.StoreValue, spec.CoreDone),
+			row("O", onEvict, "OI_A", spec.Send(MsgPutO, spec.ToDir, spec.PayloadLine)),
+			// The owner serves reads while keeping ownership, and hands the
+			// block over on a write by another core.
+			row("O", spec.OnMsg(MsgFwdGetV), "O", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("O", spec.OnMsg(MsgFwdGetO), "I", spec.Send(MsgDataO, spec.ToMsgReq, spec.PayloadLine)),
+			// Write-back races.
+			row("OI_A", spec.OnMsg(MsgFwdGetV), "OI_A", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("OI_A", spec.OnMsg(MsgFwdGetO), "II_A", spec.Send(MsgDataO, spec.ToMsgReq, spec.PayloadLine)),
+			row("OI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("II_A", spec.OnMsg(MsgPutAck), "I"),
+		},
+	}
+}
+
+// rccoDir builds the shared RCC-O / PLO-CC directory: an ownership registry.
+func rccoDir(name string) *spec.Machine {
+	return &spec.Machine{
+		Name:   name,
+		Kind:   spec.DirCtrl,
+		Init:   "V",
+		Stable: []spec.State{"V", "O"},
+		Rows: []spec.Transition{
+			row("V", spec.OnMsg(MsgGetV), "V", spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem)),
+			row("V", spec.OnMsg(MsgGetO), "O",
+				spec.Send(MsgDataO, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("V", spec.OnMsgCond(MsgPutO, spec.CondNotOwner), "V",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O", spec.OnMsg(MsgGetV), "O", spec.Fwd(MsgFwdGetV)),
+			row("O", spec.OnMsgCond(MsgGetO, spec.CondNotOwner), "O",
+				spec.Fwd(MsgFwdGetO), spec.SetOwner),
+			row("O", spec.OnMsgCond(MsgPutO, spec.CondFromOwner), "V",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O", spec.OnMsgCond(MsgPutO, spec.CondNotOwner), "O",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+}
+
+func rccoMsgs() map[spec.MsgType]spec.MsgInfo {
+	return map[spec.MsgType]spec.MsgInfo{
+		MsgGetV:    {VNet: spec.VReq},
+		MsgGetO:    {VNet: spec.VReq},
+		MsgPutO:    {VNet: spec.VReq, CarriesData: true},
+		MsgFwdGetV: {VNet: spec.VFwd},
+		MsgFwdGetO: {VNet: spec.VFwd},
+		MsgPutAck:  {VNet: spec.VFwd},
+		MsgData:    {VNet: spec.VResp, CarriesData: true},
+		MsgDataO:   {VNet: spec.VResp, CarriesData: true},
+	}
+}
+
+// RCCO is a block-granular variant of DeNovo [14]: it obtains ownership on
+// all writes, self-invalidates clean copies on an acquire, and needs no
+// write-back at a release because owned data is already globally visible
+// through the directory's ownership registry.
+func RCCO() *spec.Protocol {
+	cache := rccoCache("RCC-O-cache")
+	cache.Sync = map[spec.CoreOp]spec.SyncBehavior{
+		spec.OpAcquire: {Invalidate: []spec.State{"V"}},
+		spec.OpRelease: {WaitOutstanding: true},
+		// Full fence: release (drain) plus acquire (self-invalidate).
+		spec.OpFence: {Invalidate: []spec.State{"V"}, WaitOutstanding: true},
+	}
+	return &spec.Protocol{
+		Name:  NameRCCO,
+		Model: memmodel.RC,
+		Cache: cache,
+		Dir:   rccoDir("RCC-O-dir"),
+		Msgs:  rccoMsgs(),
+	}
+}
+
+// PLOCC is RCC-O without a release (and without an acquire): plain valid
+// copies may be read stale forever, yielding the partial-load-order model —
+// W→W and R→W preserved, R→R and W→R relaxed. A FENCE restores full order
+// by self-invalidating valid copies and draining outstanding requests.
+func PLOCC() *spec.Protocol {
+	cache := rccoCache("PLO-CC-cache")
+	cache.Sync = map[spec.CoreOp]spec.SyncBehavior{
+		spec.OpFence: {Invalidate: []spec.State{"V"}, WaitOutstanding: true},
+	}
+	return &spec.Protocol{
+		Name:  NamePLOCC,
+		Model: memmodel.PLO,
+		Cache: cache,
+		Dir:   rccoDir("PLO-CC-dir"),
+		Msgs:  rccoMsgs(),
+	}
+}
+
+// GPU is the simple GPU protocol of Spandex [11]: stores write through to
+// the shared cache and complete immediately (early write acknowledgment — a
+// release waits for the outstanding write-through acks), loads fetch valid
+// copies that an acquire self-invalidates.
+func GPU() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "GPU-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "V"},
+		Rows: []spec.Transition{
+			row("I", onLoad, "IV_D", spec.Send(MsgGetV, spec.ToDir, spec.PayloadNone)),
+			row("IV_D", spec.OnMsg(MsgData), "V", spec.LoadMsgData, spec.CoreDone),
+			// Stores write through and complete early: CoreDone fires while
+			// the line is still waiting for the WTAck.
+			row("I", onStore, "I_W",
+				spec.Send(MsgWT, spec.ToDir, spec.PayloadStore), spec.StoreValue, spec.CoreDone),
+			row("I_W", spec.OnMsg(MsgWTAck), "I"),
+			row("V", onLoad, "V", spec.CoreDone),
+			row("V", onStore, "V_W",
+				spec.Send(MsgWT, spec.ToDir, spec.PayloadStore), spec.StoreValue, spec.CoreDone),
+			row("V_W", onLoad, "V_W", spec.CoreDone),
+			row("V_W", spec.OnMsg(MsgWTAck), "V"),
+			row("V", onEvict, "I"),
+		},
+		Sync: map[spec.CoreOp]spec.SyncBehavior{
+			spec.OpAcquire: {Invalidate: []spec.State{"V"}},
+			spec.OpRelease: {WaitOutstanding: true},
+			// Full fence: drain write-throughs and self-invalidate.
+			spec.OpFence: {Invalidate: []spec.State{"V"}, WaitOutstanding: true},
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "GPU-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "V",
+		Stable: []spec.State{"V"},
+		Rows: []spec.Transition{
+			row("V", spec.OnMsg(MsgGetV), "V", spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem)),
+			row("V", spec.OnMsg(MsgWT), "V",
+				spec.WriteMem, spec.Send(MsgWTAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameGPU,
+		Model: memmodel.RC,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetV:  {VNet: spec.VReq},
+			MsgWT:    {VNet: spec.VReq, CarriesData: true},
+			MsgData:  {VNet: spec.VResp, CarriesData: true},
+			MsgWTAck: {VNet: spec.VResp},
+		},
+	}
+}

@@ -1,0 +1,95 @@
+package protocols
+
+import (
+	"heterogen/internal/memmodel"
+	"heterogen/internal/spec"
+)
+
+// MsgDataM grants modified (exclusive) data in TSO-CC.
+const MsgDataM spec.MsgType = "DataM"
+
+// TSOCC models the basic version of TSO-CC [16] without timestamps: a
+// consistency-directed protocol targeting TSO. Writes obtain exclusive
+// ownership at the directory but sharers are *not* invalidated — they may
+// keep reading stale shared copies (the source of TSO's W→R relaxation).
+// Multi-copy atomicity and the R→R/W→W orderings are preserved by the
+// conservative no-timestamp rule: whenever a cache fills a line with new
+// data it self-invalidates all of its shared copies, so once a core
+// observes a new value it can never again observe older ones.
+func TSOCC() *spec.Protocol {
+	cache := &spec.Machine{
+		Name:   "TSO-CC-cache",
+		Kind:   spec.CacheCtrl,
+		Init:   "I",
+		Stable: []spec.State{"I", "S", "M"},
+		Rows: []spec.Transition{
+			row("I", onLoad, "IS_D", spec.Send(MsgGetS, spec.ToDir, spec.PayloadNone)),
+			row("I", onStore, "IM_D", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("IS_D", spec.OnMsg(MsgData), "S", spec.LoadMsgData, spec.CoreDone),
+			row("IM_D", spec.OnMsg(MsgDataM), "M", spec.LoadMsgData, spec.StoreValue, spec.CoreDone),
+			row("S", onLoad, "S", spec.CoreDone), // possibly stale — TSO allows it
+			row("S", onStore, "IM_D", spec.Send(MsgGetM, spec.ToDir, spec.PayloadNone)),
+			row("S", onEvict, "I"), // untracked, silent
+			row("M", onLoad, "M", spec.CoreDone),
+			row("M", onStore, "M", spec.StoreValue, spec.CoreDone),
+			row("M", onEvict, "MI_A", spec.Send(MsgPutM, spec.ToDir, spec.PayloadLine)),
+			// The owner serves read requests while keeping ownership, and
+			// hands the block over for writes.
+			row("M", spec.OnMsg(MsgFwdGetS), "M", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("M", spec.OnMsg(MsgFwdGetM), "I", spec.Send(MsgDataM, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgFwdGetS), "MI_A", spec.Send(MsgData, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgFwdGetM), "II_A", spec.Send(MsgDataM, spec.ToMsgReq, spec.PayloadLine)),
+			row("MI_A", spec.OnMsg(MsgPutAck), "I"),
+			row("II_A", spec.OnMsg(MsgPutAck), "I"),
+		},
+		// The conservative staleness bound: any fill invalidates the
+		// cache's other shared copies.
+		InvalidateOnFill: []spec.State{"S"},
+		Sync: map[spec.CoreOp]spec.SyncBehavior{
+			// A TSO FENCE discards possibly-stale shared copies and drains
+			// outstanding requests, restoring St→Ld order.
+			spec.OpFence: {Invalidate: []spec.State{"S"}, WaitOutstanding: true},
+		},
+	}
+
+	dir := &spec.Machine{
+		Name:   "TSO-CC-dir",
+		Kind:   spec.DirCtrl,
+		Init:   "V",
+		Stable: []spec.State{"V", "O"},
+		Rows: []spec.Transition{
+			// V: memory holds the latest value; shared copies are untracked.
+			row("V", spec.OnMsg(MsgGetS), "V", spec.Send(MsgData, spec.ToMsgSrc, spec.PayloadMem)),
+			row("V", spec.OnMsg(MsgGetM), "O",
+				spec.Send(MsgDataM, spec.ToMsgSrc, spec.PayloadMem), spec.SetOwner),
+			row("V", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "V",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			// O: one cache holds the block exclusively; no invalidations
+			// were sent, so stale shared copies may exist elsewhere.
+			row("O", spec.OnMsg(MsgGetS), "O", spec.Fwd(MsgFwdGetS)),
+			row("O", spec.OnMsgCond(MsgGetM, spec.CondNotOwner), "O",
+				spec.Fwd(MsgFwdGetM), spec.SetOwner),
+			row("O", spec.OnMsgCond(MsgPutM, spec.CondFromOwner), "V",
+				spec.WriteMem, spec.ClearOwner, spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+			row("O", spec.OnMsgCond(MsgPutM, spec.CondNotOwner), "O",
+				spec.Send(MsgPutAck, spec.ToMsgSrc, spec.PayloadNone)),
+		},
+	}
+
+	return &spec.Protocol{
+		Name:  NameTSOCC,
+		Model: memmodel.TSO,
+		Cache: cache,
+		Dir:   dir,
+		Msgs: map[spec.MsgType]spec.MsgInfo{
+			MsgGetS:    {VNet: spec.VReq},
+			MsgGetM:    {VNet: spec.VReq},
+			MsgPutM:    {VNet: spec.VReq, CarriesData: true},
+			MsgFwdGetS: {VNet: spec.VFwd},
+			MsgFwdGetM: {VNet: spec.VFwd},
+			MsgPutAck:  {VNet: spec.VFwd},
+			MsgData:    {VNet: spec.VResp, CarriesData: true},
+			MsgDataM:   {VNet: spec.VResp, CarriesData: true},
+		},
+	}
+}

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"heterogen/internal/core"
+	"heterogen/internal/spec"
+	"heterogen/internal/workload"
+)
+
+// tile is a mesh coordinate.
+type tile struct{ x, y int }
+
+func (t tile) hops(o tile) int {
+	dx := t.x - o.x
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := t.y - o.y
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// event is one scheduled occurrence.
+type event struct {
+	at   uint64
+	seq  uint64 // tie-break for determinism
+	kind eventKind
+	msg  spec.Msg
+	core int
+}
+
+type eventKind int
+
+const (
+	evArrive eventKind = iota
+	evCore
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// chanKey identifies an ordered channel.
+type chanKey struct {
+	src, dst spec.NodeID
+	vnet     spec.VNet
+}
+
+// Sim is one simulation instance: a heterogeneous machine built from a
+// fusion, driven by a workload.
+type Sim struct {
+	Cfg    Config
+	fusion *core.Fusion
+	merged *core.MergedDir
+
+	caches  []*spec.CacheInst
+	cores   []*Core
+	comp    map[spec.NodeID]spec.Component
+	corendx map[spec.NodeID]int // cache id → core index
+
+	pos      map[spec.NodeID]tile // cache tiles
+	dirIDs   map[spec.NodeID]bool
+	proxyIDs map[spec.NodeID]bool
+
+	now      uint64
+	seq      uint64
+	events   eventHeap
+	inbox    map[chanKey][]spec.Msg
+	chanFree map[chanKey]uint64 // next cycle the channel can deliver
+	bankFree map[int]uint64     // per-L2-bank occupancy (contention)
+	coldMem  map[spec.Addr]bool // first-touch DRAM accounting
+
+	Stats Stats
+}
+
+// Stats aggregates run statistics.
+type Stats struct {
+	Cycles     uint64
+	Messages   uint64
+	DataMsgs   uint64
+	Flits      uint64
+	Handshakes uint64
+	MemOps     uint64
+	LoadStall  uint64 // total load latency cycles
+	StoreStall uint64
+	Loads      uint64
+	Stores     uint64
+	// ByType breaks traffic down per coherence message type.
+	ByType map[spec.MsgType]uint64
+}
+
+// countType increments the per-type message counter.
+func (st *Stats) countType(t spec.MsgType) {
+	if st.ByType == nil {
+		st.ByType = map[spec.MsgType]uint64{}
+	}
+	st.ByType[t]++
+}
+
+// New builds a simulator: big cores (cluster 0, protocol[0]) on the first
+// tiles, tiny cores (cluster 1, protocol[1]) after them, a merged directory
+// banked across the mesh, and the given per-core traces.
+func New(cfg Config, fusion *core.Fusion, wl *workload.Workload) (*Sim, error) {
+	if len(fusion.Protocols) != 2 {
+		return nil, fmt.Errorf("sim: the Figure 10 system uses exactly 2 clusters, fusion has %d", len(fusion.Protocols))
+	}
+	n := cfg.Cores()
+	if len(wl.Traces) != n {
+		return nil, fmt.Errorf("sim: workload has %d traces, config has %d cores", len(wl.Traces), n)
+	}
+	s := &Sim{Cfg: cfg, fusion: fusion,
+		comp: map[spec.NodeID]spec.Component{}, corendx: map[spec.NodeID]int{},
+		pos: map[spec.NodeID]tile{}, dirIDs: map[spec.NodeID]bool{}, proxyIDs: map[spec.NodeID]bool{},
+		inbox: map[chanKey][]spec.Msg{}, chanFree: map[chanKey]uint64{},
+		bankFree: map[int]uint64{}, coldMem: map[spec.Addr]bool{}}
+
+	layout := fusion.DefaultLayout(spec.NodeID(n))
+	s.merged = core.NewMergedDir(fusion, layout)
+	for _, id := range s.merged.OwnedIDs() {
+		s.comp[id] = s.merged
+	}
+	for _, id := range layout.DirIDs {
+		s.dirIDs[id] = true
+	}
+	for _, pool := range layout.ProxyIDs {
+		for _, id := range pool {
+			s.proxyIDs[id] = true
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		cluster := 1 // tiny
+		capacity := cfg.TinyL1Lines
+		big := i < cfg.BigCores
+		if big {
+			cluster = 0
+			capacity = cfg.BigL1Lines
+		}
+		id := spec.NodeID(i)
+		cache := spec.NewCacheInst(id, layout.DirIDs[cluster], fusion.Protocols[cluster])
+		s.caches = append(s.caches, cache)
+		s.comp[id] = cache
+		s.corendx[id] = i
+		s.pos[id] = tile{i % cfg.MeshDim, i / cfg.MeshDim}
+		s.cores = append(s.cores, newCore(i, cluster, big, capacity, cache, wl.Traces[i]))
+	}
+	return s, nil
+}
+
+// bankTile returns the L2 bank tile serving an address (one bank per mesh
+// column, placed mid-column).
+func (s *Sim) bankTile(a spec.Addr) tile {
+	col := int(a) % s.Cfg.L2Banks
+	return tile{col, s.Cfg.MeshDim / 2}
+}
+
+// tileOf resolves an endpoint's position for a message (directory and proxy
+// endpoints live at the address's bank).
+func (s *Sim) tileOf(id spec.NodeID, a spec.Addr) tile {
+	if t, ok := s.pos[id]; ok {
+		return t
+	}
+	return s.bankTile(a)
+}
+
+// latency computes a message's network + controller latency in cycles.
+func (s *Sim) latency(m spec.Msg) uint64 {
+	hops := s.tileOf(m.Src, m.Addr).hops(s.tileOf(m.Dst, m.Addr))
+	lat := uint64(hops * (s.Cfg.ChannelLatency + s.Cfg.RouterLatency))
+	if s.dirIDs[m.Dst] || s.proxyIDs[m.Dst] {
+		lat += uint64(s.Cfg.L2Latency)
+	}
+	// First touch of an address at the directory pays the memory access.
+	if (s.dirIDs[m.Src] || s.proxyIDs[m.Src]) && m.HasData && !s.coldMem[m.Addr] {
+		s.coldMem[m.Addr] = true
+		lat += uint64(s.Cfg.MemLatency)
+	}
+	return lat
+}
+
+// Send implements spec.Env: schedule the message's arrival respecting the
+// ordered channel's serialization.
+func (s *Sim) Send(m spec.Msg) {
+	k := chanKey{m.Src, m.Dst, m.VNet}
+	flits := uint64(s.Cfg.Flits(m.HasData))
+	arrive := s.now + s.latency(m)
+	if free := s.chanFree[k]; arrive < free {
+		arrive = free
+	}
+	s.chanFree[k] = arrive + flits
+	// Bank contention: directory-bound messages serialize at their L2
+	// bank for the bank access time.
+	if s.dirIDs[m.Dst] || s.proxyIDs[m.Dst] {
+		col := int(m.Addr) % s.Cfg.L2Banks
+		if free := s.bankFree[col]; arrive < free {
+			arrive = free
+		}
+		s.bankFree[col] = arrive + uint64(s.Cfg.L2Latency)
+	}
+	s.schedule(arrive, event{kind: evArrive, msg: m})
+
+	s.Stats.Messages++
+	s.Stats.Flits += flits
+	s.Stats.countType(m.Type)
+	if m.HasData {
+		s.Stats.DataMsgs++
+	}
+	if m.Type == "__hsreq" || m.Type == "__hsack" {
+		s.Stats.Handshakes++
+	}
+}
+
+func (s *Sim) schedule(at uint64, e event) {
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Run executes to completion and returns the statistics.
+func (s *Sim) Run() (*Stats, error) {
+	heap.Init(&s.events)
+	for i, c := range s.cores {
+		start := uint64(0)
+		if len(c.trace) > 0 {
+			start = uint64(c.trace[0].Gap)
+		}
+		s.schedule(start, event{kind: evCore, core: i})
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		if e.at > s.Cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles (livelock?)", s.Cfg.MaxCycles)
+		}
+		s.now = e.at
+		switch e.kind {
+		case evArrive:
+			k := chanKey{e.msg.Src, e.msg.Dst, e.msg.VNet}
+			s.inbox[k] = append(s.inbox[k], e.msg)
+			s.drain(e.msg.Dst)
+		case evCore:
+			s.cores[e.core].step(s)
+		}
+	}
+	for i, c := range s.cores {
+		if !c.finished {
+			return nil, fmt.Errorf("sim: core %d stuck at op %d/%d (deadlock)", i, c.pc, len(c.trace))
+		}
+		if c.finishAt > s.Stats.Cycles {
+			s.Stats.Cycles = c.finishAt
+		}
+	}
+	return &s.Stats, nil
+}
+
+// drain delivers queued messages to the component owning dst, retrying
+// sibling channels until no further progress (stalled heads stay queued and
+// are retried on the component's next activity).
+func (s *Sim) drain(dst spec.NodeID) {
+	comp := s.comp[dst]
+	if comp == nil {
+		panic(fmt.Sprintf("sim: message to unknown node %d", dst))
+	}
+	owned := comp.OwnedIDs()
+	for {
+		progress := false
+		keys := make([]chanKey, 0, 8)
+		for k, q := range s.inbox {
+			if len(q) == 0 {
+				continue
+			}
+			for _, id := range owned {
+				if k.dst == id {
+					keys = append(keys, k)
+					break
+				}
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, b := keys[i], keys[j]
+			if a.dst != b.dst {
+				return a.dst < b.dst
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.vnet < b.vnet
+		})
+		for _, k := range keys {
+			q := s.inbox[k]
+			if len(q) == 0 {
+				continue
+			}
+			if comp.Deliver(s, q[0]) {
+				if len(q) == 1 {
+					delete(s.inbox, k)
+				} else {
+					s.inbox[k] = q[1:]
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Completing a delivery at a cache may finish its core's pending op.
+	for _, id := range owned {
+		if i, ok := s.corendx[id]; ok {
+			s.cores[i].onCacheActivity(s)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"heterogen/internal/core"
+	"heterogen/internal/protocols"
+	"heterogen/internal/workload"
+)
+
+// Variant identifies one protocol configuration of the §VIII comparison.
+type Variant struct {
+	Name      string
+	Handshake core.HandshakeMode
+}
+
+// Figure10Variants returns the three §VIII configurations: the
+// manually-fused HCC baseline (conservative handshaking on every block
+// transfer) and the two HeteroGen outputs (no handshakes; write-only
+// handshakes).
+func Figure10Variants() []Variant {
+	return []Variant{
+		{Name: "HCC", Handshake: core.HSAll},
+		{Name: "HeteroGen-noHS", Handshake: core.HSNone},
+		{Name: "HeteroGen-wrHS", Handshake: core.HSWrites},
+	}
+}
+
+// Row is one benchmark's Figure 10 entry.
+type Row struct {
+	Benchmark   string
+	Cycles      map[string]uint64 // per variant
+	Flits       map[string]uint64 // per variant (network traffic)
+	SpeedupNoHS float64           // HCC cycles / noHS cycles
+	SpeedupWrHS float64           // HCC cycles / wrHS cycles
+	TrafficNoHS float64           // noHS flits / HCC flits
+	TrafficWrHS float64
+}
+
+// RunBenchmark simulates one benchmark under one variant.
+func RunBenchmark(cfg Config, v Variant, wl *workload.Workload) (*Stats, error) {
+	f, err := core.Fuse(core.Options{Handshake: v.Handshake, ProxyPool: cfg.ProxyPool},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		return nil, err
+	}
+	s, err := New(cfg, f, wl)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// RunFigure10 regenerates Figure 10: for each of the 13 benchmarks, the
+// speedup of the two HeteroGen variants over the HCC baseline, plus the
+// network-traffic ratios. scale shrinks the traces for quick runs.
+func RunFigure10(cfg Config, scale float64) ([]Row, error) {
+	var rows []Row
+	layout := workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}
+	for _, params := range workload.Benchmarks() {
+		wl := workload.Generate(params, layout).Scale(scale)
+		row := Row{Benchmark: params.Name,
+			Cycles: map[string]uint64{}, Flits: map[string]uint64{}}
+		for _, v := range Figure10Variants() {
+			st, err := RunBenchmark(cfg, v, wl)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", params.Name, v.Name, err)
+			}
+			row.Cycles[v.Name] = st.Cycles
+			row.Flits[v.Name] = st.Flits
+		}
+		hcc := float64(row.Cycles["HCC"])
+		row.SpeedupNoHS = hcc / float64(row.Cycles["HeteroGen-noHS"])
+		row.SpeedupWrHS = hcc / float64(row.Cycles["HeteroGen-wrHS"])
+		hf := float64(row.Flits["HCC"])
+		row.TrafficNoHS = float64(row.Flits["HeteroGen-noHS"]) / hf
+		row.TrafficWrHS = float64(row.Flits["HeteroGen-wrHS"]) / hf
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GeoMean computes the geometric mean of a selector over rows.
+func GeoMean(rows []Row, sel func(Row) float64) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += math.Log(sel(r))
+	}
+	return math.Exp(sum / float64(len(rows)))
+}
+
+// FormatFigure10 renders the rows as the Figure 10 table (speedup over
+// HCC, no-handshake and write-handshake variants) plus the traffic ratios
+// and geometric means.
+func FormatFigure10(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: speedup of HeteroGen over HCC (and NoC traffic vs HCC)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %14s %14s\n", "benchmark", "noHS-speedup", "wrHS-speedup", "noHS-traffic", "wrHS-traffic")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12.3f %12.3f %14.3f %14.3f\n",
+			r.Benchmark, r.SpeedupNoHS, r.SpeedupWrHS, r.TrafficNoHS, r.TrafficWrHS)
+	}
+	fmt.Fprintf(&b, "%-14s %12.3f %12.3f %14.3f %14.3f\n", "gmean",
+		GeoMean(rows, func(r Row) float64 { return r.SpeedupNoHS }),
+		GeoMean(rows, func(r Row) float64 { return r.SpeedupWrHS }),
+		GeoMean(rows, func(r Row) float64 { return r.TrafficNoHS }),
+		GeoMean(rows, func(r Row) float64 { return r.TrafficWrHS }))
+	return b.String()
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+	"heterogen/internal/workload"
+)
+
+// tinyConfig shrinks the Table III machine for unit tests.
+func tinyConfig() Config {
+	cfg := TableIII()
+	cfg.MeshDim = 4
+	cfg.BigCores = 2
+	cfg.TinyCores = 6
+	cfg.L2Banks = 4
+	cfg.ProxyPool = 4
+	cfg.TinyL1Lines = 16
+	cfg.BigL1Lines = 64
+	return cfg
+}
+
+func tinyFusion(t *testing.T, hs core.HandshakeMode) *core.Fusion {
+	t.Helper()
+	f, err := core.Fuse(core.Options{Handshake: hs, ProxyPool: 4},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestConfigBasics(t *testing.T) {
+	cfg := TableIII()
+	if cfg.Cores() != 64 {
+		t.Errorf("cores = %d, want 64", cfg.Cores())
+	}
+	if cfg.Flits(false) != 1 {
+		t.Errorf("control flits = %d, want 1", cfg.Flits(false))
+	}
+	if cfg.Flits(true) != 5 {
+		t.Errorf("data flits = %d, want 5 (72B/16B)", cfg.Flits(true))
+	}
+	if !strings.Contains(cfg.Format(), "8×8 mesh") {
+		t.Error("Format missing mesh description")
+	}
+}
+
+func TestTileHops(t *testing.T) {
+	a, b := tile{0, 0}, tile{3, 4}
+	if a.hops(b) != 7 || b.hops(a) != 7 {
+		t.Errorf("hops = %d/%d, want 7", a.hops(b), b.hops(a))
+	}
+}
+
+func TestSimpleRunCompletes(t *testing.T) {
+	cfg := tinyConfig()
+	f := tinyFusion(t, core.HSNone)
+	// One store per core to its private block, then a shared read.
+	traces := make([]workload.CoreTrace, cfg.Cores())
+	for i := range traces {
+		priv := spec.Addr(1000 + i)
+		traces[i] = workload.CoreTrace{
+			{Gap: 2, Req: spec.CoreReq{Op: spec.OpStore, Addr: priv, Value: i}},
+			{Gap: 1, Req: spec.CoreReq{Op: spec.OpLoad, Addr: priv}},
+			{Gap: 1, Req: spec.CoreReq{Op: spec.OpLoad, Addr: 0}},
+		}
+	}
+	s, err := New(cfg, f, &workload.Workload{Name: "unit", Traces: traces})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycles == 0 || st.Messages == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	if st.MemOps != uint64(3*cfg.Cores()) {
+		t.Errorf("mem ops = %d, want %d", st.MemOps, 3*cfg.Cores())
+	}
+}
+
+func TestLoadedValuesFlowAcrossClusters(t *testing.T) {
+	cfg := tinyConfig()
+	f := tinyFusion(t, core.HSNone)
+	traces := make([]workload.CoreTrace, cfg.Cores())
+	// Tiny core (RCC-O, index 2) stores 42 to block 0 and releases; big
+	// core 0 spins... we cannot spin in a trace, so order by gap: the big
+	// core reads late.
+	traces[2] = workload.CoreTrace{
+		{Gap: 0, Req: spec.CoreReq{Op: spec.OpStore, Addr: 0, Value: 42}},
+		{Gap: 0, Req: spec.CoreReq{Op: spec.OpRelease}},
+	}
+	traces[0] = workload.CoreTrace{
+		{Gap: 4000, Req: spec.CoreReq{Op: spec.OpLoad, Addr: 0}},
+	}
+	for i := range traces {
+		if traces[i] == nil {
+			traces[i] = workload.CoreTrace{}
+		}
+	}
+	s, err := New(cfg, f, &workload.Workload{Name: "xfer", Traces: traces})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.caches[0].LastLoad(); got != 42 {
+		t.Errorf("big core read %d, want 42 (cross-cluster propagation)", got)
+	}
+}
+
+func TestCapacityEvictions(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.TinyL1Lines = 4
+	f := tinyFusion(t, core.HSNone)
+	traces := make([]workload.CoreTrace, cfg.Cores())
+	for i := range traces {
+		traces[i] = workload.CoreTrace{}
+	}
+	// Tiny core walks 16 private blocks twice: must evict repeatedly.
+	var tr workload.CoreTrace
+	for pass := 0; pass < 2; pass++ {
+		for b := 0; b < 16; b++ {
+			tr = append(tr, workload.TraceOp{Gap: 1, Req: spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr(2000 + b)}})
+		}
+	}
+	traces[5] = tr
+	s, err := New(cfg, f, &workload.Workload{Name: "cap", Traces: traces})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.caches[5].Addrs()); got > 4 {
+		t.Errorf("tiny cache holds %d lines, capacity 4", got)
+	}
+}
+
+func TestHandshakesCountedAndSlower(t *testing.T) {
+	cfg := tinyConfig()
+	params, err := workload.BenchmarkByName("ligra-bf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.OpsPerCore = 60
+	wl := workload.Generate(params, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores})
+
+	stNo, err := RunBenchmark(cfg, Variant{Name: "noHS", Handshake: core.HSNone}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stAll, err := RunBenchmark(cfg, Variant{Name: "HCC", Handshake: core.HSAll}, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stNo.Handshakes != 0 {
+		t.Errorf("noHS produced %d handshakes", stNo.Handshakes)
+	}
+	if stAll.Handshakes == 0 {
+		t.Error("HSAll produced no handshakes")
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	benchs := workload.Benchmarks()
+	if len(benchs) != 13 {
+		t.Fatalf("got %d benchmarks, want 13", len(benchs))
+	}
+	l := workload.Layout{BigCores: 4, TinyCores: 60}
+	for _, p := range benchs {
+		wl := workload.Generate(p, l)
+		if len(wl.Traces) != 64 {
+			t.Fatalf("%s: %d traces", p.Name, len(wl.Traces))
+		}
+		ops, loads, stores, syncs := wl.Stats()
+		if ops == 0 || loads == 0 || stores == 0 {
+			t.Errorf("%s: degenerate workload ops=%d loads=%d stores=%d", p.Name, ops, loads, stores)
+		}
+		if syncs == 0 {
+			t.Errorf("%s: no synchronization generated", p.Name)
+		}
+	}
+	// Determinism.
+	a := workload.Generate(benchs[0], l)
+	b := workload.Generate(benchs[0], l)
+	for i := range a.Traces {
+		if len(a.Traces[i]) != len(b.Traces[i]) {
+			t.Fatal("workload generation nondeterministic")
+		}
+	}
+	if _, err := workload.BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestWorkloadScale(t *testing.T) {
+	p, _ := workload.BenchmarkByName("cilk5-cs")
+	wl := workload.Generate(p, workload.Layout{BigCores: 1, TinyCores: 3})
+	small := wl.Scale(0.25)
+	for i := range small.Traces {
+		if len(small.Traces[i]) >= len(wl.Traces[i]) && len(wl.Traces[i]) > 16 {
+			t.Errorf("trace %d not scaled: %d vs %d", i, len(small.Traces[i]), len(wl.Traces[i]))
+		}
+	}
+	if wl.Scale(1.0) != wl {
+		t.Error("Scale(1) should be identity")
+	}
+}
+
+func TestFigure10SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := tinyConfig()
+	rows, err := RunFigure10(cfg, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("got %d rows, want 13", len(rows))
+	}
+	out := FormatFigure10(rows)
+	if !strings.Contains(out, "gmean") || !strings.Contains(out, "cilk5-nq") {
+		t.Errorf("format missing content:\n%s", out)
+	}
+	for _, r := range rows {
+		if r.SpeedupNoHS <= 0 || r.SpeedupWrHS <= 0 {
+			t.Errorf("%s: nonpositive speedup", r.Benchmark)
+		}
+	}
+}

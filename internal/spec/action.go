@@ -1,0 +1,208 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ActionOp enumerates the analyzable action vocabulary transitions are
+// written in. Keeping the vocabulary small and declarative is what lets the
+// fusion engine classify requests statically (§VI-D1) instead of inspecting
+// arbitrary code.
+type ActionOp int
+
+const (
+	// ActSend emits a message (fields of the Action select destination and
+	// payload).
+	ActSend ActionOp = iota
+	// ActInvSharers (directory) sends Inv to every sharer except the
+	// current requestor; receivers acknowledge to the requestor.
+	ActInvSharers
+	// ActAddSharer (directory) adds the message source to the sharer set.
+	ActAddSharer
+	// ActRemoveSharer (directory) removes the message source.
+	ActRemoveSharer
+	// ActClearSharers (directory) empties the sharer set.
+	ActClearSharers
+	// ActOwnerToSharers (directory) adds the current owner to the sharer
+	// set (M→S_D downgrade flows).
+	ActOwnerToSharers
+	// ActSetOwner (directory) records the message source as owner.
+	ActSetOwner
+	// ActClearOwner (directory) clears the owner.
+	ActClearOwner
+	// ActWriteMem (directory) writes the message payload to memory.
+	ActWriteMem
+	// ActStoreValue (cache) writes the pending core store's value into the
+	// line.
+	ActStoreValue
+	// ActLoadMsgData (cache) fills the line with the message payload. A
+	// fill triggers the machine's InvalidateOnFill hook.
+	ActLoadMsgData
+	// ActSetAcks (cache) arms invalidation-ack counting with the message's
+	// Ack field; the runtime synthesizes EvLastAck when the balance
+	// reaches zero.
+	ActSetAcks
+	// ActCoreDone (cache) completes the pending core operation. If the
+	// transition's target state is transient the completion is *early* —
+	// the criterion §VI-D2's analysis detects.
+	ActCoreDone
+)
+
+// Dst selects the destination of an ActSend.
+type Dst int
+
+const (
+	// ToDir addresses the cluster's directory.
+	ToDir Dst = iota
+	// ToMsgSrc addresses the sender of the triggering message.
+	ToMsgSrc
+	// ToMsgReq addresses the original requestor carried in the triggering
+	// message.
+	ToMsgReq
+	// ToOwner addresses the directory line's current owner.
+	ToOwner
+)
+
+func (d Dst) String() string {
+	switch d {
+	case ToDir:
+		return "dir"
+	case ToMsgSrc:
+		return "src"
+	case ToMsgReq:
+		return "req"
+	case ToOwner:
+		return "owner"
+	}
+	return fmt.Sprintf("Dst(%d)", int(d))
+}
+
+// Payload selects what data an ActSend carries.
+type Payload int
+
+const (
+	// PayloadNone sends no data.
+	PayloadNone Payload = iota
+	// PayloadLine sends the cache line's value.
+	PayloadLine
+	// PayloadStore sends the pending core store's value.
+	PayloadStore
+	// PayloadMem sends the directory's memory value.
+	PayloadMem
+	// PayloadMsg relays the triggering message's data.
+	PayloadMsg
+)
+
+func (p Payload) String() string {
+	switch p {
+	case PayloadNone:
+		return "-"
+	case PayloadLine:
+		return "line"
+	case PayloadStore:
+		return "store"
+	case PayloadMem:
+		return "mem"
+	case PayloadMsg:
+		return "msg"
+	}
+	return fmt.Sprintf("Payload(%d)", int(p))
+}
+
+// Action is one step of a transition.
+type Action struct {
+	Op      ActionOp
+	Msg     MsgType // ActSend / ActInvSharers: type to emit
+	Dst     Dst     // ActSend: destination
+	Payload Payload // ActSend: data to carry
+	// AckFromSharers, on an ActSend, sets the outgoing Ack field to the
+	// sharer count excluding the requestor (evaluated before any sharer
+	// mutation in the same transition executes after this action).
+	AckFromSharers bool
+	// ReqFromMsgSrc, on an ActSend, stamps the outgoing Req field with the
+	// triggering message's source (forwarding the original requestor).
+	// Otherwise requests stamp Req with the sender itself and other sends
+	// relay the triggering message's Req.
+	ReqFromMsgSrc bool
+}
+
+// Convenience constructors keep protocol tables readable.
+
+// Send emits msg to dst with the given payload.
+func Send(msg MsgType, dst Dst, payload Payload) Action {
+	return Action{Op: ActSend, Msg: msg, Dst: dst, Payload: payload}
+}
+
+// SendAck emits msg to dst carrying payload and the sharer-derived ack
+// count (directory data responses).
+func SendAck(msg MsgType, dst Dst, payload Payload) Action {
+	return Action{Op: ActSend, Msg: msg, Dst: dst, Payload: payload, AckFromSharers: true}
+}
+
+// Fwd emits msg to the owner, carrying the original requestor.
+func Fwd(msg MsgType) Action {
+	return Action{Op: ActSend, Msg: msg, Dst: ToOwner, ReqFromMsgSrc: true}
+}
+
+// InvSharers invalidates all sharers except the requestor using msg.
+func InvSharers(msg MsgType) Action { return Action{Op: ActInvSharers, Msg: msg} }
+
+// AddSharer, RemoveSharer, ClearSharers, SetOwner, ClearOwner, WriteMem,
+// StoreValue, LoadMsgData, SetAcks and CoreDone are parameterless actions.
+var (
+	AddSharer      = Action{Op: ActAddSharer}
+	OwnerToSharers = Action{Op: ActOwnerToSharers}
+	RemoveSharer   = Action{Op: ActRemoveSharer}
+	ClearSharers   = Action{Op: ActClearSharers}
+	SetOwner       = Action{Op: ActSetOwner}
+	ClearOwner     = Action{Op: ActClearOwner}
+	WriteMem       = Action{Op: ActWriteMem}
+	StoreValue     = Action{Op: ActStoreValue}
+	LoadMsgData    = Action{Op: ActLoadMsgData}
+	SetAcks        = Action{Op: ActSetAcks}
+	CoreDone       = Action{Op: ActCoreDone}
+)
+
+func (a Action) String() string {
+	switch a.Op {
+	case ActSend:
+		var flags []string
+		if a.AckFromSharers {
+			flags = append(flags, "ack")
+		}
+		if a.ReqFromMsgSrc {
+			flags = append(flags, "fwdreq")
+		}
+		f := ""
+		if len(flags) > 0 {
+			f = "{" + strings.Join(flags, ",") + "}"
+		}
+		return fmt.Sprintf("send(%s→%s,%s)%s", a.Msg, a.Dst, a.Payload, f)
+	case ActInvSharers:
+		return fmt.Sprintf("invSharers(%s)", a.Msg)
+	case ActAddSharer:
+		return "addSharer"
+	case ActOwnerToSharers:
+		return "ownerToSharers"
+	case ActRemoveSharer:
+		return "removeSharer"
+	case ActClearSharers:
+		return "clearSharers"
+	case ActSetOwner:
+		return "setOwner"
+	case ActClearOwner:
+		return "clearOwner"
+	case ActWriteMem:
+		return "writeMem"
+	case ActStoreValue:
+		return "storeValue"
+	case ActLoadMsgData:
+		return "loadMsgData"
+	case ActSetAcks:
+		return "setAcks"
+	case ActCoreDone:
+		return "coreDone"
+	}
+	return fmt.Sprintf("Action(%d)", int(a.Op))
+}

@@ -1,0 +1,257 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DirLine is the per-address state a directory controller keeps.
+type DirLine struct {
+	State   State
+	Sharers map[NodeID]bool
+	Owner   NodeID
+}
+
+func newDirLine(init State) *DirLine {
+	return &DirLine{State: init, Sharers: map[NodeID]bool{}, Owner: NoNode}
+}
+
+// DirInst executes a directory controller specification for one cluster.
+// The backing Memory may be shared with other directories (the merged
+// directory shares one LLC/memory across all clusters).
+type DirInst struct {
+	id    NodeID
+	proto *Protocol
+	mem   *Memory
+	lines map[Addr]*DirLine
+	trace func(string)
+
+	// onTransition, when set, observes every applied transition. The
+	// fusion engine hooks this to intercept globally-visible writes and to
+	// enumerate the merged FSM.
+	onTransition func(a Addr, t *Transition, m *Msg)
+}
+
+// NewDirInst builds a directory for the protocol over the given memory.
+func NewDirInst(id NodeID, proto *Protocol, mem *Memory) *DirInst {
+	return &DirInst{id: id, proto: proto, mem: mem, lines: map[Addr]*DirLine{}}
+}
+
+// SetTrace installs a trace sink.
+func (d *DirInst) SetTrace(fn func(string)) { d.trace = fn }
+
+// SetTransitionHook installs a transition observer.
+func (d *DirInst) SetTransitionHook(fn func(a Addr, t *Transition, m *Msg)) { d.onTransition = fn }
+
+// OwnedIDs implements Component.
+func (d *DirInst) OwnedIDs() []NodeID { return []NodeID{d.id} }
+
+// ID returns the directory's node id.
+func (d *DirInst) ID() NodeID { return d.id }
+
+// Protocol returns the protocol this directory runs.
+func (d *DirInst) Protocol() *Protocol { return d.proto }
+
+// Memory returns the backing memory.
+func (d *DirInst) Memory() *Memory { return d.mem }
+
+// Line returns the directory line for addr (materialized on demand).
+func (d *DirInst) Line(a Addr) *DirLine {
+	if l, ok := d.lines[a]; ok {
+		return l
+	}
+	l := newDirLine(d.proto.Dir.Init)
+	d.lines[a] = l
+	return l
+}
+
+// LineState returns the directory state for addr.
+func (d *DirInst) LineState(a Addr) State { return d.Line(a).State }
+
+// Stable reports whether every directory line is in a stable state.
+func (d *DirInst) Stable() bool {
+	for _, l := range d.lines {
+		if !d.proto.Dir.IsStable(l.State) {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *DirInst) gc(a Addr) {
+	if l, ok := d.lines[a]; ok {
+		if l.State == d.proto.Dir.Init && len(l.Sharers) == 0 && l.Owner == NoNode {
+			delete(d.lines, a)
+		}
+	}
+}
+
+// Lookup returns the transition this directory would take for the message
+// in its current state, or nil if it would stall. No state is modified.
+func (d *DirInst) Lookup(m *Msg) *Transition {
+	line := d.Line(m.Addr)
+	ctx := MsgCtx{
+		IsOwner:      m.Src == line.Owner,
+		IsLastSharer: len(line.Sharers) == 1 && line.Sharers[m.Src],
+	}
+	t := d.proto.Dir.OnMessage(line.State, m, ctx)
+	d.gc(m.Addr)
+	return t
+}
+
+// Deliver implements Component.
+func (d *DirInst) Deliver(env Env, m Msg) bool {
+	t := d.Lookup(&m)
+	if t == nil {
+		return false
+	}
+	d.Apply(env, m.Addr, d.Line(m.Addr), t, &m)
+	return true
+}
+
+// Apply executes a directory transition (exported for the merged directory,
+// which drives sub-directories directly when bridging).
+func (d *DirInst) Apply(env Env, a Addr, line *DirLine, t *Transition, m *Msg) {
+	if d.trace != nil {
+		d.trace(fmt.Sprintf("dir%d a%d %s --%s--> %s", d.id, a, t.From, t.On, t.Next))
+	}
+	for _, act := range t.Actions {
+		switch act.Op {
+		case ActSend:
+			d.send(env, a, line, act, m)
+		case ActInvSharers:
+			d.invSharers(env, a, line, act, m)
+		case ActAddSharer:
+			line.Sharers[m.Src] = true
+		case ActOwnerToSharers:
+			if line.Owner != NoNode {
+				line.Sharers[line.Owner] = true
+			}
+		case ActRemoveSharer:
+			delete(line.Sharers, m.Src)
+		case ActClearSharers:
+			line.Sharers = map[NodeID]bool{}
+		case ActSetOwner:
+			line.Owner = m.Src
+		case ActClearOwner:
+			line.Owner = NoNode
+		case ActWriteMem:
+			if m != nil && m.HasData {
+				d.mem.Write(a, m.Data)
+			}
+		default:
+			panic(fmt.Sprintf("spec: directory %s executing non-directory action %s", d.proto.Name, act))
+		}
+	}
+	line.State = t.Next
+	if d.onTransition != nil {
+		d.onTransition(a, t, m)
+	}
+	d.gc(a)
+}
+
+// ackCount returns the number of sharers excluding the requestor.
+func ackCount(line *DirLine, req NodeID) int {
+	n := 0
+	for s := range line.Sharers {
+		if s != req {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *DirInst) send(env Env, a Addr, line *DirLine, act Action, m *Msg) {
+	out := Msg{Type: act.Msg, Addr: a, Src: d.id, VNet: d.proto.VNetOf(act.Msg)}
+	switch act.Dst {
+	case ToMsgSrc:
+		out.Dst, out.Req = m.Src, m.Req
+	case ToMsgReq:
+		out.Dst, out.Req = m.Req, m.Req
+	case ToOwner:
+		if line.Owner == NoNode {
+			panic(fmt.Sprintf("spec: directory %s forwards to absent owner in state %s", d.proto.Name, line.State))
+		}
+		out.Dst, out.Req = line.Owner, m.Req
+	default:
+		panic(fmt.Sprintf("spec: directory send to %s", act.Dst))
+	}
+	if act.ReqFromMsgSrc {
+		out.Req = m.Src
+	}
+	switch act.Payload {
+	case PayloadMem:
+		out.Data, out.HasData = d.mem.Read(a), true
+	case PayloadMsg:
+		if m != nil {
+			out.Data, out.HasData = m.Data, true
+		}
+	}
+	if act.AckFromSharers {
+		out.Ack = ackCount(line, m.Req)
+	}
+	env.Send(out)
+}
+
+// invSharers sends the invalidation message to every sharer except the
+// requestor; acks flow to the requestor (carried in Req).
+func (d *DirInst) invSharers(env Env, a Addr, line *DirLine, act Action, m *Msg) {
+	targets := make([]NodeID, 0, len(line.Sharers))
+	for s := range line.Sharers {
+		if s != m.Req {
+			targets = append(targets, s)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	for _, s := range targets {
+		env.Send(Msg{Type: act.Msg, Addr: a, Src: d.id, Dst: s, Req: m.Req, VNet: d.proto.VNetOf(act.Msg)})
+	}
+}
+
+// Clone implements Component.
+func (d *DirInst) Clone() Component { return d.CloneDir(d.mem.Clone()) }
+
+// CloneWithMemory clones the directory onto an externally cloned shared
+// memory (hosts that snapshot the memory separately use this so the copy
+// stays connected).
+func (d *DirInst) CloneWithMemory(mem *Memory) Component { return d.CloneDir(mem) }
+
+// CloneDir deep-copies the directory onto the given memory (callers that
+// share memory across directories clone the memory once and pass it to
+// each).
+func (d *DirInst) CloneDir(mem *Memory) *DirInst {
+	cp := &DirInst{id: d.id, proto: d.proto, mem: mem,
+		lines: make(map[Addr]*DirLine, len(d.lines)), onTransition: d.onTransition}
+	for a, l := range d.lines {
+		nl := newDirLine(l.State)
+		nl.Owner = l.Owner
+		for s := range l.Sharers {
+			nl.Sharers[s] = true
+		}
+		nl.State = l.State
+		cp.lines[a] = nl
+	}
+	return cp
+}
+
+// Snapshot implements Component (memory is snapshotted separately by the
+// host, since it may be shared).
+func (d *DirInst) Snapshot(b *SnapshotWriter) {
+	fmt.Fprintf(b, "dir%d{", d.id)
+	addrs := make([]int, 0, len(d.lines))
+	for a := range d.lines {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	for _, ai := range addrs {
+		a := Addr(ai)
+		l := d.lines[a]
+		sh := make([]int, 0, len(l.Sharers))
+		for s := range l.Sharers {
+			sh = append(sh, int(s))
+		}
+		sort.Ints(sh)
+		fmt.Fprintf(b, "a%d:%s,o%d,s%v;", a, l.State, l.Owner, sh)
+	}
+	b.WriteString("}")
+}

@@ -1,0 +1,252 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func miniCache() *Machine {
+	return &Machine{
+		Name:   "mini-cache",
+		Kind:   CacheCtrl,
+		Init:   "I",
+		Stable: []State{"I", "V"},
+		Rows: []Transition{
+			{From: "I", On: OnCore(OpLoad), Actions: []Action{Send("Get", ToDir, PayloadNone)}, Next: "IV"},
+			{From: "IV", On: OnMsg("Data"), Actions: []Action{LoadMsgData, CoreDone}, Next: "V"},
+			{From: "V", On: OnCore(OpLoad), Actions: []Action{CoreDone}, Next: "V"},
+			{From: "V", On: OnCore(OpEvict), Next: "I"},
+		},
+	}
+}
+
+func miniDir() *Machine {
+	return &Machine{
+		Name:   "mini-dir",
+		Kind:   DirCtrl,
+		Init:   "V",
+		Stable: []State{"V"},
+		Rows: []Transition{
+			{From: "V", On: OnMsg("Get"), Actions: []Action{Send("Data", ToMsgSrc, PayloadMem)}, Next: "V"},
+		},
+	}
+}
+
+func miniProtocol() *Protocol {
+	return &Protocol{
+		Name:  "mini",
+		Model: "SC",
+		Cache: miniCache(),
+		Dir:   miniDir(),
+		Msgs: map[MsgType]MsgInfo{
+			"Get":  {VNet: VReq},
+			"Data": {VNet: VResp, CarriesData: true},
+		},
+	}
+}
+
+func TestMachineValidate(t *testing.T) {
+	if err := miniCache().Validate(); err != nil {
+		t.Fatalf("valid machine rejected: %v", err)
+	}
+	m := miniCache()
+	m.Init = ""
+	if err := m.Validate(); err == nil {
+		t.Error("missing init accepted")
+	}
+	m = miniCache()
+	m.Init = "IV" // transient init
+	if err := m.Validate(); err == nil {
+		t.Error("transient init accepted")
+	}
+	m = miniCache()
+	m.Rows = append(m.Rows, m.Rows[0]) // duplicate row
+	if err := m.Validate(); err == nil {
+		t.Error("duplicate row accepted")
+	}
+	m = miniCache()
+	m.Rows[0].Actions = []Action{AddSharer} // directory action in cache
+	if err := m.Validate(); err == nil {
+		t.Error("directory action in cache accepted")
+	}
+	d := miniDir()
+	d.Rows[0].Actions = []Action{CoreDone} // cache action in directory
+	if err := d.Validate(); err == nil {
+		t.Error("cache action in directory accepted")
+	}
+	d = miniDir()
+	d.Sync = map[CoreOp]SyncBehavior{OpFence: {}}
+	if err := d.Validate(); err == nil {
+		t.Error("directory with sync hooks accepted")
+	}
+	m = miniCache()
+	m.Rows[0].Next = ""
+	if err := m.Validate(); err == nil {
+		t.Error("empty next state accepted")
+	}
+}
+
+func TestMachineLookup(t *testing.T) {
+	m := miniCache()
+	if tr := m.OnCoreOp("I", OpLoad); tr == nil || tr.Next != "IV" {
+		t.Fatalf("OnCoreOp(I, Load) = %v", tr)
+	}
+	if tr := m.OnCoreOp("I", OpStore); tr != nil {
+		t.Error("unexpected store transition")
+	}
+	msg := &Msg{Type: "Data"}
+	if tr := m.OnMessage("IV", msg, MsgCtx{}); tr == nil || tr.Next != "V" {
+		t.Fatalf("OnMessage(IV, Data) = %v", tr)
+	}
+	if tr := m.OnMessage("I", msg, MsgCtx{}); tr != nil {
+		t.Error("stall expected in I")
+	}
+}
+
+func TestConditionalLookupPriority(t *testing.T) {
+	m := &Machine{
+		Name: "cond", Kind: DirCtrl, Init: "S", Stable: []State{"S"},
+		Rows: []Transition{
+			{From: "S", On: OnMsg("Put"), Next: "S"},                        // fallback
+			{From: "S", On: OnMsgCond("Put", CondFromOwner), Next: "OWNER"}, // conditional
+			{From: "S", On: OnMsgCond("Req", CondAckPos), Next: "POS"},
+			{From: "S", On: OnMsgCond("Req", CondAckZero), Next: "ZERO"},
+			{From: "S", On: OnMsgCond("Last", CondLastSharer), Next: "LAST"},
+			{From: "S", On: OnMsgCond("Last", CondNotLastSharer), Next: "MORE"},
+		},
+	}
+	if tr := m.OnMessage("S", &Msg{Type: "Put"}, MsgCtx{IsOwner: true}); tr.Next != "OWNER" {
+		t.Errorf("conditional row not preferred: %v", tr)
+	}
+	if tr := m.OnMessage("S", &Msg{Type: "Put"}, MsgCtx{}); tr.Next != "S" {
+		t.Errorf("fallback not used: %v", tr)
+	}
+	if tr := m.OnMessage("S", &Msg{Type: "Req", Ack: 3}, MsgCtx{}); tr.Next != "POS" {
+		t.Errorf("ack>0 row not matched: %v", tr)
+	}
+	if tr := m.OnMessage("S", &Msg{Type: "Req"}, MsgCtx{}); tr.Next != "ZERO" {
+		t.Errorf("ack=0 row not matched: %v", tr)
+	}
+	if tr := m.OnMessage("S", &Msg{Type: "Last"}, MsgCtx{IsLastSharer: true}); tr.Next != "LAST" {
+		t.Errorf("last-sharer row not matched: %v", tr)
+	}
+	if tr := m.OnMessage("S", &Msg{Type: "Last"}, MsgCtx{}); tr.Next != "MORE" {
+		t.Errorf("not-last-sharer row not matched: %v", tr)
+	}
+}
+
+func TestMachineStatesAndClone(t *testing.T) {
+	m := miniCache()
+	states := m.States()
+	if states[0] != "I" || states[1] != "V" || states[2] != "IV" {
+		t.Errorf("states = %v", states)
+	}
+	cp := m.Clone()
+	cp.Rows[0].Next = "ZZ"
+	if m.Rows[0].Next == "ZZ" {
+		t.Error("clone aliases rows")
+	}
+	if !m.IsStable("I") || m.IsStable("IV") {
+		t.Error("IsStable wrong")
+	}
+	if len(m.TransitionsFrom("V")) != 2 {
+		t.Errorf("TransitionsFrom(V) = %d rows", len(m.TransitionsFrom("V")))
+	}
+	if !strings.Contains(m.Format(), "mini-cache") {
+		t.Error("Format missing name")
+	}
+}
+
+func TestProtocolValidate(t *testing.T) {
+	p := miniProtocol()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid protocol rejected: %v", err)
+	}
+	p = miniProtocol()
+	delete(p.Msgs, "Data")
+	if err := p.Validate(); err == nil {
+		t.Error("undeclared message accepted")
+	}
+	p = miniProtocol()
+	p.Model = "XXX"
+	if err := p.Validate(); err == nil {
+		t.Error("unknown model accepted")
+	}
+	p = miniProtocol()
+	p.AckType = "Nack"
+	if err := p.Validate(); err == nil {
+		t.Error("undeclared ack type accepted")
+	}
+	p = miniProtocol()
+	p.Dir = nil
+	if err := p.Validate(); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+func TestStringMethods(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{OpLoad.String(), "Load"},
+		{OpEvict.String(), "Evict"},
+		{CondAckPos.String(), "ack>0"},
+		{CondFromOwner.String(), "from-owner"},
+		{OnCore(OpStore).String(), "Store"},
+		{OnMsgCond("Data", CondAckZero).String(), "Data[ack=0]"},
+		{Send("Get", ToDir, PayloadNone).String(), "send(Get→dir,-)"},
+		{Fwd("FwdGet").String(), "send(FwdGet→owner,-){fwdreq}"},
+		{InvSharers("Inv").String(), "invSharers(Inv)"},
+		{CoreDone.String(), "coreDone"},
+		{CacheCtrl.String(), "cache"},
+		{DirCtrl.String(), "directory"},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Errorf("case %d: got %q want %q", i, c.got, c.want)
+		}
+	}
+	m := Msg{Type: "Data", Addr: 3, Src: 1, Dst: 2, Data: 7, HasData: true, Ack: 2}
+	s := m.String()
+	if !strings.Contains(s, "Data a3 1->2") || !strings.Contains(s, "data=7") || !strings.Contains(s, "ack=2") {
+		t.Errorf("Msg.String() = %q", s)
+	}
+	r := CoreReq{Op: OpStore, Addr: 1, Value: 9}
+	if r.String() != "Store a1=9" {
+		t.Errorf("CoreReq.String() = %q", r.String())
+	}
+	if CoreReq.String(CoreReq{Op: OpFence}) != "Fence" {
+		t.Error("sync CoreReq string wrong")
+	}
+}
+
+func TestTransitionString(t *testing.T) {
+	tr := Transition{From: "I", On: OnCore(OpLoad), Actions: []Action{CoreDone}, Next: "V"}
+	if got := tr.String(); got != "I --Load/[coreDone]--> V" {
+		t.Errorf("Transition.String() = %q", got)
+	}
+}
+
+func TestMemory(t *testing.T) {
+	m := NewMemory()
+	if m.Read(5) != 0 {
+		t.Error("fresh memory not zero")
+	}
+	m.Write(5, 9)
+	if m.Read(5) != 9 {
+		t.Error("write lost")
+	}
+	cp := m.Clone()
+	cp.Write(5, 1)
+	if m.Read(5) != 9 {
+		t.Error("clone aliases storage")
+	}
+	// Writing the init value keeps the map canonical.
+	m.Write(5, 0)
+	var a, b SnapshotWriter
+	m.Snapshot(&a)
+	NewMemory().Snapshot(&b)
+	if a.String() != b.String() {
+		t.Errorf("canonical snapshot broken: %q vs %q", a.String(), b.String())
+	}
+}

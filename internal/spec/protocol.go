@@ -1,0 +1,187 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"heterogen/internal/memmodel"
+)
+
+// ProtocolClass flags protocol families HeteroGen cannot fuse (§VI-E1).
+type ProtocolClass int
+
+const (
+	// ClassInvalidation covers writer-initiated invalidation and
+	// self-invalidation protocols — everything HeteroGen supports.
+	ClassInvalidation ProtocolClass = iota
+	// ClassUpdate marks update-based protocols (unsupported: the notion of
+	// write permissions is incompatible with propagating every write).
+	ClassUpdate
+	// ClassLease marks lease/timestamp protocols such as Tardis
+	// (unsupported: read permissions are incompatible with expiring leases).
+	ClassLease
+)
+
+func (c ProtocolClass) String() string {
+	switch c {
+	case ClassInvalidation:
+		return "invalidation"
+	case ClassUpdate:
+		return "update"
+	case ClassLease:
+		return "lease"
+	}
+	return fmt.Sprintf("ProtocolClass(%d)", int(c))
+}
+
+// Protocol bundles one cluster's coherence protocol: its cache and directory
+// controllers, message declarations, and the consistency model its coherence
+// interface enforces (§II-B).
+type Protocol struct {
+	Name  string
+	Model memmodel.ID
+	Class ProtocolClass
+	Cache *Machine
+	Dir   *Machine
+	// Msgs declares every message type the protocol uses.
+	Msgs map[MsgType]MsgInfo
+	// AckType is the invalidation-acknowledgment message counted by the
+	// runtime's automatic ack bookkeeping ("" if the protocol has none).
+	AckType MsgType
+}
+
+// EvLastAck is the runtime-synthesized event delivered when a line's
+// invalidation-ack balance reaches zero while armed. Protocol tables
+// reference it via OnLastAck.
+const EvLastAck MsgType = "__lastack"
+
+// OnLastAck is the event for the final invalidation acknowledgment.
+func OnLastAck() Event { return OnMsg(EvLastAck) }
+
+// Validate checks the protocol's machines and message references.
+func (p *Protocol) Validate() error {
+	if p.Cache == nil || p.Dir == nil {
+		return fmt.Errorf("spec: protocol %s missing a controller", p.Name)
+	}
+	if p.Cache.Kind != CacheCtrl || p.Dir.Kind != DirCtrl {
+		return fmt.Errorf("spec: protocol %s controllers have wrong kinds", p.Name)
+	}
+	if err := p.Cache.Validate(); err != nil {
+		return err
+	}
+	if err := p.Dir.Validate(); err != nil {
+		return err
+	}
+	if _, err := memmodel.ByID(p.Model); err != nil {
+		return fmt.Errorf("spec: protocol %s: %w", p.Name, err)
+	}
+	check := func(m *Machine) error {
+		for _, t := range m.Rows {
+			if !t.On.IsCore() && t.On.Msg != EvLastAck {
+				if _, ok := p.Msgs[t.On.Msg]; !ok {
+					return fmt.Errorf("spec: protocol %s machine %s references undeclared message %s", p.Name, m.Name, t.On.Msg)
+				}
+			}
+			for _, a := range t.Actions {
+				if (a.Op == ActSend || a.Op == ActInvSharers) && a.Msg != "" {
+					if _, ok := p.Msgs[a.Msg]; !ok {
+						return fmt.Errorf("spec: protocol %s machine %s sends undeclared message %s", p.Name, m.Name, a.Msg)
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := check(p.Cache); err != nil {
+		return err
+	}
+	if err := check(p.Dir); err != nil {
+		return err
+	}
+	if p.AckType != "" {
+		if _, ok := p.Msgs[p.AckType]; !ok {
+			return fmt.Errorf("spec: protocol %s ack type %s undeclared", p.Name, p.AckType)
+		}
+	}
+	return nil
+}
+
+// MsgTypes returns the protocol's message types in sorted order.
+func (p *Protocol) MsgTypes() []MsgType {
+	out := make([]MsgType, 0, len(p.Msgs))
+	for t := range p.Msgs {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VNetOf returns the virtual network of a message type (VResp for the
+// synthetic last-ack event, which never travels).
+func (p *Protocol) VNetOf(t MsgType) VNet {
+	if info, ok := p.Msgs[t]; ok {
+		return info.VNet
+	}
+	return VResp
+}
+
+// Clone deep-copies the protocol, so fusion can rewrite without aliasing.
+func (p *Protocol) Clone() *Protocol {
+	cp := &Protocol{
+		Name:    p.Name,
+		Model:   p.Model,
+		Class:   p.Class,
+		Cache:   p.Cache.Clone(),
+		Dir:     p.Dir.Clone(),
+		Msgs:    make(map[MsgType]MsgInfo, len(p.Msgs)),
+		AckType: p.AckType,
+	}
+	for t, i := range p.Msgs {
+		cp.Msgs[t] = i
+	}
+	return cp
+}
+
+// Memory is the shared backing store behind one or more directories. All
+// locations initially hold memmodel.InitValue.
+type Memory struct {
+	vals map[Addr]int
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{vals: map[Addr]int{}} }
+
+// Read returns the value at addr.
+func (m *Memory) Read(a Addr) int { return m.vals[a] }
+
+// Write stores v at addr.
+func (m *Memory) Write(a Addr, v int) {
+	if v == memmodel.InitValue {
+		delete(m.vals, a) // keep the map canonical for state hashing
+		return
+	}
+	m.vals[a] = v
+}
+
+// Clone deep-copies the memory.
+func (m *Memory) Clone() *Memory {
+	cp := NewMemory()
+	for a, v := range m.vals {
+		cp.vals[a] = v
+	}
+	return cp
+}
+
+// Snapshot appends a canonical encoding of the memory to b.
+func (m *Memory) Snapshot(b *SnapshotWriter) {
+	addrs := make([]int, 0, len(m.vals))
+	for a := range m.vals {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	b.WriteString("mem{")
+	for _, a := range addrs {
+		fmt.Fprintf(b, "%d=%d;", a, m.vals[Addr(a)])
+	}
+	b.WriteString("}")
+}

@@ -1,0 +1,250 @@
+// Package workload generates synthetic per-core memory traces modeled on
+// the 13 fine-grained-synchronization benchmarks of the HCC evaluation
+// (cilk5-{cs,lu,mm,mt,nq}, ligra-{bc,bf,bfs,bfsbv,cc,mis,radii,tc}).
+//
+// We cannot run the Cilk/Ligra binaries; instead each benchmark is a
+// parameter point controlling the access properties that drive the §VIII
+// comparison: the fraction of communicating reads (reads of blocks recently
+// written by the other cluster — where HeteroGen's eschewed handshakes pay
+// off), write burstiness and false sharing (where handshakes keep a block
+// home long enough to absorb a burst), synchronization rate, sharing
+// degree and working-set size.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"heterogen/internal/spec"
+)
+
+// TraceOp is one trace entry: Gap non-memory cycles, then the request.
+type TraceOp struct {
+	Gap int
+	Req spec.CoreReq
+}
+
+// CoreTrace is one core's operation stream.
+type CoreTrace []TraceOp
+
+// Workload is a named set of per-core traces.
+type Workload struct {
+	Name   string
+	Traces []CoreTrace
+}
+
+// Params parameterizes a benchmark's synthetic behavior.
+type Params struct {
+	Name string
+	// OpsPerCore is the memory-operation count per core.
+	OpsPerCore int
+	// ReadFrac is the fraction of shared accesses that are reads.
+	ReadFrac float64
+	// SharedFrac is the fraction of accesses touching shared blocks.
+	SharedFrac float64
+	// SharedBlocks sizes the shared region.
+	SharedBlocks int
+	// PrivateBlocks sizes each core's private working set.
+	PrivateBlocks int
+	// CommReadFrac is the fraction of shared reads directed at blocks the
+	// *other* cluster predominantly writes (communicating reads).
+	CommReadFrac float64
+	// WriteBurst is the run length of consecutive stores to one block.
+	WriteBurst int
+	// FalseSharing is the probability a shared write targets one of a few
+	// hot contended blocks.
+	FalseSharing float64
+	// SyncPeriod inserts an acquire/release pair on the RC cluster every
+	// so many shared accesses (fine-grained synchronization).
+	SyncPeriod int
+	// MaxGap bounds the random non-memory gap between operations.
+	MaxGap int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Benchmarks returns the 13 HCC benchmark parameter points.
+func Benchmarks() []Params {
+	base := Params{
+		OpsPerCore: 220, ReadFrac: 0.7, SharedFrac: 0.3,
+		SharedBlocks: 64, PrivateBlocks: 48,
+		CommReadFrac: 0.3, WriteBurst: 1, FalseSharing: 0.05,
+		SyncPeriod: 16, MaxGap: 6,
+	}
+	mk := func(name string, mut func(*Params)) Params {
+		p := base
+		p.Name = name
+		p.Seed = int64(len(name))*7919 + 17
+		mut(&p)
+		return p
+	}
+	return []Params{
+		mk("cilk5-cs", func(p *Params) { p.SharedFrac = 0.25; p.CommReadFrac = 0.35 }),
+		mk("cilk5-lu", func(p *Params) { p.CommReadFrac = 0.75; p.ReadFrac = 0.8; p.SharedFrac = 0.4 }),
+		mk("cilk5-mm", func(p *Params) { p.SharedFrac = 0.2; p.ReadFrac = 0.85; p.PrivateBlocks = 56 }),
+		mk("cilk5-mt", func(p *Params) { p.SharedFrac = 0.22; p.CommReadFrac = 0.25 }),
+		mk("cilk5-nq", func(p *Params) { p.CommReadFrac = 0.8; p.ReadFrac = 0.8; p.SharedFrac = 0.45 }),
+		mk("ligra-bc", func(p *Params) { p.SharedFrac = 0.35; p.WriteBurst = 2; p.FalseSharing = 0.12 }),
+		mk("ligra-bf", func(p *Params) {
+			p.WriteBurst = 12
+			p.FalseSharing = 0.5
+			p.ReadFrac = 0.35
+			p.CommReadFrac = 0.05
+			p.SharedBlocks = 32
+			p.MaxGap = 8
+		}),
+		mk("ligra-bfs", func(p *Params) { p.WriteBurst = 2; p.FalseSharing = 0.15; p.CommReadFrac = 0.3 }),
+		mk("ligra-bfsbv", func(p *Params) {
+			p.WriteBurst = 14
+			p.FalseSharing = 0.55
+			p.ReadFrac = 0.3
+			p.CommReadFrac = 0.04
+			p.SharedBlocks = 24
+			p.MaxGap = 8
+		}),
+		mk("ligra-cc", func(p *Params) { p.SharedFrac = 0.4; p.WriteBurst = 2; p.FalseSharing = 0.1 }),
+		mk("ligra-mis", func(p *Params) { p.SharedFrac = 0.35; p.CommReadFrac = 0.4; p.WriteBurst = 2 }),
+		mk("ligra-radii", func(p *Params) { p.SharedFrac = 0.3; p.CommReadFrac = 0.45 }),
+		mk("ligra-tc", func(p *Params) { p.ReadFrac = 0.9; p.SharedFrac = 0.5; p.CommReadFrac = 0.35 }),
+	}
+}
+
+// BenchmarkByName returns the named benchmark parameters.
+func BenchmarkByName(name string) (Params, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Params{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Layout describes the machine the trace targets.
+type Layout struct {
+	BigCores  int // cluster 0 (MESI)
+	TinyCores int // cluster 1 (RCC-O / DeNovo-like)
+}
+
+// hotBlocks is the size of the falsely-shared contended set.
+const hotBlocks = 4
+
+// Generate builds the per-core traces for a benchmark on the layout.
+// Address map: shared blocks occupy [0, SharedBlocks); block 0..hotBlocks-1
+// are the contended set; the low half of the remainder is predominantly
+// written by the big cluster, the high half by the tiny cluster (so
+// "communicating reads" cross clusters). Private blocks start at 4096 +
+// core*PrivateBlocks.
+func Generate(p Params, l Layout) *Workload {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := l.BigCores + l.TinyCores
+	wl := &Workload{Name: p.Name, Traces: make([]CoreTrace, n)}
+	shared := p.SharedBlocks
+	if shared < 2*hotBlocks {
+		shared = 2 * hotBlocks
+	}
+	half := (shared - hotBlocks) / 2
+	bigRegion := func(i int) spec.Addr { return spec.Addr(hotBlocks + i%half) }
+	tinyRegion := func(i int) spec.Addr { return spec.Addr(hotBlocks + half + i%half) }
+
+	for c := 0; c < n; c++ {
+		big := c < l.BigCores
+		privBase := spec.Addr(4096 + c*p.PrivateBlocks)
+		var tr CoreTrace
+		sharedSince := 0
+		emit := func(req spec.CoreReq) {
+			tr = append(tr, TraceOp{Gap: rng.Intn(p.MaxGap + 1), Req: req})
+		}
+		for len(tr) < p.OpsPerCore {
+			if rng.Float64() >= p.SharedFrac {
+				// Private access: mostly reads with temporal locality.
+				a := privBase + spec.Addr(rng.Intn(p.PrivateBlocks))
+				if rng.Float64() < 0.8 {
+					emit(spec.CoreReq{Op: spec.OpLoad, Addr: a})
+				} else {
+					emit(spec.CoreReq{Op: spec.OpStore, Addr: a, Value: rng.Intn(64)})
+				}
+				continue
+			}
+			sharedSince++
+			if !big && p.SyncPeriod > 0 && sharedSince%p.SyncPeriod == 0 {
+				// Fine-grained synchronization on the RC cluster.
+				emit(spec.CoreReq{Op: spec.OpRelease})
+				emit(spec.CoreReq{Op: spec.OpAcquire})
+			}
+			if rng.Float64() < p.ReadFrac {
+				// Shared read; communicating reads target the region the
+				// other cluster writes.
+				var a spec.Addr
+				if rng.Float64() < p.CommReadFrac {
+					if big {
+						a = tinyRegion(rng.Intn(half))
+					} else {
+						a = bigRegion(rng.Intn(half))
+					}
+				} else if big {
+					a = bigRegion(rng.Intn(half))
+				} else {
+					a = tinyRegion(rng.Intn(half))
+				}
+				emit(spec.CoreReq{Op: spec.OpLoad, Addr: a})
+				continue
+			}
+			// Shared write: possibly a burst, possibly to a hot
+			// falsely-shared block.
+			var a spec.Addr
+			if rng.Float64() < p.FalseSharing {
+				a = spec.Addr(rng.Intn(hotBlocks))
+			} else if big {
+				a = bigRegion(rng.Intn(half))
+			} else {
+				a = tinyRegion(rng.Intn(half))
+			}
+			burst := 1
+			if p.WriteBurst > 1 {
+				burst = 1 + rng.Intn(p.WriteBurst)
+			}
+			for b := 0; b < burst && len(tr) < p.OpsPerCore; b++ {
+				emit(spec.CoreReq{Op: spec.OpStore, Addr: a, Value: rng.Intn(64)})
+			}
+		}
+		wl.Traces[c] = tr
+	}
+	return wl
+}
+
+// Scale shrinks every trace to frac of its length (for quick tests).
+func (w *Workload) Scale(frac float64) *Workload {
+	if frac >= 1 {
+		return w
+	}
+	out := &Workload{Name: w.Name, Traces: make([]CoreTrace, len(w.Traces))}
+	for i, tr := range w.Traces {
+		n := int(float64(len(tr)) * frac)
+		if n < 4 {
+			n = 4
+		}
+		if n > len(tr) {
+			n = len(tr)
+		}
+		out.Traces[i] = tr[:n]
+	}
+	return out
+}
+
+// Stats summarizes a workload for docs output.
+func (w *Workload) Stats() (ops, loads, stores, syncs int) {
+	for _, tr := range w.Traces {
+		for _, op := range tr {
+			ops++
+			switch op.Req.Op {
+			case spec.OpLoad:
+				loads++
+			case spec.OpStore:
+				stores++
+			default:
+				syncs++
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"heterogen/internal/spec"
+)
+
+func TestBenchmarkNames(t *testing.T) {
+	want := []string{
+		"cilk5-cs", "cilk5-lu", "cilk5-mm", "cilk5-mt", "cilk5-nq",
+		"ligra-bc", "ligra-bf", "ligra-bfs", "ligra-bfsbv", "ligra-cc",
+		"ligra-mis", "ligra-radii", "ligra-tc",
+	}
+	got := Benchmarks()
+	if len(got) != len(want) {
+		t.Fatalf("%d benchmarks, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		if p.Name != want[i] {
+			t.Errorf("benchmark %d = %s, want %s", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestCommunicatingReadParameters(t *testing.T) {
+	// The paper's narrative: nq and lu spend significant time on
+	// communicating reads; bf and bfsbv are write-burst/false-sharing
+	// heavy. The parameter points must reflect that.
+	byName := map[string]Params{}
+	for _, p := range Benchmarks() {
+		byName[p.Name] = p
+	}
+	if byName["cilk5-nq"].CommReadFrac <= byName["ligra-bf"].CommReadFrac {
+		t.Error("nq should be more communicating-read-heavy than bf")
+	}
+	if byName["ligra-bf"].WriteBurst <= byName["cilk5-nq"].WriteBurst {
+		t.Error("bf should be more write-bursty than nq")
+	}
+	if byName["ligra-bfsbv"].FalseSharing <= byName["cilk5-lu"].FalseSharing {
+		t.Error("bfsbv should have more false sharing than lu")
+	}
+}
+
+// genParams builds random valid parameter points for property tests.
+type genParams struct{ p Params }
+
+func (genParams) Generate(r *rand.Rand, _ int) reflect.Value {
+	p := Params{
+		Name:          "prop",
+		OpsPerCore:    20 + r.Intn(200),
+		ReadFrac:      r.Float64(),
+		SharedFrac:    r.Float64(),
+		SharedBlocks:  8 + r.Intn(64),
+		PrivateBlocks: 4 + r.Intn(64),
+		CommReadFrac:  r.Float64(),
+		WriteBurst:    1 + r.Intn(6),
+		FalseSharing:  r.Float64() * 0.5,
+		SyncPeriod:    4 + r.Intn(32),
+		MaxGap:        r.Intn(10),
+		Seed:          r.Int63(),
+	}
+	return reflect.ValueOf(genParams{p})
+}
+
+// TestPropTraceShape: every generated trace meets the structural
+// contract — within the op budget (plus sync overhead), valid ops only,
+// private regions disjoint per core.
+func TestPropTraceShape(t *testing.T) {
+	l := Layout{BigCores: 2, TinyCores: 6}
+	f := func(g genParams) bool {
+		wl := Generate(g.p, l)
+		if len(wl.Traces) != 8 {
+			return false
+		}
+		for c, tr := range wl.Traces {
+			if len(tr) < g.p.OpsPerCore || len(tr) > g.p.OpsPerCore+2*g.p.OpsPerCore/max(1, g.p.SyncPeriod)+4 {
+				return false
+			}
+			for _, op := range tr {
+				switch op.Req.Op {
+				case spec.OpLoad, spec.OpStore:
+					a := int(op.Req.Addr)
+					shared := a >= 0 && a < maxShared(g.p)
+					private := a >= 4096+c*g.p.PrivateBlocks && a < 4096+(c+1)*g.p.PrivateBlocks
+					if !shared && !private {
+						return false // touched another core's region
+					}
+				case spec.OpAcquire, spec.OpRelease:
+					if c < l.BigCores {
+						return false // sync only on the RC cluster
+					}
+				default:
+					return false
+				}
+				if op.Gap < 0 || op.Gap > g.p.MaxGap {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func maxShared(p Params) int {
+	s := p.SharedBlocks
+	if s < 2*hotBlocks {
+		s = 2 * hotBlocks
+	}
+	return s
+}
+
+// TestPropDeterministic: identical parameters generate identical traces.
+func TestPropDeterministic(t *testing.T) {
+	l := Layout{BigCores: 1, TinyCores: 3}
+	f := func(g genParams) bool {
+		a := Generate(g.p, l)
+		b := Generate(g.p, l)
+		for i := range a.Traces {
+			if len(a.Traces[i]) != len(b.Traces[i]) {
+				return false
+			}
+			for j := range a.Traces[i] {
+				if a.Traces[i][j] != b.Traces[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleBounds(t *testing.T) {
+	p, _ := BenchmarkByName("ligra-tc")
+	wl := Generate(p, Layout{BigCores: 1, TinyCores: 1})
+	for _, frac := range []float64{0.01, 0.5, 0.99} {
+		s := wl.Scale(frac)
+		for i := range s.Traces {
+			if len(s.Traces[i]) < 4 || len(s.Traces[i]) > len(wl.Traces[i]) {
+				t.Errorf("scale %f trace %d length %d", frac, i, len(s.Traces[i]))
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
