@@ -1,0 +1,31 @@
+# Convenience targets for the HeteroGen repo. Everything is standard
+# library Go; `make check` is the gate new changes must pass.
+
+GO ?= go
+
+.PHONY: all build test check race bench vet
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages the parallel search touches (the model checker
+# and the litmus suite pool).
+race:
+	$(GO) test -race ./internal/mcheck/... ./internal/litmus/...
+
+# The verification gate: vet plus race-checked tests of the concurrent
+# packages.
+check: vet race
+
+# Regenerate the performance numbers in BENCH_PARALLEL.json / README.
+# Heavy: the §VII-C workload is ~1.1M states per case.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkExploreParallel|BenchmarkLitmusSuiteParallel' -benchtime 1x -timeout 30m .

@@ -15,6 +15,7 @@ package heterogen
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"heterogen/internal/armor"
@@ -294,6 +295,74 @@ func BenchmarkStateExploration(b *testing.B) {
 		states = res.States
 	}
 	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkExploreParallel measures the worker-pool frontier search on the
+// §VII-C fused reachability configuration across worker counts and visited-
+// set encodings. workers=1/snapshot is the pre-parallel baseline; the
+// workers=N/binary row is the production configuration.
+func BenchmarkExploreParallel(b *testing.B) {
+	f, err := core.Fuse(core.Options{},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Freeze()
+	cases := []struct {
+		name    string
+		workers int
+		enc     mcheck.Encoding
+	}{
+		{"workers=1/snapshot", 1, mcheck.EncodingSnapshot},
+		{"workers=1/binary", 1, mcheck.EncodingBinary},
+		{fmt.Sprintf("workers=%d/binary", runtime.NumCPU()), runtime.NumCPU(), mcheck.EncodingBinary},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				sys, _ := core.BuildSystem(f, []int{1, 1})
+				sys.SetPrograms(deadlockDriver(2, 2))
+				res := mcheck.Explore(sys, mcheck.Options{
+					Evictions: true, HashCompaction: true,
+					Workers: tc.workers, Encoding: tc.enc})
+				if res.Deadlocks > 0 || res.Truncated {
+					b.Fatalf("deadlocks=%d truncated=%t", res.Deadlocks, res.Truncated)
+				}
+				states = res.States
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkLitmusSuiteParallel measures the suite worker pool on the
+// 2-thread shapes over every Table II pair (the BenchmarkLitmusSuite
+// workload routed through RunSuite).
+func BenchmarkLitmusSuiteParallel(b *testing.B) {
+	var pairs [][]*spec.Protocol
+	for _, pair := range core.TableIIPairs() {
+		pairs = append(pairs, []*spec.Protocol{
+			protocols.MustByName(pair[0]), protocols.MustByName(pair[1])})
+	}
+	for _, w := range []int{1, runtime.NumCPU()} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var tests int
+			for i := 0; i < b.N; i++ {
+				rep, err := litmus.RunSuite(pairs, litmus.Options{MaxThreads: 2, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Failed() > 0 {
+					b.Fatalf("litmus failures:\n%s", rep)
+				}
+				tests = len(rep.Results)
+			}
+			b.ReportMetric(float64(tests), "tests")
+		})
+	}
 }
 
 // BenchmarkFusion measures the synthesis step itself (analysis + fusion).

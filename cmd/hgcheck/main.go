@@ -28,9 +28,16 @@ func main() {
 	addrs := flag.Int("addrs", 2, "addresses in the driver workload")
 	hash := flag.Bool("hash", true, "use state-hash compaction")
 	maxStates := flag.Int("max-states", 8<<20, "state budget")
+	workers := flag.Int("workers", 0, "search workers (0 = all cores, 1 = sequential deterministic order)")
+	encoding := flag.String("encoding", "binary", "visited-set state encoding: binary or snapshot")
 	flag.Parse()
 
-	if err := run(*proto, *pairFlag, *caches, *addrs, *hash, *maxStates); err != nil {
+	enc, err := mcheck.ParseEncoding(*encoding)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgcheck:", err)
+		os.Exit(1)
+	}
+	if err := run(*proto, *pairFlag, *caches, *addrs, *hash, *maxStates, *workers, enc); err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
@@ -51,7 +58,7 @@ func driver(cores, addrs int) [][]spec.CoreReq {
 	return progs
 }
 
-func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates int) error {
+func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, workers int, enc mcheck.Encoding) error {
 	var sys *mcheck.System
 	var name string
 	switch {
@@ -91,15 +98,16 @@ func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates int) er
 	}
 
 	res := mcheck.Explore(sys, mcheck.Options{
-		Evictions: true, HashCompaction: hash, MaxStates: maxStates})
-	fmt.Printf("%s: %d states, %d transitions, %d deadlocks, truncated=%t\n",
-		name, res.States, res.Transitions, res.Deadlocks, res.Truncated)
+		Evictions: true, HashCompaction: hash, MaxStates: maxStates,
+		Workers: workers, Encoding: enc})
+	fmt.Printf("%s: %s\n", name, res)
 	if res.Deadlocks > 0 {
 		fmt.Println("first deadlock state:", res.DeadlockAt)
 		return fmt.Errorf("deadlock found")
 	}
 	if res.Truncated {
-		return fmt.Errorf("state budget exhausted (raise -max-states)")
+		return fmt.Errorf("state budget MaxStates=%d exhausted after expanding %d states (raise -max-states)",
+			res.MaxStates, res.States)
 	}
 	fmt.Println("deadlock-free (exhaustive)")
 	return nil

@@ -1,7 +1,9 @@
 // Command hglitmus runs heterogeneous litmus testing (§VII-B): the classic
 // shapes, translated per cluster model, over thread→cluster allocations,
 // validated exhaustively against the compound consistency model. The
-// report mirrors the artifact's Test_Result.txt.
+// report mirrors the artifact's Test_Result.txt. Independent tests are
+// spread over a worker pool (-workers); each line reports the test's
+// wall-clock time.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	hglitmus -pair MESI,RCC-O        # one pair
 //	hglitmus -shape MP,SB            # selected shapes
 //	hglitmus -all-allocs -evict      # every allocation, with replacements
+//	hglitmus -workers 1              # sequential (deterministic timing)
 package main
 
 import (
@@ -19,8 +22,10 @@ import (
 
 	"heterogen/internal/core"
 	"heterogen/internal/litmus"
+	"heterogen/internal/mcheck"
 	"heterogen/internal/memmodel"
 	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
 )
 
 func main() {
@@ -31,6 +36,8 @@ func main() {
 	allAllocs := flag.Bool("all-allocs", false, "every thread→cluster allocation (default: heterogeneous only)")
 	evict := flag.Bool("evict", false, "explore replacements at any time")
 	maxThreads := flag.Int("max-threads", 3, "skip shapes with more threads (IRIW=4 is expensive)")
+	workers := flag.Int("workers", 0, "test-level worker pool (0 = all cores, 1 = sequential)")
+	encoding := flag.String("encoding", "binary", "model-checker state encoding: binary or snapshot")
 	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
 	flag.Parse()
 
@@ -43,13 +50,23 @@ func main() {
 		fmt.Print(litmus.FormatVerdicts(vs))
 		return
 	}
-	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads); err != nil {
+	enc, err := mcheck.ParseEncoding(*encoding)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hglitmus:", err)
+		os.Exit(1)
+	}
+	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads, *workers, enc); err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
 }
 
-func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads int) error {
+// printResult renders one verdict line with its wall-clock time.
+func printResult(r *litmus.Result) {
+	fmt.Printf("%s %8.1fms\n", r, float64(r.Elapsed.Microseconds())/1000)
+}
+
+func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads, workers int, enc mcheck.Encoding) error {
 	var pairs [][2]string
 	if pairFlag != "" {
 		parts := strings.Split(pairFlag, ",")
@@ -61,17 +78,15 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		pairs = core.TableIIPairs()
 	}
 
-	shapes := litmus.Shapes()
+	var shapes []litmus.Shape
 	if shapeFlag != "" {
-		var sel []litmus.Shape
 		for _, name := range strings.Split(shapeFlag, ",") {
 			s, ok := litmus.ShapeByName(name)
 			if !ok {
 				return fmt.Errorf("unknown shape %q", name)
 			}
-			sel = append(sel, s)
+			shapes = append(shapes, s)
 		}
-		shapes = sel
 	}
 	if fileFlag != "" {
 		src, err := os.ReadFile(fileFlag)
@@ -85,19 +100,23 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		shapes = []litmus.Shape{pt.Shape()}
 	}
 
-	opts0 := litmus.Options{Evictions: evict, AllAllocations: allAllocs}
 	if protoFlag != "" {
 		p, err := protocols.ByName(protoFlag)
 		if err != nil {
 			return err
 		}
+		opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs, Encoding: enc}
+		sel := shapes
+		if sel == nil {
+			sel = litmus.Shapes()
+		}
 		failed := 0
-		for _, shape := range shapes {
+		for _, shape := range sel {
 			if len(shape.Prog().Threads) > maxThreads {
 				continue
 			}
-			r := litmus.RunHomogeneous(p, shape, opts0)
-			fmt.Println(r)
+			r := litmus.RunHomogeneous(p, shape, opts)
+			printResult(r)
 			if !r.Pass() {
 				failed++
 			}
@@ -108,8 +127,7 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		return nil
 	}
 
-	opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs}
-	report := &litmus.SuiteReport{}
+	var protoPairs [][]*spec.Protocol
 	for _, pr := range pairs {
 		a, err := protocols.ByName(pr[0])
 		if err != nil {
@@ -119,21 +137,17 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		if err != nil {
 			return err
 		}
-		f, err := core.Fuse(core.Options{}, a, b)
-		if err != nil {
-			return err
-		}
-		for _, shape := range shapes {
-			threads := len(shape.Prog().Threads)
-			if threads > maxThreads {
-				continue
-			}
-			for _, assign := range litmus.Allocations(threads, 2, allAllocs) {
-				r := litmus.RunFused(f, shape, assign, opts)
-				report.Results = append(report.Results, r)
-				fmt.Println(r)
-			}
-		}
+		protoPairs = append(protoPairs, []*spec.Protocol{a, b})
+	}
+	report, err := litmus.RunSuite(protoPairs, litmus.Options{
+		Evictions: evict, AllAllocations: allAllocs, MaxThreads: maxThreads,
+		Shapes: shapes, Workers: workers, Encoding: enc,
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range report.Results {
+		printResult(r)
 	}
 	fmt.Printf("litmus: %d tests, %d passed, %d failed\n",
 		len(report.Results), report.Passed(), report.Failed())

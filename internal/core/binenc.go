@@ -1,0 +1,115 @@
+package core
+
+import (
+	"sort"
+
+	"heterogen/internal/spec"
+)
+
+// Binary state encoding for the merged directory — the fast-path
+// counterpart of MergedDir.Snapshot used by the model checker's visited
+// set. Field-for-field it encodes exactly what Snapshot prints (no more,
+// no less), so the two encodings distinguish exactly the same states.
+
+func (t *proxyTask) appendBinary(buf []byte) []byte {
+	buf = spec.AppendInt(buf, t.cluster)
+	buf = spec.AppendInt(buf, t.proxyIdx)
+	buf = spec.AppendInt(buf, t.idx)
+	buf = spec.AppendBool(buf, t.issued)
+	buf = spec.AppendBool(buf, t.evicting)
+	buf = spec.AppendBool(buf, t.done)
+	return buf
+}
+
+func (br *bridge) appendBinary(buf []byte) []byte {
+	buf = spec.AppendInt(buf, int(br.addr))
+	buf = spec.AppendInt(buf, br.origin)
+	buf = spec.AppendInt(buf, int(br.phase))
+	buf = spec.AppendBool(buf, br.isWrite)
+	buf = spec.AppendInt(buf, br.value)
+	buf = spec.AppendBool(buf, br.hasValue)
+	buf = spec.AppendBool(buf, br.hsSent)
+	buf = spec.AppendBool(buf, br.hsDone)
+	buf = br.orig.AppendBinary(buf)
+	if br.fetch == nil {
+		buf = spec.AppendBool(buf, false)
+	} else {
+		buf = spec.AppendBool(buf, true)
+		buf = br.fetch.appendBinary(buf)
+	}
+	buf = spec.AppendUvarint(buf, uint64(len(br.props)))
+	for _, t := range br.props {
+		buf = t.appendBinary(buf)
+	}
+	return buf
+}
+
+// AppendBinary implements spec.BinaryAppender (the shared memory is
+// encoded separately by the host, as with Snapshot).
+func (d *MergedDir) AppendBinary(buf []byte) []byte {
+	for _, dir := range d.dirs {
+		buf = dir.AppendBinary(buf)
+	}
+	for _, pool := range d.proxies {
+		for _, p := range pool {
+			buf = p.AppendBinary(buf)
+		}
+	}
+	owners := make([]int, 0, len(d.owner))
+	for a := range d.owner {
+		owners = append(owners, int(a))
+	}
+	sort.Ints(owners)
+	buf = spec.AppendUvarint(buf, uint64(len(owners)))
+	for _, a := range owners {
+		buf = spec.AppendInt(buf, a)
+		buf = spec.AppendInt(buf, d.owner[spec.Addr(a)])
+	}
+	baddrs := make([]int, 0, len(d.bridges))
+	for a := range d.bridges {
+		baddrs = append(baddrs, int(a))
+	}
+	sort.Ints(baddrs)
+	buf = spec.AppendUvarint(buf, uint64(len(baddrs)))
+	for _, a := range baddrs {
+		buf = d.bridges[spec.Addr(a)].appendBinary(buf)
+	}
+	srcs := make([]int, 0, len(d.busySrc))
+	for s := range d.busySrc {
+		srcs = append(srcs, int(s))
+	}
+	sort.Ints(srcs)
+	buf = spec.AppendUvarint(buf, uint64(len(srcs)))
+	for _, s := range srcs {
+		buf = spec.AppendInt(buf, s)
+	}
+	pbusy := make([]int, 0, len(d.proxyBusy))
+	for p := range d.proxyBusy {
+		pbusy = append(pbusy, int(p))
+	}
+	sort.Ints(pbusy)
+	buf = spec.AppendUvarint(buf, uint64(len(pbusy)))
+	for _, p := range pbusy {
+		buf = spec.AppendInt(buf, p)
+	}
+	return buf
+}
+
+// Freeze implements spec.Freezer: pre-builds the table indexes of every
+// constituent protocol so parallel exploration over clones never races on
+// their lazy initialization.
+func (d *MergedDir) Freeze() { d.fusion.Freeze() }
+
+// Freeze pre-builds the table indexes of every constituent protocol. Call
+// it before model-checking systems built from this fusion on several
+// goroutines at once.
+func (f *Fusion) Freeze() {
+	for _, p := range f.Protocols {
+		p.Freeze()
+	}
+}
+
+var (
+	_ spec.BinaryAppender = (*MergedDir)(nil)
+	_ spec.Freezer        = (*MergedDir)(nil)
+)

@@ -63,7 +63,9 @@ func EnumerateFSM(f *Fusion, quick bool) (*TableIIEntry, *Recorder, error) {
 	sys, layout := BuildSystem(f, []int{1, 1})
 	layout.Merged.SetRecorder(rec)
 	sys.SetPrograms(tableIIDriver())
-	res := mcheck.Explore(sys, mcheck.Options{Evictions: !quick})
+	// The Recorder is shared (unsynchronized) by every clone, so the
+	// enumeration must stay on the sequential search path.
+	res := mcheck.Explore(sys, mcheck.Options{Evictions: !quick, Workers: 1})
 	if res.Deadlocks > 0 {
 		return nil, rec, fmt.Errorf("core: %s deadlocks during enumeration: %d (first: %s)",
 			f.Name(), res.Deadlocks, res.DeadlockAt)

@@ -2,8 +2,11 @@ package litmus
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"heterogen/internal/armor"
 	"heterogen/internal/core"
@@ -27,6 +30,19 @@ type Options struct {
 	// MaxThreads skips shapes with more threads in RunSuite (0 = no
 	// limit; IRIW's 4 threads explore ~40k states per allocation).
 	MaxThreads int
+	// Shapes restricts RunSuite to the listed shapes (nil = all).
+	Shapes []Shape
+	// Workers bounds the test-level worker pool of RunSuite: independent
+	// tests (each exploration owns its own System) run concurrently.
+	// 0 = runtime.NumCPU(), 1 = sequential.
+	Workers int
+	// ExploreWorkers sets each test's state-space search parallelism
+	// (mcheck.Options.Workers). 0 picks a default: all cores for a single
+	// test, one when RunSuite already parallelizes across tests (so the
+	// two levels don't oversubscribe the machine).
+	ExploreWorkers int
+	// Encoding selects the model checker's visited-set encoding.
+	Encoding mcheck.Encoding
 }
 
 // Result is the verdict of one litmus test run.
@@ -42,7 +58,8 @@ type Result struct {
 	// DeadlockState holds the first deadlocked state's snapshot (debug).
 	DeadlockState string
 	Truncated     bool
-	Outcomes      int // distinct observable outcomes
+	Outcomes      int           // distinct observable outcomes
+	Elapsed       time.Duration // wall-clock time of the exploration
 }
 
 // Pass reports whether the protocol passed this test.
@@ -183,10 +200,13 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 	}
 	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
 
+	start := time.Now()
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
+		Workers: opts.ExploreWorkers, Encoding: opts.Encoding,
 		LoadKeys: keys, ObserveMem: observe,
 	})
+	elapsed := time.Since(start)
 
 	cm, err := f.CompoundModel(assign)
 	if err != nil {
@@ -196,7 +216,7 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 
 	out := &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
 		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
-		Truncated: res.Truncated, Outcomes: len(res.Outcomes)}
+		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed}
 	for k := range res.Outcomes {
 		if _, ok := allowed[k]; !ok {
 			out.BadOutcomes = append(out.BadOutcomes, k)
@@ -300,14 +320,17 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 		memKeys[name] = fmt.Sprintf("%d", a)
 	}
 	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
+	start := time.Now()
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
+		Workers: opts.ExploreWorkers, Encoding: opts.Encoding,
 		LoadKeys: keys, ObserveMem: observe})
+	elapsed := time.Since(start)
 
 	allowed := memmodel.AllowedOutcomesMem(ap, memmodel.Homogeneous(model, len(ap.Threads)), memKeys)
 	out := &Result{Shape: shape.Name, Pair: p.Name, Assign: assign,
 		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
-		Truncated: res.Truncated, Outcomes: len(res.Outcomes)}
+		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed}
 	for k := range res.Outcomes {
 		if _, ok := allowed[k]; !ok {
 			out.BadOutcomes = append(out.BadOutcomes, k)
@@ -323,24 +346,79 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 	return out
 }
 
+// suiteJob is one independent litmus test of a suite run.
+type suiteJob struct {
+	fusion *core.Fusion
+	shape  Shape
+	assign []int
+}
+
 // RunSuite runs every shape over every allocation for the fusion of each
-// protocol pair (names resolved by the caller into fresh fusions via mk).
+// protocol pair, spreading the independent tests over a worker pool of
+// opts.Workers goroutines (each test's exploration owns its own System;
+// the fusions are frozen up front so shared protocol tables are read-only
+// during the run). Results come back in the same deterministic order as a
+// sequential run.
 func RunSuite(pairs [][]*spec.Protocol, opts Options) (*SuiteReport, error) {
-	report := &SuiteReport{}
+	shapes := opts.Shapes
+	if shapes == nil {
+		shapes = Shapes()
+	}
+	var jobs []suiteJob
 	for _, protos := range pairs {
 		f, err := core.Fuse(opts.Fusion, protos...)
 		if err != nil {
 			return nil, err
 		}
-		for _, shape := range Shapes() {
+		f.Freeze()
+		for _, shape := range shapes {
 			threads := len(shape.Prog().Threads)
 			if opts.MaxThreads > 0 && threads > opts.MaxThreads {
 				continue
 			}
 			for _, assign := range Allocations(threads, len(protos), opts.AllAllocations) {
-				report.Results = append(report.Results, RunFused(f, shape, assign, opts))
+				jobs = append(jobs, suiteJob{fusion: f, shape: shape, assign: assign})
 			}
 		}
 	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if opts.ExploreWorkers == 0 && workers > 1 {
+		// The suite already saturates the cores test-by-test; keep each
+		// exploration sequential rather than oversubscribing.
+		opts.ExploreWorkers = 1
+	}
+
+	report := &SuiteReport{Results: make([]*Result, len(jobs))}
+	if workers <= 1 {
+		for i, j := range jobs {
+			report.Results[i] = RunFused(j.fusion, j.shape, j.assign, opts)
+		}
+		return report, nil
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				report.Results[i] = RunFused(j.fusion, j.shape, j.assign, opts)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 	return report, nil
 }

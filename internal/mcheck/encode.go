@@ -1,0 +1,98 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"heterogen/internal/spec"
+)
+
+// Encoding selects how a System state is keyed in the visited set.
+type Encoding int
+
+const (
+	// EncodingBinary (the default) keys states by the compact,
+	// allocation-lean binary encoding produced by System.EncodeBinary.
+	EncodingBinary Encoding = iota
+	// EncodingSnapshot keys states by the human-readable string Snapshot —
+	// the pre-parallel encoding, kept for debugging and as a
+	// differential-testing oracle for the binary encoder.
+	EncodingSnapshot
+)
+
+func (e Encoding) String() string {
+	if e == EncodingSnapshot {
+		return "snapshot"
+	}
+	return "binary"
+}
+
+// ParseEncoding resolves the CLI spelling of an Encoding.
+func ParseEncoding(s string) (Encoding, error) {
+	switch s {
+	case "", "binary":
+		return EncodingBinary, nil
+	case "snapshot":
+		return EncodingSnapshot, nil
+	}
+	return EncodingBinary, fmt.Errorf("mcheck: unknown encoding %q (want binary or snapshot)", s)
+}
+
+// EncodeBinary appends a compact binary encoding of the full system state
+// to buf and returns the extended slice. It distinguishes exactly the
+// states Snapshot distinguishes (two systems of the same configuration
+// produce equal encodings iff they produce equal Snapshots) while skipping
+// the fmt machinery — the visited-set hot path of Explore. Components that
+// don't implement spec.BinaryAppender fall back to their string Snapshot,
+// length-prefixed to preserve injectivity.
+func (s *System) EncodeBinary(buf []byte) []byte {
+	for _, c := range s.Components {
+		if ba, ok := c.(spec.BinaryAppender); ok {
+			buf = ba.AppendBinary(buf)
+			continue
+		}
+		var w spec.SnapshotWriter
+		c.Snapshot(&w)
+		buf = spec.AppendString(buf, w.String())
+	}
+	buf = s.Mem.AppendBinary(buf)
+	keys := s.chanKeys()
+	buf = spec.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		q := s.queues[k]
+		buf = spec.AppendInt(buf, int(k.src))
+		buf = spec.AppendInt(buf, int(k.dst))
+		buf = spec.AppendInt(buf, int(k.vnet))
+		buf = spec.AppendUvarint(buf, uint64(len(q)))
+		for _, m := range q {
+			buf = m.AppendBinary(buf)
+		}
+	}
+	for _, c := range s.Cores {
+		buf = spec.AppendInt(buf, c.PC)
+		buf = spec.AppendBool(buf, c.Issued)
+		buf = spec.AppendUvarint(buf, uint64(len(c.Loads)))
+		for _, v := range c.Loads {
+			buf = spec.AppendInt(buf, v)
+		}
+	}
+	return buf
+}
+
+// encodeState appends the state key for the configured encoding.
+func encodeState(s *System, enc Encoding, buf []byte) []byte {
+	if enc == EncodingSnapshot {
+		return append(buf, s.Snapshot()...)
+	}
+	return s.EncodeBinary(buf)
+}
+
+// freezeComponents pre-builds every lazily-initialized structure shared
+// between system clones (protocol table indexes) so parallel workers never
+// race on first use.
+func freezeComponents(s *System) {
+	for _, c := range s.Components {
+		if f, ok := c.(spec.Freezer); ok {
+			f.Freeze()
+		}
+	}
+}

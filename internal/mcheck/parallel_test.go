@@ -1,0 +1,135 @@
+package mcheck
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"heterogen/internal/memmodel"
+	"heterogen/internal/protocols"
+)
+
+// iriw is the Independent-Reads-of-Independent-Writes shape: two writers,
+// two readers that must not disagree on the write order under SC.
+func iriw() *memmodel.Program {
+	return memmodel.NewProgram(
+		[]*memmodel.Op{memmodel.St("x", 1)},
+		[]*memmodel.Op{memmodel.St("y", 1)},
+		[]*memmodel.Op{memmodel.Ld("x"), memmodel.Ld("y")},
+		[]*memmodel.Op{memmodel.Ld("y"), memmodel.Ld("x")},
+	)
+}
+
+// exploreWith runs one program on a homogeneous MSI system with the given
+// worker count.
+func exploreWith(t *testing.T, p *memmodel.Program, workers int, opts Options) *Result {
+	t.Helper()
+	pr := protocols.MustByName(protocols.NameMSI)
+	progs, keys := reqsFor(p)
+	sys := NewHomogeneous(pr, len(p.Threads))
+	sys.SetPrograms(progs)
+	opts.Workers = workers
+	opts.LoadKeys = keys
+	return Explore(sys, opts)
+}
+
+// TestParallelMatchesSequential asserts the worker-pool search visits the
+// same state count and produces the same outcome set as the deterministic
+// sequential search on the MP, SB and IRIW configurations.
+func TestParallelMatchesSequential(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4
+	}
+	cases := []struct {
+		name   string
+		prog   *memmodel.Program
+		evicts []bool
+	}{
+		{"MP", mpPlain(), []bool{false, true}},
+		{"SB", sb(), []bool{false, true}},
+		// IRIW's 4-thread eviction-enabled space runs to ~1.6M states;
+		// keep the unit test to the eviction-free configuration.
+		{"IRIW", iriw(), []bool{false}},
+	}
+	for _, tc := range cases {
+		for _, evict := range tc.evicts {
+			seq := exploreWith(t, tc.prog, 1, Options{Evictions: evict})
+			par := exploreWith(t, tc.prog, workers, Options{Evictions: evict})
+			if par.States != seq.States {
+				t.Errorf("%s evict=%t: parallel visited %d states, sequential %d", tc.name, evict, par.States, seq.States)
+			}
+			if par.Transitions != seq.Transitions {
+				t.Errorf("%s evict=%t: parallel applied %d transitions, sequential %d", tc.name, evict, par.Transitions, seq.Transitions)
+			}
+			if par.Deadlocks != seq.Deadlocks {
+				t.Errorf("%s evict=%t: parallel found %d deadlocks, sequential %d", tc.name, evict, par.Deadlocks, seq.Deadlocks)
+			}
+			ps, ss := par.Outcomes.Keys(), seq.Outcomes.Keys()
+			sort.Strings(ps)
+			sort.Strings(ss)
+			if strings.Join(ps, "\n") != strings.Join(ss, "\n") {
+				t.Errorf("%s evict=%t: outcome sets differ:\nparallel:   %v\nsequential: %v", tc.name, evict, ps, ss)
+			}
+		}
+	}
+}
+
+// TestParallelHashCompaction exercises the compaction visited set under
+// contention: the counts must match the exact sequential search (64-bit
+// fingerprints make an accidental collision vanishingly unlikely at these
+// state counts).
+func TestParallelHashCompaction(t *testing.T) {
+	seq := exploreWith(t, sb(), 1, Options{Evictions: true})
+	par := exploreWith(t, sb(), 8, Options{Evictions: true, HashCompaction: true})
+	if par.States != seq.States {
+		t.Errorf("hash-compacted parallel visited %d states, exact sequential %d", par.States, seq.States)
+	}
+}
+
+// TestParallelInvariants checks invariant violations are collected (and
+// counted identically) on the parallel path.
+func TestParallelInvariants(t *testing.T) {
+	pr := protocols.MustByName(protocols.NameMSI)
+	progs, keys := reqsFor(sb())
+	sys := NewHomogeneous(pr, 2)
+	sys.SetPrograms(progs)
+	res := Explore(sys, Options{LoadKeys: keys, Workers: 8, Evictions: true,
+		Invariants: []Invariant{SWMRInvariant("M")}})
+	if len(res.Violations) > 0 {
+		t.Fatalf("SWMR violations on parallel path: %v", res.Violations)
+	}
+	if !res.Ok() {
+		t.Fatalf("parallel search not ok: %s", res)
+	}
+}
+
+// TestParallelTruncation: the parallel search must stop and flag
+// truncation when MaxStates fires.
+func TestParallelTruncation(t *testing.T) {
+	res := exploreWith(t, sb(), 8, Options{MaxStates: 3})
+	if !res.Truncated {
+		t.Fatal("parallel search ignored MaxStates")
+	}
+	if res.Ok() {
+		t.Fatal("truncated parallel result reported Ok")
+	}
+}
+
+// TestResultStringNamesTruncationBound: the summary must say which budget
+// fired and how far the search got (the hgcheck operator hint).
+func TestResultStringNamesTruncationBound(t *testing.T) {
+	res := exploreWith(t, sb(), 1, Options{MaxStates: 3})
+	s := res.String()
+	if !strings.Contains(s, "MaxStates=3") {
+		t.Errorf("truncation message does not name the bound: %q", s)
+	}
+	if !strings.Contains(s, "truncated") {
+		t.Errorf("truncation message missing: %q", s)
+	}
+	ok := exploreWith(t, sb(), 1, Options{})
+	if strings.Contains(ok.String(), "truncated") {
+		t.Errorf("untruncated result mentions truncation: %q", ok.String())
+	}
+}

@@ -2,7 +2,10 @@ package mcheck
 
 import (
 	"fmt"
-	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"heterogen/internal/memmodel"
 	"heterogen/internal/spec"
@@ -11,6 +14,10 @@ import (
 // Invariant inspects a reachable state and returns an error if violated.
 type Invariant func(*System) error
 
+// DefaultMaxStates is the visited-state budget when Options.MaxStates is
+// zero: 4M states, mirroring Murphi's default memory bound.
+const DefaultMaxStates = 4 << 20
+
 // Options configure a search.
 type Options struct {
 	// Evictions explores spontaneous replacements of stable lines ("we
@@ -18,12 +25,24 @@ type Options struct {
 	// while permitting evictions at any time", §VII-B).
 	Evictions bool
 	// MaxStates aborts the search beyond this many visited states
-	// (0 = 4M). Mirrors Murphi's memory bound.
+	// (0 = DefaultMaxStates, 4M). Mirrors Murphi's memory bound.
 	MaxStates int
 	// HashCompaction stores 64-bit state hashes instead of full encodings,
 	// trading a vanishing omission probability for memory — the technique
 	// §VII-C uses for >1 cache per cluster.
 	HashCompaction bool
+	// Workers sets the search parallelism: 0 uses runtime.NumCPU() workers
+	// over a shared frontier, 1 forces the sequential breadth-first search
+	// (deterministic visit order; exact first-deadlock and truncation
+	// reporting), N>1 uses exactly N workers. Parallel searches visit the
+	// same state set and report the same counts and outcomes; only
+	// tie-breaks (which deadlock snapshot is reported first, the exact
+	// state count at truncation) depend on scheduling.
+	Workers int
+	// Encoding keys the visited set: EncodingBinary (default, compact and
+	// allocation-lean) or EncodingSnapshot (the human-readable string
+	// form).
+	Encoding Encoding
 	// Invariants are checked at every reachable state.
 	Invariants []Invariant
 	// LoadKeys labels each core's loads for outcome collection; absent
@@ -36,6 +55,18 @@ type Options struct {
 	ObserveMem []spec.Addr
 }
 
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	w := o.Workers
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Result summarizes a search.
 type Result struct {
 	States      int                 // distinct states visited
@@ -45,6 +76,7 @@ type Result struct {
 	Outcomes    memmodel.OutcomeSet // outcomes at quiescent states
 	Violations  []string            // invariant failures
 	Truncated   bool                // MaxStates hit
+	MaxStates   int                 // the state budget that was in effect
 }
 
 // Ok reports whether the search finished with no deadlocks or violations.
@@ -52,77 +84,244 @@ func (r *Result) Ok() bool {
 	return r.Deadlocks == 0 && len(r.Violations) == 0 && !r.Truncated
 }
 
-// Explore runs an exhaustive breadth-first search from the initial system
-// state.
+// String summarizes the search one-line, naming the bound that fired on
+// truncation so callers know which knob to raise.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%d states, %d transitions, %d deadlocks, %d outcomes",
+		r.States, r.Transitions, r.Deadlocks, len(r.Outcomes))
+	if len(r.Violations) > 0 {
+		s += fmt.Sprintf(", %d invariant violations", len(r.Violations))
+	}
+	if r.Truncated {
+		s += fmt.Sprintf("; truncated: MaxStates=%d budget exhausted, %d states expanded (raise MaxStates)",
+			r.MaxStates, r.States)
+	}
+	return s
+}
+
+// Explore runs an exhaustive search from the initial system state: a
+// deterministic breadth-first walk with Workers: 1, a worker-pool frontier
+// search over a sharded visited set otherwise. Both visit every reachable
+// state (modulo the MaxStates budget) and agree on state/transition/
+// deadlock counts and the outcome set.
 func Explore(initial *System, opts Options) *Result {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
-		maxStates = 4 << 20
+		maxStates = DefaultMaxStates
 	}
-	res := &Result{Outcomes: memmodel.OutcomeSet{}}
-
-	type key = string
-	visited := map[key]bool{}
-	hkey := func(snap string) key {
-		if !opts.HashCompaction {
-			return snap
-		}
-		h := fnv.New64a()
-		h.Write([]byte(snap))
-		return string(h.Sum(nil))
+	workers := opts.workers()
+	if initial.OnDeliver != nil {
+		// Delivery observers (sequence charts, FSM recorders) are shared
+		// by clones and not synchronized; keep those walks sequential.
+		workers = 1
 	}
+	visited := newVisitedSet(opts.HashCompaction)
+	visited.Insert(encodeState(initial, opts.Encoding, nil))
+	if workers == 1 {
+		return exploreSeq(initial, opts, maxStates, visited)
+	}
+	freezeComponents(initial)
+	return exploreParallel(initial, opts, maxStates, workers, visited)
+}
 
+// exploreSeq is the deterministic sequential breadth-first search.
+func exploreSeq(initial *System, opts Options, maxStates int, visited *visitedSet) *Result {
+	res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: maxStates}
 	queue := []*System{initial}
-	visited[hkey(initial.Snapshot())] = true
+	var encBuf []byte
 
-	for len(queue) > 0 {
-		if len(visited) > maxStates {
+	for head := 0; head < len(queue); head++ {
+		if visited.Size() > maxStates {
 			res.Truncated = true
 			break
 		}
-		cur := queue[0]
-		queue = queue[1:]
-		res.States++
-
-		for _, inv := range opts.Invariants {
-			if err := inv(cur); err != nil {
-				res.Violations = append(res.Violations, err.Error())
-			}
-		}
-
-		moves := cur.Moves(opts.Evictions)
-		progressed := false
-		for _, mv := range moves {
-			next := cur.Clone()
-			if !next.Apply(mv) {
-				continue
-			}
-			progressed = true
-			res.Transitions++
-			k := hkey(next.Snapshot())
-			if visited[k] {
-				continue
-			}
-			visited[k] = true
+		cur := queue[head]
+		queue[head] = nil // release the expanded state to the collector
+		expandState(cur, opts, res, func(next *System) bool {
+			encBuf = encodeState(next, opts.Encoding, encBuf[:0])
+			return visited.Insert(encBuf)
+		}, func(next *System) {
 			queue = append(queue, next)
-		}
+		})
+	}
+	return res
+}
 
-		if !progressed {
-			if cur.Quiescent() {
-				o := outcomeOf(cur, opts.LoadKeys)
-				for _, a := range opts.ObserveMem {
-					o[fmt.Sprintf("m:%d", a)] = cur.Mem.Read(a)
-				}
-				res.Outcomes.Add(o)
-			} else {
-				res.Deadlocks++
-				if res.DeadlockAt == "" {
-					res.DeadlockAt = cur.Snapshot()
-				}
+// expandState processes one dequeued state: invariants, successor
+// generation (seen filters duplicates, enqueue receives the new ones) and
+// deadlock/outcome classification. Shared by both search modes.
+func expandState(cur *System, opts Options, res *Result, seen func(*System) bool, enqueue func(*System)) {
+	res.States++
+	for _, inv := range opts.Invariants {
+		if err := inv(cur); err != nil {
+			res.Violations = append(res.Violations, err.Error())
+		}
+	}
+
+	progressed := false
+	for _, mv := range cur.Moves(opts.Evictions) {
+		next := cur.Clone()
+		if !next.Apply(mv) {
+			continue
+		}
+		progressed = true
+		res.Transitions++
+		if seen(next) {
+			enqueue(next)
+		}
+	}
+
+	if !progressed {
+		if cur.Quiescent() {
+			o := outcomeOf(cur, opts.LoadKeys)
+			for _, a := range opts.ObserveMem {
+				o[fmt.Sprintf("m:%d", a)] = cur.Mem.Read(a)
+			}
+			res.Outcomes.Add(o)
+		} else {
+			res.Deadlocks++
+			if res.DeadlockAt == "" {
+				res.DeadlockAt = cur.Snapshot()
 			}
 		}
 	}
-	return res
+}
+
+// frontier is the shared work queue of the parallel search. pending counts
+// states handed to workers but not yet fully expanded; the search is done
+// when the queue is empty and nothing is pending.
+type frontier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   []*System
+	pending int
+	stopped bool
+}
+
+// take hands the caller a batch of frontier states (marking them pending),
+// blocking while the queue is empty but other workers may still enqueue.
+// It returns nil when the search is complete or stopped.
+func (f *frontier) take(workers int) []*System {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.queue) == 0 && f.pending > 0 && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.stopped || len(f.queue) == 0 {
+		// Complete (or truncated): wake every parked worker so they exit.
+		f.stopped = true
+		f.cond.Broadcast()
+		return nil
+	}
+	n := len(f.queue)/workers + 1
+	const maxBatch = 64
+	if n > maxBatch {
+		n = maxBatch
+	}
+	// Copy the batch out: a subslice would alias the queue's backing
+	// array, and later pushes would overwrite entries mid-expansion.
+	tail := f.queue[len(f.queue)-n:]
+	batch := make([]*System, n)
+	copy(batch, tail)
+	for i := range tail {
+		tail[i] = nil // release to the collector
+	}
+	f.queue = f.queue[:len(f.queue)-n]
+	f.pending += n
+	return batch
+}
+
+// push enqueues newly discovered states.
+func (f *frontier) push(states []*System) {
+	if len(states) == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.queue = append(f.queue, states...)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// settle retires n expanded states and signals termination when the search
+// has drained.
+func (f *frontier) settle(n int) {
+	f.mu.Lock()
+	f.pending -= n
+	if f.pending == 0 && len(f.queue) == 0 {
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// stop aborts the search (truncation).
+func (f *frontier) stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// exploreParallel runs the worker-pool frontier search: workers pull
+// batches from a shared frontier, filter successors through the sharded
+// visited set, and merge per-worker results at the end.
+func exploreParallel(initial *System, opts Options, maxStates, workers int, visited *visitedSet) *Result {
+	f := &frontier{queue: []*System{initial}}
+	f.cond.L = &f.mu
+	var truncated atomic.Bool
+
+	results := make([]*Result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: maxStates}
+		results[w] = res
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var encBuf []byte
+			var fresh []*System
+			for {
+				batch := f.take(workers)
+				if batch == nil {
+					return
+				}
+				for _, cur := range batch {
+					if visited.Size() > maxStates {
+						truncated.Store(true)
+						f.stop()
+						f.settle(len(batch))
+						return
+					}
+					fresh = fresh[:0]
+					expandState(cur, opts, res, func(next *System) bool {
+						encBuf = encodeState(next, opts.Encoding, encBuf[:0])
+						return visited.Insert(encBuf)
+					}, func(next *System) {
+						fresh = append(fresh, next)
+					})
+					f.push(fresh)
+				}
+				f.settle(len(batch))
+			}
+		}()
+	}
+	wg.Wait()
+
+	merged := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: maxStates,
+		Truncated: truncated.Load()}
+	for _, res := range results {
+		merged.States += res.States
+		merged.Transitions += res.Transitions
+		merged.Deadlocks += res.Deadlocks
+		if merged.DeadlockAt == "" {
+			merged.DeadlockAt = res.DeadlockAt
+		}
+		merged.Violations = append(merged.Violations, res.Violations...)
+		for k, o := range res.Outcomes {
+			merged.Outcomes[k] = o
+		}
+	}
+	sort.Strings(merged.Violations) // stable report order across runs
+	return merged
 }
 
 // outcomeOf extracts the litmus outcome of a quiescent state.

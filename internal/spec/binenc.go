@@ -1,0 +1,154 @@
+package spec
+
+import "encoding/binary"
+
+// This file implements the compact binary state encoding used by the model
+// checker's visited set. The string Snapshot form stays the canonical
+// human-readable encoding (debug output, FindPath); AppendBinary produces a
+// byte string that distinguishes exactly the same states while avoiding the
+// fmt formatting machinery on the exploration hot path. Every encoder is
+// self-delimiting (varint lengths/counts before variable-size sections), so
+// concatenating encodings over a fixed component list stays injective.
+
+// BinaryAppender is the optional fast-path counterpart of
+// Component.Snapshot: components that implement it append a compact,
+// self-delimiting binary encoding of their state to buf. Components that
+// don't are snapshotted through the string path by the host.
+type BinaryAppender interface {
+	AppendBinary(buf []byte) []byte
+}
+
+// Freezer is implemented by components that pre-build lazily-initialized
+// lookup structures shared between clones (protocol table indexes). The
+// model checker freezes every component before spawning parallel workers so
+// concurrent exploration never races on first-use initialization.
+type Freezer interface {
+	Freeze()
+}
+
+// AppendUvarint appends v in unsigned varint form.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// AppendInt appends v in zigzag varint form.
+func AppendInt(buf []byte, v int) []byte {
+	return binary.AppendVarint(buf, int64(v))
+}
+
+// AppendBool appends a single 0/1 byte.
+func AppendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBinary encodes the message: type, endpoints and payload fields.
+func (m Msg) AppendBinary(buf []byte) []byte {
+	buf = AppendString(buf, string(m.Type))
+	buf = AppendInt(buf, int(m.Addr))
+	buf = AppendInt(buf, int(m.Src))
+	buf = AppendInt(buf, int(m.Dst))
+	buf = AppendInt(buf, int(m.Req))
+	buf = AppendInt(buf, m.Data)
+	buf = AppendBool(buf, m.HasData)
+	buf = AppendInt(buf, m.Ack)
+	buf = AppendInt(buf, int(m.VNet))
+	return buf
+}
+
+// AppendBinary encodes id, the populated lines in address order, the
+// pending request and the sync/load bookkeeping — the same facts as
+// Snapshot.
+func (c *CacheInst) AppendBinary(buf []byte) []byte {
+	buf = AppendInt(buf, int(c.id))
+	addrs := c.addrs()
+	buf = AppendUvarint(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		l := c.lines[a]
+		buf = AppendInt(buf, int(a))
+		buf = AppendString(buf, string(l.State))
+		buf = AppendInt(buf, l.Data)
+		buf = AppendBool(buf, l.HasData)
+		buf = AppendInt(buf, l.AckBalance)
+		buf = AppendBool(buf, l.AckArmed)
+	}
+	if c.pending == nil {
+		buf = AppendBool(buf, false)
+	} else {
+		buf = AppendBool(buf, true)
+		buf = AppendInt(buf, int(c.pending.Op))
+		buf = AppendInt(buf, int(c.pending.Addr))
+		buf = AppendInt(buf, c.pending.Value)
+	}
+	buf = AppendBool(buf, c.syncWait)
+	buf = AppendInt(buf, c.lastLoad)
+	return buf
+}
+
+// Freeze pre-builds the protocol's table indexes (see Freezer).
+func (c *CacheInst) Freeze() { c.proto.Freeze() }
+
+// AppendBinary encodes id and the directory lines in address order: state,
+// owner and the sorted sharer set — the same facts as Snapshot.
+func (d *DirInst) AppendBinary(buf []byte) []byte {
+	buf = AppendInt(buf, int(d.id))
+	addrs := make([]int, 0, len(d.lines))
+	for a := range d.lines {
+		addrs = append(addrs, int(a))
+	}
+	intSort(addrs)
+	buf = AppendUvarint(buf, uint64(len(addrs)))
+	for _, ai := range addrs {
+		l := d.lines[Addr(ai)]
+		buf = AppendInt(buf, ai)
+		buf = AppendString(buf, string(l.State))
+		buf = AppendInt(buf, int(l.Owner))
+		sh := make([]int, 0, len(l.Sharers))
+		for s := range l.Sharers {
+			sh = append(sh, int(s))
+		}
+		intSort(sh)
+		buf = AppendUvarint(buf, uint64(len(sh)))
+		for _, s := range sh {
+			buf = AppendInt(buf, s)
+		}
+	}
+	return buf
+}
+
+// Freeze pre-builds the protocol's table indexes (see Freezer).
+func (d *DirInst) Freeze() { d.proto.Freeze() }
+
+// AppendBinary encodes the populated locations in address order.
+func (m *Memory) AppendBinary(buf []byte) []byte {
+	addrs := make([]int, 0, len(m.vals))
+	for a := range m.vals {
+		addrs = append(addrs, int(a))
+	}
+	intSort(addrs)
+	buf = AppendUvarint(buf, uint64(len(addrs)))
+	for _, a := range addrs {
+		buf = AppendInt(buf, a)
+		buf = AppendInt(buf, m.vals[Addr(a)])
+	}
+	return buf
+}
+
+// intSort is an insertion sort: the slices here (cached addresses, sharer
+// sets) hold a handful of elements, where sort.Ints' interface overhead
+// dominates on the exploration hot path.
+func intSort(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -77,6 +77,12 @@ type Machine struct {
 	core  map[State]map[CoreOp]*Transition
 }
 
+// Freeze eagerly builds the lookup indexes. The indexes are otherwise
+// built lazily on first lookup, which is a data race when clones sharing
+// one Machine are exercised from several goroutines — the model checker
+// freezes every protocol before going parallel.
+func (m *Machine) Freeze() { m.buildIndex() }
+
 // buildIndex populates lookup maps; called lazily.
 func (m *Machine) buildIndex() {
 	if m.index != nil {

@@ -125,6 +125,13 @@ func (p *Protocol) VNetOf(t MsgType) VNet {
 	return VResp
 }
 
+// Freeze pre-builds both controllers' lookup indexes so concurrent
+// exploration over shared tables never races on lazy initialization.
+func (p *Protocol) Freeze() {
+	p.Cache.Freeze()
+	p.Dir.Freeze()
+}
+
 // Clone deep-copies the protocol, so fusion can rewrite without aliasing.
 func (p *Protocol) Clone() *Protocol {
 	cp := &Protocol{
