@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench vet
+.PHONY: all build test check race bench bench-smoke bench-symmetry allocs vet
 
 all: build
 
@@ -21,11 +21,26 @@ vet:
 race:
 	$(GO) test -race ./internal/mcheck/... ./internal/litmus/...
 
-# The verification gate: vet plus race-checked tests of the concurrent
-# packages.
-check: vet race
+# Allocation regression guard on the search hot path (Clone+Apply+encode).
+# Runs without the race detector: its instrumentation changes alloc counts,
+# so the guard file is build-tagged out of `make race`.
+allocs:
+	$(GO) test -run TestAllocRegression ./internal/mcheck
+
+# The verification gate: vet, race-checked tests of the concurrent
+# packages, and the allocation guard.
+check: vet race allocs
 
 # Regenerate the performance numbers in BENCH_PARALLEL.json / README.
 # Heavy: the §VII-C workload is ~1.1M states per case.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkExploreParallel|BenchmarkLitmusSuiteParallel' -benchtime 1x -timeout 30m .
+
+# Regenerate the symmetry-reduction numbers in BENCH_SYMMETRY.json.
+bench-symmetry:
+	$(GO) test -run XXX -bench 'BenchmarkExploreSymmetry' -benchtime 1x -timeout 30m .
+
+# Minutes-scale end-to-end health check: a MaxStates-capped §VII-C search
+# plus the 2-thread litmus shapes on the headline pair.
+bench-smoke:
+	$(GO) test -run XXX -bench 'BenchmarkSmoke' -benchtime 1x -timeout 10m .

@@ -337,6 +337,111 @@ func BenchmarkExploreParallel(b *testing.B) {
 	}
 }
 
+// symmetricDriver is deadlockDriver with the core-distinguishing store
+// values removed: every core runs the identical program, so all caches of
+// a cluster are interchangeable and the symmetry reduction applies.
+func symmetricDriver(cores, addrs int) [][]spec.CoreReq {
+	var prog []spec.CoreReq
+	for a := 0; a < addrs; a++ {
+		prog = append(prog,
+			spec.CoreReq{Op: spec.OpStore, Addr: spec.Addr(a), Value: 1},
+			spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr((a + 1) % addrs)})
+	}
+	prog = append(prog, spec.CoreReq{Op: spec.OpRelease}, spec.CoreReq{Op: spec.OpAcquire})
+	progs := make([][]spec.CoreReq, cores)
+	for c := range progs {
+		progs[c] = prog
+	}
+	return progs
+}
+
+// BenchmarkExploreSymmetry measures the cache-permutation symmetry
+// reduction against the unreduced search on fully symmetric
+// configurations (BENCH_SYMMETRY.json): the fused §VII-C machine with two
+// caches per cluster, and a homogeneous MESI triple with evictions, one
+// address each (two addresses push the unreduced fused space past 6M
+// states). The states metric shows the visited-set reduction (≈ group
+// order).
+func BenchmarkExploreSymmetry(b *testing.B) {
+	f, err := core.Fuse(core.Options{},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Freeze()
+	fused := func() *mcheck.System {
+		sys, _ := core.BuildSystem(f, []int{2, 2})
+		sys.SetPrograms(symmetricDriver(4, 1))
+		return sys
+	}
+	homog := func() *mcheck.System {
+		sys := mcheck.NewHomogeneous(protocols.MustByName(protocols.NameMESI), 3)
+		sys.SetPrograms(symmetricDriver(3, 1))
+		return sys
+	}
+	cases := []struct {
+		name  string
+		build func() *mcheck.System
+		opts  mcheck.Options
+	}{
+		{"fused-2x2/plain", fused, mcheck.Options{HashCompaction: true}},
+		{"fused-2x2/symmetry", fused, mcheck.Options{HashCompaction: true, Symmetry: true}},
+		{"mesi-3-evict/plain", homog, mcheck.Options{HashCompaction: true, Evictions: true}},
+		{"mesi-3-evict/symmetry", homog, mcheck.Options{HashCompaction: true, Evictions: true, Symmetry: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res *mcheck.Result
+			for i := 0; i < b.N; i++ {
+				res = mcheck.Explore(tc.build(), tc.opts)
+				if res.Deadlocks > 0 || res.Truncated {
+					b.Fatalf("deadlocks=%d truncated=%t", res.Deadlocks, res.Truncated)
+				}
+			}
+			b.ReportMetric(float64(res.States), "states")
+			b.ReportMetric(float64(res.SymmetryPerms), "perms")
+		})
+	}
+}
+
+// BenchmarkSmoke is the `make bench-smoke` target: a MaxStates-capped
+// §VII-C search plus the 2-thread litmus shapes on the headline pair — a
+// minutes-scale end-to-end health check of the checker and suite
+// plumbing, not a measurement (numbers in BENCH_*.json come from the full
+// bench targets).
+func BenchmarkSmoke(b *testing.B) {
+	b.Run("deadlock-capped", func(b *testing.B) {
+		f, err := core.Fuse(core.Options{},
+			protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sys, _ := core.BuildSystem(f, []int{1, 1})
+			sys.SetPrograms(deadlockDriver(2, 2))
+			res := mcheck.Explore(sys, mcheck.Options{
+				Evictions: true, HashCompaction: true, MaxStates: 150000})
+			if res.Deadlocks > 0 {
+				b.Fatalf("deadlocks=%d within the %d-state cap", res.Deadlocks, res.MaxStates)
+			}
+		}
+	})
+	b.Run("litmus-2thread", func(b *testing.B) {
+		pairs := [][]*spec.Protocol{{
+			protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO)}}
+		for i := 0; i < b.N; i++ {
+			rep, err := litmus.RunSuite(pairs, litmus.Options{MaxThreads: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Failed() > 0 {
+				b.Fatalf("litmus failures:\n%s", rep)
+			}
+		}
+	})
+}
+
 // BenchmarkLitmusSuiteParallel measures the suite worker pool on the
 // 2-thread shapes over every Table II pair (the BenchmarkLitmusSuite
 // workload routed through RunSuite).

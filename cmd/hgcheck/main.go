@@ -30,6 +30,7 @@ func main() {
 	maxStates := flag.Int("max-states", 8<<20, "state budget")
 	workers := flag.Int("workers", 0, "search workers (0 = all cores, 1 = sequential deterministic order)")
 	encoding := flag.String("encoding", "binary", "visited-set state encoding: binary or snapshot")
+	symmetry := flag.Bool("symmetry", false, "canonicalize states under cache-permutation symmetry (uses uniform store values so the driver cores are interchangeable)")
 	flag.Parse()
 
 	enc, err := mcheck.ParseEncoding(*encoding)
@@ -37,20 +38,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
-	if err := run(*proto, *pairFlag, *caches, *addrs, *hash, *maxStates, *workers, enc); err != nil {
+	if err := run(*proto, *pairFlag, *caches, *addrs, *hash, *maxStates, *workers, enc, *symmetry); err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
 }
 
 // driver builds the deadlock-stress workload: every core stores and loads
-// every address; the checker injects evictions at any time.
-func driver(cores, addrs int) [][]spec.CoreReq {
+// every address; the checker injects evictions at any time. Stores carry
+// per-core distinct values so outcomes identify the writer — except under
+// -symmetry, where every core stores the same value: protocol guards
+// never read data values, so deadlock reachability is unchanged, and the
+// identical programs make the caches interchangeable for the reduction.
+func driver(cores, addrs int, symmetric bool) [][]spec.CoreReq {
 	progs := make([][]spec.CoreReq, cores)
 	for c := 0; c < cores; c++ {
+		v := c + 1
+		if symmetric {
+			v = 1
+		}
 		for a := 0; a < addrs; a++ {
 			progs[c] = append(progs[c],
-				spec.CoreReq{Op: spec.OpStore, Addr: spec.Addr(a), Value: c + 1},
+				spec.CoreReq{Op: spec.OpStore, Addr: spec.Addr(a), Value: v},
 				spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr((a + 1) % addrs)})
 		}
 		progs[c] = append(progs[c], spec.CoreReq{Op: spec.OpRelease}, spec.CoreReq{Op: spec.OpAcquire})
@@ -58,7 +67,7 @@ func driver(cores, addrs int) [][]spec.CoreReq {
 	return progs
 }
 
-func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, workers int, enc mcheck.Encoding) error {
+func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, workers int, enc mcheck.Encoding, symmetry bool) error {
 	var sys *mcheck.System
 	var name string
 	switch {
@@ -68,7 +77,7 @@ func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, worker
 			return err
 		}
 		sys = mcheck.NewHomogeneous(p, caches)
-		sys.SetPrograms(driver(caches, addrs))
+		sys.SetPrograms(driver(caches, addrs, symmetry))
 		name = proto
 	case pairFlag != "":
 		parts := strings.Split(pairFlag, ",")
@@ -90,7 +99,7 @@ func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, worker
 		var s *mcheck.System
 		s, _ = core.BuildSystem(f, []int{caches, caches})
 		sys = s
-		sys.SetPrograms(driver(2*caches, addrs))
+		sys.SetPrograms(driver(2*caches, addrs, symmetry))
 		name = f.Name()
 	default:
 		flag.Usage()
@@ -99,8 +108,11 @@ func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, worker
 
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: true, HashCompaction: hash, MaxStates: maxStates,
-		Workers: workers, Encoding: enc})
+		Workers: workers, Encoding: enc, Symmetry: symmetry})
 	fmt.Printf("%s: %s\n", name, res)
+	if symmetry && res.SymmetryPerms == 1 {
+		fmt.Println("note: -symmetry requested but no symmetric cache group detected (asymmetric programs?)")
+	}
 	if res.Deadlocks > 0 {
 		fmt.Println("first deadlock state:", res.DeadlockAt)
 		return fmt.Errorf("deadlock found")

@@ -38,6 +38,7 @@ func main() {
 	maxThreads := flag.Int("max-threads", 3, "skip shapes with more threads (IRIW=4 is expensive)")
 	workers := flag.Int("workers", 0, "test-level worker pool (0 = all cores, 1 = sequential)")
 	encoding := flag.String("encoding", "binary", "model-checker state encoding: binary or snapshot")
+	symmetry := flag.Bool("symmetry", false, "canonicalize checker states under cache-permutation symmetry")
 	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
-	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads, *workers, enc); err != nil {
+	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads, *workers, enc, *symmetry); err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
@@ -66,7 +67,7 @@ func printResult(r *litmus.Result) {
 	fmt.Printf("%s %8.1fms\n", r, float64(r.Elapsed.Microseconds())/1000)
 }
 
-func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads, workers int, enc mcheck.Encoding) error {
+func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads, workers int, enc mcheck.Encoding, symmetry bool) error {
 	var pairs [][2]string
 	if pairFlag != "" {
 		parts := strings.Split(pairFlag, ",")
@@ -105,7 +106,7 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		if err != nil {
 			return err
 		}
-		opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs, Encoding: enc}
+		opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs, Encoding: enc, Symmetry: symmetry}
 		sel := shapes
 		if sel == nil {
 			sel = litmus.Shapes()
@@ -141,7 +142,7 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 	}
 	report, err := litmus.RunSuite(protoPairs, litmus.Options{
 		Evictions: evict, AllAllocations: allAllocs, MaxThreads: maxThreads,
-		Shapes: shapes, Workers: workers, Encoding: enc,
+		Shapes: shapes, Workers: workers, Encoding: enc, Symmetry: symmetry,
 	})
 	if err != nil {
 		return err

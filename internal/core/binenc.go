@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"heterogen/internal/spec"
 )
 
@@ -10,6 +8,12 @@ import (
 // counterpart of MergedDir.Snapshot used by the model checker's visited
 // set. Field-for-field it encodes exactly what Snapshot prints (no more,
 // no less), so the two encodings distinguish exactly the same states.
+//
+// The relabeled form threads the symmetry reducer's NodeID permutation
+// through every id reference: the sub-directories' owner/sharer metadata,
+// the bridges' original request endpoints, and the busy-source set (the
+// initiating caches the conservative mode blocks). Proxy ids never appear
+// in a symmetry group, so they map to themselves.
 
 func (t *proxyTask) appendBinary(buf []byte) []byte {
 	buf = spec.AppendInt(buf, t.cluster)
@@ -21,7 +25,7 @@ func (t *proxyTask) appendBinary(buf []byte) []byte {
 	return buf
 }
 
-func (br *bridge) appendBinary(buf []byte) []byte {
+func (br *bridge) appendBinary(buf []byte, r spec.Relabel) []byte {
 	buf = spec.AppendInt(buf, int(br.addr))
 	buf = spec.AppendInt(buf, br.origin)
 	buf = spec.AppendInt(buf, int(br.phase))
@@ -30,7 +34,7 @@ func (br *bridge) appendBinary(buf []byte) []byte {
 	buf = spec.AppendBool(buf, br.hasValue)
 	buf = spec.AppendBool(buf, br.hsSent)
 	buf = spec.AppendBool(buf, br.hsDone)
-	buf = br.orig.AppendBinary(buf)
+	buf = br.orig.AppendBinaryRelabeled(buf, r)
 	if br.fetch == nil {
 		buf = spec.AppendBool(buf, false)
 	} else {
@@ -47,51 +51,33 @@ func (br *bridge) appendBinary(buf []byte) []byte {
 // AppendBinary implements spec.BinaryAppender (the shared memory is
 // encoded separately by the host, as with Snapshot).
 func (d *MergedDir) AppendBinary(buf []byte) []byte {
+	return d.AppendBinaryRelabeled(buf, nil)
+}
+
+// AppendBinaryRelabeled implements spec.RelabelAppender.
+func (d *MergedDir) AppendBinaryRelabeled(buf []byte, r spec.Relabel) []byte {
 	for _, dir := range d.dirs {
-		buf = dir.AppendBinary(buf)
+		buf = dir.AppendBinaryRelabeled(buf, r)
 	}
 	for _, pool := range d.proxies {
 		for _, p := range pool {
-			buf = p.AppendBinary(buf)
+			buf = p.AppendBinaryRelabeled(buf, r)
 		}
 	}
-	owners := make([]int, 0, len(d.owner))
-	for a := range d.owner {
-		owners = append(owners, int(a))
+	buf = spec.AppendUvarint(buf, uint64(len(d.owners)))
+	for _, c := range d.owners {
+		buf = spec.AppendInt(buf, int(c.a))
+		buf = spec.AppendInt(buf, c.cluster)
 	}
-	sort.Ints(owners)
-	buf = spec.AppendUvarint(buf, uint64(len(owners)))
-	for _, a := range owners {
-		buf = spec.AppendInt(buf, a)
-		buf = spec.AppendInt(buf, d.owner[spec.Addr(a)])
+	buf = spec.AppendUvarint(buf, uint64(len(d.bridges)))
+	for _, br := range d.bridges {
+		buf = br.appendBinary(buf, r)
 	}
-	baddrs := make([]int, 0, len(d.bridges))
-	for a := range d.bridges {
-		baddrs = append(baddrs, int(a))
-	}
-	sort.Ints(baddrs)
-	buf = spec.AppendUvarint(buf, uint64(len(baddrs)))
-	for _, a := range baddrs {
-		buf = d.bridges[spec.Addr(a)].appendBinary(buf)
-	}
-	srcs := make([]int, 0, len(d.busySrc))
-	for s := range d.busySrc {
-		srcs = append(srcs, int(s))
-	}
-	sort.Ints(srcs)
-	buf = spec.AppendUvarint(buf, uint64(len(srcs)))
-	for _, s := range srcs {
-		buf = spec.AppendInt(buf, s)
-	}
-	pbusy := make([]int, 0, len(d.proxyBusy))
-	for p := range d.proxyBusy {
-		pbusy = append(pbusy, int(p))
-	}
-	sort.Ints(pbusy)
-	buf = spec.AppendUvarint(buf, uint64(len(pbusy)))
-	for _, p := range pbusy {
-		buf = spec.AppendInt(buf, p)
-	}
+	busy := d.busySrc.Relabeled(r)
+	buf = spec.AppendUvarint(buf, uint64(busy.Len()))
+	busy.Each(func(s spec.NodeID) { buf = spec.AppendInt(buf, int(s)) })
+	buf = spec.AppendUvarint(buf, uint64(d.proxyBusy.Len()))
+	d.proxyBusy.Each(func(p spec.NodeID) { buf = spec.AppendInt(buf, int(p)) })
 	return buf
 }
 
@@ -110,6 +96,7 @@ func (f *Fusion) Freeze() {
 }
 
 var (
-	_ spec.BinaryAppender = (*MergedDir)(nil)
-	_ spec.Freezer        = (*MergedDir)(nil)
+	_ spec.BinaryAppender  = (*MergedDir)(nil)
+	_ spec.RelabelAppender = (*MergedDir)(nil)
+	_ spec.Freezer         = (*MergedDir)(nil)
 )

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"heterogen/internal/spec"
@@ -118,6 +117,14 @@ func (br *bridge) snapshot(b *spec.SnapshotWriter) {
 	b.WriteString("}")
 }
 
+// ownerCell records the owning cluster of one address; the owner table is
+// a slice sorted by address (cloned by memcpy on the checker's hot path,
+// iterated in order without sorting).
+type ownerCell struct {
+	a       spec.Addr
+	cluster int
+}
+
 // MergedDir is the heterogeneous directory controller HeteroGen
 // synthesizes: the per-cluster directories, one proxy-cache pool per
 // cluster, per-address owner metadata and the bridging logic, all behind
@@ -130,10 +137,10 @@ type MergedDir struct {
 	dirs    []*spec.DirInst
 	proxies [][]*spec.CacheInst
 
-	owner     map[spec.Addr]int
-	bridges   map[spec.Addr]*bridge
-	busySrc   map[spec.NodeID]bool
-	proxyBusy map[spec.NodeID]bool
+	owners    []ownerCell // sorted by address
+	bridges   []*bridge   // in-flight bridges, sorted by address
+	busySrc   spec.NodeSet
+	proxyBusy spec.NodeSet
 
 	rec   *Recorder
 	trace func(string)
@@ -143,9 +150,7 @@ type MergedDir struct {
 // memory.
 func NewMergedDir(f *Fusion, layout Layout) *MergedDir {
 	mem := spec.NewMemory()
-	d := &MergedDir{fusion: f, layout: layout, mem: mem,
-		owner: map[spec.Addr]int{}, bridges: map[spec.Addr]*bridge{},
-		busySrc: map[spec.NodeID]bool{}, proxyBusy: map[spec.NodeID]bool{}}
+	d := &MergedDir{fusion: f, layout: layout, mem: mem}
 	for i, p := range f.Protocols {
 		d.dirs = append(d.dirs, spec.NewDirInst(layout.DirIDs[i], p, mem))
 		var pool []*spec.CacheInst
@@ -184,10 +189,68 @@ func (d *MergedDir) DirID(cluster int) spec.NodeID { return d.layout.DirIDs[clus
 
 // Owner returns the owning cluster of an address (-1 if none).
 func (d *MergedDir) Owner(a spec.Addr) int {
-	if o, ok := d.owner[a]; ok {
-		return o
+	for _, c := range d.owners {
+		if c.a == a {
+			return c.cluster
+		}
+		if c.a > a {
+			break
+		}
 	}
 	return -1
+}
+
+// setOwner records cluster as the owner of a (insert sorted).
+func (d *MergedDir) setOwner(a spec.Addr, cluster int) {
+	i := 0
+	for ; i < len(d.owners); i++ {
+		if d.owners[i].a == a {
+			d.owners[i].cluster = cluster
+			return
+		}
+		if d.owners[i].a > a {
+			break
+		}
+	}
+	d.owners = append(d.owners, ownerCell{})
+	copy(d.owners[i+1:], d.owners[i:])
+	d.owners[i] = ownerCell{a: a, cluster: cluster}
+}
+
+// bridgeAt returns the in-flight bridge for a, or nil.
+func (d *MergedDir) bridgeAt(a spec.Addr) *bridge {
+	for _, br := range d.bridges {
+		if br.addr == a {
+			return br
+		}
+		if br.addr > a {
+			break
+		}
+	}
+	return nil
+}
+
+// addBridge inserts br in address order.
+func (d *MergedDir) addBridge(br *bridge) {
+	i := 0
+	for ; i < len(d.bridges); i++ {
+		if d.bridges[i].addr > br.addr {
+			break
+		}
+	}
+	d.bridges = append(d.bridges, nil)
+	copy(d.bridges[i+1:], d.bridges[i:])
+	d.bridges[i] = br
+}
+
+// removeBridge drops the bridge for a.
+func (d *MergedDir) removeBridge(a spec.Addr) {
+	for i, br := range d.bridges {
+		if br.addr == a {
+			d.bridges = append(d.bridges[:i], d.bridges[i+1:]...)
+			return
+		}
+	}
 }
 
 // OwnedIDs implements spec.Component.
@@ -253,7 +316,7 @@ func (d *MergedDir) deliver(env spec.Env, m spec.Msg) bool {
 		env.Send(spec.Msg{Type: msgHSAck, Addr: m.Addr, Src: m.Dst, Dst: m.Src, VNet: spec.VResp})
 		return true
 	case msgHSAck:
-		if br := d.bridges[m.Addr]; br != nil {
+		if br := d.bridgeAt(m.Addr); br != nil {
 			br.hsDone = true
 		}
 		return true
@@ -275,10 +338,10 @@ func (d *MergedDir) deliver(env spec.Env, m spec.Msg) bool {
 
 // intake applies the §VI-D5 rules to a request from a real cache.
 func (d *MergedDir) intake(env spec.Env, cluster int, m spec.Msg) bool {
-	if d.bridges[m.Addr] != nil {
+	if d.bridgeAt(m.Addr) != nil {
 		return false // address blocked while a bridge is in flight
 	}
-	if d.fusion.Conservative && d.busySrc[m.Src] {
+	if d.fusion.Conservative && d.busySrc.Has(m.Src) {
 		return false // processor-centric: initiating processor blocked
 	}
 	an := d.fusion.Analyses[cluster]
@@ -344,9 +407,9 @@ func (d *MergedDir) startBridge(env spec.Env, cluster int, m spec.Msg, isWrite b
 				seq: reqsOf(d.fusion.StoreSeqs[j], m.Addr, 0)})
 		}
 	}
-	d.bridges[m.Addr] = br
+	d.addBridge(br)
 	if d.fusion.Conservative {
-		d.busySrc[m.Src] = true
+		d.busySrc.Add(m.Src)
 	}
 	if d.trace != nil {
 		kind := "read"
@@ -373,15 +436,16 @@ func reqsOf(seq []spec.CoreOp, a spec.Addr, value int) []spec.CoreReq {
 func (d *MergedDir) advance(env spec.Env) {
 	for {
 		progressed := false
-		addrs := make([]int, 0, len(d.bridges))
-		for a := range d.bridges {
-			addrs = append(addrs, int(a))
-		}
-		sort.Ints(addrs)
-		for _, ai := range addrs {
-			br := d.bridges[spec.Addr(ai)]
-			if br != nil && d.advanceBridge(env, br) {
+		// The slice is already address-ordered; advanceBridge may remove the
+		// bridge it drives (shifting the tail left), so only step past an
+		// entry that is still in place.
+		for i := 0; i < len(d.bridges); {
+			br := d.bridges[i]
+			if d.advanceBridge(env, br) {
 				progressed = true
+			}
+			if i < len(d.bridges) && d.bridges[i] == br {
+				i++
 			}
 		}
 		if !progressed {
@@ -438,11 +502,11 @@ func (d *MergedDir) advanceBridge(env spec.Env, br *bridge) bool {
 			return acted // sub-directory transiently busy; retried later
 		}
 		if br.isWrite {
-			d.owner[br.addr] = br.origin
+			d.setOwner(br.addr, br.origin)
 		}
-		delete(d.bridges, br.addr)
+		d.removeBridge(br.addr)
 		if d.fusion.Conservative {
-			delete(d.busySrc, br.orig.Src)
+			d.busySrc.Remove(br.orig.Src)
 		}
 		if d.trace != nil {
 			d.trace(fmt.Sprintf("merged-dir a%d: bridge complete, owner=cluster%d", br.addr, d.Owner(br.addr)))
@@ -551,8 +615,8 @@ func (t *proxyTask) seqAddr() spec.Addr {
 // allocProxy grabs a free pool slot of the cluster, or -1.
 func (d *MergedDir) allocProxy(cluster int) int {
 	for i, id := range d.layout.ProxyIDs[cluster] {
-		if !d.proxyBusy[id] {
-			d.proxyBusy[id] = true
+		if !d.proxyBusy.Has(id) {
+			d.proxyBusy.Add(id)
 			return i
 		}
 	}
@@ -560,7 +624,7 @@ func (d *MergedDir) allocProxy(cluster int) int {
 }
 
 func (d *MergedDir) freeProxy(cluster, idx int) {
-	delete(d.proxyBusy, d.layout.ProxyIDs[cluster][idx])
+	d.proxyBusy.Remove(d.layout.ProxyIDs[cluster][idx])
 }
 
 // LocalState renders the merged directory's composite local state for an
@@ -579,7 +643,7 @@ func (d *MergedDir) LocalState(a spec.Addr) string {
 			}
 		}
 	}
-	if br := d.bridges[a]; br != nil {
+	if br := d.bridgeAt(a); br != nil {
 		kind := "rd"
 		if br.isWrite {
 			kind = "wr"
@@ -598,29 +662,27 @@ func (d *MergedDir) Clone() spec.Component { return d.CloneWithMemory(d.mem.Clon
 // CloneWithMemory implements mcheck.MemoryCloner.
 func (d *MergedDir) CloneWithMemory(mem *spec.Memory) spec.Component {
 	cp := &MergedDir{fusion: d.fusion, layout: d.layout, mem: mem,
-		owner: map[spec.Addr]int{}, bridges: map[spec.Addr]*bridge{},
-		busySrc: map[spec.NodeID]bool{}, proxyBusy: map[spec.NodeID]bool{}, rec: d.rec}
-	for _, dir := range d.dirs {
-		cp.dirs = append(cp.dirs, dir.CloneDir(mem))
+		busySrc: d.busySrc, proxyBusy: d.proxyBusy, rec: d.rec}
+	cp.dirs = make([]*spec.DirInst, len(d.dirs))
+	for i, dir := range d.dirs {
+		cp.dirs[i] = dir.CloneDir(mem)
 	}
-	for _, pool := range d.proxies {
-		var npool []*spec.CacheInst
-		for _, p := range pool {
-			npool = append(npool, p.CloneCache())
+	cp.proxies = make([][]*spec.CacheInst, len(d.proxies))
+	for i, pool := range d.proxies {
+		npool := make([]*spec.CacheInst, len(pool))
+		for j, p := range pool {
+			npool[j] = p.CloneCache()
 		}
-		cp.proxies = append(cp.proxies, npool)
+		cp.proxies[i] = npool
 	}
-	for a, o := range d.owner {
-		cp.owner[a] = o
+	if len(d.owners) > 0 {
+		cp.owners = append(make([]ownerCell, 0, len(d.owners)), d.owners...)
 	}
-	for a, br := range d.bridges {
-		cp.bridges[a] = br.clone()
-	}
-	for s := range d.busySrc {
-		cp.busySrc[s] = true
-	}
-	for p := range d.proxyBusy {
-		cp.proxyBusy[p] = true
+	if len(d.bridges) > 0 {
+		cp.bridges = make([]*bridge, len(d.bridges))
+		for i, br := range d.bridges {
+			cp.bridges[i] = br.clone()
+		}
 	}
 	return cp
 }
@@ -652,32 +714,16 @@ func (d *MergedDir) Snapshot(b *spec.SnapshotWriter) {
 			p.Snapshot(b)
 		}
 	}
-	owners := make([]int, 0, len(d.owner))
-	for a := range d.owner {
-		owners = append(owners, int(a))
+	for _, c := range d.owners {
+		fmt.Fprintf(b, "o[a%d]=%d;", c.a, c.cluster)
 	}
-	sort.Ints(owners)
-	for _, a := range owners {
-		fmt.Fprintf(b, "o[a%d]=%d;", a, d.owner[spec.Addr(a)])
+	for _, br := range d.bridges {
+		br.snapshot(b)
 	}
-	baddrs := make([]int, 0, len(d.bridges))
-	for a := range d.bridges {
-		baddrs = append(baddrs, int(a))
-	}
-	sort.Ints(baddrs)
-	for _, a := range baddrs {
-		d.bridges[spec.Addr(a)].snapshot(b)
-	}
-	srcs := make([]int, 0, len(d.busySrc))
-	for s := range d.busySrc {
-		srcs = append(srcs, int(s))
-	}
-	sort.Ints(srcs)
-	pbusy := make([]int, 0, len(d.proxyBusy))
-	for p := range d.proxyBusy {
-		pbusy = append(pbusy, int(p))
-	}
-	sort.Ints(pbusy)
+	srcs := make([]int, 0, d.busySrc.Len())
+	d.busySrc.Each(func(s spec.NodeID) { srcs = append(srcs, int(s)) })
+	pbusy := make([]int, 0, d.proxyBusy.Len())
+	d.proxyBusy.Each(func(p spec.NodeID) { pbusy = append(pbusy, int(p)) })
 	fmt.Fprintf(b, "busy%v pbusy%v}", srcs, pbusy)
 }
 

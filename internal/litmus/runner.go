@@ -43,6 +43,10 @@ type Options struct {
 	ExploreWorkers int
 	// Encoding selects the model checker's visited-set encoding.
 	Encoding mcheck.Encoding
+	// Symmetry enables the checker's cache-permutation symmetry reduction
+	// (sound auto-detection; litmus threads usually run distinct programs,
+	// so it typically only helps tests with replicated threads).
+	Symmetry bool
 }
 
 // Result is the verdict of one litmus test run.
@@ -204,7 +208,7 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		Workers: opts.ExploreWorkers, Encoding: opts.Encoding,
-		LoadKeys: keys, ObserveMem: observe,
+		Symmetry: opts.Symmetry, LoadKeys: keys, ObserveMem: observe,
 	})
 	elapsed := time.Since(start)
 
@@ -324,7 +328,7 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		Workers: opts.ExploreWorkers, Encoding: opts.Encoding,
-		LoadKeys: keys, ObserveMem: observe})
+		Symmetry: opts.Symmetry, LoadKeys: keys, ObserveMem: observe})
 	elapsed := time.Since(start)
 
 	allowed := memmodel.AllowedOutcomesMem(ap, memmodel.Homogeneous(model, len(ap.Threads)), memKeys)

@@ -55,15 +55,14 @@ func (s *System) EncodeBinary(buf []byte) []byte {
 		buf = spec.AppendString(buf, w.String())
 	}
 	buf = s.Mem.AppendBinary(buf)
-	keys := s.chanKeys()
-	buf = spec.AppendUvarint(buf, uint64(len(keys)))
-	for _, k := range keys {
-		q := s.queues[k]
+	buf = spec.AppendUvarint(buf, uint64(len(s.chans)))
+	for i := range s.chans {
+		k := s.chans[i].k
 		buf = spec.AppendInt(buf, int(k.src))
 		buf = spec.AppendInt(buf, int(k.dst))
 		buf = spec.AppendInt(buf, int(k.vnet))
-		buf = spec.AppendUvarint(buf, uint64(len(q)))
-		for _, m := range q {
+		buf = spec.AppendUvarint(buf, uint64(len(s.chans[i].msgs)))
+		for _, m := range s.chans[i].msgs {
 			buf = m.AppendBinary(buf)
 		}
 	}

@@ -62,7 +62,7 @@ func Replay(sys *System, path []Move) []string {
 	for _, mv := range path {
 		desc := mv.String()
 		if mv.Kind == MoveDeliver {
-			if q := sys.queues[mv.Chan]; len(q) > 0 {
+			if q := sys.queued(mv.Chan); len(q) > 0 {
 				desc += ": " + q[0].String()
 			}
 		}

@@ -35,14 +35,23 @@ type Options struct {
 	// over a shared frontier, 1 forces the sequential breadth-first search
 	// (deterministic visit order; exact first-deadlock and truncation
 	// reporting), N>1 uses exactly N workers. Parallel searches visit the
-	// same state set and report the same counts and outcomes; only
-	// tie-breaks (which deadlock snapshot is reported first, the exact
-	// state count at truncation) depend on scheduling.
+	// same state set and report the same counts and outcomes; only the
+	// exact state count at truncation depends on scheduling.
 	Workers int
 	// Encoding keys the visited set: EncodingBinary (default, compact and
 	// allocation-lean) or EncodingSnapshot (the human-readable string
 	// form).
 	Encoding Encoding
+	// Symmetry enables scalarset-style symmetry reduction: states are
+	// keyed in the visited set by their canonical representative under
+	// permutations of interchangeable caches (same protocol, same
+	// directory, cores running identical programs), auto-detected from the
+	// configuration — see canonical.go for when detection declines and
+	// the reduction silently falls back to the exact search. Deadlock
+	// counts and outcome sets are orbit-corrected so they match the
+	// unreduced search; user Invariants must not distinguish
+	// interchangeable caches. Requires EncodingBinary.
+	Symmetry bool
 	// Invariants are checked at every reachable state.
 	Invariants []Invariant
 	// LoadKeys labels each core's loads for outcome collection; absent
@@ -69,14 +78,15 @@ func (o Options) workers() int {
 
 // Result summarizes a search.
 type Result struct {
-	States      int                 // distinct states visited
-	Transitions int                 // moves applied
-	Deadlocks   int                 // states with pending work but no moves
-	DeadlockAt  string              // snapshot of the first deadlock (debugging)
-	Outcomes    memmodel.OutcomeSet // outcomes at quiescent states
-	Violations  []string            // invariant failures
-	Truncated   bool                // MaxStates hit
-	MaxStates   int                 // the state budget that was in effect
+	States        int                 // distinct states visited (canonical under symmetry)
+	Transitions   int                 // moves applied
+	Deadlocks     int                 // states with pending work but no moves (orbit-corrected)
+	DeadlockAt    string              // snapshot of a deadlock (first in sequential mode, lex-least in parallel)
+	Outcomes      memmodel.OutcomeSet // outcomes at quiescent states
+	Violations    []string            // invariant failures
+	Truncated     bool                // MaxStates hit
+	MaxStates     int                 // the state budget that was in effect
+	SymmetryPerms int                 // symmetry group order in effect (1 = unreduced)
 }
 
 // Ok reports whether the search finished with no deadlocks or violations.
@@ -89,6 +99,9 @@ func (r *Result) Ok() bool {
 func (r *Result) String() string {
 	s := fmt.Sprintf("%d states, %d transitions, %d deadlocks, %d outcomes",
 		r.States, r.Transitions, r.Deadlocks, len(r.Outcomes))
+	if r.SymmetryPerms > 1 {
+		s += fmt.Sprintf(" (symmetry ×%d)", r.SymmetryPerms)
+	}
 	if len(r.Violations) > 0 {
 		s += fmt.Sprintf(", %d invariant violations", len(r.Violations))
 	}
@@ -97,6 +110,110 @@ func (r *Result) String() string {
 			r.MaxStates, r.States)
 	}
 	return s
+}
+
+// searchCtx is the per-search immutable context shared by all workers:
+// resolved options, the symmetry group (nil when unreduced) and the
+// outcome key tables precomputed once instead of fmt.Sprintf-ed per
+// quiescent state.
+type searchCtx struct {
+	opts      Options
+	maxStates int
+	canon     *canonicalizer
+	parallel  bool
+	loadKeys  [][]string // per core, per completed-load index
+	memKeys   []string   // per ObserveMem entry
+}
+
+// expandScratch is the per-worker reusable buffer set.
+type expandScratch struct {
+	moves  []Move
+	encBuf []byte
+	canon  canonScratch
+}
+
+func newSearchCtx(initial *System, opts Options, maxStates int, parallel bool) *searchCtx {
+	ctx := &searchCtx{opts: opts, maxStates: maxStates, parallel: parallel}
+	if opts.Symmetry {
+		ctx.canon = detectSymmetry(initial, opts)
+	}
+	ctx.loadKeys = make([][]string, len(initial.Cores))
+	for t, core := range initial.Cores {
+		nLoads := 0
+		for _, op := range core.Prog {
+			if op.Op == spec.OpLoad {
+				nLoads++
+			}
+		}
+		keys := make([]string, nLoads)
+		for i := range keys {
+			if t < len(opts.LoadKeys) && i < len(opts.LoadKeys[t]) {
+				keys[i] = opts.LoadKeys[t][i]
+			} else {
+				keys[i] = fmt.Sprintf("T%d:%d", t, i)
+			}
+		}
+		ctx.loadKeys[t] = keys
+	}
+	ctx.memKeys = make([]string, len(opts.ObserveMem))
+	for i, a := range opts.ObserveMem {
+		ctx.memKeys[i] = fmt.Sprintf("m:%d", a)
+	}
+	return ctx
+}
+
+// loadKey returns the outcome key of core t's i-th load.
+func (ctx *searchCtx) loadKey(t, i int) string {
+	if t < len(ctx.loadKeys) && i < len(ctx.loadKeys[t]) {
+		return ctx.loadKeys[t][i]
+	}
+	return fmt.Sprintf("T%d:%d", t, i)
+}
+
+// encode appends the visited-set key of s: the canonical representative
+// under symmetry, the plain encoding otherwise.
+func (ctx *searchCtx) encode(s *System, sc *expandScratch, buf []byte) []byte {
+	if ctx.canon != nil {
+		return ctx.canon.canonical(s, &sc.canon, buf)
+	}
+	return encodeState(s, ctx.opts.Encoding, buf)
+}
+
+// outcome extracts the litmus outcome of a quiescent state using the
+// precomputed key tables.
+func (ctx *searchCtx) outcome(s *System) memmodel.Outcome {
+	out := memmodel.Outcome{}
+	for t, core := range s.Cores {
+		for i, v := range core.Loads {
+			out[ctx.loadKey(t, i)] = v
+		}
+	}
+	for i, a := range ctx.opts.ObserveMem {
+		out[ctx.memKeys[i]] = s.Mem.Read(a)
+	}
+	return out
+}
+
+// orbitOutcomes adds the outcome of s under every non-identity group
+// permutation: the reduced search reaches one representative per orbit of
+// quiescent states, so the permuted siblings' outcomes (same loaded
+// values, observed by the permuted cores) are synthesized here to keep the
+// reported outcome set equal to the unreduced search's.
+func (ctx *searchCtx) orbitOutcomes(s *System, set memmodel.OutcomeSet) {
+	for pi := 1; pi < len(ctx.canon.perms); pi++ {
+		p := &ctx.canon.perms[pi]
+		out := memmodel.Outcome{}
+		for t, ti := range p.core {
+			core := s.Cores[ti]
+			for i, v := range core.Loads {
+				out[ctx.loadKey(t, i)] = v
+			}
+		}
+		for i, a := range ctx.opts.ObserveMem {
+			out[ctx.memKeys[i]] = s.Mem.Read(a)
+		}
+		set.Add(out)
+	}
 }
 
 // Explore runs an exhaustive search from the initial system state: a
@@ -115,73 +232,99 @@ func Explore(initial *System, opts Options) *Result {
 		// by clones and not synchronized; keep those walks sequential.
 		workers = 1
 	}
+	ctx := newSearchCtx(initial, opts, maxStates, workers > 1)
 	visited := newVisitedSet(opts.HashCompaction)
-	visited.Insert(encodeState(initial, opts.Encoding, nil))
+	var seed expandScratch
+	visited.Insert(ctx.encode(initial, &seed, nil))
+	var res *Result
 	if workers == 1 {
-		return exploreSeq(initial, opts, maxStates, visited)
+		res = exploreSeq(initial, ctx, visited)
+	} else {
+		freezeComponents(initial)
+		res = exploreParallel(initial, ctx, workers, visited)
 	}
-	freezeComponents(initial)
-	return exploreParallel(initial, opts, maxStates, workers, visited)
+	res.SymmetryPerms = ctx.canon.Perms()
+	return res
 }
 
 // exploreSeq is the deterministic sequential breadth-first search.
-func exploreSeq(initial *System, opts Options, maxStates int, visited *visitedSet) *Result {
-	res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: maxStates}
+func exploreSeq(initial *System, ctx *searchCtx, visited *visitedSet) *Result {
+	res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates}
 	queue := []*System{initial}
-	var encBuf []byte
+	var sc expandScratch
 
 	for head := 0; head < len(queue); head++ {
-		if visited.Size() > maxStates {
+		if visited.Size() > ctx.maxStates {
 			res.Truncated = true
 			break
 		}
 		cur := queue[head]
 		queue[head] = nil // release the expanded state to the collector
-		expandState(cur, opts, res, func(next *System) bool {
-			encBuf = encodeState(next, opts.Encoding, encBuf[:0])
-			return visited.Insert(encBuf)
-		}, func(next *System) {
+		ctx.expand(cur, res, &sc, visited.Insert, func(next *System) {
 			queue = append(queue, next)
 		})
 	}
 	return res
 }
 
-// expandState processes one dequeued state: invariants, successor
-// generation (seen filters duplicates, enqueue receives the new ones) and
+// expand processes one dequeued state: invariants, successor generation
+// (insert filters duplicates, enqueue receives the new ones) and
 // deadlock/outcome classification. Shared by both search modes.
-func expandState(cur *System, opts Options, res *Result, seen func(*System) bool, enqueue func(*System)) {
+//
+// The final enabled move is applied to cur in place instead of a clone:
+// once its successors are generated, an expanded state is never read again
+// (classification only happens when no move progressed), so the last
+// successor can reuse its storage — one fewer full deep-copy per state.
+func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert func([]byte) bool, enqueue func(*System)) {
 	res.States++
-	for _, inv := range opts.Invariants {
+	for _, inv := range ctx.opts.Invariants {
 		if err := inv(cur); err != nil {
 			res.Violations = append(res.Violations, err.Error())
 		}
 	}
 
+	sc.moves = cur.AppendMoves(sc.moves[:0], ctx.opts.Evictions)
 	progressed := false
-	for _, mv := range cur.Moves(opts.Evictions) {
-		next := cur.Clone()
-		if !next.Apply(mv) {
+	for i, n := 0, len(sc.moves); i < n; i++ {
+		next := cur
+		if i < n-1 {
+			next = cur.Clone()
+		}
+		if !next.Apply(sc.moves[i]) {
 			continue
 		}
 		progressed = true
 		res.Transitions++
-		if seen(next) {
+		sc.encBuf = ctx.encode(next, sc, sc.encBuf[:0])
+		if insert(sc.encBuf) {
 			enqueue(next)
 		}
 	}
 
 	if !progressed {
 		if cur.Quiescent() {
-			o := outcomeOf(cur, opts.LoadKeys)
-			for _, a := range opts.ObserveMem {
-				o[fmt.Sprintf("m:%d", a)] = cur.Mem.Read(a)
-			}
+			o := ctx.outcome(cur)
 			res.Outcomes.Add(o)
+			if ctx.canon != nil {
+				ctx.orbitOutcomes(cur, res.Outcomes)
+			}
 		} else {
-			res.Deadlocks++
+			if ctx.canon != nil {
+				// Report the orbit size so the count matches the unreduced
+				// search, which visits every permuted sibling separately.
+				res.Deadlocks += ctx.canon.orbitSize(cur, &sc.canon)
+			} else {
+				res.Deadlocks++
+			}
 			if res.DeadlockAt == "" {
 				res.DeadlockAt = cur.Snapshot()
+			} else if ctx.parallel {
+				// Parallel visit order is nondeterministic; keeping the
+				// lexicographically least snapshot per worker (and across
+				// workers at merge) makes the diagnostic stable run-to-run.
+				if snap := cur.Snapshot(); snap < res.DeadlockAt {
+					res.DeadlockAt = snap
+				}
 			}
 		}
 	}
@@ -264,7 +407,7 @@ func (f *frontier) stop() {
 // exploreParallel runs the worker-pool frontier search: workers pull
 // batches from a shared frontier, filter successors through the sharded
 // visited set, and merge per-worker results at the end.
-func exploreParallel(initial *System, opts Options, maxStates, workers int, visited *visitedSet) *Result {
+func exploreParallel(initial *System, ctx *searchCtx, workers int, visited *visitedSet) *Result {
 	f := &frontier{queue: []*System{initial}}
 	f.cond.L = &f.mu
 	var truncated atomic.Bool
@@ -272,12 +415,12 @@ func exploreParallel(initial *System, opts Options, maxStates, workers int, visi
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: maxStates}
+		res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates}
 		results[w] = res
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var encBuf []byte
+			var sc expandScratch
 			var fresh []*System
 			for {
 				batch := f.take(workers)
@@ -285,17 +428,14 @@ func exploreParallel(initial *System, opts Options, maxStates, workers int, visi
 					return
 				}
 				for _, cur := range batch {
-					if visited.Size() > maxStates {
+					if visited.Size() > ctx.maxStates {
 						truncated.Store(true)
 						f.stop()
 						f.settle(len(batch))
 						return
 					}
 					fresh = fresh[:0]
-					expandState(cur, opts, res, func(next *System) bool {
-						encBuf = encodeState(next, opts.Encoding, encBuf[:0])
-						return visited.Insert(encBuf)
-					}, func(next *System) {
+					ctx.expand(cur, res, &sc, visited.Insert, func(next *System) {
 						fresh = append(fresh, next)
 					})
 					f.push(fresh)
@@ -306,13 +446,15 @@ func exploreParallel(initial *System, opts Options, maxStates, workers int, visi
 	}
 	wg.Wait()
 
-	merged := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: maxStates,
+	merged := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates,
 		Truncated: truncated.Load()}
 	for _, res := range results {
 		merged.States += res.States
 		merged.Transitions += res.Transitions
 		merged.Deadlocks += res.Deadlocks
-		if merged.DeadlockAt == "" {
+		// Lexicographically least snapshot across workers: deterministic
+		// diagnostics regardless of which worker saw a deadlock first.
+		if res.DeadlockAt != "" && (merged.DeadlockAt == "" || res.DeadlockAt < merged.DeadlockAt) {
 			merged.DeadlockAt = res.DeadlockAt
 		}
 		merged.Violations = append(merged.Violations, res.Violations...)
@@ -324,7 +466,8 @@ func exploreParallel(initial *System, opts Options, maxStates, workers int, visi
 	return merged
 }
 
-// outcomeOf extracts the litmus outcome of a quiescent state.
+// outcomeOf extracts the litmus outcome of a quiescent state (slow path,
+// used by FindPath; Explore uses searchCtx.outcome with precomputed keys).
 func outcomeOf(s *System, loadKeys [][]string) memmodel.Outcome {
 	out := memmodel.Outcome{}
 	for t, core := range s.Cores {

@@ -8,7 +8,6 @@ package mcheck
 
 import (
 	"fmt"
-	"sort"
 
 	"heterogen/internal/spec"
 )
@@ -26,16 +25,31 @@ type Core struct {
 // Done reports whether the core has completed its whole program.
 func (c *Core) Done() bool { return c.PC >= len(c.Prog) && !c.Issued }
 
-func (c *Core) clone() *Core {
-	cp := *c
-	cp.Loads = append([]int(nil), c.Loads...)
-	return &cp
-}
-
 // chanKey identifies one ordered channel of the interconnect.
 type chanKey struct {
 	src, dst spec.NodeID
 	vnet     spec.VNet
+}
+
+// less orders channel keys by (src, dst, vnet).
+func (k chanKey) less(o chanKey) bool {
+	if k.src != o.src {
+		return k.src < o.src
+	}
+	if k.dst != o.dst {
+		return k.dst < o.dst
+	}
+	return k.vnet < o.vnet
+}
+
+// chanState is one nonempty ordered channel. The interconnect is a slice
+// of these sorted by key — the handful of active channels a search state
+// has iterate in deterministic order without sorting, and Clone copies all
+// in-flight messages through a single arena allocation instead of one map
+// entry + slice per channel.
+type chanState struct {
+	k    chanKey
+	msgs []spec.Msg
 }
 
 // MemoryCloner is implemented by components whose backing memory is shared
@@ -56,15 +70,28 @@ type System struct {
 	// clones; state-space searches should leave it nil.
 	OnDeliver func(spec.Msg)
 
-	route  map[spec.NodeID]int
-	queues map[chanKey][]spec.Msg
+	// route maps NodeID to component index (-1 unrouted). It is immutable
+	// after NewSystem and shared by every clone.
+	route []int
+	chans []chanState // nonempty channels, sorted by key
 }
 
 // NewSystem assembles a system from components, cores and the shared
 // memory the directories were built over.
 func NewSystem(components []spec.Component, cores []*Core, mem *spec.Memory) *System {
-	s := &System{Components: components, Cores: cores, Mem: mem,
-		route: map[spec.NodeID]int{}, queues: map[chanKey][]spec.Msg{}}
+	s := &System{Components: components, Cores: cores, Mem: mem}
+	maxID := spec.NodeID(-1)
+	for _, c := range components {
+		for _, id := range c.OwnedIDs() {
+			if id > maxID {
+				maxID = id
+			}
+		}
+	}
+	s.route = make([]int, maxID+1)
+	for i := range s.route {
+		s.route[i] = -1
+	}
 	for i, c := range components {
 		for _, id := range c.OwnedIDs() {
 			s.route[id] = i
@@ -100,9 +127,17 @@ func (s *System) SetPrograms(progs [][]spec.CoreReq) {
 	}
 }
 
+// componentOf returns the component index serving id, or -1.
+func (s *System) componentOf(id spec.NodeID) int {
+	if id < 0 || int(id) >= len(s.route) {
+		return -1
+	}
+	return s.route[id]
+}
+
 // Cache returns the CacheInst serving the given node id, or nil.
 func (s *System) Cache(id spec.NodeID) *spec.CacheInst {
-	if i, ok := s.route[id]; ok {
+	if i := s.componentOf(id); i >= 0 {
 		if c, ok := s.Components[i].(*spec.CacheInst); ok {
 			return c
 		}
@@ -110,16 +145,40 @@ func (s *System) Cache(id spec.NodeID) *spec.CacheInst {
 	return nil
 }
 
+// chanIdx returns the index of k in chans, or the insertion point with
+// found=false.
+func (s *System) chanIdx(k chanKey) (int, bool) {
+	for i := range s.chans {
+		if s.chans[i].k == k {
+			return i, true
+		}
+		if k.less(s.chans[i].k) {
+			return i, false
+		}
+	}
+	return len(s.chans), false
+}
+
 // send enqueues a message on its channel.
 func (s *System) send(m spec.Msg) {
 	k := chanKey{m.Src, m.Dst, m.VNet}
-	s.queues[k] = append(s.queues[k], m)
+	i, ok := s.chanIdx(k)
+	if ok {
+		s.chans[i].msgs = append(s.chans[i].msgs, m)
+		return
+	}
+	s.chans = append(s.chans, chanState{})
+	copy(s.chans[i+1:], s.chans[i:])
+	s.chans[i] = chanState{k: k, msgs: []spec.Msg{m}}
 }
 
 // env returns an Env that enqueues onto this system.
 func (s *System) env() spec.Env { return spec.EnvFunc(s.send) }
 
-// Clone deep-copies the system.
+// Clone deep-copies the system. The route table is shared (immutable), the
+// cores copy through one backing array, and every in-flight message copies
+// into a single arena — O(components) allocations per clone, which is the
+// model checker's per-successor cost.
 func (s *System) Clone() *System {
 	mem := s.Mem.Clone()
 	comps := make([]spec.Component, len(s.Components))
@@ -130,42 +189,65 @@ func (s *System) Clone() *System {
 			comps[i] = c.Clone()
 		}
 	}
+	coreArr := make([]Core, len(s.Cores))
 	cores := make([]*Core, len(s.Cores))
-	for i, c := range s.Cores {
-		cores[i] = c.clone()
+	nLoads := 0
+	for _, c := range s.Cores {
+		nLoads += len(c.Loads)
 	}
-	cp := NewSystem(comps, cores, mem)
-	cp.OnDeliver = s.OnDeliver
-	for k, q := range s.queues {
-		cp.queues[k] = append([]spec.Msg(nil), q...)
+	var loadArena []int
+	if nLoads > 0 {
+		loadArena = make([]int, 0, nLoads)
+	}
+	for i, c := range s.Cores {
+		coreArr[i] = *c
+		if len(c.Loads) > 0 {
+			start := len(loadArena)
+			loadArena = append(loadArena, c.Loads...)
+			coreArr[i].Loads = loadArena[start:len(loadArena):len(loadArena)]
+		}
+		cores[i] = &coreArr[i]
+	}
+	cp := &System{Components: comps, Cores: cores, Mem: mem,
+		OnDeliver: s.OnDeliver, route: s.route}
+	if len(s.chans) > 0 {
+		total := 0
+		for i := range s.chans {
+			total += len(s.chans[i].msgs)
+		}
+		arena := make([]spec.Msg, 0, total)
+		cp.chans = make([]chanState, len(s.chans))
+		for i := range s.chans {
+			start := len(arena)
+			arena = append(arena, s.chans[i].msgs...)
+			// Full three-index subslice: appending to one channel's queue
+			// reallocates instead of clobbering its arena neighbor.
+			cp.chans[i] = chanState{k: s.chans[i].k, msgs: arena[start:len(arena):len(arena)]}
+		}
 	}
 	return cp
 }
 
 // chanKeys returns the nonempty channel keys in deterministic order.
 func (s *System) chanKeys() []chanKey {
-	keys := make([]chanKey, 0, len(s.queues))
-	for k, q := range s.queues {
-		if len(q) > 0 {
-			keys = append(keys, k)
-		}
+	keys := make([]chanKey, 0, len(s.chans))
+	for i := range s.chans {
+		keys = append(keys, s.chans[i].k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.src != b.src {
-			return a.src < b.src
-		}
-		if a.dst != b.dst {
-			return a.dst < b.dst
-		}
-		return a.vnet < b.vnet
-	})
 	return keys
+}
+
+// queued returns the messages in flight on channel k (nil if none).
+func (s *System) queued(k chanKey) []spec.Msg {
+	if i, ok := s.chanIdx(k); ok {
+		return s.chans[i].msgs
+	}
+	return nil
 }
 
 // syncCores advances cores whose issued op has completed.
 func (s *System) syncCores() {
-	for t, core := range s.Cores {
+	for _, core := range s.Cores {
 		if !core.Issued {
 			continue
 		}
@@ -179,7 +261,6 @@ func (s *System) syncCores() {
 		}
 		core.PC++
 		core.Issued = false
-		_ = t
 	}
 }
 
@@ -231,10 +312,8 @@ func (s *System) Drain() error {
 
 // Quiescent reports whether all channels are empty and all cores done.
 func (s *System) Quiescent() bool {
-	for _, q := range s.queues {
-		if len(q) > 0 {
-			return false
-		}
+	if len(s.chans) > 0 {
+		return false
 	}
 	for _, c := range s.Cores {
 		if !c.Done() {
@@ -252,9 +331,10 @@ func (s *System) Snapshot() string {
 		c.Snapshot(&b)
 	}
 	s.Mem.Snapshot(&b)
-	for _, k := range s.chanKeys() {
+	for i := range s.chans {
+		k := s.chans[i].k
 		fmt.Fprintf(&b, "ch%d-%d-%d[", k.src, k.dst, k.vnet)
-		for _, m := range s.queues[k] {
+		for _, m := range s.chans[i].msgs {
 			fmt.Fprintf(&b, "%s|", m)
 		}
 		b.WriteString("]")
@@ -300,9 +380,15 @@ func (m Move) String() string {
 // Moves enumerates the enabled moves of the current state. evictions
 // toggles exploration of spontaneous replacements.
 func (s *System) Moves(evictions bool) []Move {
-	var out []Move
-	for _, k := range s.chanKeys() {
-		out = append(out, Move{Kind: MoveDeliver, Chan: k})
+	return s.AppendMoves(nil, evictions)
+}
+
+// AppendMoves appends the enabled moves to out and returns the extended
+// slice — the search loop reuses one scratch slice across expansions
+// instead of allocating a fresh move list per state.
+func (s *System) AppendMoves(out []Move, evictions bool) []Move {
+	for i := range s.chans {
+		out = append(out, Move{Kind: MoveDeliver, Chan: s.chans[i].k})
 	}
 	for i, core := range s.Cores {
 		if core.Issued || core.PC >= len(core.Prog) {
@@ -318,7 +404,8 @@ func (s *System) Moves(evictions bool) []Move {
 			if !ok {
 				continue
 			}
-			for _, a := range cachedAddrs(cache) {
+			for i := 0; i < cache.NumLines(); i++ {
+				a := cache.AddrAt(i)
 				st := cache.LineState(a)
 				if cache.Protocol().Cache.IsStable(st) && st != cache.Protocol().Cache.Init && cache.Idle() {
 					out = append(out, Move{Kind: MoveEvict, Cache: cache.ID(), Addr: a})
@@ -329,22 +416,19 @@ func (s *System) Moves(evictions bool) []Move {
 	return out
 }
 
-// cachedAddrs lists the addresses a cache currently holds, in order.
-func cachedAddrs(c *spec.CacheInst) []spec.Addr { return c.Addrs() }
-
 // Apply executes the move in place. It returns false if the move stalled
 // (delivery refused); the system is unchanged in that case except for
 // harmless line materialization.
 func (s *System) Apply(m Move) bool {
 	switch m.Kind {
 	case MoveDeliver:
-		q := s.queues[m.Chan]
-		if len(q) == 0 {
+		ci, ok := s.chanIdx(m.Chan)
+		if !ok {
 			return false
 		}
-		msg := q[0]
-		idx, ok := s.route[msg.Dst]
-		if !ok {
+		msg := s.chans[ci].msgs[0]
+		idx := s.componentOf(msg.Dst)
+		if idx < 0 {
 			panic(fmt.Sprintf("mcheck: message to unrouted node %d", msg.Dst))
 		}
 		if !s.Components[idx].Deliver(s.env(), msg) {
@@ -353,10 +437,13 @@ func (s *System) Apply(m Move) bool {
 		if s.OnDeliver != nil {
 			s.OnDeliver(msg)
 		}
-		if len(q) == 1 {
-			delete(s.queues, m.Chan)
+		// Delivery may have sent messages, inserting channels and shifting
+		// the slice: re-find our channel before popping its head.
+		ci, _ = s.chanIdx(m.Chan)
+		if len(s.chans[ci].msgs) == 1 {
+			s.chans = append(s.chans[:ci], s.chans[ci+1:]...)
 		} else {
-			s.queues[m.Chan] = q[1:]
+			s.chans[ci].msgs = s.chans[ci].msgs[1:]
 		}
 	case MoveIssue:
 		core := s.Cores[m.Core]

@@ -9,6 +9,19 @@ import "encoding/binary"
 // fmt formatting machinery on the exploration hot path. Every encoder is
 // self-delimiting (varint lengths/counts before variable-size sections), so
 // concatenating encodings over a fixed component list stays injective.
+//
+// Controller states are written as their dense Machine.StateIndex rather
+// than length-prefixed names: a one-byte varint instead of a string per
+// line, and the property symmetry reduction relies on — two lines in the
+// same protocol state encode identically regardless of how the state is
+// spelled.
+//
+// Each encoder also has an AppendBinaryRelabeled form taking a Relabel that
+// maps every NodeID reference (component ids, message endpoints, sharer
+// sets, owners) through a permutation. Symmetry reduction encodes a state
+// under each permutation of interchangeable caches and keeps the
+// lexicographically least result; a nil Relabel is the identity, and
+// AppendBinaryRelabeled(buf, nil) equals AppendBinary(buf) byte for byte.
 
 // BinaryAppender is the optional fast-path counterpart of
 // Component.Snapshot: components that implement it append a compact,
@@ -52,11 +65,17 @@ func AppendString(buf []byte, s string) []byte {
 
 // AppendBinary encodes the message: type, endpoints and payload fields.
 func (m Msg) AppendBinary(buf []byte) []byte {
+	return m.AppendBinaryRelabeled(buf, nil)
+}
+
+// AppendBinaryRelabeled encodes the message with its endpoint ids mapped
+// through r.
+func (m Msg) AppendBinaryRelabeled(buf []byte, r Relabel) []byte {
 	buf = AppendString(buf, string(m.Type))
 	buf = AppendInt(buf, int(m.Addr))
-	buf = AppendInt(buf, int(m.Src))
-	buf = AppendInt(buf, int(m.Dst))
-	buf = AppendInt(buf, int(m.Req))
+	buf = AppendInt(buf, int(r.Of(m.Src)))
+	buf = AppendInt(buf, int(r.Of(m.Dst)))
+	buf = AppendInt(buf, int(r.Of(m.Req)))
 	buf = AppendInt(buf, m.Data)
 	buf = AppendBool(buf, m.HasData)
 	buf = AppendInt(buf, m.Ack)
@@ -66,15 +85,21 @@ func (m Msg) AppendBinary(buf []byte) []byte {
 
 // AppendBinary encodes id, the populated lines in address order, the
 // pending request and the sync/load bookkeeping — the same facts as
-// Snapshot.
+// Snapshot, with line states as machine state indexes.
 func (c *CacheInst) AppendBinary(buf []byte) []byte {
-	buf = AppendInt(buf, int(c.id))
-	addrs := c.addrs()
-	buf = AppendUvarint(buf, uint64(len(addrs)))
-	for _, a := range addrs {
-		l := c.lines[a]
-		buf = AppendInt(buf, int(a))
-		buf = AppendString(buf, string(l.State))
+	return c.AppendBinaryRelabeled(buf, nil)
+}
+
+// AppendBinaryRelabeled implements RelabelAppender. A cache's lines hold
+// no node references, so only its own id is mapped.
+func (c *CacheInst) AppendBinaryRelabeled(buf []byte, r Relabel) []byte {
+	buf = AppendInt(buf, int(r.Of(c.id)))
+	m := c.proto.Cache
+	buf = AppendUvarint(buf, uint64(len(c.lines)))
+	for i := range c.lines {
+		l := &c.lines[i].l
+		buf = AppendInt(buf, int(c.lines[i].a))
+		buf = AppendInt(buf, m.StateIndex(l.State))
 		buf = AppendInt(buf, l.Data)
 		buf = AppendBool(buf, l.HasData)
 		buf = AppendInt(buf, l.AckBalance)
@@ -96,30 +121,27 @@ func (c *CacheInst) AppendBinary(buf []byte) []byte {
 // Freeze pre-builds the protocol's table indexes (see Freezer).
 func (c *CacheInst) Freeze() { c.proto.Freeze() }
 
-// AppendBinary encodes id and the directory lines in address order: state,
-// owner and the sorted sharer set — the same facts as Snapshot.
+// AppendBinary encodes id and the directory lines in address order: state
+// index, owner and the sharer bitset — the same facts as Snapshot.
 func (d *DirInst) AppendBinary(buf []byte) []byte {
-	buf = AppendInt(buf, int(d.id))
-	addrs := make([]int, 0, len(d.lines))
-	for a := range d.lines {
-		addrs = append(addrs, int(a))
-	}
-	intSort(addrs)
-	buf = AppendUvarint(buf, uint64(len(addrs)))
-	for _, ai := range addrs {
-		l := d.lines[Addr(ai)]
-		buf = AppendInt(buf, ai)
-		buf = AppendString(buf, string(l.State))
-		buf = AppendInt(buf, int(l.Owner))
-		sh := make([]int, 0, len(l.Sharers))
-		for s := range l.Sharers {
-			sh = append(sh, int(s))
-		}
-		intSort(sh)
-		buf = AppendUvarint(buf, uint64(len(sh)))
-		for _, s := range sh {
-			buf = AppendInt(buf, s)
-		}
+	return d.AppendBinaryRelabeled(buf, nil)
+}
+
+// AppendBinaryRelabeled implements RelabelAppender: the owner and every
+// sharer id are mapped through r (a relabeled NodeSet iterates in
+// ascending mapped order, so the sharer list stays canonical).
+func (d *DirInst) AppendBinaryRelabeled(buf []byte, r Relabel) []byte {
+	buf = AppendInt(buf, int(r.Of(d.id)))
+	m := d.proto.Dir
+	buf = AppendUvarint(buf, uint64(len(d.lines)))
+	for i := range d.lines {
+		l := &d.lines[i].l
+		buf = AppendInt(buf, int(d.lines[i].a))
+		buf = AppendInt(buf, m.StateIndex(l.State))
+		buf = AppendInt(buf, int(r.Of(l.Owner)))
+		sh := l.Sharers.Relabeled(r)
+		buf = AppendUvarint(buf, uint64(sh.Len()))
+		sh.Each(func(s NodeID) { buf = AppendInt(buf, int(s)) })
 	}
 	return buf
 }
@@ -129,15 +151,10 @@ func (d *DirInst) Freeze() { d.proto.Freeze() }
 
 // AppendBinary encodes the populated locations in address order.
 func (m *Memory) AppendBinary(buf []byte) []byte {
-	addrs := make([]int, 0, len(m.vals))
-	for a := range m.vals {
-		addrs = append(addrs, int(a))
-	}
-	intSort(addrs)
-	buf = AppendUvarint(buf, uint64(len(addrs)))
-	for _, a := range addrs {
-		buf = AppendInt(buf, a)
-		buf = AppendInt(buf, m.vals[Addr(a)])
+	buf = AppendUvarint(buf, uint64(len(m.cells)))
+	for _, c := range m.cells {
+		buf = AppendInt(buf, int(c.a))
+		buf = AppendInt(buf, c.v)
 	}
 	return buf
 }

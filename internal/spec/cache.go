@@ -2,7 +2,6 @@ package spec
 
 import (
 	"fmt"
-	"sort"
 
 	"heterogen/internal/memmodel"
 )
@@ -19,6 +18,15 @@ type Line struct {
 	AckArmed   bool
 }
 
+// cacheEntry is one materialized line, kept in a slice sorted by address:
+// the two or three lines a model-checked cache holds clone as one memcpy
+// and snapshot without sorting, where the old map paid an allocation per
+// line per clone on the state-space search's hot path.
+type cacheEntry struct {
+	a Addr
+	l Line
+}
+
 // CacheInst executes a cache controller specification for one core's
 // private cache. The pipeline model matches §II-B: an in-order core that
 // presents one request at a time; a request may nonetheless complete
@@ -28,7 +36,7 @@ type CacheInst struct {
 	id    NodeID
 	dir   NodeID
 	proto *Protocol
-	lines map[Addr]*Line
+	lines []cacheEntry // sorted by address
 
 	pending  *CoreReq // current core request, nil when idle
 	syncWait bool     // pending is a sync op waiting for outstanding drain
@@ -41,7 +49,7 @@ type CacheInst struct {
 // NewCacheInst builds a cache for the given protocol, wired to directory
 // id dir.
 func NewCacheInst(id, dir NodeID, proto *Protocol) *CacheInst {
-	return &CacheInst{id: id, dir: dir, proto: proto, lines: map[Addr]*Line{}}
+	return &CacheInst{id: id, dir: dir, proto: proto}
 }
 
 // SetTrace installs a trace sink (used by examples and debugging).
@@ -56,24 +64,61 @@ func (c *CacheInst) ID() NodeID { return c.id }
 // Protocol returns the protocol this cache runs.
 func (c *CacheInst) Protocol() *Protocol { return c.proto }
 
-// line returns the line for addr, materializing an initial-state line.
-func (c *CacheInst) line(a Addr) *Line {
-	if l, ok := c.lines[a]; ok {
-		return l
-	}
-	l := &Line{State: c.proto.Cache.Init}
-	c.lines[a] = l
-	return l
-}
+// DirID returns the directory this cache sends requests to. The model
+// checker's symmetry detection groups caches by (protocol, directory).
+func (c *CacheInst) DirID() NodeID { return c.dir }
 
-// gc drops lines that are back to the pristine initial state so snapshots
-// stay canonical.
-func (c *CacheInst) gc(a Addr) {
-	if l, ok := c.lines[a]; ok {
-		if l.State == c.proto.Cache.Init && !l.AckArmed && l.AckBalance == 0 {
-			delete(c.lines, a)
+// lineAt returns the materialized line for addr, or nil. The pointer is
+// valid until the next materialization or compaction.
+func (c *CacheInst) lineAt(a Addr) *Line {
+	for i := range c.lines {
+		if c.lines[i].a == a {
+			return &c.lines[i].l
+		}
+		if c.lines[i].a > a {
+			return nil
 		}
 	}
+	return nil
+}
+
+// line returns the line for addr, materializing an initial-state line.
+// Materialization may shift the slice: pointers from earlier line/lineAt
+// calls are invalid afterwards. Public entry points materialize at most
+// once, up front.
+func (c *CacheInst) line(a Addr) *Line {
+	i := 0
+	for ; i < len(c.lines); i++ {
+		if c.lines[i].a == a {
+			return &c.lines[i].l
+		}
+		if c.lines[i].a > a {
+			break
+		}
+	}
+	c.lines = append(c.lines, cacheEntry{})
+	copy(c.lines[i+1:], c.lines[i:])
+	c.lines[i] = cacheEntry{a: a, l: Line{State: c.proto.Cache.Init}}
+	return &c.lines[i].l
+}
+
+// pristine reports whether a line is back to the untouched initial state.
+func (c *CacheInst) pristine(l *Line) bool {
+	return l.State == c.proto.Cache.Init && !l.AckArmed && l.AckBalance == 0
+}
+
+// compact drops lines that are back to the pristine initial state so
+// snapshots stay canonical. Called once at the end of every public entry
+// point (rather than eagerly mid-transition) so line pointers stay valid
+// while a transition chain runs.
+func (c *CacheInst) compact() {
+	kept := c.lines[:0]
+	for i := range c.lines {
+		if !c.pristine(&c.lines[i].l) {
+			kept = append(kept, c.lines[i])
+		}
+	}
+	c.lines = kept
 }
 
 // Idle reports whether the cache has no pending core request.
@@ -84,7 +129,7 @@ func (c *CacheInst) LastLoad() int { return c.lastLoad }
 
 // LineState returns the state of the line at addr (init state if absent).
 func (c *CacheInst) LineState(a Addr) State {
-	if l, ok := c.lines[a]; ok {
+	if l := c.lineAt(a); l != nil {
 		return l.State
 	}
 	return c.proto.Cache.Init
@@ -92,7 +137,7 @@ func (c *CacheInst) LineState(a Addr) State {
 
 // LineData returns the data of the line at addr.
 func (c *CacheInst) LineData(a Addr) (int, bool) {
-	if l, ok := c.lines[a]; ok {
+	if l := c.lineAt(a); l != nil {
 		return l.Data, l.HasData
 	}
 	return memmodel.InitValue, false
@@ -100,8 +145,8 @@ func (c *CacheInst) LineData(a Addr) (int, bool) {
 
 // Outstanding reports whether any line is in a transient state.
 func (c *CacheInst) Outstanding() bool {
-	for _, l := range c.lines {
-		if !c.proto.Cache.IsStable(l.State) {
+	for i := range c.lines {
+		if !c.proto.Cache.IsStable(c.lines[i].l.State) {
 			return true
 		}
 	}
@@ -133,6 +178,7 @@ func (c *CacheInst) Issue(env Env, req CoreReq) bool {
 	if !c.CanIssue(req) {
 		return false
 	}
+	defer c.compact()
 	r := req
 	c.pending = &r
 	if req.Op.IsSync() {
@@ -144,7 +190,6 @@ func (c *CacheInst) Issue(env Env, req CoreReq) bool {
 	if t == nil && req.Op == OpEvict {
 		// No-op replacement (see CanIssue).
 		c.pending = nil
-		c.gc(req.Addr)
 		return true
 	}
 	c.apply(env, req.Addr, line, t, nil)
@@ -168,28 +213,29 @@ func (c *CacheInst) startSync(env Env, op CoreOp) {
 	// Arm the wait flag before triggering write-backs: apply() checks for
 	// sync completion after every transition it executes.
 	c.syncWait = sb.WaitOutstanding
-	inv := map[State]bool{}
-	for _, s := range sb.Invalidate {
-		inv[s] = true
-	}
-	wb := map[State]bool{}
-	for _, s := range sb.Writeback {
-		wb[s] = true
-	}
-	for _, a := range c.addrs() {
-		l := c.lines[a]
+	for i := range c.lines {
+		l := &c.lines[i].l
 		switch {
-		case inv[l.State]:
+		case stateIn(sb.Invalidate, l.State):
 			// Self-invalidation is silent.
 			*l = Line{State: c.proto.Cache.Init}
-			c.gc(a)
-		case wb[l.State]:
+		case stateIn(sb.Writeback, l.State):
 			if t := c.proto.Cache.OnCoreOp(l.State, OpEvict); t != nil {
-				c.apply(env, a, l, t, nil)
+				c.apply(env, c.lines[i].a, l, t, nil)
 			}
 		}
 	}
 	c.checkSyncDone()
+}
+
+// stateIn reports whether s appears in the (small) state list.
+func stateIn(states []State, s State) bool {
+	for _, st := range states {
+		if st == s {
+			return true
+		}
+	}
+	return false
 }
 
 // checkSyncDone completes a waiting sync op once all lines are stable.
@@ -205,13 +251,21 @@ func (c *CacheInst) checkSyncDone() {
 // Addrs returns the addresses of currently materialized lines in order.
 func (c *CacheInst) Addrs() []Addr { return c.addrs() }
 
+// NumLines returns the count of materialized lines; AddrAt returns the
+// i-th address in ascending order. Together they let hot-path callers
+// (the model checker's eviction enumeration) walk the cache without the
+// slice Addrs allocates.
+func (c *CacheInst) NumLines() int { return len(c.lines) }
+
+// AddrAt returns the address of the i-th materialized line.
+func (c *CacheInst) AddrAt(i int) Addr { return c.lines[i].a }
+
 // addrs returns the cache's populated addresses in order.
 func (c *CacheInst) addrs() []Addr {
 	out := make([]Addr, 0, len(c.lines))
-	for a := range c.lines {
-		out = append(out, a)
+	for i := range c.lines {
+		out = append(out, c.lines[i].a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -219,10 +273,10 @@ func (c *CacheInst) addrs() []Addr {
 // eviction transition. Used by the model checker's optional eviction
 // exploration and by sync write-backs.
 func (c *CacheInst) Evict(env Env, a Addr) bool {
+	defer c.compact()
 	line := c.line(a)
 	t := c.proto.Cache.OnCoreOp(line.State, OpEvict)
 	if t == nil {
-		c.gc(a)
 		return false
 	}
 	c.apply(env, a, line, t, nil)
@@ -236,17 +290,16 @@ func (c *CacheInst) CanEvict(a Addr) bool {
 
 // Deliver implements Component.
 func (c *CacheInst) Deliver(env Env, m Msg) bool {
+	defer c.compact()
 	line := c.line(m.Addr)
 	// Automatic invalidation-ack bookkeeping.
 	if c.proto.AckType != "" && m.Type == c.proto.AckType {
 		line.AckBalance--
 		c.fireLastAck(env, m.Addr, line)
-		c.gc(m.Addr)
 		return true
 	}
 	t := c.proto.Cache.OnMessage(line.State, &m, MsgCtx{})
 	if t == nil {
-		c.gc(m.Addr)
 		return false
 	}
 	c.apply(env, m.Addr, line, t, &m)
@@ -315,7 +368,6 @@ func (c *CacheInst) apply(env Env, a Addr, line *Line, t *Transition, m *Msg) {
 	}
 	c.fireLastAck(env, a, line)
 	c.checkSyncDone()
-	c.gc(a)
 }
 
 // invalidateOnFill applies the machine's fill-triggered self-invalidation
@@ -324,17 +376,12 @@ func (c *CacheInst) invalidateOnFill(filledAddr Addr) {
 	if len(c.proto.Cache.InvalidateOnFill) == 0 {
 		return
 	}
-	states := map[State]bool{}
-	for _, s := range c.proto.Cache.InvalidateOnFill {
-		states[s] = true
-	}
-	for _, a := range c.addrs() {
-		if a == filledAddr {
+	for i := range c.lines {
+		if c.lines[i].a == filledAddr {
 			continue
 		}
-		if l := c.lines[a]; states[l.State] {
+		if l := &c.lines[i].l; stateIn(c.proto.Cache.InvalidateOnFill, l.State) {
 			*l = Line{State: c.proto.Cache.Init}
-			c.gc(a)
 		}
 	}
 }
@@ -376,10 +423,9 @@ func (c *CacheInst) Clone() Component { return c.CloneCache() }
 // CloneCache deep-copies the cache with its concrete type.
 func (c *CacheInst) CloneCache() *CacheInst {
 	cp := &CacheInst{id: c.id, dir: c.dir, proto: c.proto,
-		lines: make(map[Addr]*Line, len(c.lines)), syncWait: c.syncWait, lastLoad: c.lastLoad}
-	for a, l := range c.lines {
-		ll := *l
-		cp.lines[a] = &ll
+		syncWait: c.syncWait, lastLoad: c.lastLoad}
+	if len(c.lines) > 0 {
+		cp.lines = append(make([]cacheEntry, 0, len(c.lines)), c.lines...)
 	}
 	if c.pending != nil {
 		p := *c.pending
@@ -391,9 +437,9 @@ func (c *CacheInst) CloneCache() *CacheInst {
 // Snapshot implements Component.
 func (c *CacheInst) Snapshot(b *SnapshotWriter) {
 	fmt.Fprintf(b, "cache%d{", c.id)
-	for _, a := range c.addrs() {
-		l := c.lines[a]
-		fmt.Fprintf(b, "a%d:%s,%d,%t,%d,%t;", a, l.State, l.Data, l.HasData, l.AckBalance, l.AckArmed)
+	for i := range c.lines {
+		l := &c.lines[i].l
+		fmt.Fprintf(b, "a%d:%s,%d,%t,%d,%t;", c.lines[i].a, l.State, l.Data, l.HasData, l.AckBalance, l.AckArmed)
 	}
 	if c.pending != nil {
 		fmt.Fprintf(b, "|pend=%s", c.pending)

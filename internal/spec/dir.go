@@ -2,18 +2,22 @@ package spec
 
 import (
 	"fmt"
-	"sort"
 )
 
-// DirLine is the per-address state a directory controller keeps.
+// DirLine is the per-address state a directory controller keeps. Sharers
+// is a bitset value (see NodeSet) so lines clone by assignment.
 type DirLine struct {
 	State   State
-	Sharers map[NodeID]bool
+	Sharers NodeSet
 	Owner   NodeID
 }
 
-func newDirLine(init State) *DirLine {
-	return &DirLine{State: init, Sharers: map[NodeID]bool{}, Owner: NoNode}
+// dirEntry is one materialized line, kept in a slice sorted by address
+// (same layout rationale as cacheEntry: clone is a memcpy, snapshot and
+// binary encoding iterate in order without sorting).
+type dirEntry struct {
+	a Addr
+	l DirLine
 }
 
 // DirInst executes a directory controller specification for one cluster.
@@ -23,7 +27,7 @@ type DirInst struct {
 	id    NodeID
 	proto *Protocol
 	mem   *Memory
-	lines map[Addr]*DirLine
+	lines []dirEntry // sorted by address
 	trace func(string)
 
 	// onTransition, when set, observes every applied transition. The
@@ -34,7 +38,7 @@ type DirInst struct {
 
 // NewDirInst builds a directory for the protocol over the given memory.
 func NewDirInst(id NodeID, proto *Protocol, mem *Memory) *DirInst {
-	return &DirInst{id: id, proto: proto, mem: mem, lines: map[Addr]*DirLine{}}
+	return &DirInst{id: id, proto: proto, mem: mem}
 }
 
 // SetTrace installs a trace sink.
@@ -55,48 +59,91 @@ func (d *DirInst) Protocol() *Protocol { return d.proto }
 // Memory returns the backing memory.
 func (d *DirInst) Memory() *Memory { return d.mem }
 
-// Line returns the directory line for addr (materialized on demand).
-func (d *DirInst) Line(a Addr) *DirLine {
-	if l, ok := d.lines[a]; ok {
-		return l
-	}
-	l := newDirLine(d.proto.Dir.Init)
-	d.lines[a] = l
-	return l
+// initLine is the pristine line value for this directory's protocol.
+func (d *DirInst) initLine() DirLine {
+	return DirLine{State: d.proto.Dir.Init, Owner: NoNode}
 }
 
-// LineState returns the directory state for addr.
-func (d *DirInst) LineState(a Addr) State { return d.Line(a).State }
+// lineAt returns the materialized line for addr, or nil.
+func (d *DirInst) lineAt(a Addr) *DirLine {
+	for i := range d.lines {
+		if d.lines[i].a == a {
+			return &d.lines[i].l
+		}
+		if d.lines[i].a > a {
+			return nil
+		}
+	}
+	return nil
+}
+
+// lineRead returns the line value for addr without materializing (pure).
+func (d *DirInst) lineRead(a Addr) DirLine {
+	if l := d.lineAt(a); l != nil {
+		return *l
+	}
+	return d.initLine()
+}
+
+// Line returns the directory line for addr (materialized on demand). The
+// pointer is valid until the next materialization or compaction.
+func (d *DirInst) Line(a Addr) *DirLine {
+	i := 0
+	for ; i < len(d.lines); i++ {
+		if d.lines[i].a == a {
+			return &d.lines[i].l
+		}
+		if d.lines[i].a > a {
+			break
+		}
+	}
+	d.lines = append(d.lines, dirEntry{})
+	copy(d.lines[i+1:], d.lines[i:])
+	d.lines[i] = dirEntry{a: a, l: d.initLine()}
+	return &d.lines[i].l
+}
+
+// LineState returns the directory state for addr (pure).
+func (d *DirInst) LineState(a Addr) State {
+	if l := d.lineAt(a); l != nil {
+		return l.State
+	}
+	return d.proto.Dir.Init
+}
 
 // Stable reports whether every directory line is in a stable state.
 func (d *DirInst) Stable() bool {
-	for _, l := range d.lines {
-		if !d.proto.Dir.IsStable(l.State) {
+	for i := range d.lines {
+		if !d.proto.Dir.IsStable(d.lines[i].l.State) {
 			return false
 		}
 	}
 	return true
 }
 
-func (d *DirInst) gc(a Addr) {
-	if l, ok := d.lines[a]; ok {
-		if l.State == d.proto.Dir.Init && len(l.Sharers) == 0 && l.Owner == NoNode {
-			delete(d.lines, a)
+// compact drops lines that are back to the pristine initial state so
+// snapshots stay canonical. Called at the end of Apply (which is the only
+// place line state changes).
+func (d *DirInst) compact() {
+	init := d.initLine()
+	kept := d.lines[:0]
+	for i := range d.lines {
+		if d.lines[i].l != init {
+			kept = append(kept, d.lines[i])
 		}
 	}
+	d.lines = kept
 }
 
 // Lookup returns the transition this directory would take for the message
 // in its current state, or nil if it would stall. No state is modified.
 func (d *DirInst) Lookup(m *Msg) *Transition {
-	line := d.Line(m.Addr)
+	line := d.lineRead(m.Addr)
 	ctx := MsgCtx{
 		IsOwner:      m.Src == line.Owner,
-		IsLastSharer: len(line.Sharers) == 1 && line.Sharers[m.Src],
+		IsLastSharer: line.Sharers.Len() == 1 && line.Sharers.Has(m.Src),
 	}
-	t := d.proto.Dir.OnMessage(line.State, m, ctx)
-	d.gc(m.Addr)
-	return t
+	return d.proto.Dir.OnMessage(line.State, m, ctx)
 }
 
 // Deliver implements Component.
@@ -122,15 +169,15 @@ func (d *DirInst) Apply(env Env, a Addr, line *DirLine, t *Transition, m *Msg) {
 		case ActInvSharers:
 			d.invSharers(env, a, line, act, m)
 		case ActAddSharer:
-			line.Sharers[m.Src] = true
+			line.Sharers.Add(m.Src)
 		case ActOwnerToSharers:
 			if line.Owner != NoNode {
-				line.Sharers[line.Owner] = true
+				line.Sharers.Add(line.Owner)
 			}
 		case ActRemoveSharer:
-			delete(line.Sharers, m.Src)
+			line.Sharers.Remove(m.Src)
 		case ActClearSharers:
-			line.Sharers = map[NodeID]bool{}
+			line.Sharers.Clear()
 		case ActSetOwner:
 			line.Owner = m.Src
 		case ActClearOwner:
@@ -147,16 +194,14 @@ func (d *DirInst) Apply(env Env, a Addr, line *DirLine, t *Transition, m *Msg) {
 	if d.onTransition != nil {
 		d.onTransition(a, t, m)
 	}
-	d.gc(a)
+	d.compact()
 }
 
 // ackCount returns the number of sharers excluding the requestor.
 func ackCount(line *DirLine, req NodeID) int {
-	n := 0
-	for s := range line.Sharers {
-		if s != req {
-			n++
-		}
+	n := line.Sharers.Len()
+	if line.Sharers.Has(req) {
+		n--
 	}
 	return n
 }
@@ -194,18 +239,16 @@ func (d *DirInst) send(env Env, a Addr, line *DirLine, act Action, m *Msg) {
 }
 
 // invSharers sends the invalidation message to every sharer except the
-// requestor; acks flow to the requestor (carried in Req).
+// requestor; acks flow to the requestor (carried in Req). NodeSet iterates
+// in ascending id order, so send order is deterministic.
 func (d *DirInst) invSharers(env Env, a Addr, line *DirLine, act Action, m *Msg) {
-	targets := make([]NodeID, 0, len(line.Sharers))
-	for s := range line.Sharers {
-		if s != m.Req {
-			targets = append(targets, s)
+	req := m.Req
+	vnet := d.proto.VNetOf(act.Msg)
+	line.Sharers.Each(func(s NodeID) {
+		if s != req {
+			env.Send(Msg{Type: act.Msg, Addr: a, Src: d.id, Dst: s, Req: req, VNet: vnet})
 		}
-	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-	for _, s := range targets {
-		env.Send(Msg{Type: act.Msg, Addr: a, Src: d.id, Dst: s, Req: m.Req, VNet: d.proto.VNetOf(act.Msg)})
-	}
+	})
 }
 
 // Clone implements Component.
@@ -220,16 +263,9 @@ func (d *DirInst) CloneWithMemory(mem *Memory) Component { return d.CloneDir(mem
 // share memory across directories clone the memory once and pass it to
 // each).
 func (d *DirInst) CloneDir(mem *Memory) *DirInst {
-	cp := &DirInst{id: d.id, proto: d.proto, mem: mem,
-		lines: make(map[Addr]*DirLine, len(d.lines)), onTransition: d.onTransition}
-	for a, l := range d.lines {
-		nl := newDirLine(l.State)
-		nl.Owner = l.Owner
-		for s := range l.Sharers {
-			nl.Sharers[s] = true
-		}
-		nl.State = l.State
-		cp.lines[a] = nl
+	cp := &DirInst{id: d.id, proto: d.proto, mem: mem, onTransition: d.onTransition}
+	if len(d.lines) > 0 {
+		cp.lines = append(make([]dirEntry, 0, len(d.lines)), d.lines...)
 	}
 	return cp
 }
@@ -238,20 +274,11 @@ func (d *DirInst) CloneDir(mem *Memory) *DirInst {
 // host, since it may be shared).
 func (d *DirInst) Snapshot(b *SnapshotWriter) {
 	fmt.Fprintf(b, "dir%d{", d.id)
-	addrs := make([]int, 0, len(d.lines))
-	for a := range d.lines {
-		addrs = append(addrs, int(a))
-	}
-	sort.Ints(addrs)
-	for _, ai := range addrs {
-		a := Addr(ai)
-		l := d.lines[a]
-		sh := make([]int, 0, len(l.Sharers))
-		for s := range l.Sharers {
-			sh = append(sh, int(s))
-		}
-		sort.Ints(sh)
-		fmt.Fprintf(b, "a%d:%s,o%d,s%v;", a, l.State, l.Owner, sh)
+	for i := range d.lines {
+		l := &d.lines[i].l
+		sh := make([]int, 0, l.Sharers.Len())
+		l.Sharers.Each(func(s NodeID) { sh = append(sh, int(s)) })
+		fmt.Fprintf(b, "a%d:%s,o%d,s%v;", d.lines[i].a, l.State, l.Owner, sh)
 	}
 	b.WriteString("}")
 }

@@ -73,8 +73,9 @@ type Machine struct {
 	// (TSO-CC-basic's conservative staleness bound).
 	InvalidateOnFill []State
 
-	index map[State]map[MsgType][]*Transition
-	core  map[State]map[CoreOp]*Transition
+	index    map[State]map[MsgType][]*Transition
+	core     map[State]map[CoreOp]*Transition
+	stateIdx map[State]int // dense state numbering for binary encoding
 }
 
 // Freeze eagerly builds the lookup indexes. The indexes are otherwise
@@ -108,6 +109,22 @@ func (m *Machine) buildIndex() {
 		}
 		byMsg[t.On.Msg] = append(byMsg[t.On.Msg], t)
 	}
+	m.stateIdx = make(map[State]int)
+	for i, s := range m.States() {
+		m.stateIdx[s] = i
+	}
+}
+
+// StateIndex returns the dense index of s in the machine's States()
+// ordering, or -1 for a state the machine never mentions. The binary state
+// encoder writes this index instead of the state's name — a varint instead
+// of a length-prefixed string on the model checker's hot path.
+func (m *Machine) StateIndex(s State) int {
+	m.buildIndex()
+	if i, ok := m.stateIdx[s]; ok {
+		return i
+	}
+	return -1
 }
 
 // OnCoreOp returns the transition for a core op in the given state, or nil

@@ -150,45 +150,75 @@ func (p *Protocol) Clone() *Protocol {
 }
 
 // Memory is the shared backing store behind one or more directories. All
-// locations initially hold memmodel.InitValue.
+// locations initially hold memmodel.InitValue. Populated locations are a
+// sorted slice rather than a map: the handful of addresses a model-checked
+// configuration touches clone as one memcpy, and snapshots need no sort.
 type Memory struct {
-	vals map[Addr]int
+	cells []memCell // sorted by addr; never holds InitValue (canonical)
+}
+
+// memCell is one populated memory location.
+type memCell struct {
+	a Addr
+	v int
 }
 
 // NewMemory returns an empty memory.
-func NewMemory() *Memory { return &Memory{vals: map[Addr]int{}} }
+func NewMemory() *Memory { return &Memory{} }
+
+// find returns the index of a, or the insertion point with found=false.
+func (m *Memory) find(a Addr) (int, bool) {
+	for i, c := range m.cells {
+		if c.a == a {
+			return i, true
+		}
+		if c.a > a {
+			return i, false
+		}
+	}
+	return len(m.cells), false
+}
 
 // Read returns the value at addr.
-func (m *Memory) Read(a Addr) int { return m.vals[a] }
+func (m *Memory) Read(a Addr) int {
+	if i, ok := m.find(a); ok {
+		return m.cells[i].v
+	}
+	return memmodel.InitValue
+}
 
 // Write stores v at addr.
 func (m *Memory) Write(a Addr, v int) {
+	i, ok := m.find(a)
 	if v == memmodel.InitValue {
-		delete(m.vals, a) // keep the map canonical for state hashing
+		if ok { // drop the cell to keep the encoding canonical
+			m.cells = append(m.cells[:i], m.cells[i+1:]...)
+		}
 		return
 	}
-	m.vals[a] = v
+	if ok {
+		m.cells[i].v = v
+		return
+	}
+	m.cells = append(m.cells, memCell{})
+	copy(m.cells[i+1:], m.cells[i:])
+	m.cells[i] = memCell{a, v}
 }
 
 // Clone deep-copies the memory.
 func (m *Memory) Clone() *Memory {
-	cp := NewMemory()
-	for a, v := range m.vals {
-		cp.vals[a] = v
+	cp := &Memory{}
+	if len(m.cells) > 0 {
+		cp.cells = append(make([]memCell, 0, len(m.cells)), m.cells...)
 	}
 	return cp
 }
 
 // Snapshot appends a canonical encoding of the memory to b.
 func (m *Memory) Snapshot(b *SnapshotWriter) {
-	addrs := make([]int, 0, len(m.vals))
-	for a := range m.vals {
-		addrs = append(addrs, int(a))
-	}
-	sort.Ints(addrs)
 	b.WriteString("mem{")
-	for _, a := range addrs {
-		fmt.Fprintf(b, "%d=%d;", a, m.vals[Addr(a)])
+	for _, c := range m.cells {
+		fmt.Fprintf(b, "%d=%d;", c.a, c.v)
 	}
 	b.WriteString("}")
 }
