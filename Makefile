@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-symmetry allocs vet
+.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage allocs vet
 
 all: build
 
@@ -17,15 +17,18 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages the parallel search touches (the model checker
-# and the litmus suite pool).
+# and the litmus suite pool). The storage agreement matrices put the
+# mcheck package near go test's default 10m cap under the race detector
+# on a single-core runner, hence the explicit timeout.
 race:
-	$(GO) test -race ./internal/mcheck/... ./internal/litmus/...
+	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/...
 
-# Allocation regression guard on the search hot path (Clone+Apply+encode).
-# Runs without the race detector: its instrumentation changes alloc counts,
-# so the guard file is build-tagged out of `make race`.
+# Allocation regression guard on the search hot path (Clone+Apply+encode)
+# plus the bytes-per-state guard on the compacted visited table. Runs
+# without the race detector: its instrumentation changes alloc counts, so
+# the alloc guard file is build-tagged out of `make race`.
 allocs:
-	$(GO) test -run TestAllocRegression ./internal/mcheck
+	$(GO) test -run 'TestAllocRegression|TestBytesPerStateRegression' ./internal/mcheck
 
 # The verification gate: vet, race-checked tests of the concurrent
 # packages, and the allocation guard.
@@ -44,3 +47,9 @@ bench-symmetry:
 # plus the 2-thread litmus shapes on the headline pair.
 bench-smoke:
 	$(GO) test -run XXX -bench 'BenchmarkSmoke' -benchtime 1x -timeout 10m .
+
+# Regenerate the state-storage numbers in BENCH_STORAGE.json: the §VII-C
+# search under each visited-set mode, and the 2-caches-per-cluster
+# free-running search to the 10M-state bound in fixed memory.
+bench-storage:
+	$(GO) test -run XXX -bench 'BenchmarkStorage' -benchtime 1x -timeout 30m .

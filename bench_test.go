@@ -480,3 +480,89 @@ func BenchmarkFusion(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStorage measures the memory-bounded state-storage engine
+// (BENCH_STORAGE.json, `make bench-storage`). The mode cases run the
+// §VII-C headline search (fused MESI & RCC-O, one cache per cluster, two
+// addresses, evictions free, ~1.1M states) under each visited-set mode —
+// exact, hash-compacted fingerprint table, bitstate filter, and hash
+// compaction with the disk-spilling frontier — reporting bytes/state and
+// table size alongside wall time. The vii-c-2x2 case is the previously
+// infeasible configuration: two caches per cluster free-running to a 10M-
+// state bound with the visited table pinned at a fixed budget and the
+// frontier spilling to disk.
+func BenchmarkStorage(b *testing.B) {
+	f, err := core.Fuse(core.Options{},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Freeze()
+	build := func(per int) *mcheck.System {
+		sys, _ := core.BuildSystem(f, []int{per, per})
+		sys.SetPrograms(deadlockDriver(2*per, 2))
+		return sys
+	}
+	report := func(b *testing.B, res *mcheck.Result) {
+		b.ReportMetric(float64(res.States), "states")
+		b.ReportMetric(res.BytesPerState, "bytes/state")
+		b.ReportMetric(float64(res.TableBytes)/(1<<20), "table_MB")
+		if res.SpilledBytes > 0 {
+			b.ReportMetric(float64(res.SpilledBytes)/(1<<20), "spilled_MB")
+		}
+	}
+	modes := []struct {
+		name string
+		opts mcheck.Options
+	}{
+		{"exact", mcheck.Options{}},
+		{"hash", mcheck.Options{HashCompaction: true}},
+		{"bitstate", mcheck.Options{Bitstate: true}},
+		{"hash+spill", mcheck.Options{HashCompaction: true, SpillDir: "auto"}},
+	}
+	for _, tc := range modes {
+		tc := tc
+		b.Run("mode="+tc.name, func(b *testing.B) {
+			var res *mcheck.Result
+			for i := 0; i < b.N; i++ {
+				opts := tc.opts
+				opts.Evictions = true
+				opts.Workers = 1
+				if opts.SpillDir == "auto" {
+					opts.SpillDir = b.TempDir()
+				}
+				res = mcheck.Explore(build(1), opts)
+				if res.Deadlocks > 0 || res.Truncated {
+					b.Fatalf("deadlocks=%d truncated=%t", res.Deadlocks, res.Truncated)
+				}
+			}
+			report(b, res)
+		})
+	}
+
+	// The feasibility run: 2 caches per cluster, visited table capped at
+	// 256 MiB (the 10M fingerprints occupy half of a 128 MiB generation),
+	// frontier on disk. Infeasible under exact storage on a 15 GB machine:
+	// ≥10M states × ~300 bytes of encoding+map+frontier clones.
+	b.Run("vii-c-2x2", func(b *testing.B) {
+		var res *mcheck.Result
+		for i := 0; i < b.N; i++ {
+			res = mcheck.Explore(build(2), mcheck.Options{
+				Evictions: true, Workers: 1,
+				HashCompaction: true, MemBudget: 256 << 20,
+				SpillDir: b.TempDir(), MaxStates: 10 << 20,
+			})
+			if res.Deadlocks > 0 {
+				b.Fatalf("deadlocks=%d", res.Deadlocks)
+			}
+			// Closure or the 10M-visited-state bound are both success;
+			// running out of the fixed memory budget is the failure this
+			// engine exists to prevent. (Result.States counts expanded
+			// states, which lag the visited set by the frontier width.)
+			if res.BudgetFull {
+				b.Fatalf("memory budget exhausted at %d states", res.States)
+			}
+		}
+		report(b, res)
+	})
+}

@@ -7,13 +7,16 @@
 //
 //	hgcheck -protocol MSI -caches 3            # homogeneous
 //	hgcheck -pair MESI,RCC-O -caches 2         # fused, 2 caches per cluster
+//	hgcheck -pair MESI,RCC-O -caches 2 -mem 512MiB -spill-dir /tmp -progress 10s
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"heterogen/internal/core"
 	"heterogen/internal/mcheck"
@@ -21,16 +24,37 @@ import (
 	"heterogen/internal/spec"
 )
 
+// checkConfig carries the resolved command-line configuration.
+type checkConfig struct {
+	proto, pair string
+	caches      int
+	addrs       int
+	hash        bool
+	bitstate    bool
+	memBudget   int64
+	spillDir    string
+	maxStates   int
+	workers     int
+	encoding    mcheck.Encoding
+	symmetry    bool
+	progress    time.Duration
+}
+
 func main() {
-	proto := flag.String("protocol", "", "homogeneous protocol to check")
-	pairFlag := flag.String("pair", "", "protocol pair A,B to fuse and check")
-	caches := flag.Int("caches", 2, "caches (per cluster for -pair)")
-	addrs := flag.Int("addrs", 2, "addresses in the driver workload")
-	hash := flag.Bool("hash", true, "use state-hash compaction")
-	maxStates := flag.Int("max-states", 8<<20, "state budget")
-	workers := flag.Int("workers", 0, "search workers (0 = all cores, 1 = sequential deterministic order)")
+	var cfg checkConfig
+	flag.StringVar(&cfg.proto, "protocol", "", "homogeneous protocol to check")
+	flag.StringVar(&cfg.pair, "pair", "", "protocol pair A,B to fuse and check")
+	flag.IntVar(&cfg.caches, "caches", 2, "caches (per cluster for -pair)")
+	flag.IntVar(&cfg.addrs, "addrs", 2, "addresses in the driver workload")
+	flag.BoolVar(&cfg.hash, "hash", true, "use state-hash compaction (lock-free 64-bit fingerprint table)")
+	flag.BoolVar(&cfg.bitstate, "bitstate", false, "use bitstate (Bloom-filter supertrace) state storage; overrides -hash")
+	mem := flag.String("mem", "", "visited-set memory budget, e.g. 512MiB or 2GiB (default: 8GiB table cap / 64MiB bitstate filter)")
+	flag.StringVar(&cfg.spillDir, "spill-dir", "", "spill frontier overflow to temp files under this directory (bounds BFS memory)")
+	flag.IntVar(&cfg.maxStates, "max-states", 8<<20, "state budget")
+	flag.IntVar(&cfg.workers, "workers", 0, "search workers (0 = all cores, 1 = sequential deterministic order)")
 	encoding := flag.String("encoding", "binary", "visited-set state encoding: binary or snapshot")
-	symmetry := flag.Bool("symmetry", false, "canonicalize states under cache-permutation symmetry (uses uniform store values so the driver cores are interchangeable)")
+	flag.BoolVar(&cfg.symmetry, "symmetry", false, "canonicalize states under cache-permutation symmetry (uses uniform store values so the driver cores are interchangeable)")
+	flag.DurationVar(&cfg.progress, "progress", 0, "log states/sec, frontier depth, load factor and heap every interval (e.g. 10s; 0 = silent)")
 	flag.Parse()
 
 	enc, err := mcheck.ParseEncoding(*encoding)
@@ -38,10 +62,42 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
-	if err := run(*proto, *pairFlag, *caches, *addrs, *hash, *maxStates, *workers, enc, *symmetry); err != nil {
+	cfg.encoding = enc
+	if cfg.memBudget, err = parseBytes(*mem); err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "hgcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBytes reads a byte size with an optional binary-unit suffix
+// (K/M/G, KB/MB/GB, KiB/MiB/GiB — all powers of 1024, Murphi-style).
+func parseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	num := strings.TrimRight(s, "KMGiBkmgib")
+	unit := strings.ToUpper(s[len(num):])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad -mem value %q", s)
+	}
+	mult := float64(1)
+	switch strings.TrimSuffix(strings.TrimSuffix(unit, "IB"), "B") {
+	case "":
+	case "K":
+		mult = 1 << 10
+	case "M":
+		mult = 1 << 20
+	case "G":
+		mult = 1 << 30
+	default:
+		return 0, fmt.Errorf("bad -mem unit in %q (want K/M/G, KB/MB/GB or KiB/MiB/GiB)", s)
+	}
+	return int64(v * mult), nil
 }
 
 // driver builds the deadlock-stress workload: every core stores and loads
@@ -67,20 +123,20 @@ func driver(cores, addrs int, symmetric bool) [][]spec.CoreReq {
 	return progs
 }
 
-func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, workers int, enc mcheck.Encoding, symmetry bool) error {
+func run(cfg checkConfig) error {
 	var sys *mcheck.System
 	var name string
 	switch {
-	case proto != "":
-		p, err := protocols.ByName(proto)
+	case cfg.proto != "":
+		p, err := protocols.ByName(cfg.proto)
 		if err != nil {
 			return err
 		}
-		sys = mcheck.NewHomogeneous(p, caches)
-		sys.SetPrograms(driver(caches, addrs, symmetry))
-		name = proto
-	case pairFlag != "":
-		parts := strings.Split(pairFlag, ",")
+		sys = mcheck.NewHomogeneous(p, cfg.caches)
+		sys.SetPrograms(driver(cfg.caches, cfg.addrs, cfg.symmetry))
+		name = cfg.proto
+	case cfg.pair != "":
+		parts := strings.Split(cfg.pair, ",")
 		if len(parts) != 2 {
 			return fmt.Errorf("-pair needs exactly two protocols")
 		}
@@ -97,20 +153,44 @@ func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, worker
 			return err
 		}
 		var s *mcheck.System
-		s, _ = core.BuildSystem(f, []int{caches, caches})
+		s, _ = core.BuildSystem(f, []int{cfg.caches, cfg.caches})
 		sys = s
-		sys.SetPrograms(driver(2*caches, addrs, symmetry))
+		sys.SetPrograms(driver(2*cfg.caches, cfg.addrs, cfg.symmetry))
 		name = f.Name()
 	default:
 		flag.Usage()
 		return nil
 	}
 
-	res := mcheck.Explore(sys, mcheck.Options{
-		Evictions: true, HashCompaction: hash, MaxStates: maxStates,
-		Workers: workers, Encoding: enc, Symmetry: symmetry})
+	if cfg.spillDir != "" && !mcheck.CanSpill(sys) {
+		return fmt.Errorf("-spill-dir: this system's components lack the faithful state codec spilling requires")
+	}
+	opts := mcheck.Options{
+		Evictions: true, HashCompaction: cfg.hash, Bitstate: cfg.bitstate,
+		MemBudget: cfg.memBudget, SpillDir: cfg.spillDir,
+		MaxStates: cfg.maxStates, Workers: cfg.workers,
+		Encoding: cfg.encoding, Symmetry: cfg.symmetry,
+	}
+	if cfg.progress > 0 {
+		opts.ProgressEvery = cfg.progress
+		opts.OnProgress = func(p mcheck.Progress) {
+			fmt.Fprintf(os.Stderr,
+				"progress %8s: %d states visited (%.0f/s), frontier %d, load %.2f, spilled %d, heap %dMB\n",
+				p.Elapsed.Round(time.Second), p.Visited, p.StatesPerSec,
+				p.Frontier, p.LoadFactor, p.SpilledStates, p.HeapBytes>>20)
+		}
+	}
+	res := mcheck.Explore(sys, opts)
 	fmt.Printf("%s: %s\n", name, res)
-	if symmetry && res.SymmetryPerms == 1 {
+	if res.Storage != "" {
+		fmt.Printf("storage: %s, %.1f bytes/state (%d table bytes, peak load %.2f)",
+			res.Storage, res.BytesPerState, res.TableBytes, res.PeakLoadFactor)
+		if res.SpilledStates > 0 {
+			fmt.Printf(", spilled %d states / %d MB", res.SpilledStates, res.SpilledBytes>>20)
+		}
+		fmt.Println()
+	}
+	if cfg.symmetry && res.SymmetryPerms == 1 {
 		fmt.Println("note: -symmetry requested but no symmetric cache group detected (asymmetric programs?)")
 	}
 	if res.Deadlocks > 0 {
@@ -118,6 +198,9 @@ func run(proto, pairFlag string, caches, addrs int, hash bool, maxStates, worker
 		return fmt.Errorf("deadlock found")
 	}
 	if res.Truncated {
+		if res.BudgetFull {
+			return fmt.Errorf("storage memory budget exhausted after expanding %d states (raise -mem)", res.States)
+		}
 		return fmt.Errorf("state budget MaxStates=%d exhausted after expanding %d states (raise -max-states)",
 			res.MaxStates, res.States)
 	}

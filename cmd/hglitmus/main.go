@@ -37,6 +37,7 @@ func main() {
 	evict := flag.Bool("evict", false, "explore replacements at any time")
 	maxThreads := flag.Int("max-threads", 3, "skip shapes with more threads (IRIW=4 is expensive)")
 	workers := flag.Int("workers", 0, "test-level worker pool (0 = all cores, 1 = sequential)")
+	hash := flag.Bool("hash", false, "use state-hash compaction in each test's visited set")
 	encoding := flag.String("encoding", "binary", "model-checker state encoding: binary or snapshot")
 	symmetry := flag.Bool("symmetry", false, "canonicalize checker states under cache-permutation symmetry")
 	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
@@ -56,7 +57,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
-	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads, *workers, enc, *symmetry); err != nil {
+	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads, *workers, *hash, enc, *symmetry); err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
@@ -67,7 +68,7 @@ func printResult(r *litmus.Result) {
 	fmt.Printf("%s %8.1fms\n", r, float64(r.Elapsed.Microseconds())/1000)
 }
 
-func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads, workers int, enc mcheck.Encoding, symmetry bool) error {
+func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads, workers int, hash bool, enc mcheck.Encoding, symmetry bool) error {
 	var pairs [][2]string
 	if pairFlag != "" {
 		parts := strings.Split(pairFlag, ",")
@@ -106,7 +107,8 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		if err != nil {
 			return err
 		}
-		opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs, Encoding: enc, Symmetry: symmetry}
+		opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs,
+			HashCompaction: hash, Encoding: enc, Symmetry: symmetry}
 		sel := shapes
 		if sel == nil {
 			sel = litmus.Shapes()
@@ -142,7 +144,8 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 	}
 	report, err := litmus.RunSuite(protoPairs, litmus.Options{
 		Evictions: evict, AllAllocations: allAllocs, MaxThreads: maxThreads,
-		Shapes: shapes, Workers: workers, Encoding: enc, Symmetry: symmetry,
+		Shapes: shapes, Workers: workers, HashCompaction: hash,
+		Encoding: enc, Symmetry: symmetry,
 	})
 	if err != nil {
 		return err

@@ -43,6 +43,11 @@ type Options struct {
 	ExploreWorkers int
 	// Encoding selects the model checker's visited-set encoding.
 	Encoding mcheck.Encoding
+	// HashCompaction stores 64-bit state fingerprints instead of full
+	// encodings in each test's visited set (mcheck.Options.HashCompaction):
+	// a vanishing omission probability for a large memory saving on the
+	// bigger shapes.
+	HashCompaction bool
 	// Symmetry enables the checker's cache-permutation symmetry reduction
 	// (sound auto-detection; litmus threads usually run distinct programs,
 	// so it typically only helps tests with replicated threads).
@@ -207,7 +212,8 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 	start := time.Now()
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
-		Workers: opts.ExploreWorkers, Encoding: opts.Encoding,
+		HashCompaction: opts.HashCompaction,
+		Workers:        opts.ExploreWorkers, Encoding: opts.Encoding,
 		Symmetry: opts.Symmetry, LoadKeys: keys, ObserveMem: observe,
 	})
 	elapsed := time.Since(start)
@@ -327,7 +333,8 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 	start := time.Now()
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
-		Workers: opts.ExploreWorkers, Encoding: opts.Encoding,
+		HashCompaction: opts.HashCompaction,
+		Workers:        opts.ExploreWorkers, Encoding: opts.Encoding,
 		Symmetry: opts.Symmetry, LoadKeys: keys, ObserveMem: observe})
 	elapsed := time.Since(start)
 

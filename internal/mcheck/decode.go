@@ -1,0 +1,113 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"heterogen/internal/spec"
+)
+
+// Spill codec for whole System states. The disk-spilling frontier keeps
+// frontier entries as these compact byte strings instead of cloned Systems
+// and rehydrates them on pop by decoding into a fresh clone of the search's
+// template state (same components, cores and topology — only the mutable
+// state differs).
+//
+// This is deliberately NOT the visited-set encoding: EncodeBinary only has
+// to be injective, and component hosts may omit reconstructible fields from
+// it (see core.MergedDir). appendSpill routes every component through
+// spec.StateCodec, whose contract is bijectivity.
+
+// CanSpill reports whether every component of s implements the faithful
+// state codec the disk-spilling frontier requires. All systems built by
+// this repo (homogeneous CacheInst/DirInst configurations and fused
+// MergedDir systems) qualify; a hand-assembled system with a Snapshot-only
+// component does not.
+func CanSpill(s *System) bool {
+	for _, c := range s.Components {
+		if _, ok := c.(spec.StateCodec); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// appendSpill appends the faithful binary encoding of the full system
+// state: components, shared memory, channels, cores.
+func appendSpill(s *System, buf []byte) []byte {
+	for _, c := range s.Components {
+		buf = c.(spec.StateCodec).AppendState(buf)
+	}
+	buf = s.Mem.AppendState(buf)
+	buf = spec.AppendUvarint(buf, uint64(len(s.chans)))
+	for i := range s.chans {
+		k := s.chans[i].k
+		buf = spec.AppendInt(buf, int(k.src))
+		buf = spec.AppendInt(buf, int(k.dst))
+		buf = spec.AppendInt(buf, int(k.vnet))
+		buf = spec.AppendUvarint(buf, uint64(len(s.chans[i].msgs)))
+		for _, m := range s.chans[i].msgs {
+			buf = m.AppendBinary(buf)
+		}
+	}
+	for _, c := range s.Cores {
+		buf = spec.AppendInt(buf, c.PC)
+		buf = spec.AppendBool(buf, c.Issued)
+		buf = spec.AppendUvarint(buf, uint64(len(c.Loads)))
+		for _, v := range c.Loads {
+			buf = spec.AppendInt(buf, v)
+		}
+	}
+	return buf
+}
+
+// decodeSpill rebuilds a spilled state in place over s, which must be a
+// clone of the system the state was encoded from (programs, topology and
+// component structure are taken from the receiver; only mutable state is
+// read from enc).
+func decodeSpill(s *System, enc []byte) error {
+	d := spec.NewDec(enc)
+	for _, c := range s.Components {
+		if err := c.(spec.StateCodec).DecodeState(d); err != nil {
+			return err
+		}
+	}
+	if err := s.Mem.DecodeState(d); err != nil {
+		return err
+	}
+	n := d.Uvarint()
+	s.chans = s.chans[:0]
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		var cs chanState
+		cs.k.src = spec.NodeID(d.Int())
+		cs.k.dst = spec.NodeID(d.Int())
+		cs.k.vnet = spec.VNet(d.Int())
+		cnt := int(d.Uvarint())
+		if d.Err() != nil {
+			break
+		}
+		cs.msgs = make([]spec.Msg, 0, cnt)
+		for j := 0; j < cnt && d.Err() == nil; j++ {
+			cs.msgs = append(cs.msgs, spec.DecodeMsg(d))
+		}
+		s.chans = append(s.chans, cs)
+	}
+	for _, c := range s.Cores {
+		c.PC = d.Int()
+		c.Issued = d.Bool()
+		cnt := int(d.Uvarint())
+		if d.Err() != nil {
+			break
+		}
+		c.Loads = c.Loads[:0]
+		for j := 0; j < cnt && d.Err() == nil; j++ {
+			c.Loads = append(c.Loads, d.Int())
+		}
+	}
+	if err := d.Err(); err != nil {
+		return err
+	}
+	if d.Len() != 0 {
+		return fmt.Errorf("mcheck: spill decode left %d trailing bytes", d.Len())
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"heterogen/internal/memmodel"
 	"heterogen/internal/spec"
@@ -27,10 +28,36 @@ type Options struct {
 	// MaxStates aborts the search beyond this many visited states
 	// (0 = DefaultMaxStates, 4M). Mirrors Murphi's memory bound.
 	MaxStates int
-	// HashCompaction stores 64-bit state hashes instead of full encodings,
-	// trading a vanishing omission probability for memory — the technique
-	// §VII-C uses for >1 cache per cluster.
+	// HashCompaction stores 64-bit state fingerprints instead of full
+	// encodings — in a lock-free open-addressing table of ~8–10 bytes per
+	// state — trading a vanishing omission probability for memory (reported
+	// in Result.OmissionProb), the technique §VII-C uses for >1 cache per
+	// cluster.
 	HashCompaction bool
+	// Bitstate stores each state as 3 bits of a fixed-size Bloom filter
+	// (Holzmann's bitstate/supertrace search): a fraction of a bit per
+	// state at useful fills, for sweeps whose state count exceeds even a
+	// fingerprint table's budget. Omission grows with the filter's fill
+	// (Result.OmissionProb); takes precedence over HashCompaction.
+	Bitstate bool
+	// MemBudget bounds visited-set memory in bytes: the growth cap of the
+	// fingerprint table under HashCompaction (the search truncates with
+	// Truncated=true when the table saturates), or the Bloom filter size
+	// under Bitstate (which never truncates — omission just grows). 0
+	// defaults to 8 GiB for the table cap and 64 MiB for the filter.
+	// Ignored in exact mode.
+	MemBudget int64
+	// SpillDir, when nonempty, bounds frontier memory too: frontier entries
+	// become compact binary encodings (rehydrated on pop via the bijective
+	// spill codec), and beyond a bounded in-memory ring they spill in waves
+	// to temp files under this directory, streamed back FIFO. Use CanSpill
+	// to check a system qualifies (all do in this repo); Explore falls back
+	// to the in-memory frontier when it doesn't. I/O failures panic: a
+	// half-lost frontier cannot produce a trustworthy verdict.
+	SpillDir string
+	// SpillRing caps in-memory frontier entries per window when spilling
+	// (0 = 32Ki entries).
+	SpillRing int
 	// Workers sets the search parallelism: 0 uses runtime.NumCPU() workers
 	// over a shared frontier, 1 forces the sequential breadth-first search
 	// (deterministic visit order; exact first-deadlock and truncation
@@ -62,6 +89,23 @@ type Options struct {
 	// lines (eviction epilogue) for the observation to equal the
 	// write-serialization-final value.
 	ObserveMem []spec.Addr
+	// ProgressEvery, with OnProgress, emits periodic Progress reports from
+	// a ticker goroutine while the search runs (0 = no reports).
+	ProgressEvery time.Duration
+	// OnProgress receives each report; it runs on the ticker goroutine and
+	// must not block for long.
+	OnProgress func(Progress)
+}
+
+// Progress is one periodic report of a running search (Options.OnProgress).
+type Progress struct {
+	Elapsed       time.Duration
+	Visited       int     // distinct states in the visited set so far
+	StatesPerSec  float64 // visited-set growth rate since the last report
+	Frontier      int     // states queued awaiting expansion
+	LoadFactor    float64 // visited-table occupancy (0 in exact mode)
+	SpilledStates int64   // cumulative frontier states written to disk
+	HeapBytes     uint64  // runtime.ReadMemStats HeapAlloc (RSS proxy)
 }
 
 // workers resolves the effective worker count.
@@ -84,9 +128,19 @@ type Result struct {
 	DeadlockAt    string              // snapshot of a deadlock (first in sequential mode, lex-least in parallel)
 	Outcomes      memmodel.OutcomeSet // outcomes at quiescent states
 	Violations    []string            // invariant failures
-	Truncated     bool                // MaxStates hit
+	Truncated     bool                // MaxStates (or the visited-table budget) hit
 	MaxStates     int                 // the state budget that was in effect
 	SymmetryPerms int                 // symmetry group order in effect (1 = unreduced)
+
+	// State-storage accounting (see storage.go).
+	BudgetFull     bool    // truncation came from the storage MemBudget, not MaxStates
+	Storage        string  // "exact", "hash-compaction" or "bitstate", "+spill" when the frontier spilled to disk
+	TableBytes     int64   // visited-set memory (exact mode: encoding bytes + map overhead estimate)
+	BytesPerState  float64 // TableBytes per distinct visited state
+	PeakLoadFactor float64 // highest visited-table occupancy (0 in exact mode)
+	OmissionProb   float64 // estimated probability ≥1 state was omitted (lossy modes)
+	SpilledStates  int64   // cumulative frontier states written to disk
+	SpilledBytes   int64   // cumulative bytes written to spill files
 }
 
 // Ok reports whether the search finished with no deadlocks or violations.
@@ -95,21 +149,43 @@ func (r *Result) Ok() bool {
 }
 
 // String summarizes the search one-line, naming the bound that fired on
-// truncation so callers know which knob to raise.
+// truncation so callers know which knob to raise. Lossy storage modes
+// report their omission probability the way Murphi does after compacted
+// runs, and a truncated compacted count is labeled the lower bound it is
+// (fingerprint collisions can only hide states, never invent them).
 func (r *Result) String() string {
 	s := fmt.Sprintf("%d states, %d transitions, %d deadlocks, %d outcomes",
 		r.States, r.Transitions, r.Deadlocks, len(r.Outcomes))
 	if r.SymmetryPerms > 1 {
 		s += fmt.Sprintf(" (symmetry ×%d)", r.SymmetryPerms)
 	}
+	if lossy(r.Storage) {
+		s += fmt.Sprintf(" (%s: %.1f bytes/state, pr. of omitted states ≤ %.3g)",
+			r.Storage, r.BytesPerState, r.OmissionProb)
+	}
 	if len(r.Violations) > 0 {
 		s += fmt.Sprintf(", %d invariant violations", len(r.Violations))
 	}
 	if r.Truncated {
-		s += fmt.Sprintf("; truncated: MaxStates=%d budget exhausted, %d states expanded (raise MaxStates)",
-			r.MaxStates, r.States)
+		bound := fmt.Sprintf("MaxStates=%d budget", r.MaxStates)
+		knob := "raise MaxStates"
+		if r.BudgetFull {
+			bound = "storage MemBudget"
+			knob = "raise MemBudget"
+		}
+		s += fmt.Sprintf("; truncated: %s exhausted, %d states expanded", bound, r.States)
+		if lossy(r.Storage) {
+			s += " — a lower bound under " + r.Storage
+		}
+		s += " (" + knob + ")"
 	}
 	return s
+}
+
+// lossy reports whether a Result.Storage label names a lossy visited-set
+// mode (anything but exact).
+func lossy(storage string) bool {
+	return storage != "" && storage != "exact" && storage != "exact+spill"
 }
 
 // searchCtx is the per-search immutable context shared by all workers:
@@ -123,13 +199,21 @@ type searchCtx struct {
 	parallel  bool
 	loadKeys  [][]string // per core, per completed-load index
 	memKeys   []string   // per ObserveMem entry
+	stats     searchStats
 }
 
 // expandScratch is the per-worker reusable buffer set.
 type expandScratch struct {
-	moves  []Move
-	encBuf []byte
-	canon  canonScratch
+	moves    []Move
+	encBuf   []byte
+	spillBuf []byte
+	canon    canonScratch
+}
+
+// searchStats is the live-counter block the progress ticker reads while
+// workers run.
+type searchStats struct {
+	frontier atomic.Int64
 }
 
 func newSearchCtx(initial *System, opts Options, maxStates int, parallel bool) *searchCtx {
@@ -233,36 +317,157 @@ func Explore(initial *System, opts Options) *Result {
 		workers = 1
 	}
 	ctx := newSearchCtx(initial, opts, maxStates, workers > 1)
-	visited := newVisitedSet(opts.HashCompaction)
+	visited := newVisited(opts, workers)
 	var seed expandScratch
-	visited.Insert(ctx.encode(initial, &seed, nil))
+	visited.handle(0).Insert(ctx.encode(initial, &seed, nil))
+
+	var sq *spillQueue
+	if opts.SpillDir != "" && CanSpill(initial) {
+		var err error
+		if sq, err = newSpillQueue(opts.SpillDir, opts.SpillRing); err != nil {
+			panic(err.Error())
+		}
+		defer sq.close()
+	}
+
+	stopProgress := startProgress(ctx, visited, sq)
 	var res *Result
 	if workers == 1 {
-		res = exploreSeq(initial, ctx, visited)
+		if sq != nil {
+			res = exploreSeqSpill(initial, ctx, visited, sq)
+		} else {
+			res = exploreSeq(initial, ctx, visited)
+		}
 	} else {
 		freezeComponents(initial)
-		res = exploreParallel(initial, ctx, workers, visited)
+		var f workSource
+		if sq != nil {
+			f = newSpillFrontier(initial, ctx, sq)
+		} else {
+			f = newMemFrontier(initial, ctx)
+		}
+		res = exploreParallel(ctx, workers, visited, f)
 	}
+	stopProgress()
 	res.SymmetryPerms = ctx.canon.Perms()
+
+	st := visited.stats()
+	res.Storage = st.mode
+	res.TableBytes = st.tableBytes
+	if n := visited.Size(); n > 0 {
+		res.BytesPerState = float64(st.tableBytes) / float64(n)
+	}
+	res.PeakLoadFactor = st.peakLoad
+	res.OmissionProb = st.omission
+	if visited.Full() {
+		res.Truncated = true
+		res.BudgetFull = true
+	}
+	if sq != nil {
+		res.Storage += "+spill"
+		res.SpilledStates = sq.spilledStates.Load()
+		res.SpilledBytes = sq.spilledBytes.Load()
+	}
 	return res
 }
 
+// startProgress spawns the Options.OnProgress ticker goroutine and returns
+// its stop function (a no-op closure when progress is off).
+func startProgress(ctx *searchCtx, visited visitedSet, sq *spillQueue) func() {
+	if ctx.opts.ProgressEvery <= 0 || ctx.opts.OnProgress == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(ctx.opts.ProgressEvery)
+		defer t.Stop()
+		lastN, lastT := 0, start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				n := visited.Size()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				p := Progress{
+					Elapsed:    now.Sub(start),
+					Visited:    n,
+					Frontier:   int(ctx.stats.frontier.Load()),
+					LoadFactor: visited.load(),
+					HeapBytes:  ms.HeapAlloc,
+				}
+				if dt := now.Sub(lastT).Seconds(); dt > 0 {
+					p.StatesPerSec = float64(n-lastN) / dt
+				}
+				if sq != nil {
+					p.SpilledStates = sq.spilledStates.Load()
+				}
+				lastN, lastT = n, now
+				ctx.opts.OnProgress(p)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
 // exploreSeq is the deterministic sequential breadth-first search.
-func exploreSeq(initial *System, ctx *searchCtx, visited *visitedSet) *Result {
+func exploreSeq(initial *System, ctx *searchCtx, visited visitedSet) *Result {
 	res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates}
 	queue := []*System{initial}
+	ins := visited.handle(0)
 	var sc expandScratch
 
 	for head := 0; head < len(queue); head++ {
-		if visited.Size() > ctx.maxStates {
+		if visited.Size() > ctx.maxStates || visited.Full() {
 			res.Truncated = true
 			break
 		}
 		cur := queue[head]
 		queue[head] = nil // release the expanded state to the collector
-		ctx.expand(cur, res, &sc, visited.Insert, func(next *System) {
+		ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
 			queue = append(queue, next)
 		})
+		ctx.stats.frontier.Store(int64(len(queue) - head - 1))
+	}
+	return res
+}
+
+// exploreSeqSpill is exploreSeq over the disk-spilling frontier: the queue
+// holds spill encodings instead of cloned Systems, rehydrated on pop into
+// clones of the pristine template. Pop order is the same FIFO order, so
+// counts, outcomes and the first deadlock match exploreSeq exactly.
+func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *spillQueue) *Result {
+	res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates}
+	template := initial.Clone()
+	ins := visited.handle(0)
+	var sc expandScratch
+	sq.push(appendSpill(initial, nil))
+
+	for {
+		if visited.Size() > ctx.maxStates || visited.Full() {
+			res.Truncated = true
+			break
+		}
+		enc, ok := sq.pop()
+		if !ok {
+			break
+		}
+		cur := template.Clone()
+		if err := decodeSpill(cur, enc); err != nil {
+			panic(err.Error())
+		}
+		ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
+			sc.spillBuf = appendSpill(next, sc.spillBuf[:0])
+			sq.push(append([]byte(nil), sc.spillBuf...))
+		})
+		ctx.stats.frontier.Store(int64(sq.len()))
 	}
 	return res
 }
@@ -330,21 +535,45 @@ func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert
 	}
 }
 
-// frontier is the shared work queue of the parallel search. pending counts
-// states handed to workers but not yet fully expanded; the search is done
-// when the queue is empty and nothing is pending.
-type frontier struct {
+// workSource is the shared work queue of the parallel search: the
+// in-memory pointer frontier (memFrontier) or the disk-spilling encoded
+// frontier (spillFrontier).
+type workSource interface {
+	// take hands the caller a batch of frontier states (marking them
+	// pending), blocking while the queue is empty but other workers may
+	// still enqueue. It returns nil when the search is complete or stopped.
+	take(workers int) []*System
+	// push enqueues newly discovered states.
+	push(states []*System)
+	// settle retires n expanded states and signals termination when the
+	// search has drained.
+	settle(n int)
+	// stop aborts the search (truncation).
+	stop()
+}
+
+// maxBatch caps how many states one take hands a worker.
+const maxBatch = 64
+
+// memFrontier holds cloned Systems directly. pending counts states handed
+// to workers but not yet fully expanded; the search is done when the queue
+// is empty and nothing is pending.
+type memFrontier struct {
 	mu      sync.Mutex
 	cond    sync.Cond
+	stats   *searchStats
 	queue   []*System
 	pending int
 	stopped bool
 }
 
-// take hands the caller a batch of frontier states (marking them pending),
-// blocking while the queue is empty but other workers may still enqueue.
-// It returns nil when the search is complete or stopped.
-func (f *frontier) take(workers int) []*System {
+func newMemFrontier(initial *System, ctx *searchCtx) *memFrontier {
+	f := &memFrontier{queue: []*System{initial}, stats: &ctx.stats}
+	f.cond.L = &f.mu
+	return f
+}
+
+func (f *memFrontier) take(workers int) []*System {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for len(f.queue) == 0 && f.pending > 0 && !f.stopped {
@@ -357,7 +586,6 @@ func (f *frontier) take(workers int) []*System {
 		return nil
 	}
 	n := len(f.queue)/workers + 1
-	const maxBatch = 64
 	if n > maxBatch {
 		n = maxBatch
 	}
@@ -371,23 +599,22 @@ func (f *frontier) take(workers int) []*System {
 	}
 	f.queue = f.queue[:len(f.queue)-n]
 	f.pending += n
+	f.stats.frontier.Store(int64(len(f.queue)))
 	return batch
 }
 
-// push enqueues newly discovered states.
-func (f *frontier) push(states []*System) {
+func (f *memFrontier) push(states []*System) {
 	if len(states) == 0 {
 		return
 	}
 	f.mu.Lock()
 	f.queue = append(f.queue, states...)
+	f.stats.frontier.Store(int64(len(f.queue)))
 	f.mu.Unlock()
 	f.cond.Broadcast()
 }
 
-// settle retires n expanded states and signals termination when the search
-// has drained.
-func (f *frontier) settle(n int) {
+func (f *memFrontier) settle(n int) {
 	f.mu.Lock()
 	f.pending -= n
 	if f.pending == 0 && len(f.queue) == 0 {
@@ -396,8 +623,102 @@ func (f *frontier) settle(n int) {
 	f.mu.Unlock()
 }
 
-// stop aborts the search (truncation).
-func (f *frontier) stop() {
+func (f *memFrontier) stop() {
+	f.mu.Lock()
+	f.stopped = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// spillFrontier is the disk-spilling counterpart: the queue holds spill
+// encodings in a spillQueue (bounded memory, overflow waves on disk), and
+// take rehydrates its batch into clones of the pristine template after
+// releasing the lock. Encoding in push likewise happens outside the lock;
+// only the byte-queue operations (and their occasional wave I/O) are
+// serialized.
+type spillFrontier struct {
+	mu       sync.Mutex
+	cond     sync.Cond
+	stats    *searchStats
+	sq       *spillQueue
+	template *System
+	pending  int
+	stopped  bool
+}
+
+func newSpillFrontier(initial *System, ctx *searchCtx, sq *spillQueue) *spillFrontier {
+	f := &spillFrontier{sq: sq, template: initial.Clone(), stats: &ctx.stats}
+	f.cond.L = &f.mu
+	sq.push(appendSpill(initial, nil))
+	return f
+}
+
+func (f *spillFrontier) take(workers int) []*System {
+	f.mu.Lock()
+	for f.sq.len() == 0 && f.pending > 0 && !f.stopped {
+		f.cond.Wait()
+	}
+	if f.stopped || f.sq.len() == 0 {
+		f.stopped = true
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		return nil
+	}
+	n := f.sq.len()/workers + 1
+	if n > maxBatch {
+		n = maxBatch
+	}
+	encs := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		enc, ok := f.sq.pop()
+		if !ok {
+			break
+		}
+		encs = append(encs, enc)
+	}
+	f.pending += len(encs)
+	f.stats.frontier.Store(int64(f.sq.len()))
+	f.mu.Unlock()
+
+	batch := make([]*System, len(encs))
+	for i, enc := range encs {
+		batch[i] = f.template.Clone()
+		if err := decodeSpill(batch[i], enc); err != nil {
+			panic(err.Error())
+		}
+	}
+	return batch
+}
+
+func (f *spillFrontier) push(states []*System) {
+	if len(states) == 0 {
+		return
+	}
+	encs := make([][]byte, len(states))
+	var buf []byte
+	for i, s := range states {
+		buf = appendSpill(s, buf[:0])
+		encs[i] = append([]byte(nil), buf...)
+	}
+	f.mu.Lock()
+	for _, enc := range encs {
+		f.sq.push(enc)
+	}
+	f.stats.frontier.Store(int64(f.sq.len()))
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+func (f *spillFrontier) settle(n int) {
+	f.mu.Lock()
+	f.pending -= n
+	if f.pending == 0 && f.sq.len() == 0 {
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+func (f *spillFrontier) stop() {
 	f.mu.Lock()
 	f.stopped = true
 	f.cond.Broadcast()
@@ -405,11 +726,9 @@ func (f *frontier) stop() {
 }
 
 // exploreParallel runs the worker-pool frontier search: workers pull
-// batches from a shared frontier, filter successors through the sharded
+// batches from a shared frontier, filter successors through the shared
 // visited set, and merge per-worker results at the end.
-func exploreParallel(initial *System, ctx *searchCtx, workers int, visited *visitedSet) *Result {
-	f := &frontier{queue: []*System{initial}}
-	f.cond.L = &f.mu
+func exploreParallel(ctx *searchCtx, workers int, visited visitedSet, f workSource) *Result {
 	var truncated atomic.Bool
 
 	results := make([]*Result, workers)
@@ -417,6 +736,7 @@ func exploreParallel(initial *System, ctx *searchCtx, workers int, visited *visi
 	for w := 0; w < workers; w++ {
 		res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates}
 		results[w] = res
+		ins := visited.handle(w)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -428,14 +748,14 @@ func exploreParallel(initial *System, ctx *searchCtx, workers int, visited *visi
 					return
 				}
 				for _, cur := range batch {
-					if visited.Size() > ctx.maxStates {
+					if visited.Size() > ctx.maxStates || visited.Full() {
 						truncated.Store(true)
 						f.stop()
 						f.settle(len(batch))
 						return
 					}
 					fresh = fresh[:0]
-					ctx.expand(cur, res, &sc, visited.Insert, func(next *System) {
+					ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
 						fresh = append(fresh, next)
 					})
 					f.push(fresh)

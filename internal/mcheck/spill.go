@@ -1,0 +1,159 @@
+package mcheck
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// spillQueue is the disk-spilling FIFO frontier: states are queued as their
+// compact spill encodings (decode.go) instead of cloned Systems, and only a
+// bounded window lives in memory — a head slice being consumed, a tail
+// slice being filled, and an ordered list of "wave" files holding
+// everything in between. When the tail reaches the ring capacity it is
+// flushed to a new wave file; when the head runs dry the oldest wave is
+// streamed back (or, with no waves on disk, head and tail swap). Frontier
+// memory is therefore O(ring), however wide the BFS gets.
+//
+// The queue is not goroutine-safe; the parallel search serializes access
+// through its frontier mutex. I/O errors are fatal to the search (a
+// half-lost frontier cannot produce a trustworthy verdict), reported by
+// panic with the failing path.
+type spillQueue struct {
+	dir     string // per-search temp directory, removed by close
+	ring    int    // max in-memory entries per window
+	head    [][]byte
+	headIdx int
+	tail    [][]byte
+	files   []string // FIFO wave files, oldest first
+	fileSeq int
+
+	// Cumulative spill accounting, atomics so the progress ticker can read
+	// them while the search holds the frontier lock.
+	spilledStates atomic.Int64
+	spilledBytes  atomic.Int64
+}
+
+// defaultSpillRing bounds the in-memory frontier window when
+// Options.SpillRing is zero: 32Ki entries per window (head + tail ≈ 64Ki
+// encodings in memory, a few MB at typical encoding sizes).
+const defaultSpillRing = 1 << 15
+
+// newSpillQueue creates the queue's private temp directory under dir.
+func newSpillQueue(dir string, ring int) (*spillQueue, error) {
+	if ring <= 0 {
+		ring = defaultSpillRing
+	}
+	d, err := os.MkdirTemp(dir, "hgspill-")
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: spill dir: %w", err)
+	}
+	return &spillQueue{dir: d, ring: ring}, nil
+}
+
+// close removes every spill file and the temp directory.
+func (q *spillQueue) close() {
+	if q.dir != "" {
+		os.RemoveAll(q.dir)
+		q.dir = ""
+	}
+}
+
+// len returns the number of queued states.
+func (q *spillQueue) len() int {
+	n := len(q.head) - q.headIdx + len(q.tail)
+	n += len(q.files) * q.ring // waves are flushed at exactly ring entries
+	return n
+}
+
+// push enqueues enc, taking ownership of the slice (callers reusing an
+// encode buffer must pass a copy).
+func (q *spillQueue) push(enc []byte) {
+	q.tail = append(q.tail, enc)
+	if len(q.tail) >= q.ring {
+		q.flushWave()
+	}
+}
+
+// pop dequeues the oldest state. The returned slice stays valid until the
+// caller is done with it (it aliases a loaded wave buffer or a pushed
+// copy, never a reused scratch).
+func (q *spillQueue) pop() ([]byte, bool) {
+	if q.headIdx >= len(q.head) {
+		q.head = q.head[:0]
+		q.headIdx = 0
+		if len(q.files) > 0 {
+			q.loadWave()
+		} else {
+			q.head, q.tail = q.tail, q.head
+		}
+	}
+	if q.headIdx >= len(q.head) {
+		return nil, false
+	}
+	enc := q.head[q.headIdx]
+	q.head[q.headIdx] = nil // release to the collector
+	q.headIdx++
+	return enc, true
+}
+
+// flushWave writes the tail window to a new wave file: a stream of
+// uvarint-length-prefixed encodings.
+func (q *spillQueue) flushWave() {
+	path := filepath.Join(q.dir, fmt.Sprintf("wave-%08d.bin", q.fileSeq))
+	q.fileSeq++
+	f, err := os.Create(path)
+	if err != nil {
+		panic(fmt.Sprintf("mcheck: spill write %s: %v", path, err))
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var lenBuf [binary.MaxVarintLen64]byte
+	bytes := int64(0)
+	for _, enc := range q.tail {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(enc)))
+		if _, err := w.Write(lenBuf[:n]); err == nil {
+			_, err = w.Write(enc)
+		}
+		if err != nil {
+			f.Close()
+			panic(fmt.Sprintf("mcheck: spill write %s: %v", path, err))
+		}
+		bytes += int64(n + len(enc))
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		panic(fmt.Sprintf("mcheck: spill write %s: %v", path, err))
+	}
+	if err := f.Close(); err != nil {
+		panic(fmt.Sprintf("mcheck: spill write %s: %v", path, err))
+	}
+	q.spilledStates.Add(int64(len(q.tail)))
+	q.spilledBytes.Add(bytes)
+	q.files = append(q.files, path)
+	q.tail = q.tail[:0]
+}
+
+// loadWave streams the oldest wave file back into the head window. Entries
+// alias one contiguous buffer — no per-entry copy.
+func (q *spillQueue) loadWave() {
+	path := q.files[0]
+	q.files = q.files[1:]
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		panic(fmt.Sprintf("mcheck: spill read %s: %v", path, err))
+	}
+	os.Remove(path)
+	off := 0
+	for off < len(buf) {
+		n, w := binary.Uvarint(buf[off:])
+		if w <= 0 || off+w+int(n) > len(buf) {
+			panic(fmt.Sprintf("mcheck: spill read %s: corrupt record at offset %d", path, off))
+		}
+		off += w
+		q.head = append(q.head, buf[off:off+int(n):off+int(n)])
+		off += int(n)
+	}
+}

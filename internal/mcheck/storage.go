@@ -1,0 +1,494 @@
+package mcheck
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the memory-bounded visited-state storage engine:
+//
+//   - fpSet: a lock-free open-addressing table of 64-bit state fingerprints
+//     (Stern & Dill's hash compaction) — CAS-based linear-probe inserts,
+//     power-of-two capacity doubling under a stop-the-world rendezvous with
+//     the worker pool, ~8–10 bytes per state with no shard mutexes on the
+//     hot path.
+//   - bloomSet: a fixed-size Bloom filter of k=3 bits per state (Holzmann's
+//     bitstate / supertrace search) for runs whose state count exceeds even
+//     a fingerprint table's budget.
+//
+// Both are lossy: two distinct states may collide, silently omitting part
+// of the state space. storageStats carries the standard omission-probability
+// estimates so results report how much to trust a "no deadlock" verdict,
+// the way Murphi prints its omission probabilities.
+
+// storageStats is the accounting snapshot a visited set reports at the end
+// of a search.
+type storageStats struct {
+	mode       string  // "exact", "hash-compaction" or "bitstate"
+	tableBytes int64   // memory held by the visited structure
+	loadFactor float64 // final occupancy (table load or filter fill)
+	peakLoad   float64 // highest observed occupancy
+	omission   float64 // probability at least one state was omitted
+}
+
+// inserter is one worker's insertion handle into a visited set. Handles are
+// not safe for concurrent use by multiple goroutines; each worker owns one.
+type inserter interface {
+	// Insert adds the state encoding and reports whether it was new.
+	Insert(enc []byte) bool
+}
+
+// visitedSet is the visited-state store shared by search workers.
+type visitedSet interface {
+	// handle returns worker w's insertion handle (w < the worker count the
+	// set was created for).
+	handle(w int) inserter
+	// Size returns the number of distinct states inserted so far.
+	Size() int
+	// Full reports whether the store hit its memory budget and can no
+	// longer accept states (the search must truncate).
+	Full() bool
+	// load returns the current occupancy in [0,1] (cheap; progress ticker).
+	load() float64
+	// stats returns the end-of-search accounting snapshot.
+	stats() storageStats
+}
+
+// newVisited builds the visited set for the configured storage mode.
+func newVisited(opts Options, workers int) visitedSet {
+	switch {
+	case opts.Bitstate:
+		return newBloomSet(opts.MemBudget)
+	case opts.HashCompaction:
+		return newFPSet(opts.MemBudget, workers)
+	default:
+		return newExactSet()
+	}
+}
+
+// sternDillOmission is the standard hash-compaction omission-probability
+// bound for n states and 64-bit fingerprints: the chance that at least one
+// state's fingerprint collided with another's, P ≈ 1 - exp(-n(n-1)/2^65)
+// (Stern & Dill; Murphi prints the same estimate after compacted runs).
+func sternDillOmission(n int64) float64 {
+	if n < 2 {
+		return 0
+	}
+	x := float64(n) * float64(n-1) / math.Exp2(65)
+	return -math.Expm1(-x)
+}
+
+// ---------------------------------------------------------------------------
+// Exact mode: the 64-shard mutex-striped map of full state encodings.
+
+// visitedShards is the stripe count of the exact set. 64 stripes keep lock
+// contention negligible for any worker count the search runs with.
+const visitedShards = 64
+
+// exactShard is one mutex-striped slice of the exact set.
+type exactShard struct {
+	mu   sync.Mutex
+	full map[string]struct{} // complete state encodings
+	_    [24]byte            // pad shards apart to reduce false sharing
+}
+
+// exactSet stores complete state encodings — no omissions, memory grows
+// with total encoding size. States are keyed by their compact binary
+// encoding; the encoding's 64-bit FNV-1a hash selects the stripe.
+type exactSet struct {
+	size     atomic.Int64
+	encBytes atomic.Int64 // total bytes of stored encodings
+	shards   [visitedShards]exactShard
+}
+
+func newExactSet() *exactSet {
+	v := &exactSet{}
+	for i := range v.shards {
+		v.shards[i].full = map[string]struct{}{}
+	}
+	return v
+}
+
+// Insert implements inserter. The set itself is the handle for every
+// worker: shard mutexes make it safe for concurrent use.
+func (v *exactSet) Insert(enc []byte) bool {
+	h := fnv64a(enc)
+	s := &v.shards[h%visitedShards]
+	s.mu.Lock()
+	if _, ok := s.full[string(enc)]; ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.full[string(enc)] = struct{}{}
+	s.mu.Unlock()
+	v.size.Add(1)
+	v.encBytes.Add(int64(len(enc)))
+	return true
+}
+
+func (v *exactSet) handle(int) inserter { return v }
+func (v *exactSet) Size() int           { return int(v.size.Load()) }
+func (v *exactSet) Full() bool          { return false }
+func (v *exactSet) load() float64       { return 0 }
+
+// exactMapOverhead approximates Go map bookkeeping (bucket slot, string
+// header, allocator rounding) per stored encoding, for the bytes-per-state
+// report only.
+const exactMapOverhead = 48
+
+func (v *exactSet) stats() storageStats {
+	n := v.size.Load()
+	return storageStats{
+		mode:       "exact",
+		tableBytes: v.encBytes.Load() + n*exactMapOverhead,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hash compaction: the lock-free fingerprint table.
+
+const (
+	// fpInitialSlots is the starting capacity (power of two).
+	fpInitialSlots = 1 << 16
+	// fpGrowLoad is the load factor that triggers capacity doubling.
+	fpGrowLoad = 0.75
+	// fpFullLoad is the load factor beyond which a table that can no
+	// longer grow (memory budget) declares itself full: linear probing
+	// degrades sharply past it.
+	fpFullLoad = 0.9375
+	// fpMaxProbe bounds an insert's probe run; a failure forces growth
+	// (or fullness at the budget cap). Far beyond any plausible cluster
+	// length at fpFullLoad occupancy.
+	fpMaxProbe = 4096
+	// fpDefaultMaxBytes caps table growth when no MemBudget is given:
+	// effectively unbounded (MaxStates fires long before 8 GiB of
+	// fingerprints — a billion states).
+	fpDefaultMaxBytes = 8 << 30
+)
+
+// fpSlots is one immutable-capacity generation of the table. Slot value 0
+// means empty; fingerprint 0 is remapped to 1 on insert (a benign extra
+// collision in a 2^64 space).
+type fpSlots struct {
+	mask   uint64 // len(slots)-1
+	growAt int64  // count that triggers doubling
+	slots  []uint64
+}
+
+func newFPSlots(n int) *fpSlots {
+	return &fpSlots{
+		mask:   uint64(n - 1),
+		growAt: int64(float64(n) * fpGrowLoad),
+		slots:  make([]uint64, n),
+	}
+}
+
+// insert CAS-inserts fingerprint fp. isNew reports first insertion; ok is
+// false when the probe bound was exhausted (caller must grow or give up).
+func (t *fpSlots) insert(fp uint64) (isNew, ok bool) {
+	i := fp & t.mask
+	for probe := 0; probe < fpMaxProbe; probe++ {
+		v := atomic.LoadUint64(&t.slots[i])
+		if v == fp {
+			return false, true
+		}
+		if v == 0 {
+			if atomic.CompareAndSwapUint64(&t.slots[i], 0, fp) {
+				return true, true
+			}
+			// Lost the race for this slot: re-read it (the winner may have
+			// written our fingerprint) without advancing the probe.
+			i--
+		}
+		i = (i + 1) & t.mask
+	}
+	return false, false
+}
+
+// insertFresh inserts during a rehash: single-threaded, table large enough
+// by construction.
+func (t *fpSlots) insertFresh(fp uint64) {
+	i := fp & t.mask
+	for t.slots[i] != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = fp
+}
+
+// fpHandle is one worker's insertion handle. Its padded inflight flag is
+// how the grower rendezvouses with the worker pool: a worker raises it
+// before reading the table pointer and lowers it after its CAS completes,
+// so once the grower has flipped seq to odd and observed every handle at
+// zero, no insert can be in flight against the old generation.
+type fpHandle struct {
+	s        *fpSet
+	inflight atomic.Int64
+	_        [48]byte // pad handles apart: each is written by one worker
+}
+
+// fpSet is the lock-free fingerprint table (hash-compaction mode).
+//
+// Insert protocol (per worker handle):
+//
+//	raise inflight → check seq even (else lower and back off) → load
+//	table pointer → CAS-probe insert → lower inflight
+//
+// Growth protocol (any inserter that trips the load threshold; growMu
+// serializes growers):
+//
+//	seq ++ (odd: new inserts back off) → wait for every handle's
+//	inflight to drain → rehash into a ×2 table → swap pointer → seq ++
+//
+// Go's atomics are sequentially consistent, which makes the rendezvous
+// airtight: an inserter that saw seq even after raising its flag is, in
+// the total order, before the grower's flip — so the grower's drain wait
+// cannot pass until that insert lands in the old table, and the rehash
+// copies it. Every state is therefore claimed exactly once, which is what
+// keeps compacted counts equal to exact counts (no lost or double-expanded
+// states).
+type fpSet struct {
+	cur     atomic.Pointer[fpSlots]
+	count   atomic.Int64
+	seq     atomic.Uint64 // even: stable; odd: growth in progress
+	full    atomic.Bool
+	growMu  sync.Mutex
+	maxLen  int     // slot-count cap from the memory budget
+	peak    float64 // highest pre-growth load factor; guarded by growMu
+	handles []fpHandle
+}
+
+func newFPSet(memBudget int64, workers int) *fpSet {
+	maxBytes := memBudget
+	if maxBytes <= 0 {
+		maxBytes = fpDefaultMaxBytes
+	}
+	maxLen := fpInitialSlots
+	for int64(maxLen)*2*8 <= maxBytes {
+		maxLen *= 2
+	}
+	s := &fpSet{maxLen: maxLen, handles: make([]fpHandle, workers)}
+	for i := range s.handles {
+		s.handles[i].s = s
+	}
+	n := fpInitialSlots
+	if n > maxLen {
+		n = maxLen
+	}
+	s.cur.Store(newFPSlots(n))
+	return s
+}
+
+func (s *fpSet) handle(w int) inserter { return &s.handles[w] }
+func (s *fpSet) Size() int             { return int(s.count.Load()) }
+func (s *fpSet) Full() bool            { return s.full.Load() }
+
+func (s *fpSet) load() float64 {
+	t := s.cur.Load()
+	return float64(s.count.Load()) / float64(len(t.slots))
+}
+
+func (s *fpSet) stats() storageStats {
+	s.growMu.Lock()
+	peak := s.peak
+	s.growMu.Unlock()
+	t := s.cur.Load()
+	lf := s.load()
+	if lf > peak {
+		peak = lf
+	}
+	return storageStats{
+		mode:       "hash-compaction",
+		tableBytes: int64(len(t.slots)) * 8,
+		loadFactor: lf,
+		peakLoad:   peak,
+		omission:   sternDillOmission(s.count.Load()),
+	}
+}
+
+// Insert implements inserter; h is owned by a single worker.
+func (h *fpHandle) Insert(enc []byte) bool {
+	s := h.s
+	if s.full.Load() {
+		// At the budget cap and effectively saturated: drop the state. The
+		// search observes Full() and truncates.
+		return false
+	}
+	fp := fnv64a(enc)
+	if fp == 0 {
+		fp = 1 // 0 is the empty-slot sentinel
+	}
+	for {
+		h.inflight.Store(1)
+		if s.seq.Load()&1 != 0 {
+			// Growth in progress: stand down and wait it out.
+			h.inflight.Store(0)
+			for s.seq.Load()&1 != 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		t := s.cur.Load()
+		isNew, ok := t.insert(fp)
+		h.inflight.Store(0)
+		if !ok {
+			s.grow(t, true)
+			if s.full.Load() {
+				return false
+			}
+			continue
+		}
+		if isNew && s.count.Add(1) >= t.growAt {
+			s.grow(t, false)
+		}
+		return isNew
+	}
+}
+
+// grow doubles the table (stop-the-world rendezvous; see the type comment).
+// probeFailed marks a caller whose insert could not find a slot: if the
+// budget forbids growing further, the table is declared full.
+func (s *fpSet) grow(old *fpSlots, probeFailed bool) {
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	cur := s.cur.Load()
+	if cur != old {
+		return // another worker already grew past this generation
+	}
+	if lf := float64(s.count.Load()) / float64(len(cur.slots)); lf > s.peak {
+		s.peak = lf
+	}
+	if len(cur.slots) >= s.maxLen {
+		if probeFailed || s.load() >= fpFullLoad {
+			s.full.Store(true)
+		}
+		return
+	}
+	s.seq.Add(1) // odd: fresh inserts back off
+	for i := range s.handles {
+		h := &s.handles[i]
+		for h.inflight.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
+	next := newFPSlots(len(cur.slots) * 2)
+	for _, fp := range cur.slots {
+		if fp != 0 {
+			next.insertFresh(fp)
+		}
+	}
+	s.cur.Store(next)
+	s.seq.Add(1) // even: table stable again
+}
+
+// ---------------------------------------------------------------------------
+// Bitstate (supertrace): the Bloom-filter visited set.
+
+const (
+	// bloomK is the bits set per state (SPIN's default hash count).
+	bloomK = 3
+	// bloomDefaultBytes sizes the filter when no MemBudget is given.
+	bloomDefaultBytes = 64 << 20
+)
+
+// bloomStripes is the lock-stripe count of bloomSet: inserts of the same
+// state hash to the same stripe, so duplicate claims serialize; distinct
+// states collide on a stripe with probability 1/bloomStripes.
+const bloomStripes = 512
+
+// bloomSet is a fixed-size Bloom filter over state fingerprints: bloomK
+// bits per state via double hashing. Bit-sets are CAS (stripes share
+// words), and a mutex stripe keyed by the state's fingerprint serializes
+// concurrent inserts of the same state — otherwise two workers could each
+// flip a different one of its bits, both report it new, and the state
+// would be expanded twice (parallel counts would drift from sequential).
+// Never "full": past its working capacity it degrades by omitting states,
+// which the fill-based omission estimate exposes.
+type bloomSet struct {
+	words   []uint64
+	mask    uint64 // bit-index mask; bit count is a power of two
+	stripes [bloomStripes]sync.Mutex
+	size    atomic.Int64
+	setBits atomic.Int64
+}
+
+func newBloomSet(memBudget int64) *bloomSet {
+	maxBytes := memBudget
+	if maxBytes <= 0 {
+		maxBytes = bloomDefaultBytes
+	}
+	bits := uint64(1 << 16) // 8 KiB floor
+	for bits*2/8 <= uint64(maxBytes) {
+		bits *= 2
+	}
+	return &bloomSet{words: make([]uint64, bits/64), mask: bits - 1}
+}
+
+// splitmix64 is the SplitMix64 finalizer: mixes a fingerprint into an
+// independent second hash for double hashing.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Insert implements inserter; the set itself is every worker's handle
+// (no per-worker state).
+func (b *bloomSet) Insert(enc []byte) bool {
+	h1 := fnv64a(enc)
+	h2 := splitmix64(h1) | 1 // odd stride visits all bit positions
+	mu := &b.stripes[h1&(bloomStripes-1)]
+	mu.Lock()
+	isNew := false
+	for j := uint64(0); j < bloomK; j++ {
+		idx := (h1 + j*h2) & b.mask
+		w := &b.words[idx>>6]
+		bit := uint64(1) << (idx & 63)
+		for {
+			old := atomic.LoadUint64(w)
+			if old&bit != 0 {
+				break
+			}
+			if atomic.CompareAndSwapUint64(w, old, old|bit) {
+				isNew = true
+				b.setBits.Add(1)
+				break
+			}
+		}
+	}
+	mu.Unlock()
+	if isNew {
+		b.size.Add(1)
+	}
+	return isNew
+}
+
+func (b *bloomSet) handle(int) inserter { return b }
+func (b *bloomSet) Size() int           { return int(b.size.Load()) }
+func (b *bloomSet) Full() bool          { return false }
+
+func (b *bloomSet) load() float64 {
+	return float64(b.setBits.Load()) / float64(b.mask+1)
+}
+
+// stats estimates the bitstate omission probability from the final fill f:
+// each visited state was falsely "already seen" with probability ≈ f^k, so
+// P(≥1 omission) ≈ 1 - (1 - f^k)^n. (An upper-bound flavor of SPIN's hash-
+// factor heuristic; exact per-insert fills were lower than the final f.)
+func (b *bloomSet) stats() storageStats {
+	n := b.size.Load()
+	f := b.load()
+	var om float64
+	if n > 0 && f > 0 {
+		om = -math.Expm1(float64(n) * math.Log1p(-math.Pow(f, bloomK)))
+	}
+	return storageStats{
+		mode:       "bitstate",
+		tableBytes: int64(len(b.words)) * 8,
+		loadFactor: f,
+		peakLoad:   f,
+		omission:   om,
+	}
+}

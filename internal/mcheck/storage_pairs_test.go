@@ -1,0 +1,163 @@
+package mcheck_test
+
+// Storage-mode agreement on the fused Table II pairs: hash compaction,
+// bitstate and the disk-spilling frontier must reproduce the exact
+// search's verdicts on every heterogeneous system, sequentially and in
+// parallel, with and without symmetry reduction. This is the soundness
+// gate for the spill codec on MergedDir states (bridges, proxy captures,
+// handshake cohorts): an unfaithful decode would change some state's
+// successor set and the counts would diverge. External package: building
+// fused systems needs core.Fuse, and core imports mcheck.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/mcheck"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+// storagePairSystem builds the pair fused at 2 caches per cluster with a
+// short fully-symmetric store/load workload — enough to drive every
+// bridge flavor while keeping the 5-run matrix affordable on one core
+// (the release/acquire sync paths are covered by the litmus matrix and
+// the symmetry suite's full workload).
+func storagePairSystem(t *testing.T, a, b string) *mcheck.System {
+	t.Helper()
+	pa, err := protocols.ByName(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := protocols.ByName(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.Fuse(core.Options{}, pa, pb)
+	if err != nil {
+		t.Fatalf("Fuse(%s,%s): %v", a, b, err)
+	}
+	sys, _ := core.BuildSystem(f, []int{2, 2})
+	prog := []spec.CoreReq{
+		{Op: spec.OpStore, Addr: 0, Value: 7},
+		{Op: spec.OpLoad, Addr: 0},
+	}
+	sys.SetPrograms([][]spec.CoreReq{prog, prog, prog, prog})
+	return sys
+}
+
+// assertStorageAgrees compares every observable the storage engine could
+// corrupt: state and transition counts, deadlocks, and the outcome set.
+func assertStorageAgrees(t *testing.T, label string, got, want *mcheck.Result) {
+	t.Helper()
+	if got.Truncated {
+		t.Errorf("%s: unexpectedly truncated at %d states", label, got.States)
+	}
+	if got.States != want.States || got.Transitions != want.Transitions {
+		t.Errorf("%s: visited %d states / %d transitions, exact search %d / %d",
+			label, got.States, got.Transitions, want.States, want.Transitions)
+	}
+	if got.Deadlocks != want.Deadlocks {
+		t.Errorf("%s: %d deadlocks, exact search %d", label, got.Deadlocks, want.Deadlocks)
+	}
+	gk, wk := got.Outcomes.Keys(), want.Outcomes.Keys()
+	sort.Strings(gk)
+	sort.Strings(wk)
+	if strings.Join(gk, "\n") != strings.Join(wk, "\n") {
+		t.Errorf("%s: outcome sets differ:\ngot:  %v\nwant: %v", label, gk, wk)
+	}
+}
+
+func storageWorkers() int {
+	if w := runtime.NumCPU(); w >= 2 {
+		return w
+	}
+	return 4
+}
+
+// TestStorageModesAgreeTableIIPairs: on every fused Table II pair, each
+// lossy/spilled storage configuration must agree exactly with the exact
+// sequential search. The worker axis is spread across the modes (the
+// headline-pair cross below runs the full matrix).
+func TestStorageModesAgreeTableIIPairs(t *testing.T) {
+	workers := storageWorkers()
+	for _, pair := range core.TableIIPairs() {
+		pair := pair
+		t.Run(pair[0]+"+"+pair[1], func(t *testing.T) {
+			t.Parallel()
+			sys := storagePairSystem(t, pair[0], pair[1])
+			if !mcheck.CanSpill(sys) {
+				t.Fatalf("fused %s+%s system does not support spilling", pair[0], pair[1])
+			}
+			exact := mcheck.Explore(sys, mcheck.Options{Workers: 1})
+			configs := []struct {
+				name string
+				opts mcheck.Options
+			}{
+				{"hash/seq", mcheck.Options{Workers: 1, HashCompaction: true}},
+				{"bitstate/par", mcheck.Options{Workers: workers, Bitstate: true}},
+				{"hash+spill/par", mcheck.Options{Workers: workers, HashCompaction: true,
+					SpillDir: t.TempDir(), SpillRing: 256}},
+			}
+			for _, cfg := range configs {
+				res := mcheck.Explore(storagePairSystem(t, pair[0], pair[1]), cfg.opts)
+				assertStorageAgrees(t, cfg.name, res, exact)
+				// Small pairs (the GPU fusions run a few hundred states)
+				// never outgrow the ring; only demand disk waves where the
+				// space is wide enough to force them.
+				if cfg.opts.SpillDir != "" && res.SpilledStates == 0 && res.States > 10_000 {
+					t.Errorf("%s: ring of 256 never spilled a wave (%d states)", cfg.name, res.States)
+				}
+			}
+		})
+	}
+}
+
+// TestStorageModesCrossHeadlinePair runs the full storage-mode ×
+// workers × symmetry cross on the paper's headline MESI+RCC-O fusion:
+// every combination must agree with the exact search at the same
+// symmetry setting (the reduction changes the state count, so reduced
+// runs compare against the reduced exact baseline).
+func TestStorageModesCrossHeadlinePair(t *testing.T) {
+	workers := storageWorkers()
+	for _, sym := range []bool{false, true} {
+		sym := sym
+		t.Run(fmt.Sprintf("symmetry=%t", sym), func(t *testing.T) {
+			t.Parallel()
+			modes := []struct {
+				name string
+				set  func(*mcheck.Options)
+			}{
+				{"exact", func(o *mcheck.Options) {}},
+				{"hash", func(o *mcheck.Options) { o.HashCompaction = true }},
+				{"bitstate", func(o *mcheck.Options) { o.Bitstate = true }},
+				{"exact+spill", func(o *mcheck.Options) { o.SpillDir = t.TempDir(); o.SpillRing = 256 }},
+				{"hash+spill", func(o *mcheck.Options) {
+					o.HashCompaction = true
+					o.SpillDir = t.TempDir()
+					o.SpillRing = 256
+				}},
+			}
+			exact := mcheck.Explore(storagePairSystem(t, "MESI", "RCC-O"),
+				mcheck.Options{Workers: 1, Symmetry: sym})
+			if sym && exact.SymmetryPerms != 4 {
+				t.Fatalf("symmetry baseline detected group order %d, want 4", exact.SymmetryPerms)
+			}
+			for _, mode := range modes {
+				for _, w := range []int{1, workers} {
+					if mode.name == "exact" && w == 1 {
+						continue // that is the baseline itself
+					}
+					opts := mcheck.Options{Workers: w, Symmetry: sym}
+					mode.set(&opts)
+					res := mcheck.Explore(storagePairSystem(t, "MESI", "RCC-O"), opts)
+					assertStorageAgrees(t, fmt.Sprintf("%s workers=%d", mode.name, w), res, exact)
+				}
+			}
+		})
+	}
+}

@@ -1,14 +1,5 @@
 package mcheck
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
-// visitedShards is the stripe count of the visited set. 64 stripes keep
-// lock contention negligible for any worker count the search runs with.
-const visitedShards = 64
-
 // fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
 const (
 	fnvOffset = 14695981039346656037
@@ -16,7 +7,10 @@ const (
 )
 
 // fnv64a hashes b with FNV-1a, inlined to avoid the hash.Hash64 allocation
-// per state that hash/fnv would cost on the exploration hot path.
+// per state that hash/fnv would cost on the exploration hot path. It is the
+// fingerprint function of every visited-set mode: the stripe selector in
+// exact mode, the stored fingerprint under hash compaction, and the first
+// of the double hashes in bitstate mode (see storage.go).
 func fnv64a(b []byte) uint64 {
 	h := uint64(fnvOffset)
 	for _, c := range b {
@@ -25,61 +19,3 @@ func fnv64a(b []byte) uint64 {
 	}
 	return h
 }
-
-// visitedShard is one mutex-striped slice of the set. Exactly one of the
-// two maps is populated, matching the compaction mode.
-type visitedShard struct {
-	mu     sync.Mutex
-	hashes map[uint64]struct{} // hash-compaction mode: 64-bit fingerprints
-	full   map[string]struct{} // exact mode: complete state encodings
-	_      [24]byte            // pad shards apart to reduce false sharing
-}
-
-// visitedSet is the sharded visited-state set shared by search workers.
-// States are keyed by their compact binary encoding; the encoding's 64-bit
-// FNV-1a hash selects the stripe (and, under hash compaction, *is* the
-// stored key — Murphi's hash compaction, trading a vanishing omission
-// probability for memory).
-type visitedSet struct {
-	compact bool
-	size    atomic.Int64
-	shards  [visitedShards]visitedShard
-}
-
-func newVisitedSet(compact bool) *visitedSet {
-	v := &visitedSet{compact: compact}
-	for i := range v.shards {
-		if compact {
-			v.shards[i].hashes = map[uint64]struct{}{}
-		} else {
-			v.shards[i].full = map[string]struct{}{}
-		}
-	}
-	return v
-}
-
-// Insert adds the state encoding and reports whether it was new.
-func (v *visitedSet) Insert(enc []byte) bool {
-	h := fnv64a(enc)
-	s := &v.shards[h%visitedShards]
-	s.mu.Lock()
-	if v.compact {
-		if _, ok := s.hashes[h]; ok {
-			s.mu.Unlock()
-			return false
-		}
-		s.hashes[h] = struct{}{}
-	} else {
-		if _, ok := s.full[string(enc)]; ok {
-			s.mu.Unlock()
-			return false
-		}
-		s.full[string(enc)] = struct{}{}
-	}
-	s.mu.Unlock()
-	v.size.Add(1)
-	return true
-}
-
-// Size returns the number of distinct states inserted so far.
-func (v *visitedSet) Size() int { return int(v.size.Load()) }

@@ -1,0 +1,235 @@
+package spec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements the inverse of binenc.go: a cursor-based reader for
+// the compact binary encoding, and a faithful per-component state codec the
+// model checker's disk-spilling frontier uses to rehydrate states.
+//
+// The visited-set encoding (AppendBinary) only needs to be injective; the
+// spill codec additionally needs to be *bijective* — decoding must rebuild
+// the exact component state, including derived fields a host may omit from
+// its visited key. For CacheInst, DirInst and Memory the two coincide, so
+// AppendState simply reuses AppendBinary. Hosts whose AppendBinary drops
+// reconstructible detail (the merged directory) implement StateCodec with an
+// extended layout.
+
+// Dec is a cursor over a binary encoding produced with the Append* helpers.
+// Read methods record the first error and return zero values afterwards, so
+// callers check Err() once at the end of a decode.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a cursor reading from buf.
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Err returns the first decode error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Len returns the number of unread bytes.
+func (d *Dec) Len() int { return len(d.buf) - d.off }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("spec: decode: "+format, args...)
+	}
+}
+
+// Uvarint reads an unsigned varint (inverse of AppendUvarint).
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a zigzag varint (inverse of AppendInt).
+func (d *Dec) Int() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+// Bool reads a 0/1 byte (inverse of AppendBool).
+func (d *Dec) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("bool past end at offset %d", d.off)
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("bad bool byte %d at offset %d", b, d.off-1)
+		return false
+	}
+	return b == 1
+}
+
+// String reads a length-prefixed string (inverse of AppendString). The
+// result is a copy, safe to retain after the underlying buffer is reused.
+func (d *Dec) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(d.Len()) < n {
+		d.fail("string of %d bytes past end at offset %d", n, d.off)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// StateCodec is implemented by components whose state can be serialized to a
+// compact byte string and rebuilt exactly. AppendState must be bijective
+// over reachable states: DecodeState applied to AppendState's output on a
+// structurally-identical receiver (same ids, same protocol, same topology —
+// e.g. a Clone of the initial system's component) must reproduce the source
+// state field for field. The disk-spilling frontier round-trips every
+// spilled state through this codec.
+type StateCodec interface {
+	AppendState(buf []byte) []byte
+	DecodeState(d *Dec) error
+}
+
+// decodeState looks up a machine state from its dense index, recording an
+// error on the cursor if the index is out of range.
+func decodeState(d *Dec, m *Machine, what string) State {
+	i := d.Int()
+	if d.err != nil {
+		return ""
+	}
+	s := m.StateAt(i)
+	if s == "" {
+		d.fail("%s state index %d out of range for machine %s", what, i, m.Name)
+	}
+	return s
+}
+
+// DecodeMsg reads a message written by Msg.AppendBinary.
+func DecodeMsg(d *Dec) Msg {
+	var m Msg
+	m.Type = MsgType(d.String())
+	m.Addr = Addr(d.Int())
+	m.Src = NodeID(d.Int())
+	m.Dst = NodeID(d.Int())
+	m.Req = NodeID(d.Int())
+	m.Data = d.Int()
+	m.HasData = d.Bool()
+	m.Ack = d.Int()
+	m.VNet = VNet(d.Int())
+	return m
+}
+
+// DecodeNodeSet reads a count-prefixed id list written by the NodeSet
+// encoders in binenc.go.
+func DecodeNodeSet(d *Dec) NodeSet {
+	var s NodeSet
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		s.Add(NodeID(d.Int()))
+	}
+	return s
+}
+
+// AppendState implements StateCodec. A cache's visited-set encoding already
+// covers every mutable field, so the spill codec reuses it.
+func (c *CacheInst) AppendState(buf []byte) []byte { return c.AppendBinary(buf) }
+
+// DecodeState implements StateCodec: the inverse of AppendBinaryRelabeled
+// with the identity relabeling.
+func (c *CacheInst) DecodeState(d *Dec) error {
+	if id := NodeID(d.Int()); d.err == nil && id != c.id {
+		d.fail("cache id %d decoded into cache %d", id, c.id)
+	}
+	m := c.proto.Cache
+	n := d.Uvarint()
+	c.lines = c.lines[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var e cacheEntry
+		e.a = Addr(d.Int())
+		e.l.State = decodeState(d, m, "cache line")
+		e.l.Data = d.Int()
+		e.l.HasData = d.Bool()
+		e.l.AckBalance = d.Int()
+		e.l.AckArmed = d.Bool()
+		c.lines = append(c.lines, e)
+	}
+	if d.Bool() {
+		req := CoreReq{Op: CoreOp(d.Int()), Addr: Addr(d.Int()), Value: d.Int()}
+		c.pending = &req
+	} else {
+		c.pending = nil
+	}
+	c.syncWait = d.Bool()
+	c.lastLoad = d.Int()
+	return d.Err()
+}
+
+// AppendState implements StateCodec (the directory's visited-set encoding
+// is faithful; the shared memory is encoded separately by the host, as with
+// AppendBinary).
+func (dir *DirInst) AppendState(buf []byte) []byte { return dir.AppendBinary(buf) }
+
+// DecodeState implements StateCodec.
+func (dir *DirInst) DecodeState(d *Dec) error {
+	if id := NodeID(d.Int()); d.err == nil && id != dir.id {
+		d.fail("directory id %d decoded into directory %d", id, dir.id)
+	}
+	m := dir.proto.Dir
+	n := d.Uvarint()
+	dir.lines = dir.lines[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var e dirEntry
+		e.a = Addr(d.Int())
+		e.l.State = decodeState(d, m, "directory line")
+		e.l.Owner = NodeID(d.Int())
+		e.l.Sharers = DecodeNodeSet(d)
+		dir.lines = append(dir.lines, e)
+	}
+	return d.Err()
+}
+
+// AppendState implements StateCodec.
+func (m *Memory) AppendState(buf []byte) []byte { return m.AppendBinary(buf) }
+
+// DecodeState implements StateCodec.
+func (m *Memory) DecodeState(d *Dec) error {
+	n := d.Uvarint()
+	m.cells = m.cells[:0]
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		a := Addr(d.Int())
+		v := d.Int()
+		m.cells = append(m.cells, memCell{a: a, v: v})
+	}
+	return d.Err()
+}
+
+var (
+	_ StateCodec = (*CacheInst)(nil)
+	_ StateCodec = (*DirInst)(nil)
+	_ StateCodec = (*Memory)(nil)
+)

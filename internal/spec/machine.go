@@ -73,9 +73,10 @@ type Machine struct {
 	// (TSO-CC-basic's conservative staleness bound).
 	InvalidateOnFill []State
 
-	index    map[State]map[MsgType][]*Transition
-	core     map[State]map[CoreOp]*Transition
-	stateIdx map[State]int // dense state numbering for binary encoding
+	index     map[State]map[MsgType][]*Transition
+	core      map[State]map[CoreOp]*Transition
+	stateIdx  map[State]int // dense state numbering for binary encoding
+	stateList []State       // inverse of stateIdx, for binary decoding
 }
 
 // Freeze eagerly builds the lookup indexes. The indexes are otherwise
@@ -109,8 +110,9 @@ func (m *Machine) buildIndex() {
 		}
 		byMsg[t.On.Msg] = append(byMsg[t.On.Msg], t)
 	}
-	m.stateIdx = make(map[State]int)
-	for i, s := range m.States() {
+	m.stateList = m.States()
+	m.stateIdx = make(map[State]int, len(m.stateList))
+	for i, s := range m.stateList {
 		m.stateIdx[s] = i
 	}
 }
@@ -125,6 +127,17 @@ func (m *Machine) StateIndex(s State) int {
 		return i
 	}
 	return -1
+}
+
+// StateAt is the inverse of StateIndex: the state with dense index i in the
+// States() ordering, or "" for an out-of-range index. The binary state
+// decoder maps encoded indexes back to state names through it.
+func (m *Machine) StateAt(i int) State {
+	m.buildIndex()
+	if i < 0 || i >= len(m.stateList) {
+		return ""
+	}
+	return m.stateList[i]
 }
 
 // OnCoreOp returns the transition for a core op in the given state, or nil
