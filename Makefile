@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage allocs vet
+.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage bench-por allocs vet profile
 
 all: build
 
@@ -53,3 +53,15 @@ bench-smoke:
 # free-running search to the 10M-state bound in fixed memory.
 bench-storage:
 	$(GO) test -run XXX -bench 'BenchmarkStorage' -benchtime 1x -timeout 30m .
+
+# Regenerate the partial-order-reduction numbers in BENCH_POR.json: the
+# §VII-C search and the fused 2x2 symmetric workload, POR off vs on.
+bench-por:
+	$(GO) test -run XXX -bench 'BenchmarkExplorePOR' -benchtime 1x -timeout 30m .
+
+# CPU- and heap-profile the §VII-C search (POR on, hash compaction).
+# Writes /tmp/hgcheck.{cpu,mem}.pprof; inspect with
+# `go tool pprof /tmp/hgcheck.cpu.pprof`.
+profile: build
+	$(GO) run ./cmd/hgcheck -pair MESI,RCC-O -caches 1 -addrs 2 \
+		-workers 1 -cpuprofile /tmp/hgcheck.cpu.pprof -memprofile /tmp/hgcheck.mem.pprof

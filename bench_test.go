@@ -405,6 +405,68 @@ func BenchmarkExploreSymmetry(b *testing.B) {
 	}
 }
 
+// BenchmarkExplorePOR measures the ample-set partial order reduction
+// (BENCH_POR.json, `make bench-por`) on the §VII-C reachability search:
+// the headline fused configuration with POR off vs on under the
+// production hash-compacted storage (sequential, so rows are directly
+// comparable to BENCH_STORAGE.json), POR stacked on the disk-spilling
+// frontier, and POR combined with the symmetry reduction on the
+// symmetric 2×2 fusion. Every case asserts deadlock freedom, so a
+// reduction that changed the verdict would fail the benchmark rather
+// than report a fast wrong answer.
+func BenchmarkExplorePOR(b *testing.B) {
+	f, err := core.Fuse(core.Options{},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Freeze()
+	headline := func() *mcheck.System {
+		sys, _ := core.BuildSystem(f, []int{1, 1})
+		sys.SetPrograms(deadlockDriver(2, 2))
+		return sys
+	}
+	sym2x2 := func() *mcheck.System {
+		sys, _ := core.BuildSystem(f, []int{2, 2})
+		sys.SetPrograms(symmetricDriver(4, 1))
+		return sys
+	}
+	cases := []struct {
+		name  string
+		build func() *mcheck.System
+		opts  mcheck.Options
+	}{
+		{"vii-c/por=off", headline,
+			mcheck.Options{Evictions: true, HashCompaction: true, Workers: 1, POR: mcheck.POROff}},
+		{"vii-c/por=on", headline,
+			mcheck.Options{Evictions: true, HashCompaction: true, Workers: 1}},
+		{"vii-c/por=on+spill", headline,
+			mcheck.Options{Evictions: true, HashCompaction: true, Workers: 1, SpillDir: "auto"}},
+		{"fused-2x2-sym/por=off", sym2x2,
+			mcheck.Options{HashCompaction: true, Symmetry: true, Workers: 1, POR: mcheck.POROff}},
+		{"fused-2x2-sym/por=on", sym2x2,
+			mcheck.Options{HashCompaction: true, Symmetry: true, Workers: 1}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var res *mcheck.Result
+			for i := 0; i < b.N; i++ {
+				opts := tc.opts
+				if opts.SpillDir == "auto" {
+					opts.SpillDir = b.TempDir()
+				}
+				res = mcheck.Explore(tc.build(), opts)
+				if res.Deadlocks > 0 || res.Truncated {
+					b.Fatalf("deadlocks=%d truncated=%t", res.Deadlocks, res.Truncated)
+				}
+			}
+			b.ReportMetric(float64(res.States), "states")
+			b.ReportMetric(float64(res.PORReduced), "ample-states")
+		})
+	}
+}
+
 // BenchmarkSmoke is the `make bench-smoke` target: a MaxStates-capped
 // §VII-C search plus the 2-thread litmus shapes on the headline pair — a
 // minutes-scale end-to-end health check of the checker and suite

@@ -8,6 +8,8 @@
 //	hgcheck -protocol MSI -caches 3            # homogeneous
 //	hgcheck -pair MESI,RCC-O -caches 2         # fused, 2 caches per cluster
 //	hgcheck -pair MESI,RCC-O -caches 2 -mem 512MiB -spill-dir /tmp -progress 10s
+//	hgcheck -pair MESI,RCC-O -caches 2 -por=0   # full unreduced interleaving space
+//	hgcheck -protocol MSI -cpuprofile cpu.pprof # profile the search
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"heterogen/internal/core"
 	"heterogen/internal/mcheck"
+	"heterogen/internal/profiling"
 	"heterogen/internal/protocols"
 	"heterogen/internal/spec"
 )
@@ -37,6 +40,7 @@ type checkConfig struct {
 	workers     int
 	encoding    mcheck.Encoding
 	symmetry    bool
+	por         bool
 	progress    time.Duration
 }
 
@@ -54,8 +58,17 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "search workers (0 = all cores, 1 = sequential deterministic order)")
 	encoding := flag.String("encoding", "binary", "visited-set state encoding: binary or snapshot")
 	flag.BoolVar(&cfg.symmetry, "symmetry", false, "canonicalize states under cache-permutation symmetry (uses uniform store values so the driver cores are interchangeable)")
+	flag.BoolVar(&cfg.por, "por", true, "ample-set partial order reduction (sound for deadlock search; -por=0 forces the full interleaving space)")
 	flag.DurationVar(&cfg.progress, "progress", 0, "log states/sec, frontier depth, load factor and heap every interval (e.g. 10s; 0 = silent)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hgcheck:", err)
+		os.Exit(1)
+	}
 
 	enc, err := mcheck.ParseEncoding(*encoding)
 	if err != nil {
@@ -67,8 +80,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
-	if err := run(cfg); err != nil {
+	runErr := run(cfg)
+	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "hgcheck:", runErr)
 		os.Exit(1)
 	}
 }
@@ -170,6 +190,9 @@ func run(cfg checkConfig) error {
 		MemBudget: cfg.memBudget, SpillDir: cfg.spillDir,
 		MaxStates: cfg.maxStates, Workers: cfg.workers,
 		Encoding: cfg.encoding, Symmetry: cfg.symmetry,
+	}
+	if !cfg.por {
+		opts.POR = mcheck.POROff
 	}
 	if cfg.progress > 0 {
 		opts.ProgressEvery = cfg.progress

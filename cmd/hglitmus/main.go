@@ -24,6 +24,7 @@ import (
 	"heterogen/internal/litmus"
 	"heterogen/internal/mcheck"
 	"heterogen/internal/memmodel"
+	"heterogen/internal/profiling"
 	"heterogen/internal/protocols"
 	"heterogen/internal/spec"
 )
@@ -40,7 +41,11 @@ func main() {
 	hash := flag.Bool("hash", false, "use state-hash compaction in each test's visited set")
 	encoding := flag.String("encoding", "binary", "model-checker state encoding: binary or snapshot")
 	symmetry := flag.Bool("symmetry", false, "canonicalize checker states under cache-permutation symmetry")
+	por := flag.Bool("por", true, "ample-set partial order reduction in each test's state search (-por=0 forces the full interleaving space)")
+	spillDir := flag.String("spill-dir", "", "spill each test's frontier overflow to temp files under this directory (bounds BFS memory)")
 	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
 
 	if *verdicts {
@@ -57,8 +62,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
-	if err := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *allAllocs, *evict, *maxThreads, *workers, *hash, enc, *symmetry); err != nil {
+	base := litmus.Options{
+		Evictions: *evict, AllAllocations: *allAllocs,
+		HashCompaction: *hash, Encoding: enc, Symmetry: *symmetry,
+		SpillDir: *spillDir,
+	}
+	if !*por {
+		base.POR = mcheck.POROff
+	}
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
+		os.Exit(1)
+	}
+	runErr := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *maxThreads, *workers, base)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "hglitmus:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "hglitmus:", runErr)
 		os.Exit(1)
 	}
 }
@@ -68,7 +93,7 @@ func printResult(r *litmus.Result) {
 	fmt.Printf("%s %8.1fms\n", r, float64(r.Elapsed.Microseconds())/1000)
 }
 
-func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool, maxThreads, workers int, hash bool, enc mcheck.Encoding, symmetry bool) error {
+func run(pairFlag, protoFlag, shapeFlag, fileFlag string, maxThreads, workers int, base litmus.Options) error {
 	var pairs [][2]string
 	if pairFlag != "" {
 		parts := strings.Split(pairFlag, ",")
@@ -107,8 +132,7 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		if err != nil {
 			return err
 		}
-		opts := litmus.Options{Evictions: evict, AllAllocations: allAllocs,
-			HashCompaction: hash, Encoding: enc, Symmetry: symmetry}
+		opts := base
 		sel := shapes
 		if sel == nil {
 			sel = litmus.Shapes()
@@ -142,11 +166,11 @@ func run(pairFlag, protoFlag, shapeFlag, fileFlag string, allAllocs, evict bool,
 		}
 		protoPairs = append(protoPairs, []*spec.Protocol{a, b})
 	}
-	report, err := litmus.RunSuite(protoPairs, litmus.Options{
-		Evictions: evict, AllAllocations: allAllocs, MaxThreads: maxThreads,
-		Shapes: shapes, Workers: workers, HashCompaction: hash,
-		Encoding: enc, Symmetry: symmetry,
-	})
+	suiteOpts := base
+	suiteOpts.MaxThreads = maxThreads
+	suiteOpts.Shapes = shapes
+	suiteOpts.Workers = workers
+	report, err := litmus.RunSuite(protoPairs, suiteOpts)
 	if err != nil {
 		return err
 	}

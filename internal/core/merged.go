@@ -313,7 +313,8 @@ func (d *MergedDir) deliver(env spec.Env, m spec.Msg) bool {
 	defer d.advance(env)
 	switch m.Type {
 	case msgHSReq:
-		env.Send(spec.Msg{Type: msgHSAck, Addr: m.Addr, Src: m.Dst, Dst: m.Src, VNet: spec.VResp})
+		env.Send(spec.Msg{Type: msgHSAck, Addr: m.Addr, Src: m.Dst, Dst: m.Src,
+			Req: spec.NoNode, VNet: spec.VResp})
 		return true
 	case msgHSAck:
 		if br := d.bridgeAt(m.Addr); br != nil {
@@ -463,7 +464,8 @@ func (d *MergedDir) advanceBridge(env spec.Env, br *bridge) bool {
 			br.hsSent = true
 			acted = true
 			env.Send(spec.Msg{Type: msgHSReq, Addr: br.addr,
-				Src: d.layout.DirIDs[br.origin], Dst: d.layout.DirIDs[br.hsWith], VNet: spec.VResp})
+				Src: d.layout.DirIDs[br.origin], Dst: d.layout.DirIDs[br.hsWith],
+				Req: spec.NoNode, VNet: spec.VResp})
 		}
 		if !br.hsDone {
 			return acted
@@ -727,4 +729,42 @@ func (d *MergedDir) Snapshot(b *spec.SnapshotWriter) {
 	fmt.Fprintf(b, "busy%v pbusy%v}", srcs, pbusy)
 }
 
+// RefNodes implements spec.NodeReferrer: every node id the merged
+// directory's dynamic state could later address a message to without a
+// triggering message naming it — the sub-directories' sharers and owners,
+// the busy-source and proxy-busy sets, and the Src/Req of every captured
+// bridge request (replayed against a sub-directory in phaseDeliver, which
+// may register them or forward to them).
+func (d *MergedDir) RefNodes() spec.NodeSet {
+	var ns spec.NodeSet
+	for _, dir := range d.dirs {
+		ns = ns.Or(dir.RefNodes())
+	}
+	ns = ns.Or(d.busySrc).Or(d.proxyBusy)
+	for _, br := range d.bridges {
+		if br.orig.Src != spec.NoNode {
+			ns.Add(br.orig.Src)
+		}
+		if br.orig.Req != spec.NoNode {
+			ns.Add(br.orig.Req)
+		}
+	}
+	return ns
+}
+
+// PORLocal reports whether every constituent protocol passes the POR
+// locality analysis. The bridging logic itself only addresses proxies, its
+// own sub-directories and the captured request's Src/Req — all covered by
+// RefNodes — so locality of the merged controller reduces to locality of
+// the tables it interprets.
+func (d *MergedDir) PORLocal() bool {
+	for _, p := range d.fusion.Protocols {
+		if !p.PORLocal() {
+			return false
+		}
+	}
+	return true
+}
+
 var _ spec.Component = (*MergedDir)(nil)
+var _ spec.NodeReferrer = (*MergedDir)(nil)

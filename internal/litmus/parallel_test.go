@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"heterogen/internal/core"
+	"heterogen/internal/mcheck"
 	"heterogen/internal/protocols"
 	"heterogen/internal/spec"
 )
@@ -15,11 +16,13 @@ func TestRunSuiteParallelMatchesSequential(t *testing.T) {
 	pairs := [][]*spec.Protocol{
 		{protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO)},
 	}
-	seq, err := RunSuite(pairs, Options{MaxThreads: 2, Workers: 1, Fusion: core.Options{}})
+	// POR pinned off: this test's purpose is the suite worker pool's
+	// count agreement over the full unreduced space.
+	seq, err := RunSuite(pairs, Options{MaxThreads: 2, Workers: 1, Fusion: core.Options{}, POR: mcheck.POROff})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunSuite(pairs, Options{MaxThreads: 2, Workers: 4, Fusion: core.Options{}})
+	par, err := RunSuite(pairs, Options{MaxThreads: 2, Workers: 4, Fusion: core.Options{}, POR: mcheck.POROff})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,8 +56,8 @@ func TestRunFusedParallelExplore(t *testing.T) {
 	if !ok {
 		t.Fatal("MP shape missing")
 	}
-	seq := RunFused(f, shape, []int{0, 1}, Options{ExploreWorkers: 1})
-	par := RunFused(f, shape, []int{0, 1}, Options{ExploreWorkers: 8})
+	seq := RunFused(f, shape, []int{0, 1}, Options{ExploreWorkers: 1, POR: mcheck.POROff})
+	par := RunFused(f, shape, []int{0, 1}, Options{ExploreWorkers: 8, POR: mcheck.POROff})
 	if seq.States != par.States || seq.Pass() != par.Pass() || seq.Outcomes != par.Outcomes {
 		t.Fatalf("parallel explore diverged: seq states=%d outcomes=%d pass=%t, par states=%d outcomes=%d pass=%t",
 			seq.States, seq.Outcomes, seq.Pass(), par.States, par.Outcomes, par.Pass())

@@ -52,6 +52,16 @@ type Options struct {
 	// (sound auto-detection; litmus threads usually run distinct programs,
 	// so it typically only helps tests with replicated threads).
 	Symmetry bool
+	// POR forwards the checker's ample-set partial order reduction mode
+	// (mcheck.Options.POR; zero value reduces when sound). Litmus verdicts
+	// are functions of terminal states only — observer loads record into
+	// core-local Loads and outcomes are read at quiescence — so the
+	// reduction never hides an observable outcome (see mcheck/por.go).
+	POR mcheck.PORMode
+	// SpillDir forwards the checker's disk-spilling frontier directory
+	// (mcheck.Options.SpillDir): non-empty bounds each test's frontier
+	// memory by spilling BFS waves to files under the directory.
+	SpillDir string
 }
 
 // Result is the verdict of one litmus test run.
@@ -214,7 +224,8 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		HashCompaction: opts.HashCompaction,
 		Workers:        opts.ExploreWorkers, Encoding: opts.Encoding,
-		Symmetry: opts.Symmetry, LoadKeys: keys, ObserveMem: observe,
+		Symmetry: opts.Symmetry, POR: opts.POR, SpillDir: opts.SpillDir,
+		LoadKeys: keys, ObserveMem: observe,
 	})
 	elapsed := time.Since(start)
 
@@ -335,7 +346,8 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		HashCompaction: opts.HashCompaction,
 		Workers:        opts.ExploreWorkers, Encoding: opts.Encoding,
-		Symmetry: opts.Symmetry, LoadKeys: keys, ObserveMem: observe})
+		Symmetry: opts.Symmetry, POR: opts.POR, SpillDir: opts.SpillDir,
+		LoadKeys: keys, ObserveMem: observe})
 	elapsed := time.Since(start)
 
 	allowed := memmodel.AllowedOutcomesMem(ap, memmodel.Homogeneous(model, len(ap.Threads)), memKeys)

@@ -109,5 +109,8 @@ func decodeSpill(s *System, enc []byte) error {
 	if d.Len() != 0 {
 		return fmt.Errorf("mcheck: spill decode left %d trailing bytes", d.Len())
 	}
+	// The receiver's components were overwritten wholesale; any memoized
+	// enabled-move bits inherited from the template are meaningless now.
+	s.invalidateMoveCache()
 	return nil
 }

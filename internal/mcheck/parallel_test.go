@@ -55,8 +55,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		for _, evict := range tc.evicts {
-			seq := exploreWith(t, tc.prog, 1, Options{Evictions: evict})
-			par := exploreWith(t, tc.prog, workers, Options{Evictions: evict})
+			// POR pinned off: this test's purpose is the worker pool's
+			// count agreement over the full unreduced space.
+			seq := exploreWith(t, tc.prog, 1, Options{Evictions: evict, POR: POROff})
+			par := exploreWith(t, tc.prog, workers, Options{Evictions: evict, POR: POROff})
 			if par.States != seq.States {
 				t.Errorf("%s evict=%t: parallel visited %d states, sequential %d", tc.name, evict, par.States, seq.States)
 			}
@@ -81,8 +83,8 @@ func TestParallelMatchesSequential(t *testing.T) {
 // fingerprints make an accidental collision vanishingly unlikely at these
 // state counts).
 func TestParallelHashCompaction(t *testing.T) {
-	seq := exploreWith(t, sb(), 1, Options{Evictions: true})
-	par := exploreWith(t, sb(), 8, Options{Evictions: true, HashCompaction: true})
+	seq := exploreWith(t, sb(), 1, Options{Evictions: true, POR: POROff})
+	par := exploreWith(t, sb(), 8, Options{Evictions: true, HashCompaction: true, POR: POROff})
 	if par.States != seq.States {
 		t.Errorf("hash-compacted parallel visited %d states, exact sequential %d", par.States, seq.States)
 	}

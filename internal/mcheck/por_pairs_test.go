@@ -1,0 +1,151 @@
+package mcheck_test
+
+// Agreement tests for the ample-set partial order reduction: on every
+// fused Table II pair, the reduced search must report exactly the
+// deadlock count and outcome set of the unreduced search — sequentially,
+// in parallel, under hash compaction and composed with the symmetry
+// reduction — while visiting fewer states. External package: building
+// fused systems needs core.Fuse (core imports mcheck). The litmus-shape
+// agreement (allowed/forbidden verdicts on MP/SB/IRIW) lives in
+// internal/litmus/por_test.go.
+
+import (
+	"runtime"
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/mcheck"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+// porPairSystem builds the pair fused at 2 caches per cluster with a
+// fully symmetric store/load/sync workload — the same shape the symmetry
+// suite uses, so the POR × symmetry composition is exercised with a
+// nontrivial group (order 4).
+func porPairSystem(t *testing.T, a, b string) *mcheck.System {
+	t.Helper()
+	pa, err := protocols.ByName(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := protocols.ByName(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.Fuse(core.Options{}, pa, pb)
+	if err != nil {
+		t.Fatalf("Fuse(%s,%s): %v", a, b, err)
+	}
+	prog := []spec.CoreReq{
+		{Op: spec.OpStore, Addr: 0, Value: 7},
+		{Op: spec.OpLoad, Addr: 0},
+		{Op: spec.OpRelease},
+		{Op: spec.OpAcquire},
+	}
+	sys, _ := core.BuildSystem(f, []int{2, 2})
+	sys.SetPrograms([][]spec.CoreReq{prog, prog, prog, prog})
+	return sys
+}
+
+func porWorkers() int {
+	if w := runtime.NumCPU(); w >= 2 {
+		return w
+	}
+	return 4
+}
+
+// TestPORSoundTableIIPairs: on every fused Table II pair the reduced
+// search must match the unreduced search's terminal-state verdicts
+// exactly — deadlock count and outcome set — under every production
+// configuration axis (workers, hash compaction, symmetry), while
+// actually shrinking the visited set. Because the ample choice is a pure
+// function of the state, the reduced parallel search must also report
+// exactly the reduced sequential counts.
+func TestPORSoundTableIIPairs(t *testing.T) {
+	workers := porWorkers()
+	for _, pair := range core.TableIIPairs() {
+		pair := pair
+		t.Run(pair[0]+"+"+pair[1], func(t *testing.T) {
+			t.Parallel()
+			plain := mcheck.Explore(porPairSystem(t, pair[0], pair[1]),
+				mcheck.Options{Workers: 1, POR: mcheck.POROff})
+			seq := mcheck.Explore(porPairSystem(t, pair[0], pair[1]),
+				mcheck.Options{Workers: 1})
+			assertSameVerdicts(t, "por/seq", plain, seq)
+			if seq.PORReduced == 0 {
+				t.Errorf("reduction never engaged (%d states)", seq.States)
+			}
+			if seq.States >= plain.States {
+				t.Errorf("por visited %d states, unreduced only %d", seq.States, plain.States)
+			}
+			configs := []struct {
+				name string
+				opts mcheck.Options
+			}{
+				{"par", mcheck.Options{Workers: workers}},
+				{"hash/seq", mcheck.Options{Workers: 1, HashCompaction: true}},
+				{"hash/par", mcheck.Options{Workers: workers, HashCompaction: true}},
+			}
+			for _, cfg := range configs {
+				res := mcheck.Explore(porPairSystem(t, pair[0], pair[1]), cfg.opts)
+				assertSameVerdicts(t, "por/"+cfg.name, plain, res)
+				if res.States != seq.States || res.Transitions != seq.Transitions {
+					t.Errorf("por/%s visited %d states / %d transitions, por/seq %d / %d",
+						cfg.name, res.States, res.Transitions, seq.States, seq.Transitions)
+				}
+			}
+			// Composition with the symmetry reduction: verdicts still
+			// exact, and the composed search is no larger than either
+			// reduction alone.
+			symPlain := mcheck.Explore(porPairSystem(t, pair[0], pair[1]),
+				mcheck.Options{Workers: 1, Symmetry: true, POR: mcheck.POROff})
+			symPOR := mcheck.Explore(porPairSystem(t, pair[0], pair[1]),
+				mcheck.Options{Workers: 1, Symmetry: true})
+			assertSameVerdicts(t, "por+symmetry", plain, symPOR)
+			if symPOR.SymmetryPerms != symPlain.SymmetryPerms {
+				t.Errorf("por changed the detected group order: %d vs %d",
+					symPOR.SymmetryPerms, symPlain.SymmetryPerms)
+			}
+			if symPOR.States > symPlain.States || symPOR.States > seq.States {
+				t.Errorf("por+symmetry visited %d states (symmetry alone %d, por alone %d)",
+					symPOR.States, symPlain.States, seq.States)
+			}
+		})
+	}
+}
+
+// TestPORHeadlineReduction pins the headline §VII-C fused 2×2 reduction
+// factor the README reports: at least 2× fewer states on MESI & RCC-O.
+func TestPORHeadlineReduction(t *testing.T) {
+	off := mcheck.Explore(porPairSystem(t, "MESI", "RCC-O"),
+		mcheck.Options{Workers: 1, POR: mcheck.POROff})
+	on := mcheck.Explore(porPairSystem(t, "MESI", "RCC-O"),
+		mcheck.Options{Workers: 1})
+	if on.States*2 > off.States {
+		t.Errorf("POR reduced %d states only to %d (< 2x)", off.States, on.States)
+	}
+	if on.PORReduced == 0 {
+		t.Error("no ample states on the headline pair")
+	}
+}
+
+// TestPORDisabledByInvariants: a search with invariants armed must fall
+// back to the full space — the reduction only preserves terminal states.
+func TestPORDisabledByInvariants(t *testing.T) {
+	inv := []mcheck.Invariant{mcheck.SWMRInvariant("M")}
+	full := mcheck.Explore(porPairSystem(t, "MESI", "RCC-O"),
+		mcheck.Options{Workers: 1, POR: mcheck.POROff, Invariants: inv})
+	auto := mcheck.Explore(porPairSystem(t, "MESI", "RCC-O"),
+		mcheck.Options{Workers: 1, Invariants: inv})
+	if auto.PORReduced != 0 {
+		t.Errorf("POR engaged on %d states despite armed invariants", auto.PORReduced)
+	}
+	if auto.States != full.States || auto.Transitions != full.Transitions {
+		t.Errorf("invariant search reduced: %d/%d states vs %d/%d",
+			auto.States, auto.Transitions, full.States, full.Transitions)
+	}
+	if len(auto.Violations) != len(full.Violations) {
+		t.Errorf("violations differ: %d vs %d", len(auto.Violations), len(full.Violations))
+	}
+}

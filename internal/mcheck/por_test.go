@@ -1,0 +1,78 @@
+package mcheck
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"heterogen/internal/memmodel"
+)
+
+// porOutcomes renders an outcome set sorted for direct comparison.
+func porOutcomes(r *Result) string {
+	keys := r.Outcomes.Keys()
+	sort.Strings(keys)
+	return strings.Join(keys, "\n")
+}
+
+// TestPORAgreesLitmusShapes: on the homogeneous MSI MP/SB/IRIW
+// configurations — litmus observer loads included — the reduced search
+// must report exactly the unreduced search's deadlock count and outcome
+// set, across the worker and hash-compaction axes. This is the guard
+// that observer reads are never pruned: an outcome hidden by the
+// reduction would shrink the outcome set.
+func TestPORAgreesLitmusShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		prog   *memmodel.Program
+		evicts []bool
+	}{
+		{"MP", mpPlain(), []bool{false, true}},
+		{"SB", sb(), []bool{false, true}},
+		{"IRIW", iriw(), []bool{false}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, evict := range tc.evicts {
+				full := exploreWith(t, tc.prog, 1, Options{Evictions: evict, POR: POROff})
+				configs := []struct {
+					name string
+					opts Options
+				}{
+					{"seq", Options{Evictions: evict}},
+					{"par", Options{Evictions: evict, Workers: 4}},
+					{"hash", Options{Evictions: evict, HashCompaction: true}},
+				}
+				for _, cfg := range configs {
+					w := cfg.opts.Workers
+					if w == 0 {
+						w = 1
+					}
+					res := exploreWith(t, tc.prog, w, cfg.opts)
+					if res.Deadlocks != full.Deadlocks {
+						t.Errorf("%s evict=%t: por/%s found %d deadlocks, full search %d",
+							tc.name, evict, cfg.name, res.Deadlocks, full.Deadlocks)
+					}
+					if got, want := porOutcomes(res), porOutcomes(full); got != want {
+						t.Errorf("%s evict=%t: por/%s outcome set differs:\ngot:  %q\nwant: %q",
+							tc.name, evict, cfg.name, got, want)
+					}
+					if res.States > full.States {
+						t.Errorf("%s evict=%t: por/%s visited %d states, full search %d",
+							tc.name, evict, cfg.name, res.States, full.States)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPORModeOff: POROff must suppress the reduction entirely.
+func TestPORModeOff(t *testing.T) {
+	res := exploreWith(t, sb(), 1, Options{Evictions: true, POR: POROff})
+	if res.PORReduced != 0 {
+		t.Fatalf("POROff search reported %d ample states", res.PORReduced)
+	}
+}

@@ -62,8 +62,10 @@ type Options struct {
 	// over a shared frontier, 1 forces the sequential breadth-first search
 	// (deterministic visit order; exact first-deadlock and truncation
 	// reporting), N>1 uses exactly N workers. Parallel searches visit the
-	// same state set and report the same counts and outcomes; only the
-	// exact state count at truncation depends on scheduling.
+	// same state set and report the same counts and outcomes as the
+	// sequential search (the ample choice under POR is a pure function of
+	// the state, so this holds with the reduction on too); only the exact
+	// state count at truncation depends on scheduling.
 	Workers int
 	// Encoding keys the visited set: EncodingBinary (default, compact and
 	// allocation-lean) or EncodingSnapshot (the human-readable string
@@ -79,7 +81,16 @@ type Options struct {
 	// unreduced search; user Invariants must not distinguish
 	// interchangeable caches. Requires EncodingBinary.
 	Symmetry bool
-	// Invariants are checked at every reachable state.
+	// POR selects ample-set partial order reduction (por.go): PORAuto (the
+	// zero value) prunes commuting interleavings whenever that provably
+	// preserves deadlock counts and litmus outcome sets, falling back to
+	// the full search per state — and disabling itself entirely when
+	// Invariants or OnDeliver demand every intermediate state. POROff is
+	// the -por=0 escape hatch. Result.PORReduced counts the ample-hit
+	// states.
+	POR PORMode
+	// Invariants are checked at every reachable state. A non-empty list
+	// disables POR: the reduction only preserves terminal states.
 	Invariants []Invariant
 	// LoadKeys labels each core's loads for outcome collection; absent
 	// entries use "T<core>:<n-th load>".
@@ -131,6 +142,7 @@ type Result struct {
 	Truncated     bool                // MaxStates (or the visited-table budget) hit
 	MaxStates     int                 // the state budget that was in effect
 	SymmetryPerms int                 // symmetry group order in effect (1 = unreduced)
+	PORReduced    int                 // states expanded through an ample subset only (0 = POR off or never hit)
 
 	// State-storage accounting (see storage.go).
 	BudgetFull     bool    // truncation came from the storage MemBudget, not MaxStates
@@ -158,6 +170,9 @@ func (r *Result) String() string {
 		r.States, r.Transitions, r.Deadlocks, len(r.Outcomes))
 	if r.SymmetryPerms > 1 {
 		s += fmt.Sprintf(" (symmetry ×%d)", r.SymmetryPerms)
+	}
+	if r.PORReduced > 0 {
+		s += fmt.Sprintf(" (por: %d ample states)", r.PORReduced)
 	}
 	if lossy(r.Storage) {
 		s += fmt.Sprintf(" (%s: %.1f bytes/state, pr. of omitted states ≤ %.3g)",
@@ -197,6 +212,8 @@ type searchCtx struct {
 	maxStates int
 	canon     *canonicalizer
 	parallel  bool
+	por       bool      // ample-set reduction active for this search
+	porCands  []porCand // reduction candidates (top-level caches)
 	loadKeys  [][]string // per core, per completed-load index
 	memKeys   []string   // per ObserveMem entry
 	stats     searchStats
@@ -205,6 +222,8 @@ type searchCtx struct {
 // expandScratch is the per-worker reusable buffer set.
 type expandScratch struct {
 	moves    []Move
+	amp      []Move // ample-partition scratch (por.go)
+	rest     []Move
 	encBuf   []byte
 	spillBuf []byte
 	canon    canonScratch
@@ -220,6 +239,13 @@ func newSearchCtx(initial *System, opts Options, maxStates int, parallel bool) *
 	ctx := &searchCtx{opts: opts, maxStates: maxStates, parallel: parallel}
 	if opts.Symmetry {
 		ctx.canon = detectSymmetry(initial, opts)
+	}
+	if opts.POR != POROff && len(opts.Invariants) == 0 && initial.OnDeliver == nil {
+		// Invariants and delivery observers inspect intermediate states,
+		// which the reduction does not preserve; candidates are empty when
+		// any component fails the locality analysis.
+		ctx.porCands = porCandidates(initial)
+		ctx.por = len(ctx.porCands) > 0
 	}
 	ctx.loadKeys = make([][]string, len(initial.Cores))
 	for t, core := range initial.Cores {
@@ -480,6 +506,20 @@ func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *sp
 // once its successors are generated, an expanded state is never read again
 // (classification only happens when no move progressed), so the last
 // successor can reuse its storage — one fewer full deep-copy per state.
+//
+// With POR active, an ample subset is tried first: if any ample move
+// progressed, the remaining moves are pruned. No cycle proviso is needed:
+// the classical ignoring problem only endangers properties of
+// intermediate states, and the reduction already turns itself off for
+// those (Invariants, OnDeliver) — the properties that remain (deadlock
+// states, quiescent litmus outcomes) are terminal-state properties, which
+// persistent-set search preserves exactly with no proviso (see por.go).
+// If no ample move progressed (all stalled), the ample set was empty in
+// the progressing transition system and reduction would misclassify the
+// state as terminal; full expansion resumes there. Because the ample
+// choice is a pure function of the state — never of visit order or
+// visited-set contents — the reduced graph is a fixed subgraph and the
+// parallel reduced search reports the same counts as the sequential one.
 func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert func([]byte) bool, enqueue func(*System)) {
 	res.States++
 	for _, inv := range ctx.opts.Invariants {
@@ -490,7 +530,31 @@ func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert
 
 	sc.moves = cur.AppendMoves(sc.moves[:0], ctx.opts.Evictions)
 	progressed := false
-	for i, n := 0, len(sc.moves); i < n; i++ {
+	start := 0
+	if ctx.por && len(sc.moves) > 1 {
+		if amp := ctx.selectAmple(cur, sc); amp > 0 {
+			ampProgressed := false
+			for i := 0; i < amp; i++ {
+				next := cur.Clone() // cur must survive a possible fallback
+				if !next.Apply(sc.moves[i]) {
+					continue
+				}
+				ampProgressed = true
+				progressed = true
+				res.Transitions++
+				sc.encBuf = ctx.encode(next, sc, sc.encBuf[:0])
+				if insert(sc.encBuf) {
+					enqueue(next)
+				}
+			}
+			if ampProgressed {
+				res.PORReduced++
+				return
+			}
+			start = amp // every ample move stalled: full expansion
+		}
+	}
+	for i, n := start, len(sc.moves); i < n; i++ {
 		next := cur
 		if i < n-1 {
 			next = cur.Clone()
@@ -772,6 +836,7 @@ func exploreParallel(ctx *searchCtx, workers int, visited visitedSet, f workSour
 		merged.States += res.States
 		merged.Transitions += res.Transitions
 		merged.Deadlocks += res.Deadlocks
+		merged.PORReduced += res.PORReduced
 		// Lexicographically least snapshot across workers: deterministic
 		// diagnostics regardless of which worker saw a deadlock first.
 		if res.DeadlockAt != "" && (merged.DeadlockAt == "" || res.DeadlockAt < merged.DeadlockAt) {

@@ -93,15 +93,18 @@ func TestStorageModesAgreeTableIIPairs(t *testing.T) {
 			if !mcheck.CanSpill(sys) {
 				t.Fatalf("fused %s+%s system does not support spilling", pair[0], pair[1])
 			}
-			exact := mcheck.Explore(sys, mcheck.Options{Workers: 1})
+			// POR pinned off throughout: this matrix gates the spill codec
+			// and lossy visited sets, so the baselines should keep
+			// covering the full unreduced space.
+			exact := mcheck.Explore(sys, mcheck.Options{Workers: 1, POR: mcheck.POROff})
 			configs := []struct {
 				name string
 				opts mcheck.Options
 			}{
-				{"hash/seq", mcheck.Options{Workers: 1, HashCompaction: true}},
-				{"bitstate/par", mcheck.Options{Workers: workers, Bitstate: true}},
+				{"hash/seq", mcheck.Options{Workers: 1, HashCompaction: true, POR: mcheck.POROff}},
+				{"bitstate/par", mcheck.Options{Workers: workers, Bitstate: true, POR: mcheck.POROff}},
 				{"hash+spill/par", mcheck.Options{Workers: workers, HashCompaction: true,
-					SpillDir: t.TempDir(), SpillRing: 256}},
+					SpillDir: t.TempDir(), SpillRing: 256, POR: mcheck.POROff}},
 			}
 			for _, cfg := range configs {
 				res := mcheck.Explore(storagePairSystem(t, pair[0], pair[1]), cfg.opts)
@@ -143,7 +146,7 @@ func TestStorageModesCrossHeadlinePair(t *testing.T) {
 				}},
 			}
 			exact := mcheck.Explore(storagePairSystem(t, "MESI", "RCC-O"),
-				mcheck.Options{Workers: 1, Symmetry: sym})
+				mcheck.Options{Workers: 1, Symmetry: sym, POR: mcheck.POROff})
 			if sym && exact.SymmetryPerms != 4 {
 				t.Fatalf("symmetry baseline detected group order %d, want 4", exact.SymmetryPerms)
 			}
@@ -152,7 +155,7 @@ func TestStorageModesCrossHeadlinePair(t *testing.T) {
 					if mode.name == "exact" && w == 1 {
 						continue // that is the baseline itself
 					}
-					opts := mcheck.Options{Workers: w, Symmetry: sym}
+					opts := mcheck.Options{Workers: w, Symmetry: sym, POR: mcheck.POROff}
 					mode.set(&opts)
 					res := mcheck.Explore(storagePairSystem(t, "MESI", "RCC-O"), opts)
 					assertStorageAgrees(t, fmt.Sprintf("%s workers=%d", mode.name, w), res, exact)

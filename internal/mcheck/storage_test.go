@@ -430,13 +430,15 @@ func TestStorageModesAgreeLitmus(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			exact := exploreWith(t, tc.prog, 1, Options{})
+			// POR pinned off: this matrix gates the storage engines, so
+			// the baselines should keep covering the full unreduced space.
+			exact := exploreWith(t, tc.prog, 1, Options{POR: POROff})
 			if exact.Storage != "exact" {
 				t.Fatalf("baseline storage label = %q", exact.Storage)
 			}
 			for _, mode := range storageModes(t.TempDir()) {
 				for _, w := range []int{1, workers} {
-					opts := Options{}
+					opts := Options{POR: POROff}
 					mode.set(&opts)
 					res := exploreWith(t, tc.prog, w, opts)
 					assertAgrees(t, fmt.Sprintf("%s workers=%d", mode.name, w), res, exact)

@@ -8,6 +8,7 @@ package mcheck
 
 import (
 	"fmt"
+	"math/bits"
 
 	"heterogen/internal/spec"
 )
@@ -73,7 +74,54 @@ type System struct {
 	// route maps NodeID to component index (-1 unrouted). It is immutable
 	// after NewSystem and shared by every clone.
 	route []int
-	chans []chanState // nonempty channels, sorted by key
+	// coreMask maps component index to the bitmask of cores whose cache
+	// that component owns (immutable, shared like route). It scopes the
+	// move cache's delta invalidation after an Apply.
+	coreMask []uint64
+	chans    []chanState // nonempty channels, sorted by key
+	mc       moveCache   // incrementally maintained enabled-move sets
+}
+
+// moveCacheComps bounds how many components the incremental move cache
+// tracks per-address eviction masks for; configurations beyond it (or with
+// more than 64 cores or addresses ≥ 64) disable the cache and fall back to
+// the full per-state rescan.
+const moveCacheComps = 16
+
+// moveCache memoizes the non-delivery enabled-move sets of a state —
+// which cores can issue their next program op, and which lines of each
+// cache are evictable. Delivery moves need no memoization: the sorted
+// nonempty-channel slice already is the enabled delivery set. The cache is
+// a value embedded in System (cloned by memcpy, zero extra allocations);
+// Apply invalidates exactly the bits of the one component a move mutated,
+// so successor generation recomputes only the delta instead of re-probing
+// every machine table at every state.
+type moveCache struct {
+	disabled   bool
+	issueKnown uint64 // bit per core: issueOK bit is current
+	issueOK    uint64 // bit per core: the core's next op can issue now
+	evictKnown uint64 // bit per component: evictOK entry is current
+	// evictOK holds, per component, the address bitmask of evictable lines
+	// (stable, non-initial state, cache idle).
+	evictOK [moveCacheComps]uint64
+}
+
+// noteMutation invalidates the move-cache entries that depend on component
+// ci after a successful move mutated it: its eviction mask and the issue
+// bits of every core attached to its caches.
+func (s *System) noteMutation(ci int) {
+	if s.mc.disabled || ci < 0 {
+		return
+	}
+	s.mc.issueKnown &^= s.coreMask[ci]
+	s.mc.evictKnown &^= uint64(1) << uint(ci)
+}
+
+// invalidateMoveCache drops every memoized enabled-move bit. Entry points
+// that mutate state outside Apply (program attachment, cache warming, spill
+// rehydration) must call it.
+func (s *System) invalidateMoveCache() {
+	s.mc = moveCache{disabled: s.mc.disabled}
 }
 
 // NewSystem assembles a system from components, cores and the shared
@@ -95,6 +143,15 @@ func NewSystem(components []spec.Component, cores []*Core, mem *spec.Memory) *Sy
 	for i, c := range components {
 		for _, id := range c.OwnedIDs() {
 			s.route[id] = i
+		}
+	}
+	s.coreMask = make([]uint64, len(components))
+	s.mc.disabled = len(cores) > 64 || len(components) > moveCacheComps
+	if !s.mc.disabled {
+		for i, core := range cores {
+			if ci := s.componentOf(core.Cache); ci >= 0 {
+				s.coreMask[ci] |= uint64(1) << uint(i)
+			}
 		}
 	}
 	return s
@@ -125,6 +182,7 @@ func (s *System) SetPrograms(progs [][]spec.CoreReq) {
 			s.Cores[i].Prog = p
 		}
 	}
+	s.invalidateMoveCache()
 }
 
 // componentOf returns the component index serving id, or -1.
@@ -209,7 +267,7 @@ func (s *System) Clone() *System {
 		cores[i] = &coreArr[i]
 	}
 	cp := &System{Components: comps, Cores: cores, Mem: mem,
-		OnDeliver: s.OnDeliver, route: s.route}
+		OnDeliver: s.OnDeliver, route: s.route, coreMask: s.coreMask, mc: s.mc}
 	if len(s.chans) > 0 {
 		total := 0
 		for i := range s.chans {
@@ -269,6 +327,9 @@ func (s *System) syncCores() {
 // of §VII-B ("we preload the caches with the initial values"). Load results
 // are discarded.
 func (s *System) Warm(addrs []spec.Addr) error {
+	// Warming drives caches directly through Issue, bypassing Apply's
+	// delta invalidation.
+	defer s.invalidateMoveCache()
 	for _, core := range s.Cores {
 		cache := s.Cache(core.Cache)
 		if cache == nil {
@@ -385,11 +446,78 @@ func (s *System) Moves(evictions bool) []Move {
 
 // AppendMoves appends the enabled moves to out and returns the extended
 // slice — the search loop reuses one scratch slice across expansions
-// instead of allocating a fresh move list per state.
+// instead of allocating a fresh move list per state. Enabled sets are
+// maintained incrementally: deliveries are keyed directly off the sorted
+// nonempty-channel slice, while issue and eviction enabledness is memoized
+// in the move cache and recomputed only for the component the previous
+// Apply mutated (clones inherit the parent state's bits).
 func (s *System) AppendMoves(out []Move, evictions bool) []Move {
 	for i := range s.chans {
 		out = append(out, Move{Kind: MoveDeliver, Chan: s.chans[i].k})
 	}
+	if s.mc.disabled {
+		return s.appendMovesSlow(out, evictions)
+	}
+	for i, core := range s.Cores {
+		bit := uint64(1) << uint(i)
+		if s.mc.issueKnown&bit == 0 {
+			ok := !core.Issued && core.PC < len(core.Prog)
+			if ok {
+				cache := s.Cache(core.Cache)
+				ok = cache != nil && cache.CanIssue(core.Prog[core.PC])
+			}
+			s.mc.issueKnown |= bit
+			if ok {
+				s.mc.issueOK |= bit
+			} else {
+				s.mc.issueOK &^= bit
+			}
+		}
+		if s.mc.issueOK&bit != 0 {
+			out = append(out, Move{Kind: MoveIssue, Core: i})
+		}
+	}
+	if evictions {
+		for ci, c := range s.Components {
+			cache, ok := c.(*spec.CacheInst)
+			if !ok {
+				continue
+			}
+			bit := uint64(1) << uint(ci)
+			if s.mc.evictKnown&bit == 0 {
+				mask := uint64(0)
+				if cache.Idle() {
+					proto := cache.Protocol().Cache
+					for i := 0; i < cache.NumLines(); i++ {
+						a := cache.AddrAt(i)
+						if a < 0 || a >= 64 {
+							// An address beyond the mask's range: give up on
+							// memoization for good and rescan everything.
+							s.mc.disabled = true
+							return s.appendMovesSlow(out, evictions)
+						}
+						st := cache.LineState(a)
+						if proto.IsStable(st) && st != proto.Init {
+							mask |= uint64(1) << uint(a)
+						}
+					}
+				}
+				s.mc.evictOK[ci] = mask
+				s.mc.evictKnown |= bit
+			}
+			for m := s.mc.evictOK[ci]; m != 0; m &= m - 1 {
+				a := spec.Addr(bits.TrailingZeros64(m))
+				out = append(out, Move{Kind: MoveEvict, Cache: cache.ID(), Addr: a})
+			}
+		}
+	}
+	return out
+}
+
+// appendMovesSlow is the unmemoized issue/eviction rescan, used when the
+// configuration outgrows the move cache's fixed bounds (deliveries were
+// already appended by the caller).
+func (s *System) appendMovesSlow(out []Move, evictions bool) []Move {
 	for i, core := range s.Cores {
 		if core.Issued || core.PC >= len(core.Prog) {
 			continue
@@ -434,6 +562,7 @@ func (s *System) Apply(m Move) bool {
 		if !s.Components[idx].Deliver(s.env(), msg) {
 			return false
 		}
+		s.noteMutation(idx)
 		if s.OnDeliver != nil {
 			s.OnDeliver(msg)
 		}
@@ -452,11 +581,13 @@ func (s *System) Apply(m Move) bool {
 			return false
 		}
 		core.Issued = true
+		s.noteMutation(s.componentOf(core.Cache))
 	case MoveEvict:
 		cache := s.Cache(m.Cache)
 		if cache == nil || !cache.Evict(s.env(), m.Addr) {
 			return false
 		}
+		s.noteMutation(s.componentOf(m.Cache))
 	}
 	s.syncCores()
 	return true

@@ -1,0 +1,51 @@
+// Package profiling wires the stdlib CPU/heap profilers into the CLIs
+// (-cpuprofile / -memprofile). Profiles are written in pprof format:
+// inspect with `go tool pprof <binary> <file>`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (when non-empty) and returns a
+// stop function that ends the CPU profile and writes a heap profile to
+// memFile (when non-empty). Call the stop function exactly once, after
+// the workload — typically via defer from main.
+func Start(cpuFile, memFile string) (func() error, error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		cpu = f
+	}
+	stop := func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recently freed objects so the heap profile reflects live memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

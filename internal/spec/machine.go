@@ -77,7 +77,19 @@ type Machine struct {
 	core      map[State]map[CoreOp]*Transition
 	stateIdx  map[State]int // dense state numbering for binary encoding
 	stateList []State       // inverse of stateIdx, for binary decoding
+
+	// Dense per-state lookup rows built alongside the maps: OnCoreOp and
+	// IsStable sit on the model checker's successor-generation path, where
+	// one map probe into a fixed-size row beats two chained map probes and
+	// a linear stable-list scan.
+	coreRows   map[State]*coreRow
+	stableSet  map[State]bool
+	sendLocal  bool // see SendLocality
+	invSharers bool // see InvalidatesSharers
 }
+
+// coreRow is the dense CoreOp-indexed transition row of one state.
+type coreRow [int(OpEvict) + 1]*Transition
 
 // Freeze eagerly builds the lookup indexes. The indexes are otherwise
 // built lazily on first lookup, which is a data race when clones sharing
@@ -115,6 +127,29 @@ func (m *Machine) buildIndex() {
 	for i, s := range m.stateList {
 		m.stateIdx[s] = i
 	}
+	m.coreRows = make(map[State]*coreRow, len(m.core))
+	for s, byOp := range m.core {
+		row := &coreRow{}
+		for op, t := range byOp {
+			if int(op) < len(row) {
+				row[op] = t
+			}
+		}
+		m.coreRows[s] = row
+	}
+	m.stableSet = make(map[State]bool, len(m.Stable))
+	for _, s := range m.Stable {
+		m.stableSet[s] = true
+	}
+	m.sendLocal = computeSendLocality(m.Rows)
+	m.invSharers = false
+	for i := range m.Rows {
+		for _, a := range m.Rows[i].Actions {
+			if a.Op == ActInvSharers {
+				m.invSharers = true
+			}
+		}
+	}
 }
 
 // StateIndex returns the dense index of s in the machine's States()
@@ -144,7 +179,10 @@ func (m *Machine) StateAt(i int) State {
 // (the core blocks).
 func (m *Machine) OnCoreOp(s State, op CoreOp) *Transition {
 	m.buildIndex()
-	return m.core[s][op]
+	if row := m.coreRows[s]; row != nil && int(op) < len(row) {
+		return row[op]
+	}
+	return nil
 }
 
 // MsgCtx supplies the line facts conditional rows discriminate on.
@@ -198,8 +236,14 @@ func (m *Machine) OnMessage(s State, msg *Msg, ctx MsgCtx) *Transition {
 	return fallback
 }
 
-// IsStable reports whether s is a declared stable state.
+// IsStable reports whether s is a declared stable state. The dense set is
+// only consulted once the lookup index exists: the fusion engine mutates
+// Stable on cloned machines before their first lookup, and triggering the
+// index build from here would freeze a half-rewritten table.
 func (m *Machine) IsStable(s State) bool {
+	if m.stableSet != nil {
+		return m.stableSet[s]
+	}
 	for _, st := range m.Stable {
 		if st == s {
 			return true

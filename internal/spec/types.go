@@ -178,7 +178,7 @@ type Msg struct {
 
 func (m Msg) String() string {
 	s := fmt.Sprintf("%s a%d %d->%d", m.Type, m.Addr, m.Src, m.Dst)
-	if m.Req != 0 && m.Req != m.Src {
+	if m.Req != 0 && m.Req != NoNode && m.Req != m.Src {
 		s += fmt.Sprintf(" req=%d", m.Req)
 	}
 	if m.HasData {
