@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage bench-por allocs vet profile
+.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage bench-por bench-compile allocs vet profile
 
 all: build
 
@@ -21,7 +21,7 @@ vet:
 # mcheck package near go test's default 10m cap under the race detector
 # on a single-core runner, hence the explicit timeout.
 race:
-	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/...
+	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/... ./internal/core/...
 
 # Allocation regression guard on the search hot path (Clone+Apply+encode)
 # plus the bytes-per-state guard on the compacted visited table. Runs
@@ -58,6 +58,12 @@ bench-storage:
 # §VII-C search and the fused 2x2 symmetric workload, POR off vs on.
 bench-por:
 	$(GO) test -run XXX -bench 'BenchmarkExplorePOR' -benchtime 1x -timeout 30m .
+
+# Regenerate the compiled-engine numbers in BENCH_COMPILE.json: the §VII-C
+# search through the interpreted composite, through compile+check, and
+# through an already-compiled table.
+bench-compile:
+	$(GO) test -run XXX -bench 'BenchmarkCompile' -benchtime 1x -timeout 30m .
 
 # CPU- and heap-profile the §VII-C search (POR on, hash compaction).
 # Writes /tmp/hgcheck.{cpu,mem}.pprof; inspect with

@@ -543,6 +543,65 @@ func BenchmarkFusion(b *testing.B) {
 	}
 }
 
+// BenchmarkCompile measures the compiled flat-table directory engine
+// against the interpreted composite (BENCH_COMPILE.json, `make
+// bench-compile`) on the §VII-C headline search: fused MESI & RCC-O, one
+// cache per cluster, two addresses, evictions free, hash-compaction
+// storage. Three engines over the identical workload: the interpreted
+// MergedDir; compile+check, which pays the table extraction inside the
+// measured interval; and precompiled/check, the steady-state cost of
+// checking an already-compiled table (litmus reuse, repeated sweeps).
+// State counts must agree across all three or the run aborts.
+func BenchmarkCompile(b *testing.B) {
+	f, err := core.Fuse(core.Options{},
+		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Freeze()
+	progs := deadlockDriver(2, 2)
+	opts := mcheck.Options{Evictions: true, HashCompaction: true, Workers: 1}
+	ccfg := core.CompileConfig{CachesPerCluster: []int{1, 1}, Programs: progs,
+		Evictions: true, MaxStates: 8 << 20, Workers: 1}
+	check := func(b *testing.B, res *mcheck.Result, want int) int {
+		if res.Deadlocks > 0 || res.Truncated {
+			b.Fatalf("deadlocks=%d truncated=%t", res.Deadlocks, res.Truncated)
+		}
+		if want != 0 && res.States != want {
+			b.Fatalf("engines disagree: %d states, want %d", res.States, want)
+		}
+		b.ReportMetric(float64(res.States), "states")
+		return res.States
+	}
+	var interpStates int
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys, _ := core.BuildSystem(f, []int{1, 1})
+			sys.SetPrograms(progs)
+			interpStates = check(b, mcheck.Explore(sys, opts), interpStates)
+		}
+	})
+	b.Run("compile+check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cf, err := core.Compile(f, ccfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, mcheck.Explore(cf.System(), opts), interpStates)
+		}
+	})
+	b.Run("precompiled/check", func(b *testing.B) {
+		cf, err := core.Compile(f, ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			check(b, mcheck.Explore(cf.System(), opts), interpStates)
+		}
+	})
+}
+
 // BenchmarkStorage measures the memory-bounded state-storage engine
 // (BENCH_STORAGE.json, `make bench-storage`). The mode cases run the
 // §VII-C headline search (fused MESI & RCC-O, one cache per cluster, two

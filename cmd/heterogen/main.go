@@ -1,14 +1,21 @@
 // Command heterogen is the synthesis front end: it lists the built-in
 // protocols (Table I), fuses protocol pairs into heterogeneous merged
 // directories, prints the §VI-D analyses and ArMOR translations, and
-// enumerates the merged directory FSMs (Table II).
+// enumerates the merged directory FSMs (Table II). With -emit it compiles
+// the fused directory into its first-class flat table and prints the
+// chosen artifact.
 //
 // Usage:
 //
 //	heterogen -list
 //	heterogen -pair MESI,RCC-O            # fuse and describe
 //	heterogen -pair MESI,RCC-O -fsm       # dump the enumerated FSM
+//	heterogen -pair MESI,RCC-O -emit table  # compile; print the flat FSM
+//	heterogen -pair MESI,RCC-O -emit pcc    # compiled projection as PCC text
+//	heterogen -pair MESI,RCC-O -emit murphi # compiled projection as Murphi
+//	heterogen -pair MESI,RCC-O -emit dot    # compiled flat FSM as Graphviz
 //	heterogen -tableii                    # all eight case studies
+//	heterogen -tableii -compiled          # rows re-derived from compiled tables
 //	heterogen -export MSI                 # print a protocol in PCC form
 //	heterogen -spec my.pcc -pair -,MESI   # fuse a user protocol ("-")
 //	heterogen -most                       # print the ArMOR MOST tables
@@ -21,6 +28,7 @@ import (
 	"strings"
 
 	"heterogen/internal/armor"
+	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
 	exportpkg "heterogen/internal/export"
 	"heterogen/internal/memmodel"
@@ -28,68 +36,107 @@ import (
 	"heterogen/internal/spec"
 )
 
+// cliConfig carries the parsed command line.
+type cliConfig struct {
+	list     bool
+	pair     string
+	fsm      bool
+	full     bool
+	tableii  bool
+	compiled bool
+	export   string
+	specFile string
+	most     bool
+	hs       string
+	dot      string
+	murphi   string
+	emit     string
+	search   cliopts.Search
+}
+
 func main() {
-	list := flag.Bool("list", false, "list the built-in protocols (Table I)")
-	pair := flag.String("pair", "", "comma-separated protocols to fuse ('-' uses -spec)")
-	fsm := flag.Bool("fsm", false, "dump the enumerated merged-directory FSM")
-	full := flag.Bool("full", false, "full FSM enumeration (explores evictions; slower)")
-	tableii := flag.Bool("tableii", false, "enumerate all eight Table II case studies")
-	export := flag.String("export", "", "print a built-in protocol in the PCC-like format")
-	specFile := flag.String("spec", "", "PCC-like protocol description file")
-	most := flag.Bool("most", false, "print the ArMOR ordering tables")
-	hs := flag.String("handshake", "none", "handshake variant: none|writes|all")
-	dot := flag.String("dot", "", "emit a protocol's controllers as Graphviz DOT")
-	murphi := flag.String("murphi", "", "emit a protocol as a CMurphi model")
+	cfg := cliConfig{search: cliopts.DefaultSearch()}
+	flag.BoolVar(&cfg.list, "list", false, "list the built-in protocols (Table I)")
+	flag.StringVar(&cfg.pair, "pair", "", "comma-separated protocols to fuse ('-' uses -spec)")
+	flag.BoolVar(&cfg.fsm, "fsm", false, "dump the enumerated merged-directory FSM")
+	flag.BoolVar(&cfg.full, "full", false, "full FSM enumeration (explores evictions; slower)")
+	flag.BoolVar(&cfg.tableii, "tableii", false, "enumerate all eight Table II case studies")
+	flag.BoolVar(&cfg.compiled, "compiled", false, "derive -tableii rows from the compiled flat tables instead of the interpreted enumeration")
+	flag.StringVar(&cfg.export, "export", "", "print a built-in protocol in the PCC-like format")
+	flag.StringVar(&cfg.specFile, "spec", "", "PCC-like protocol description file")
+	flag.BoolVar(&cfg.most, "most", false, "print the ArMOR ordering tables")
+	flag.StringVar(&cfg.hs, "handshake", "none", "handshake variant: none|writes|all")
+	flag.StringVar(&cfg.dot, "dot", "", "emit a protocol's controllers as Graphviz DOT")
+	flag.StringVar(&cfg.murphi, "murphi", "", "emit a protocol as a CMurphi model")
+	flag.StringVar(&cfg.emit, "emit", "", "compile the fused pair and print an artifact: table|pcc|murphi|dot")
+	cfg.search.Register(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*list, *pair, *fsm, *full, *tableii, *export, *specFile, *most, *hs, *dot, *murphi); err != nil {
+	stopProf, err := cfg.search.StartProfiling()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "heterogen:", err)
+		os.Exit(1)
+	}
+	runErr := run(cfg)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "heterogen:", err)
+		if runErr == nil {
+			runErr = err
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "heterogen:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, pair string, fsm, full, tableii bool, export, specFile string, most bool, hs, dot, murphi string) error {
+func run(cfg cliConfig) error {
 	switch {
-	case dot != "":
-		p, err := protocols.ByName(dot)
+	case cfg.dot != "":
+		p, err := protocols.ByName(cfg.dot)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exportpkg.DOTProtocol(p))
 		return nil
-	case murphi != "":
-		p, err := protocols.ByName(murphi)
+	case cfg.murphi != "":
+		p, err := protocols.ByName(cfg.murphi)
 		if err != nil {
 			return err
 		}
 		fmt.Print(exportpkg.Murphi(p, exportpkg.DefaultMurphiConfig()))
 		return nil
-	case list:
+	case cfg.list:
 		fmt.Println("Table I: protocols used in the case studies")
 		for _, p := range protocols.All() {
 			fmt.Println(" ", protocols.Describe(p))
 		}
 		return nil
-	case export != "":
-		p, err := protocols.ByName(export)
+	case cfg.export != "":
+		p, err := protocols.ByName(cfg.export)
 		if err != nil {
 			return err
 		}
 		fmt.Print(spec.ExportPCC(p))
 		return nil
-	case most:
+	case cfg.most:
 		for _, id := range memmodel.AllIDs() {
 			fmt.Println(armor.BuildMOST(memmodel.MustByID(id)).Format())
 		}
 		return nil
-	case tableii:
+	case cfg.tableii:
 		var entries []*core.TableIIEntry
 		for _, pr := range core.TableIIPairs() {
-			f, err := fuse(hs, pr[0], pr[1], specFile)
+			f, err := fuse(cfg.hs, pr[0], pr[1], cfg.specFile)
 			if err != nil {
 				return err
 			}
-			e, _, err := core.EnumerateFSM(f, !full)
+			var e *core.TableIIEntry
+			if cfg.compiled {
+				e, _, err = core.EnumerateCompiled(f, !cfg.full)
+			} else {
+				e, _, err = core.EnumerateFSM(f, !cfg.full)
+			}
 			if err != nil {
 				return err
 			}
@@ -97,28 +144,62 @@ func run(list bool, pair string, fsm, full, tableii bool, export, specFile strin
 		}
 		fmt.Print(core.FormatTableII(entries))
 		return nil
-	case pair != "":
-		names := strings.Split(pair, ",")
+	case cfg.pair != "":
+		names := strings.Split(cfg.pair, ",")
 		if len(names) < 2 {
 			return fmt.Errorf("-pair needs at least two protocols")
 		}
-		f, err := fuse(hs, names[0], names[1], specFile, names[2:]...)
+		f, err := fuse(cfg.hs, names[0], names[1], cfg.specFile, names[2:]...)
 		if err != nil {
 			return err
+		}
+		if cfg.emit != "" {
+			return emit(f, cfg.emit, cfg.full, cfg.search.Workers)
 		}
 		fmt.Print(f.Describe())
-		e, rec, err := core.EnumerateFSM(f, !full)
+		e, rec, err := core.EnumerateFSM(f, !cfg.full)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("merged directory: %d states, %d transitions (%d system states explored)\n",
-			e.States, e.Transitions, e.Explored)
-		if fsm {
+		fmt.Printf("merged directory: %d states, %d transitions (%d system states explored) [%s]\n",
+			e.States, e.Transitions, e.Explored, core.EngineInterpreted)
+		if cfg.fsm {
 			fmt.Print(rec.ExportFSM(f.Name()))
 		}
 		return nil
 	}
 	flag.Usage()
+	return nil
+}
+
+// emit compiles the fusion for the Table II configuration (extraction
+// parallelism per -workers) and prints the requested artifact of the flat
+// table.
+func emit(f *core.Fusion, kind string, full bool, workers int) error {
+	cf, err := core.Compile(f, core.TableIICompileConfig(!full, workers))
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "table":
+		fmt.Print(cf.FlatFSM().Format())
+	case "pcc":
+		p, err := cf.Protocol()
+		if err != nil {
+			return err
+		}
+		fmt.Print(spec.ExportPCC(p))
+	case "murphi":
+		p, err := cf.Protocol()
+		if err != nil {
+			return err
+		}
+		fmt.Print(exportpkg.Murphi(p, exportpkg.DefaultMurphiConfig()))
+	case "dot":
+		fmt.Print(exportpkg.DOTFlat(cf.FlatFSM()))
+	default:
+		return fmt.Errorf("unknown -emit artifact %q (want table, pcc, murphi or dot)", kind)
+	}
 	return nil
 }
 

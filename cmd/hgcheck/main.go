@@ -9,6 +9,7 @@
 //	hgcheck -pair MESI,RCC-O -caches 2         # fused, 2 caches per cluster
 //	hgcheck -pair MESI,RCC-O -caches 2 -mem 512MiB -spill-dir /tmp -progress 10s
 //	hgcheck -pair MESI,RCC-O -caches 2 -por=0   # full unreduced interleaving space
+//	hgcheck -pair MESI,RCC-O -compiled          # check the compiled flat table
 //	hgcheck -protocol MSI -cpuprofile cpu.pprof # profile the search
 package main
 
@@ -16,13 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
+	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
 	"heterogen/internal/mcheck"
-	"heterogen/internal/profiling"
 	"heterogen/internal/protocols"
 	"heterogen/internal/spec"
 )
@@ -32,52 +32,42 @@ type checkConfig struct {
 	proto, pair string
 	caches      int
 	addrs       int
-	hash        bool
 	bitstate    bool
 	memBudget   int64
-	spillDir    string
 	maxStates   int
-	workers     int
-	encoding    mcheck.Encoding
-	symmetry    bool
-	por         bool
+	compiled    bool
 	progress    time.Duration
+	search      cliopts.Search
+	encoding    mcheck.Encoding
 }
 
 func main() {
-	var cfg checkConfig
+	cfg := checkConfig{search: cliopts.DefaultSearch()}
+	cfg.search.Hash = true // the deadlock sweeps are the big configurations
 	flag.StringVar(&cfg.proto, "protocol", "", "homogeneous protocol to check")
 	flag.StringVar(&cfg.pair, "pair", "", "protocol pair A,B to fuse and check")
 	flag.IntVar(&cfg.caches, "caches", 2, "caches (per cluster for -pair)")
 	flag.IntVar(&cfg.addrs, "addrs", 2, "addresses in the driver workload")
-	flag.BoolVar(&cfg.hash, "hash", true, "use state-hash compaction (lock-free 64-bit fingerprint table)")
 	flag.BoolVar(&cfg.bitstate, "bitstate", false, "use bitstate (Bloom-filter supertrace) state storage; overrides -hash")
 	mem := flag.String("mem", "", "visited-set memory budget, e.g. 512MiB or 2GiB (default: 8GiB table cap / 64MiB bitstate filter)")
-	flag.StringVar(&cfg.spillDir, "spill-dir", "", "spill frontier overflow to temp files under this directory (bounds BFS memory)")
 	flag.IntVar(&cfg.maxStates, "max-states", 8<<20, "state budget")
-	flag.IntVar(&cfg.workers, "workers", 0, "search workers (0 = all cores, 1 = sequential deterministic order)")
-	encoding := flag.String("encoding", "binary", "visited-set state encoding: binary or snapshot")
-	flag.BoolVar(&cfg.symmetry, "symmetry", false, "canonicalize states under cache-permutation symmetry (uses uniform store values so the driver cores are interchangeable)")
-	flag.BoolVar(&cfg.por, "por", true, "ample-set partial order reduction (sound for deadlock search; -por=0 forces the full interleaving space)")
+	flag.BoolVar(&cfg.compiled, "compiled", false, "compile the fused directory to a flat table first and check that (-pair only)")
 	flag.DurationVar(&cfg.progress, "progress", 0, "log states/sec, frontier depth, load factor and heap every interval (e.g. 10s; 0 = silent)")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	cfg.search.Register(flag.CommandLine)
 	flag.Parse()
 
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := cfg.search.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
 
-	enc, err := mcheck.ParseEncoding(*encoding)
-	if err != nil {
+	if cfg.encoding, err = cfg.search.Enc(); err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
-	cfg.encoding = enc
-	if cfg.memBudget, err = parseBytes(*mem); err != nil {
-		fmt.Fprintln(os.Stderr, "hgcheck:", err)
+	if cfg.memBudget, err = cliopts.ParseBytes(*mem); err != nil {
+		fmt.Fprintf(os.Stderr, "hgcheck: -mem: %v\n", err)
 		os.Exit(1)
 	}
 	runErr := run(cfg)
@@ -91,33 +81,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgcheck:", runErr)
 		os.Exit(1)
 	}
-}
-
-// parseBytes reads a byte size with an optional binary-unit suffix
-// (K/M/G, KB/MB/GB, KiB/MiB/GiB — all powers of 1024, Murphi-style).
-func parseBytes(s string) (int64, error) {
-	if s == "" {
-		return 0, nil
-	}
-	num := strings.TrimRight(s, "KMGiBkmgib")
-	unit := strings.ToUpper(s[len(num):])
-	v, err := strconv.ParseFloat(num, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad -mem value %q", s)
-	}
-	mult := float64(1)
-	switch strings.TrimSuffix(strings.TrimSuffix(unit, "IB"), "B") {
-	case "":
-	case "K":
-		mult = 1 << 10
-	case "M":
-		mult = 1 << 20
-	case "G":
-		mult = 1 << 30
-	default:
-		return 0, fmt.Errorf("bad -mem unit in %q (want K/M/G, KB/MB/GB or KiB/MiB/GiB)", s)
-	}
-	return int64(v * mult), nil
 }
 
 // driver builds the deadlock-stress workload: every core stores and loads
@@ -148,12 +111,15 @@ func run(cfg checkConfig) error {
 	var name string
 	switch {
 	case cfg.proto != "":
+		if cfg.compiled {
+			return fmt.Errorf("-compiled applies to fused pairs (-pair), not homogeneous protocols")
+		}
 		p, err := protocols.ByName(cfg.proto)
 		if err != nil {
 			return err
 		}
 		sys = mcheck.NewHomogeneous(p, cfg.caches)
-		sys.SetPrograms(driver(cfg.caches, cfg.addrs, cfg.symmetry))
+		sys.SetPrograms(driver(cfg.caches, cfg.addrs, cfg.search.Symmetry))
 		name = cfg.proto
 	case cfg.pair != "":
 		parts := strings.Split(cfg.pair, ",")
@@ -172,27 +138,38 @@ func run(cfg checkConfig) error {
 		if err != nil {
 			return err
 		}
-		var s *mcheck.System
-		s, _ = core.BuildSystem(f, []int{cfg.caches, cfg.caches})
-		sys = s
-		sys.SetPrograms(driver(2*cfg.caches, cfg.addrs, cfg.symmetry))
+		progs := driver(2*cfg.caches, cfg.addrs, cfg.search.Symmetry)
+		if cfg.compiled {
+			cf, err := core.Compile(f, core.CompileConfig{
+				CachesPerCluster: []int{cfg.caches, cfg.caches},
+				Programs:         progs,
+				Evictions:        true,
+				MaxStates:        cfg.maxStates,
+				Workers:          cfg.search.Workers,
+			})
+			if err != nil {
+				return err
+			}
+			sys = cf.System()
+		} else {
+			sys, _ = core.BuildSystem(f, []int{cfg.caches, cfg.caches})
+			sys.SetPrograms(progs)
+		}
 		name = f.Name()
 	default:
 		flag.Usage()
 		return nil
 	}
 
-	if cfg.spillDir != "" && !mcheck.CanSpill(sys) {
+	if cfg.search.SpillDir != "" && !mcheck.CanSpill(sys) {
 		return fmt.Errorf("-spill-dir: this system's components lack the faithful state codec spilling requires")
 	}
 	opts := mcheck.Options{
-		Evictions: true, HashCompaction: cfg.hash, Bitstate: cfg.bitstate,
-		MemBudget: cfg.memBudget, SpillDir: cfg.spillDir,
-		MaxStates: cfg.maxStates, Workers: cfg.workers,
-		Encoding: cfg.encoding, Symmetry: cfg.symmetry,
-	}
-	if !cfg.por {
-		opts.POR = mcheck.POROff
+		Evictions: true, HashCompaction: cfg.search.Hash, Bitstate: cfg.bitstate,
+		MemBudget: cfg.memBudget, SpillDir: cfg.search.SpillDir,
+		MaxStates: cfg.maxStates, Workers: cfg.search.Workers,
+		Encoding: cfg.encoding, Symmetry: cfg.search.Symmetry,
+		POR: cfg.search.PORMode(),
 	}
 	if cfg.progress > 0 {
 		opts.ProgressEvery = cfg.progress
@@ -213,7 +190,7 @@ func run(cfg checkConfig) error {
 		}
 		fmt.Println()
 	}
-	if cfg.symmetry && res.SymmetryPerms == 1 {
+	if cfg.search.Symmetry && res.SymmetryPerms == 1 {
 		fmt.Println("note: -symmetry requested but no symmetric cache group detected (asymmetric programs?)")
 	}
 	if res.Deadlocks > 0 {

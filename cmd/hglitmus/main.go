@@ -12,6 +12,7 @@
 //	hglitmus -shape MP,SB            # selected shapes
 //	hglitmus -all-allocs -evict      # every allocation, with replacements
 //	hglitmus -workers 1              # sequential (deterministic timing)
+//	hglitmus -pair MESI,RCC-O -compiled  # check the compiled flat tables
 package main
 
 import (
@@ -20,11 +21,10 @@ import (
 	"os"
 	"strings"
 
+	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
 	"heterogen/internal/litmus"
-	"heterogen/internal/mcheck"
 	"heterogen/internal/memmodel"
-	"heterogen/internal/profiling"
 	"heterogen/internal/protocols"
 	"heterogen/internal/spec"
 )
@@ -37,15 +37,10 @@ func main() {
 	allAllocs := flag.Bool("all-allocs", false, "every thread→cluster allocation (default: heterogeneous only)")
 	evict := flag.Bool("evict", false, "explore replacements at any time")
 	maxThreads := flag.Int("max-threads", 3, "skip shapes with more threads (IRIW=4 is expensive)")
-	workers := flag.Int("workers", 0, "test-level worker pool (0 = all cores, 1 = sequential)")
-	hash := flag.Bool("hash", false, "use state-hash compaction in each test's visited set")
-	encoding := flag.String("encoding", "binary", "model-checker state encoding: binary or snapshot")
-	symmetry := flag.Bool("symmetry", false, "canonicalize checker states under cache-permutation symmetry")
-	por := flag.Bool("por", true, "ample-set partial order reduction in each test's state search (-por=0 forces the full interleaving space)")
-	spillDir := flag.String("spill-dir", "", "spill each test's frontier overflow to temp files under this directory (bounds BFS memory)")
+	compiled := flag.Bool("compiled", false, "check each test against the fusion's compiled flat table instead of the interpreted composite")
 	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
-	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	search := cliopts.DefaultSearch()
+	search.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *verdicts {
@@ -57,25 +52,23 @@ func main() {
 		fmt.Print(litmus.FormatVerdicts(vs))
 		return
 	}
-	enc, err := mcheck.ParseEncoding(*encoding)
+	enc, err := search.Enc()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
 	base := litmus.Options{
 		Evictions: *evict, AllAllocations: *allAllocs,
-		HashCompaction: *hash, Encoding: enc, Symmetry: *symmetry,
-		SpillDir: *spillDir,
+		HashCompaction: search.Hash, Encoding: enc, Symmetry: search.Symmetry,
+		POR: search.PORMode(), SpillDir: search.SpillDir,
+		Compiled: *compiled,
 	}
-	if !*por {
-		base.POR = mcheck.POROff
-	}
-	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	stopProf, err := search.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
-	runErr := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *maxThreads, *workers, base)
+	runErr := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *maxThreads, search.Workers, base)
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		if runErr == nil {

@@ -11,6 +11,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	"heterogen/internal/core"
 	"heterogen/internal/litmus"
@@ -75,6 +76,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("merged directory: %d states, %d transitions\n", entry.States, entry.Transitions)
+
+	// The customization path runs both ways: the fused directory compiles
+	// back into a flat table whose projection exports in the same PCC-like
+	// language the custom protocol came in as (`heterogen -emit pcc` is the
+	// CLI spelling of this step).
+	_, cf, err := core.EnumerateCompiled(fusion, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flat, err := cf.Protocol()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcc := spec.ExportPCC(flat)
+	if _, err := spec.ParsePCC(pcc); err != nil {
+		log.Fatal("compiled projection does not re-parse: ", err)
+	}
+	fmt.Printf("\ncompiled table: %d interned (directory,memory) states, %d transitions; PCC projection round-trips (%d lines)\n",
+		cf.DirStates(), cf.Transitions(), strings.Count(pcc, "\n"))
+	for _, line := range strings.SplitN(pcc, "\n", 4)[:3] {
+		fmt.Println("  ", line)
+	}
 
 	fmt.Println("\nlitmus validation (MP and SB, both allocations):")
 	for _, name := range []string{"MP", "SB"} {

@@ -1,0 +1,105 @@
+// Package cliopts centralizes the model-checker search flags shared by the
+// hgcheck, hglitmus and heterogen commands: worker counts, visited-set
+// storage and encoding, the symmetry and partial-order reductions, frontier
+// spilling and pprof profiling. Each command seeds a Search with its own
+// defaults, registers the flags once, and resolves the parsed values
+// through the same helpers — so a flag spelled -symmetry means the same
+// thing everywhere.
+package cliopts
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"heterogen/internal/mcheck"
+	"heterogen/internal/profiling"
+)
+
+// Search holds the shared search-related flag values. Field values at
+// Register time become the flag defaults, so commands can differ where
+// their workloads warrant it (hgcheck defaults -hash on; hglitmus off).
+type Search struct {
+	// Workers is the -workers parallelism (0 = all cores, 1 = sequential).
+	Workers int
+	// Hash is -hash: 64-bit fingerprint state storage.
+	Hash bool
+	// Encoding is -encoding: "binary" or "snapshot"; resolve via Enc.
+	Encoding string
+	// Symmetry is -symmetry: cache-permutation canonicalization.
+	Symmetry bool
+	// POR is -por: ample-set partial order reduction (-por=0 disables).
+	POR bool
+	// SpillDir is -spill-dir: frontier overflow directory ("" = in-memory).
+	SpillDir string
+	// CPUProfile and MemProfile are -cpuprofile/-memprofile output paths.
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the shared flags on fs with the current field values
+// as defaults.
+func (s *Search) Register(fs *flag.FlagSet) {
+	fs.IntVar(&s.Workers, "workers", s.Workers, "worker parallelism (0 = all cores, 1 = sequential deterministic order)")
+	fs.BoolVar(&s.Hash, "hash", s.Hash, "use state-hash compaction (lock-free 64-bit fingerprint table)")
+	fs.StringVar(&s.Encoding, "encoding", s.Encoding, "visited-set state encoding: binary or snapshot")
+	fs.BoolVar(&s.Symmetry, "symmetry", s.Symmetry, "canonicalize states under cache-permutation symmetry")
+	fs.BoolVar(&s.POR, "por", s.POR, "ample-set partial order reduction (-por=0 forces the full interleaving space)")
+	fs.StringVar(&s.SpillDir, "spill-dir", s.SpillDir, "spill frontier overflow to temp files under this directory (bounds BFS memory)")
+	fs.StringVar(&s.CPUProfile, "cpuprofile", s.CPUProfile, "write a pprof CPU profile to this file")
+	fs.StringVar(&s.MemProfile, "memprofile", s.MemProfile, "write a pprof heap profile to this file on exit")
+}
+
+// DefaultSearch returns the baseline defaults: binary encoding, POR on,
+// everything else off.
+func DefaultSearch() Search {
+	return Search{Encoding: "binary", POR: true}
+}
+
+// Enc resolves the -encoding string.
+func (s *Search) Enc() (mcheck.Encoding, error) {
+	return mcheck.ParseEncoding(s.Encoding)
+}
+
+// PORMode maps the boolean -por flag onto the checker's mode (PORAuto when
+// on, POROff when disabled).
+func (s *Search) PORMode() mcheck.PORMode {
+	if s.POR {
+		return mcheck.PORAuto
+	}
+	return mcheck.POROff
+}
+
+// StartProfiling begins CPU/heap profiling per the parsed flags and
+// returns the stop function (a no-op when both flags are empty).
+func (s *Search) StartProfiling() (func() error, error) {
+	return profiling.Start(s.CPUProfile, s.MemProfile)
+}
+
+// ParseBytes reads a byte size with an optional binary-unit suffix
+// (K/M/G, KB/MB/GB, KiB/MiB/GiB — all powers of 1024, Murphi-style).
+func ParseBytes(s string) (int64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	num := strings.TrimRight(s, "KMGiBkmgib")
+	unit := strings.ToUpper(s[len(num):])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	mult := float64(1)
+	switch strings.TrimSuffix(strings.TrimSuffix(unit, "IB"), "B") {
+	case "":
+	case "K":
+		mult = 1 << 10
+	case "M":
+		mult = 1 << 20
+	case "G":
+		mult = 1 << 30
+	default:
+		return 0, fmt.Errorf("bad unit in %q (want K/M/G, KB/MB/GB or KiB/MiB/GiB)", s)
+	}
+	return int64(v * mult), nil
+}

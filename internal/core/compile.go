@@ -1,0 +1,664 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"heterogen/internal/mcheck"
+	"heterogen/internal/spec"
+)
+
+// Fusion compiler (compile.go) — lowers a Fusion from a runtime behavior
+// (the MergedDir interpreter dispatching over per-cluster directories,
+// proxy clones and bridge phases) into a first-class flat transition
+// table, the explicit merged-directory controller the paper's Table II and
+// Figure 9 describe.
+//
+// Extraction is reachability-driven: the fusion is instantiated for one
+// concrete machine configuration (CompileConfig) and the model checker
+// exhaustively explores it with an observer hooked into MergedDir.Deliver.
+// The observer interns every (directory state, shared memory) pair it is
+// about to transition from, replays the interpreted deliver, and records
+// the outcome — successor state, messages sent, whether memory changed, or
+// a stall — keyed by (interned state, message bytes). Exploration runs
+// with partial order reduction off and symmetry off so every reachable
+// (state, message) pair is covered; the resulting table is total over the
+// compiled configuration by construction.
+//
+// The compiled artifact drives every downstream layer:
+//
+//   - CompiledFusion.System() builds a model-checkable system in which the
+//     interpreted MergedDir is swapped for a CompiledDir — a pure table
+//     transducer with an int32 current-state register. The checker's
+//     visited-set encodings, snapshots, symmetry relabelings, POR node
+//     references and spill codec all reproduce the interpreted component's
+//     bytes exactly, so compiled and interpreted searches agree state for
+//     state (the differential suite in compile_test.go pins this).
+//   - FlatFSM() projects the per-address local-state machine (Table II's
+//     states/transitions), sharing the rendering path with the Recorder.
+//   - Protocol() lifts the projection into a spec.Protocol value that
+//     round-trips through the PCC text form and exports to Murphi/DOT.
+//
+// Soundness: the interpreted composite stays the oracle. Whenever the
+// compiled table is asked for a (state, message) pair the extraction never
+// saw — a configuration mismatch — CompiledDir panics rather than guessing,
+// and re-recording a pair with a conflicting outcome fails compilation
+// (it would mean the binary state encoding is not injective over reachable
+// states, the property the visited set already relies on).
+
+// Engine labels name the directory-evaluation strategy of a system, carried
+// through mcheck.Result and the CLIs so logs and benchmark JSON are
+// unambiguous about which engine produced a run.
+const (
+	EngineInterpreted = "interpreted composite"
+	EngineCompiled    = "compiled table"
+)
+
+// CompileConfig pins the concrete machine configuration a fusion is
+// compiled for. The compiled table is total exactly over this
+// configuration: check it with the same caches, programs and an eviction
+// setting no broader than the one compiled with.
+type CompileConfig struct {
+	// CachesPerCluster instantiates the system (as BuildSystem).
+	CachesPerCluster []int
+	// Programs are the per-core programs driving the extraction (and the
+	// programs baked into every System() the compiled fusion builds).
+	Programs [][]spec.CoreReq
+	// Evictions explores spontaneous replacements during extraction. A
+	// table compiled with evictions also covers eviction-free checking
+	// (eviction moves only add reachable states, never alter others).
+	Evictions bool
+	// MaxStates bounds the extraction search (0 = checker default).
+	// Extraction must complete: a truncated extraction fails Compile.
+	MaxStates int
+	// Workers sets the extraction search parallelism (0 = all cores).
+	Workers int
+}
+
+// stallState marks a recorded stall: Deliver returns false, no side
+// effects.
+const stallState = int32(-1)
+
+// ErrCompileTruncated marks a Compile failure caused by the extraction
+// search hitting its state budget (raise CompileConfig.MaxStates).
+// Detectable with errors.Is.
+var ErrCompileTruncated = errors.New("core: compile extraction truncated")
+
+// compState is one interned merged-directory state: the raw component
+// encoding (byte-identical to the interpreted MergedDir's), the shared
+// memory image it implies, the interpreted snapshot string, the POR node
+// references, and the encoding under every cache permutation the symmetry
+// reducer may request.
+type compState struct {
+	enc  []byte       // MergedDir.AppendBinary bytes
+	mem  []byte       // Memory.AppendBinary bytes (replayed on remem transitions)
+	snap string       // interpreted Snapshot output (diagnostics, snapshot encoding)
+	refs spec.NodeSet // interpreted RefNodes (ample-set POR)
+	// relab holds the relabeled encoding per permutation (relab[0] aliases
+	// enc); nil when the group is trivial.
+	relab [][]byte
+}
+
+// compTransition is one table entry: the successor state, the messages the
+// interpreted deliver sent (replayed in order), and whether the shared
+// memory changed (the successor's memory image is installed wholesale).
+type compTransition struct {
+	next  int32
+	sends []spec.Msg
+	remem bool
+}
+
+// CompiledFusion is the compiled flat merged-directory machine plus the
+// pristine system template it was extracted from.
+type CompiledFusion struct {
+	fusion    *Fusion
+	cfg       CompileConfig
+	template  *mcheck.System // pristine interpreted system; cloned per System()
+	layout    *SystemLayout
+	mergedIdx int
+	owned     []spec.NodeID
+	states    []compState
+	trans     map[string]compTransition // varint(state) ++ msg bytes
+	fsm       *FlatFSM
+	explored  int // system states visited during extraction
+	porLocal  bool
+	initLocal string          // composite local state at the initial state
+	stable    map[string]bool // composite local state -> quiescent?
+
+	// Cache-permutation group for symmetry interop: the full product of
+	// per-cluster cache-id permutations (every group the checker's
+	// auto-detection can enable is a subgroup). sigOf maps a permutation's
+	// action on cacheIDs to its precomputed relabeling index.
+	cacheIDs []spec.NodeID
+	perms    []spec.Relabel // perms[0] is the identity (nil)
+	sigOf    map[string]int
+}
+
+// maxCompiledPerms mirrors the checker's symmetry-group cap (mcheck's
+// maxSymPerms): beyond it auto-detection declines the reduction, so no
+// relabelings will ever be requested and precomputing them would be waste.
+const maxCompiledPerms = 5040
+
+// Compile lowers f into a flat transition table for the given
+// configuration by exhaustively exploring the interpreted composite with
+// an extraction observer installed on the merged directory.
+func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
+	sys, layout := BuildSystem(f, cfg.CachesPerCluster)
+	sys.SetPrograms(cfg.Programs)
+	f.Freeze()
+	template := sys.Clone() // no observer: System() clones stay interpreted-free
+
+	cf := &CompiledFusion{
+		fusion: f, cfg: cfg, template: template, layout: layout,
+		mergedIdx: len(sys.Components) - 1,
+		owned:     layout.Merged.OwnedIDs(),
+		trans:     map[string]compTransition{},
+		fsm:       &FlatFSM{Name: f.Name()},
+		porLocal:  layout.Merged.PORLocal(),
+		stable:    map[string]bool{},
+	}
+	cf.initLocal = layout.Merged.LocalState(0)
+	cf.stable[cf.initLocal] = layout.Merged.localStable(0)
+	cf.buildPerms()
+
+	c := &compiler{cf: cf, keys: map[string]int32{},
+		fsmStates: map[string]bool{}, fsmEdges: map[Edge]bool{}}
+	// Intern the initial directory state first: CompiledDir starts at
+	// index 0.
+	c.intern(layout.Merged)
+	layout.Merged.obs = c
+
+	res := mcheck.Explore(sys, mcheck.Options{
+		Evictions: cfg.Evictions, MaxStates: cfg.MaxStates,
+		Workers: cfg.Workers,
+		// Full coverage: reductions prune (state, message) pairs the checker
+		// may later need. Deadlocks are fine — the table must reproduce them.
+		POR: mcheck.POROff,
+	})
+	layout.Merged.obs = nil
+	if c.err != nil {
+		return nil, c.err
+	}
+	if res.Truncated {
+		return nil, fmt.Errorf("%w: %s at %d states", ErrCompileTruncated, f.Name(), res.States)
+	}
+	cf.explored = res.States
+	for s := range c.fsmStates {
+		cf.fsm.States = append(cf.fsm.States, s)
+	}
+	sort.Strings(cf.fsm.States)
+	sort.Slice(cf.fsm.Edges, func(i, j int) bool {
+		a, b := cf.fsm.Edges[i], cf.fsm.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		return a.To < b.To
+	})
+	return cf, nil
+}
+
+// buildPerms materializes the per-cluster cache-permutation product group
+// and the signature index used to answer the checker's relabeling
+// requests.
+func (cf *CompiledFusion) buildPerms() {
+	for _, ids := range cf.layout.CacheIDs {
+		cf.cacheIDs = append(cf.cacheIDs, ids...)
+	}
+	total := 1
+	for _, ids := range cf.layout.CacheIDs {
+		for k := 2; k <= len(ids); k++ {
+			total *= k
+			if total > maxCompiledPerms {
+				total = 1 // group too large for the checker to ever enable
+			}
+		}
+		if total == 1 {
+			break
+		}
+	}
+	maxID := spec.NodeID(0)
+	for _, id := range cf.owned {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	for _, id := range cf.cacheIDs {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	cf.perms = []spec.Relabel{nil}
+	cf.sigOf = map[string]int{string(cf.sig(nil)): 0}
+	if total == 1 {
+		return
+	}
+	// Cross product of per-cluster permutations, skipping the identity
+	// (already at index 0).
+	clusterPerms := make([][][]int, len(cf.layout.CacheIDs))
+	for i, ids := range cf.layout.CacheIDs {
+		clusterPerms[i] = permutations(len(ids))
+	}
+	choice := make([]int, len(clusterPerms))
+	for {
+		identity := true
+		for _, c := range choice {
+			if c != 0 {
+				identity = false
+			}
+		}
+		if !identity {
+			r := make(spec.Relabel, maxID+1)
+			for i := range r {
+				r[i] = spec.NodeID(i)
+			}
+			for ci, ids := range cf.layout.CacheIDs {
+				p := clusterPerms[ci][choice[ci]]
+				for pos, id := range ids {
+					r[id] = ids[p[pos]]
+				}
+			}
+			cf.sigOf[string(cf.sig(r))] = len(cf.perms)
+			cf.perms = append(cf.perms, r)
+		}
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < len(choice); i++ {
+			choice[i]++
+			if choice[i] < len(clusterPerms[i]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(choice) {
+			return
+		}
+	}
+}
+
+// sig renders a permutation's action on the cache ids — the key the
+// checker's detected symmetry perms are matched against.
+func (cf *CompiledFusion) sig(r spec.Relabel) []byte {
+	buf := make([]byte, 0, 2*len(cf.cacheIDs))
+	for _, id := range cf.cacheIDs {
+		buf = spec.AppendInt(buf, int(r.Of(id)))
+	}
+	return buf
+}
+
+// permIndex resolves a checker relabeling to a precomputed permutation
+// index.
+func (cf *CompiledFusion) permIndex(r spec.Relabel) (int, bool) {
+	buf := make([]byte, 0, 64)
+	for _, id := range cf.cacheIDs {
+		buf = spec.AppendInt(buf, int(r.Of(id)))
+	}
+	idx, ok := cf.sigOf[string(buf)]
+	return idx, ok
+}
+
+// permutations returns every permutation of 0..n-1.
+func permutations(n int) [][]int {
+	var out [][]int
+	perm := make([]int, n)
+	var rec func(i int, avail []int)
+	rec = func(i int, avail []int) {
+		if i == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for j, v := range avail {
+			perm[i] = v
+			rest := append(append([]int(nil), avail[:j]...), avail[j+1:]...)
+			rec(i+1, rest)
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(0, all)
+	return out
+}
+
+// Fusion returns the fusion this table was compiled from.
+func (cf *CompiledFusion) Fusion() *Fusion { return cf.fusion }
+
+// Config returns the configuration the table was compiled for.
+func (cf *CompiledFusion) Config() CompileConfig { return cf.cfg }
+
+// DirStates counts the interned (directory state, memory) pairs — the
+// transducer's state count (finer than the per-address FlatFSM states).
+func (cf *CompiledFusion) DirStates() int { return len(cf.states) }
+
+// Transitions counts the recorded table entries (including stalls).
+func (cf *CompiledFusion) Transitions() int { return len(cf.trans) }
+
+// Explored reports the system states visited during extraction.
+func (cf *CompiledFusion) Explored() int { return cf.explored }
+
+// FlatFSM returns the projected per-address local-state machine — the
+// Table II artifact. Shared with the Recorder's rendering path.
+func (cf *CompiledFusion) FlatFSM() *FlatFSM { return cf.fsm }
+
+// Protocol lifts the compiled table's per-address projection (FlatFSM)
+// into a spec.Protocol value: a directory-only flat machine that
+// round-trips through the PCC text form and exports to Murphi and DOT.
+//
+// The projection is an observation of the transducer, not an executable
+// controller: rows carry no actions, and one (state, event) pair may lead
+// to several successors (the hidden context — other addresses, shared
+// memory, in-flight proxies — is projected away). Composite state names
+// sanitize ':' (the proxy-line marker separator) to '.' so transition
+// lines survive the PCC action delimiter; a constituent state that already
+// contains '.' would make that mapping non-injective and is rejected.
+func (cf *CompiledFusion) Protocol() (*spec.Protocol, error) {
+	san := func(s string) string { return strings.ReplaceAll(s, ":", ".") }
+	for _, s := range cf.fsm.States {
+		if strings.Contains(s, ".") {
+			return nil, fmt.Errorf("core: composite state %q contains '.', colliding with the ':' sanitization", s)
+		}
+	}
+	m := &spec.Machine{
+		Name: cf.fusion.Name() + "-dir",
+		Kind: spec.DirCtrl,
+		Flat: true,
+		Init: spec.State(san(cf.initLocal)),
+	}
+	seen := map[string]bool{}
+	for _, s := range cf.fsm.States {
+		seen[s] = true
+		if cf.stable[s] {
+			m.Stable = append(m.Stable, spec.State(san(s)))
+		}
+	}
+	if !seen[cf.initLocal] && cf.stable[cf.initLocal] {
+		m.Stable = append(m.Stable, spec.State(san(cf.initLocal)))
+	}
+	sort.Slice(m.Stable, func(i, j int) bool { return m.Stable[i] < m.Stable[j] })
+	for _, e := range cf.fsm.Edges {
+		m.Rows = append(m.Rows, spec.Transition{
+			From: spec.State(san(e.From)),
+			On:   spec.OnMsg(spec.MsgType(e.Event)),
+			Next: spec.State(san(e.To)),
+		})
+	}
+	msgs := map[spec.MsgType]spec.MsgInfo{}
+	for _, p := range cf.fusion.Protocols {
+		for t, info := range p.Msgs {
+			msgs[t] = info
+		}
+	}
+	// Handshake messages are fusion-internal (never declared by a
+	// constituent) but appear as projected events.
+	for _, e := range cf.fsm.Edges {
+		if _, ok := msgs[spec.MsgType(e.Event)]; !ok {
+			msgs[spec.MsgType(e.Event)] = spec.MsgInfo{VNet: spec.VResp}
+		}
+	}
+	p := &spec.Protocol{Name: cf.fusion.Name(), Dir: m, Msgs: msgs}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: projected flat protocol invalid: %w", err)
+	}
+	return p, nil
+}
+
+// System builds a model-checkable system for the compiled configuration:
+// the template's caches and cores with the interpreted merged directory
+// swapped for the compiled table transducer.
+func (cf *CompiledFusion) System() *mcheck.System {
+	sys := cf.template.Clone()
+	cd := &CompiledDir{cf: cf, cur: 0, mem: sys.Mem}
+	if err := sys.SwapComponent(cf.mergedIdx, cd); err != nil {
+		panic(err.Error())
+	}
+	sys.SetEngine(EngineCompiled)
+	return sys
+}
+
+// compiler is the extraction observer installed on the searched system's
+// merged directory (shared by every clone; the mutex serializes
+// observation so extraction may run on the parallel search path).
+type compiler struct {
+	mu        sync.Mutex
+	cf        *CompiledFusion
+	keys      map[string]int32 // interned enc++mem -> state index
+	keyBuf    []byte
+	fsmStates map[string]bool
+	fsmEdges  map[Edge]bool
+	err       error
+}
+
+// observe implements dirObserver: intern the pre-state, replay the
+// interpreted deliver with sends captured, record the table entry and the
+// projected FSM edge.
+func (c *compiler) observe(d *MergedDir, env spec.Env, m spec.Msg) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pre := c.intern(d)
+	before := d.LocalState(m.Addr)
+	beforeStable := d.localStable(m.Addr)
+	var sends []spec.Msg
+	wrap := spec.EnvFunc(func(msg spec.Msg) {
+		sends = append(sends, msg)
+		env.Send(msg)
+	})
+	ok := d.deliver(wrap, m)
+	tr := compTransition{next: stallState}
+	if ok {
+		post := c.intern(d)
+		tr = compTransition{next: post, sends: sends,
+			remem: !bytes.Equal(c.cf.states[pre].mem, c.cf.states[post].mem)}
+		after := d.LocalState(m.Addr)
+		c.edge(before, string(m.Type), after)
+		c.cf.stable[before] = beforeStable
+		c.cf.stable[after] = d.localStable(m.Addr)
+	} else if len(sends) > 0 && c.err == nil {
+		// A stalled delivery must be effect-free: the checker discards the
+		// stalled clone, so a send here would be unreplayable.
+		c.err = fmt.Errorf("core: stalled delivery of %s sent %d messages during compile", m, len(sends))
+	}
+	c.record(pre, m, tr)
+	return ok
+}
+
+// intern returns the dense index of the directory's current
+// (state, memory) pair, creating the compState on first sight.
+func (c *compiler) intern(d *MergedDir) int32 {
+	c.keyBuf = d.AppendBinary(c.keyBuf[:0])
+	split := len(c.keyBuf)
+	c.keyBuf = d.Memory().AppendBinary(c.keyBuf)
+	if idx, ok := c.keys[string(c.keyBuf)]; ok {
+		return idx
+	}
+	var w spec.SnapshotWriter
+	d.Snapshot(&w)
+	st := compState{
+		enc:  append([]byte(nil), c.keyBuf[:split]...),
+		mem:  append([]byte(nil), c.keyBuf[split:]...),
+		snap: w.String(),
+		refs: d.RefNodes(),
+	}
+	if len(c.cf.perms) > 1 {
+		st.relab = make([][]byte, len(c.cf.perms))
+		st.relab[0] = st.enc
+		for i := 1; i < len(c.cf.perms); i++ {
+			st.relab[i] = d.AppendBinaryRelabeled(nil, c.cf.perms[i])
+		}
+	}
+	idx := int32(len(c.cf.states))
+	c.cf.states = append(c.cf.states, st)
+	c.keys[string(st.enc)+string(st.mem)] = idx
+	return idx
+}
+
+// record stores (or re-verifies) one table entry.
+func (c *compiler) record(pre int32, m spec.Msg, tr compTransition) {
+	key := transKey(nil, pre, m)
+	if prev, ok := c.cf.trans[string(key)]; ok {
+		if !sameTransition(prev, tr) && c.err == nil {
+			c.err = fmt.Errorf("core: state %d on %s recorded two different outcomes — binary state encoding is not injective over reachable states", pre, m)
+		}
+		return
+	}
+	c.cf.trans[string(key)] = tr
+}
+
+// edge records one projected FSM transition (Recorder semantics: only
+// successful deliveries, deduplicated).
+func (c *compiler) edge(from, event, to string) {
+	c.fsmStates[from] = true
+	c.fsmStates[to] = true
+	e := Edge{From: from, Event: event, To: to}
+	if !c.fsmEdges[e] {
+		c.fsmEdges[e] = true
+		c.cf.fsm.Edges = append(c.cf.fsm.Edges, e)
+	}
+}
+
+// transKey appends the transducer lookup key: varint state index plus the
+// message's binary encoding.
+func transKey(buf []byte, state int32, m spec.Msg) []byte {
+	buf = spec.AppendUvarint(buf, uint64(state))
+	return m.AppendBinary(buf)
+}
+
+// sameTransition compares two table entries field by field.
+func sameTransition(a, b compTransition) bool {
+	if a.next != b.next || a.remem != b.remem || len(a.sends) != len(b.sends) {
+		return false
+	}
+	for i := range a.sends {
+		if a.sends[i] != b.sends[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CompiledDir is the flat-table stand-in for the interpreted MergedDir: an
+// int32 state register, the shared memory handle, and O(1) table lookups
+// per delivery. It reproduces the interpreted component's visited-set
+// encoding, snapshot, relabelings, POR references and spill codec byte for
+// byte, so searches over compiled and interpreted systems agree exactly.
+type CompiledDir struct {
+	cf     *CompiledFusion
+	cur    int32
+	mem    *spec.Memory
+	keyBuf []byte
+}
+
+// OwnedIDs implements spec.Component (same endpoints as the interpreted
+// directory, so the route table is unchanged).
+func (d *CompiledDir) OwnedIDs() []spec.NodeID { return d.cf.owned }
+
+// Deliver implements spec.Component by table lookup: stall, or replay the
+// recorded sends, memory image and successor state.
+func (d *CompiledDir) Deliver(env spec.Env, m spec.Msg) bool {
+	d.keyBuf = transKey(d.keyBuf[:0], d.cur, m)
+	tr, ok := d.cf.trans[string(d.keyBuf)]
+	if !ok {
+		panic(fmt.Sprintf("core: compiled table for %s has no entry for state %d on %s — the checked configuration does not match the CompileConfig",
+			d.cf.fusion.Name(), d.cur, m))
+	}
+	if tr.next == stallState {
+		return false
+	}
+	for _, s := range tr.sends {
+		env.Send(s)
+	}
+	if tr.remem {
+		dec := spec.NewDec(d.cf.states[tr.next].mem)
+		if err := d.mem.DecodeState(dec); err != nil {
+			panic(err.Error())
+		}
+	}
+	d.cur = tr.next
+	return true
+}
+
+// Clone implements spec.Component.
+func (d *CompiledDir) Clone() spec.Component { return d.CloneWithMemory(d.mem.Clone()) }
+
+// CloneWithMemory implements mcheck.MemoryCloner: O(1) — the table is
+// shared, only the state register copies.
+func (d *CompiledDir) CloneWithMemory(mem *spec.Memory) spec.Component {
+	return &CompiledDir{cf: d.cf, cur: d.cur, mem: mem}
+}
+
+// Snapshot implements spec.Component with the interpreted snapshot
+// captured at intern time — byte-identical diagnostics and snapshot-mode
+// visited keys.
+func (d *CompiledDir) Snapshot(b *spec.SnapshotWriter) {
+	b.WriteString(d.cf.states[d.cur].snap)
+}
+
+// AppendBinary implements spec.BinaryAppender with the interpreted
+// component's stored encoding.
+func (d *CompiledDir) AppendBinary(buf []byte) []byte {
+	return append(buf, d.cf.states[d.cur].enc...)
+}
+
+// AppendBinaryRelabeled implements spec.RelabelAppender via the
+// precomputed per-permutation encodings.
+func (d *CompiledDir) AppendBinaryRelabeled(buf []byte, r spec.Relabel) []byte {
+	st := &d.cf.states[d.cur]
+	if r == nil {
+		return append(buf, st.enc...)
+	}
+	idx, ok := d.cf.permIndex(r)
+	if !ok {
+		panic("core: compiled table lacks a relabeling for the requested permutation")
+	}
+	if idx == 0 {
+		return append(buf, st.enc...)
+	}
+	return append(buf, st.relab[idx]...)
+}
+
+// AppendState implements spec.StateCodec (spill frontier): the state
+// register; the shared memory is encoded by the host as usual.
+func (d *CompiledDir) AppendState(buf []byte) []byte {
+	return spec.AppendUvarint(buf, uint64(d.cur))
+}
+
+// DecodeState implements spec.StateCodec.
+func (d *CompiledDir) DecodeState(dec *spec.Dec) error {
+	v := dec.Uvarint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if v >= uint64(len(d.cf.states)) {
+		return fmt.Errorf("core: compiled-state index %d out of range", v)
+	}
+	d.cur = int32(v)
+	return nil
+}
+
+// RefNodes implements spec.NodeReferrer with the interpreted component's
+// references captured at intern time (identical ample-set choices).
+func (d *CompiledDir) RefNodes() spec.NodeSet { return d.cf.states[d.cur].refs }
+
+// PORLocal mirrors the interpreted MergedDir's locality verdict.
+func (d *CompiledDir) PORLocal() bool { return d.cf.porLocal }
+
+// Freeze implements spec.Freezer (the table is immutable; the constituent
+// protocols were frozen at compile time).
+func (d *CompiledDir) Freeze() {}
+
+var (
+	_ spec.Component       = (*CompiledDir)(nil)
+	_ spec.BinaryAppender  = (*CompiledDir)(nil)
+	_ spec.RelabelAppender = (*CompiledDir)(nil)
+	_ spec.StateCodec      = (*CompiledDir)(nil)
+	_ spec.NodeReferrer    = (*CompiledDir)(nil)
+	_ spec.Freezer         = (*CompiledDir)(nil)
+	_ mcheck.MemoryCloner  = (*CompiledDir)(nil)
+	_ dirObserver          = (*compiler)(nil)
+)

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"heterogen/internal/mcheck"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+// outcomeKeys projects an exploration's outcome set to a sorted key list
+// for order-independent comparison.
+func outcomeKeys(res *mcheck.Result) []string {
+	keys := res.Outcomes.Keys()
+	sort.Strings(keys)
+	return keys
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// requireAgreement explores the interpreted composite and the compiled
+// table under identical options and fails unless every observable the
+// differential contract covers agrees: reachable-state and transition
+// counts, deadlock count, outcome sets, and the symmetry group order the
+// checker settled on. DeadlockAt is deliberately excluded (parallel search
+// order is nondeterministic).
+func requireAgreement(t *testing.T, f *Fusion, cfg CompileConfig, opts mcheck.Options) (*mcheck.Result, *mcheck.Result) {
+	t.Helper()
+	cf, err := Compile(f, cfg)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", f.Name(), err)
+	}
+
+	isys, _ := BuildSystem(f, cfg.CachesPerCluster)
+	isys.SetPrograms(cfg.Programs)
+	ires := mcheck.Explore(isys, opts)
+
+	csys := cf.System()
+	cres := mcheck.Explore(csys, opts)
+
+	if ires.Engine != EngineInterpreted {
+		t.Errorf("%s: interpreted run labeled %q", f.Name(), ires.Engine)
+	}
+	if cres.Engine != EngineCompiled {
+		t.Errorf("%s: compiled run labeled %q", f.Name(), cres.Engine)
+	}
+	if cres.States != ires.States {
+		t.Errorf("%s: states differ: compiled %d vs interpreted %d", f.Name(), cres.States, ires.States)
+	}
+	if cres.Transitions != ires.Transitions {
+		t.Errorf("%s: transitions differ: compiled %d vs interpreted %d", f.Name(), cres.Transitions, ires.Transitions)
+	}
+	if cres.Deadlocks != ires.Deadlocks {
+		t.Errorf("%s: deadlocks differ: compiled %d vs interpreted %d", f.Name(), cres.Deadlocks, ires.Deadlocks)
+	}
+	if cres.Truncated != ires.Truncated {
+		t.Errorf("%s: truncation differs: compiled %v vs interpreted %v", f.Name(), cres.Truncated, ires.Truncated)
+	}
+	if cres.SymmetryPerms != ires.SymmetryPerms {
+		t.Errorf("%s: symmetry group differs: compiled %d vs interpreted %d", f.Name(), cres.SymmetryPerms, ires.SymmetryPerms)
+	}
+	if ik, ck := outcomeKeys(ires), outcomeKeys(cres); !sameStrings(ik, ck) {
+		t.Errorf("%s: outcome sets differ:\n  interpreted: %v\n  compiled:    %v", f.Name(), ik, ck)
+	}
+	return ires, cres
+}
+
+// TestCompiledAgreementQuickAllPairs pins compiled ≡ interpreted on every
+// Table II pair under the Table II driver (quick mode: no evictions).
+func TestCompiledAgreementQuickAllPairs(t *testing.T) {
+	for _, pair := range TableIIPairs() {
+		f, err := Fuse(Options{}, protocols.MustByName(pair[0]), protocols.MustByName(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := CompileConfig{CachesPerCluster: []int{1, 1}, Programs: tableIIDriver()}
+		requireAgreement(t, f, cfg, mcheck.Options{Workers: 1})
+	}
+}
+
+// TestCompiledAgreementModes sweeps the checker's mode matrix — workers ×
+// symmetry × POR × storage — on RCC&RCC with two caches in the first
+// cluster (so the symmetry group is nontrivial) and pins agreement in
+// every cell.
+func TestCompiledAgreementModes(t *testing.T) {
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameRCC), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := [][]spec.CoreReq{
+		{{Op: spec.OpStore, Addr: 0, Value: 1}, {Op: spec.OpLoad, Addr: 1}},
+		{{Op: spec.OpStore, Addr: 1, Value: 2}, {Op: spec.OpLoad, Addr: 0}},
+		{{Op: spec.OpStore, Addr: 0, Value: 3}},
+	}
+	cfg := CompileConfig{CachesPerCluster: []int{2, 1}, Programs: progs}
+	for _, workers := range []int{1, 0} {
+		for _, sym := range []bool{false, true} {
+			for _, por := range []mcheck.PORMode{mcheck.POROff, mcheck.PORAuto} {
+				for _, storage := range []string{"exact", "hash", "spill"} {
+					name := fmt.Sprintf("w%d_sym%v_por%v_%s", workers, sym, por != mcheck.POROff, storage)
+					t.Run(name, func(t *testing.T) {
+						opts := mcheck.Options{Workers: workers, Symmetry: sym, POR: por}
+						switch storage {
+						case "hash":
+							opts.HashCompaction = true
+						case "spill":
+							opts.SpillDir = t.TempDir()
+						}
+						requireAgreement(t, f, cfg, opts)
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledAgreementEvictions pins agreement with eviction exploration
+// on, and additionally that a table compiled WITH evictions also serves an
+// eviction-free check (the compiled coverage is a superset).
+func TestCompiledAgreementEvictions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameRCC), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CompileConfig{CachesPerCluster: []int{1, 1}, Programs: tableIIDriver(), Evictions: true}
+	requireAgreement(t, f, cfg, mcheck.Options{Workers: 1, Evictions: true})
+
+	// Narrower check against the same (eviction-covering) table.
+	cf, err := Compile(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isys, _ := BuildSystem(f, cfg.CachesPerCluster)
+	isys.SetPrograms(cfg.Programs)
+	ires := mcheck.Explore(isys, mcheck.Options{Workers: 1})
+	cres := mcheck.Explore(cf.System(), mcheck.Options{Workers: 1})
+	if cres.States != ires.States || cres.Deadlocks != ires.Deadlocks {
+		t.Errorf("eviction-free check over eviction-compiled table disagrees: %d/%d states, %d/%d deadlocks",
+			cres.States, ires.States, cres.Deadlocks, ires.Deadlocks)
+	}
+}
+
+// TestTableIICompiledCounts re-derives every Table II row from the
+// compiled flat table and cross-checks it against the Recorder-derived
+// enumeration — the same FSM must fall out of both paths.
+func TestTableIICompiledCounts(t *testing.T) {
+	for _, pair := range TableIIPairs() {
+		f, err := Fuse(Options{}, protocols.MustByName(pair[0]), protocols.MustByName(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rE, rec, err := EnumerateFSM(f, true)
+		if err != nil {
+			t.Fatalf("%s: interpreted enumeration: %v", f.Name(), err)
+		}
+		cE, cf, err := EnumerateCompiled(f, true)
+		if err != nil {
+			t.Fatalf("%s: compiled enumeration: %v", f.Name(), err)
+		}
+		if cE.States != rE.States || cE.Transitions != rE.Transitions {
+			t.Errorf("%s: compiled FSM %d/%d vs recorded %d/%d",
+				f.Name(), cE.States, cE.Transitions, rE.States, rE.Transitions)
+		}
+		// The rendered artifacts must be byte-identical too: one flat-FSM
+		// rendering path, two producers.
+		if got, want := cf.FlatFSM().Format(), rec.ExportFSM(f.Name()); got != want {
+			t.Errorf("%s: flat-FSM renderings differ", f.Name())
+		}
+	}
+}
+
+// TestCompiledProtocolProjection pins the flat-protocol lift: the
+// projected machine validates, its states match the FlatFSM, and its init
+// state is stable.
+func TestCompiledProtocolProjection(t *testing.T) {
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameMSI), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cf, err := EnumerateCompiled(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cf.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cache != nil || !p.Dir.Flat {
+		t.Fatal("projection should be a directory-only flat protocol")
+	}
+	if got, want := len(p.Dir.States()), len(cf.FlatFSM().States); got != want {
+		t.Errorf("projected machine has %d states, FlatFSM %d", got, want)
+	}
+	if got, want := len(p.Dir.Rows), len(cf.FlatFSM().Edges); got != want {
+		t.Errorf("projected machine has %d rows, FlatFSM %d edges", got, want)
+	}
+	if !p.Dir.IsStable(p.Dir.Init) {
+		t.Errorf("init state %s not classified stable", p.Dir.Init)
+	}
+	if len(p.Dir.Stable) >= len(p.Dir.States()) {
+		t.Errorf("every projected state classified stable — transient detection broken")
+	}
+}
+
+// TestCompiledProtocolPCCRoundTrip pins the text form: export → parse →
+// re-export must be byte-identical, and the parsed protocol must carry the
+// flat marker through.
+func TestCompiledProtocolPCCRoundTrip(t *testing.T) {
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameMSI), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cf, err := EnumerateCompiled(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cf.Protocol()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := spec.ExportPCC(p)
+	reparsed, err := spec.ParsePCC(text)
+	if err != nil {
+		t.Fatalf("re-parsing exported flat PCC: %v\n%s", err, text)
+	}
+	if !reparsed.Dir.Flat {
+		t.Error("flat marker lost in round trip")
+	}
+	if again := spec.ExportPCC(reparsed); again != text {
+		t.Errorf("PCC round trip not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+	}
+}
+
+// TestCompiledDirPanicsOnForeignConfig pins the config-mismatch guard:
+// driving a compiled table with a program it was not compiled for must
+// panic, not silently mis-transition.
+func TestCompiledDirPanicsOnForeignConfig(t *testing.T) {
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameMSI), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := [][]spec.CoreReq{
+		{{Op: spec.OpLoad, Addr: 0}},
+		{{Op: spec.OpLoad, Addr: 0}},
+	}
+	cf, err := Compile(f, CompileConfig{CachesPerCluster: []int{1, 1}, Programs: progs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := cf.System()
+	foreign := [][]spec.CoreReq{
+		{{Op: spec.OpStore, Addr: 1, Value: 9}},
+		{{Op: spec.OpStore, Addr: 1, Value: 8}},
+	}
+	sys.SetPrograms(foreign)
+	defer func() {
+		if recover() == nil {
+			t.Error("checking a foreign program against the compiled table did not panic")
+		}
+	}()
+	mcheck.Explore(sys, mcheck.Options{Workers: 1})
+}

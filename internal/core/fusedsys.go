@@ -43,5 +43,7 @@ func BuildSystem(f *Fusion, cachesPerCluster []int) (*mcheck.System, *SystemLayo
 		}
 	}
 	comps = append(comps, merged)
-	return mcheck.NewSystem(comps, cores, merged.Memory()), layout
+	sys := mcheck.NewSystem(comps, cores, merged.Memory())
+	sys.SetEngine(EngineInterpreted)
+	return sys, layout
 }

@@ -143,7 +143,15 @@ type MergedDir struct {
 	proxyBusy spec.NodeSet
 
 	rec   *Recorder
+	obs   dirObserver
 	trace func(string)
+}
+
+// dirObserver intercepts Deliver during fusion compilation: the compiler
+// (compile.go) interns the pre-state, forwards to deliver, and records the
+// resulting transition. Same-package only — not a public extension point.
+type dirObserver interface {
+	observe(d *MergedDir, env spec.Env, m spec.Msg) bool
 }
 
 // NewMergedDir instantiates the merged directory over a fresh shared
@@ -298,6 +306,9 @@ func (d *MergedDir) isProxySrc(cluster int, src spec.NodeID) bool {
 // Deliver implements spec.Component: route to a proxy, handle handshakes,
 // or run a directory intake with bridging interception.
 func (d *MergedDir) Deliver(env spec.Env, m spec.Msg) bool {
+	if d.obs != nil {
+		return d.obs.observe(d, env, m)
+	}
 	var before string
 	if d.rec != nil {
 		before = d.LocalState(m.Addr)
@@ -658,13 +669,34 @@ func (d *MergedDir) LocalState(a spec.Addr) string {
 	return s
 }
 
+// localStable reports whether the composite local state at a is quiescent:
+// every constituent directory in a declared stable state, no proxy line in
+// flight, no bridge transaction active. The fusion compiler uses it to
+// classify the projected flat machine's states (an owner annotation alone
+// does not make a state transient).
+func (d *MergedDir) localStable(a spec.Addr) bool {
+	for ci, dir := range d.dirs {
+		if !d.fusion.Protocols[ci].Dir.IsStable(dir.LineState(a)) {
+			return false
+		}
+	}
+	for _, pool := range d.proxies {
+		for _, p := range pool {
+			if p.LineState(a) != p.Protocol().Cache.Init {
+				return false
+			}
+		}
+	}
+	return d.bridgeAt(a) == nil
+}
+
 // Clone implements spec.Component.
 func (d *MergedDir) Clone() spec.Component { return d.CloneWithMemory(d.mem.Clone()) }
 
 // CloneWithMemory implements mcheck.MemoryCloner.
 func (d *MergedDir) CloneWithMemory(mem *spec.Memory) spec.Component {
 	cp := &MergedDir{fusion: d.fusion, layout: d.layout, mem: mem,
-		busySrc: d.busySrc, proxyBusy: d.proxyBusy, rec: d.rec}
+		busySrc: d.busySrc, proxyBusy: d.proxyBusy, rec: d.rec, obs: d.obs}
 	cp.dirs = make([]*spec.DirInst, len(d.dirs))
 	for i, dir := range d.dirs {
 		cp.dirs[i] = dir.CloneDir(mem)

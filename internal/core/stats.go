@@ -4,23 +4,21 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"heterogen/internal/spec"
 )
 
-// Recorder accumulates the merged directory's flattened FSM as it is
-// exercised: distinct composite local states and (state, event, state')
-// transitions. Running the model checker over a driver workload with a
-// Recorder attached enumerates the reachable FSM — the state/transition
-// counts reported in Table II.
-//
-// A single Recorder is shared by every clone of a merged directory during
-// state-space search (it aggregates over the whole exploration).
-type Recorder struct {
-	States      map[string]bool
-	Transitions map[string]bool
-	// Edges holds the structured transition list (for DOT export etc.).
-	Edges []Edge
+// FlatFSM is a flattened merged-directory machine: the composite local
+// states (MergedDir.LocalState vocabulary) and the (state, event, state')
+// transitions between them, independent of how they were obtained — a
+// passive Recorder riding along a search, or the fusion compiler's
+// exhaustive extraction. It is the single rendering path behind the
+// Table II text export and the Graphviz emission (export.DOTFlat).
+type FlatFSM struct {
+	Name   string
+	States []string
+	Edges  []Edge
 }
 
 // Edge is one merged-directory FSM transition.
@@ -28,41 +26,23 @@ type Edge struct {
 	From, Event, To string
 }
 
-// NewRecorder returns an empty recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{States: map[string]bool{}, Transitions: map[string]bool{}}
-}
+// Counts returns (#states, #transitions).
+func (f *FlatFSM) Counts() (int, int) { return len(f.States), len(f.Edges) }
 
-// Record notes one applied delivery.
-func (r *Recorder) Record(f *Fusion, m spec.Msg, before, after string) {
-	r.States[before] = true
-	r.States[after] = true
-	key := fmt.Sprintf("%s --%s--> %s", before, m.Type, after)
-	if !r.Transitions[key] {
-		r.Transitions[key] = true
-		r.Edges = append(r.Edges, Edge{From: before, Event: string(m.Type), To: after})
-	}
-}
-
-// Counts returns (#states, #transitions) of the enumerated FSM.
-func (r *Recorder) Counts() (int, int) { return len(r.States), len(r.Transitions) }
-
-// ExportFSM renders the enumerated merged-directory FSM as text, one
-// transition per line, sorted — the moral equivalent of the Murphi output
-// the artifact emits.
-func (r *Recorder) ExportFSM(name string) string {
+// Format renders the FSM as text, one transition per line, sorted — the
+// moral equivalent of the Murphi output the artifact emits. Rendering is
+// order-independent: states and rendered transition lines are sorted here,
+// so any producer ordering yields identical bytes.
+func (f *FlatFSM) Format() string {
 	var b strings.Builder
-	states := make([]string, 0, len(r.States))
-	for s := range r.States {
-		states = append(states, s)
-	}
+	states := append([]string(nil), f.States...)
 	sort.Strings(states)
-	trans := make([]string, 0, len(r.Transitions))
-	for t := range r.Transitions {
-		trans = append(trans, t)
+	trans := make([]string, 0, len(f.Edges))
+	for _, e := range f.Edges {
+		trans = append(trans, fmt.Sprintf("%s --%s--> %s", e.From, e.Event, e.To))
 	}
 	sort.Strings(trans)
-	fmt.Fprintf(&b, "-- HeteroGen merged directory %s: %d states, %d transitions\n", name, len(states), len(trans))
+	fmt.Fprintf(&b, "-- HeteroGen merged directory %s: %d states, %d transitions\n", f.Name, len(states), len(trans))
 	fmt.Fprintf(&b, "-- states:\n")
 	for _, s := range states {
 		fmt.Fprintf(&b, "--   %s\n", s)
@@ -72,4 +52,65 @@ func (r *Recorder) ExportFSM(name string) string {
 		fmt.Fprintf(&b, "%s\n", t)
 	}
 	return b.String()
+}
+
+// Recorder accumulates the merged directory's flattened FSM as it is
+// exercised: distinct composite local states and (state, event, state')
+// transitions. Running the model checker over a driver workload with a
+// Recorder attached enumerates the reachable FSM — the state/transition
+// counts reported in Table II.
+//
+// A single Recorder is shared by every clone of a merged directory during
+// state-space search; a mutex serializes recording, so the walk may run on
+// the checker's parallel search path too.
+type Recorder struct {
+	mu          sync.Mutex
+	states      map[string]bool
+	transitions map[string]bool
+	edges       []Edge
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{states: map[string]bool{}, transitions: map[string]bool{}}
+}
+
+// Record notes one applied delivery.
+func (r *Recorder) Record(f *Fusion, m spec.Msg, before, after string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.states[before] = true
+	r.states[after] = true
+	key := before + " --" + string(m.Type) + "--> " + after
+	if !r.transitions[key] {
+		r.transitions[key] = true
+		r.edges = append(r.edges, Edge{From: before, Event: string(m.Type), To: after})
+	}
+}
+
+// Counts returns (#states, #transitions) of the enumerated FSM.
+func (r *Recorder) Counts() (int, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.states), len(r.transitions)
+}
+
+// FlatFSM snapshots the recorded machine as a FlatFSM value (states and
+// edges copied; safe to use while recording continues).
+func (r *Recorder) FlatFSM(name string) *FlatFSM {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := &FlatFSM{Name: name}
+	for s := range r.states {
+		f.States = append(f.States, s)
+	}
+	sort.Strings(f.States)
+	f.Edges = append(f.Edges, r.edges...)
+	return f
+}
+
+// ExportFSM renders the enumerated merged-directory FSM as text via the
+// shared FlatFSM renderer.
+func (r *Recorder) ExportFSM(name string) string {
+	return r.FlatFSM(name).Format()
 }

@@ -63,9 +63,9 @@ func EnumerateFSM(f *Fusion, quick bool) (*TableIIEntry, *Recorder, error) {
 	sys, layout := BuildSystem(f, []int{1, 1})
 	layout.Merged.SetRecorder(rec)
 	sys.SetPrograms(tableIIDriver())
-	// The Recorder is shared (unsynchronized) by every clone, so the
-	// enumeration must stay on the sequential search path.
-	res := mcheck.Explore(sys, mcheck.Options{Evictions: !quick, Workers: 1})
+	// Full transition coverage: partial order reduction prunes deliveries
+	// the Recorder would otherwise see, shrinking the enumerated FSM.
+	res := mcheck.Explore(sys, mcheck.Options{Evictions: !quick, Workers: 1, POR: mcheck.POROff})
 	if res.Deadlocks > 0 {
 		return nil, rec, fmt.Errorf("core: %s deadlocks during enumeration: %d (first: %s)",
 			f.Name(), res.Deadlocks, res.DeadlockAt)
@@ -73,6 +73,34 @@ func EnumerateFSM(f *Fusion, quick bool) (*TableIIEntry, *Recorder, error) {
 	states, trans := rec.Counts()
 	return &TableIIEntry{Pair: f.Name(), States: states, Transitions: trans,
 		Explored: res.States, Ok: res.Ok()}, rec, nil
+}
+
+// TableIICompileConfig is the Table II extraction configuration: one cache
+// per cluster driven by the standard enumeration workload, full coverage
+// unless quick. Exported so CLIs can set the extraction parallelism
+// (workers as in mcheck.Options: 0 = all cores).
+func TableIICompileConfig(quick bool, workers int) CompileConfig {
+	return CompileConfig{
+		CachesPerCluster: []int{1, 1},
+		Programs:         tableIIDriver(),
+		Evictions:        !quick,
+		Workers:          workers,
+	}
+}
+
+// EnumerateCompiled compiles the fusion for the Table II configuration and
+// returns the row derived from the compiled flat table (its FlatFSM
+// projection), alongside the compiled fusion for further use. The counts
+// must agree with EnumerateFSM's Recorder-derived counts — the Table II
+// cross-check in tableii_test.go pins this.
+func EnumerateCompiled(f *Fusion, quick bool) (*TableIIEntry, *CompiledFusion, error) {
+	cf, err := Compile(f, TableIICompileConfig(quick, 0))
+	if err != nil {
+		return nil, nil, err
+	}
+	states, trans := cf.FlatFSM().Counts()
+	return &TableIIEntry{Pair: f.Name(), States: states, Transitions: trans,
+		Explored: cf.Explored(), Ok: true}, cf, nil
 }
 
 // FormatTableII renders entries like the paper's Table II.

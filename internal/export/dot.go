@@ -58,16 +58,20 @@ func DOTProtocol(p *spec.Protocol) string {
 }
 
 // DOTMerged renders the enumerated merged-directory FSM (Table II's
-// machine) as a digraph. Composite states (e.g. "IxV·o1") become nodes;
-// edges carry the triggering message types.
+// machine) as a digraph via the shared flat-FSM path.
 func DOTMerged(name string, rec *core.Recorder) string {
+	return DOTFlat(rec.FlatFSM(name))
+}
+
+// DOTFlat renders a flattened merged-directory machine (recorded by a
+// core.Recorder or extracted by the fusion compiler) as a digraph.
+// Composite states (e.g. "IxV·o1") become nodes; edges carry the
+// triggering message types.
+func DOTFlat(fsm *core.FlatFSM) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "digraph %q {\n", name+"-merged")
+	fmt.Fprintf(&b, "digraph %q {\n", fsm.Name+"-merged")
 	b.WriteString("  rankdir=LR;\n  node [fontsize=10, shape=box];\n")
-	states := make([]string, 0, len(rec.States))
-	for s := range rec.States {
-		states = append(states, s)
-	}
+	states := append([]string(nil), fsm.States...)
 	sort.Strings(states)
 	for _, s := range states {
 		fmt.Fprintf(&b, "  %q;\n", s)
@@ -76,7 +80,7 @@ func DOTMerged(name string, rec *core.Recorder) string {
 	type pair struct{ from, to string }
 	labels := map[pair][]string{}
 	var order []pair
-	for _, e := range rec.Edges {
+	for _, e := range fsm.Edges {
 		k := pair{e.From, e.To}
 		if _, ok := labels[k]; !ok {
 			order = append(order, k)

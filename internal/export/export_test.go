@@ -42,7 +42,7 @@ func TestDOTMerged(t *testing.T) {
 	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
 		t.Fatalf("merged DOT malformed:\n%s", dot)
 	}
-	if len(rec.Edges) == 0 {
+	if fsm := rec.FlatFSM(f.Name()); len(fsm.Edges) == 0 {
 		t.Fatal("recorder collected no structured edges")
 	}
 	// Edge labels are deduplicated message-type lists.

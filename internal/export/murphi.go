@@ -27,6 +27,9 @@ func DefaultMurphiConfig() MurphiConfig {
 // for verification (§IV). The emitted text targets CMurphi 5.4.9.1.
 func Murphi(p *spec.Protocol, cfg MurphiConfig) string {
 	g := &murphiGen{p: p, cfg: cfg}
+	if p.Cache == nil && p.Dir != nil && p.Dir.Flat {
+		return g.generateFlat()
+	}
 	return g.generate()
 }
 
@@ -44,6 +47,52 @@ func (g *murphiGen) printf(format string, args ...interface{}) {
 func ident(prefix string, s string) string {
 	r := strings.NewReplacer("-", "_", "+", "p", " ", "_", ".", "_")
 	return prefix + r.Replace(s)
+}
+
+// flatIdent sanitizes a composite merged-directory state name — which may
+// carry proxy ('+p0.Msg'), bridge ('/wr-prop') and owner ('·o1') markers —
+// into a Murphi identifier.
+func flatIdent(prefix string, s string) string {
+	r := strings.NewReplacer("-", "_", "+", "p", " ", "_", ".", "_", "/", "_", "·", "_", ":", "_")
+	return prefix + r.Replace(s)
+}
+
+// generateFlat emits a Murphi model of a flat fused-directory projection
+// (a protocol with Dir.Flat and no cache controller, produced by the
+// fusion compiler): an abstract automaton over the composite states, one
+// rule per projected transition. Duplicate (state, event) rows become
+// separate rules — the projection's nondeterminism is modeled directly.
+func (g *murphiGen) generateFlat() string {
+	p := g.p
+	m := p.Dir
+	g.printf("-- Murphi model generated from flat fused directory %s\n", p.Name)
+	g.printf("-- HeteroGen-in-Go emitter; abstract projection automaton; target: CMurphi 5.4.9.1\n\n")
+
+	g.printf("type\n  FlatState: enum {")
+	for i, s := range m.States() {
+		if i > 0 {
+			g.printf(", ")
+		}
+		g.printf("%s", flatIdent("F_", string(s)))
+	}
+	g.printf("};\n\n")
+
+	g.printf("var\n  Dir: FlatState;\n\n")
+
+	g.printf("startstate \"init\"\nbegin\n  Dir := %s;\nend;\n\n", flatIdent("F_", string(m.Init)))
+
+	for i, t := range m.Rows {
+		g.printf("rule \"t%d %s --%s--> %s\"\n  Dir = %s\n==>\nbegin\n  Dir := %s;\nend;\n\n",
+			i, t.From, t.On.Msg, t.Next,
+			flatIdent("F_", string(t.From)), flatIdent("F_", string(t.Next)))
+	}
+
+	g.printf("-- stable (quiescent) composite states:")
+	for _, s := range m.Stable {
+		g.printf(" %s", flatIdent("F_", string(s)))
+	}
+	g.printf("\n")
+	return g.b.String()
 }
 
 func (g *murphiGen) generate() string {

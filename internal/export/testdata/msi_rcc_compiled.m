@@ -1,0 +1,519 @@
+-- Murphi model generated from flat fused directory MSI&RCC
+-- HeteroGen-in-Go emitter; abstract projection automaton; target: CMurphi 5.4.9.1
+
+type
+  FlatState: enum {F_IxV, F_IxV_o1, F_MxV_o0, F_SxV, F_SxV_o0, F_SxV_o1, F_IxVpp0_IM_AD_wr_prop, F_IxVpp0_MI_A_wr_prop, F_IxVpp0_MI_A_wr_prop_o0, F_IxVpp1_DI_A_wr_prop, F_IxVpp1_DI_A_wr_prop_o1, F_IxVpp1_ID_D_wr_prop, F_IxVpp1_ID_D_wr_prop_o1, F_IxVpp1_IV_D_rd_fetch_o1, F_IxVpp1_IV_D_wr_fetch_o1, F_MxVpp0_IM_A_wr_prop, F_MxVpp0_IM_A_wr_prop_o0, F_MxVpp0_IM_AD_wr_prop, F_MxVpp0_IM_AD_wr_prop_o0, F_MxVpp0_IS_D_rd_fetch_o0, F_MxVpp0_IS_D_wr_fetch_o0, F_MxVpp0_MI_A_wr_prop, F_MxVpp0_MI_A_wr_prop_o0, F_S_DxVpp0_IM_AD_wr_prop_o0, F_S_DxVpp0_IS_D_rd_fetch_o0, F_S_DxVpp0_IS_D_wr_fetch_o0, F_S_DxVpp0_SI_A_rd_fetch_o0, F_S_DxVpp0_SI_A_wr_fetch_o0, F_S_DxV_o0, F_SxVpp0_IM_AD_wr_prop, F_SxVpp0_IM_AD_wr_prop_o0, F_SxVpp0_IS_D_rd_fetch_o0, F_SxVpp0_IS_D_wr_fetch_o0, F_SxVpp0_SI_A_rd_fetch_o0, F_SxVpp0_SI_A_wr_fetch_o0, F_SxVpp1_DI_A_wr_prop, F_SxVpp1_DI_A_wr_prop_o1, F_SxVpp1_ID_D_wr_prop, F_SxVpp1_ID_D_wr_prop_o1, F_SxVpp1_IV_D_wr_fetch_o1};
+
+var
+  Dir: FlatState;
+
+startstate "init"
+begin
+  Dir := F_IxV;
+end;
+
+rule "t0 IxV --GetM--> IxV+p1.ID_D/wr-prop"
+  Dir = F_IxV
+==>
+begin
+  Dir := F_IxVpp1_ID_D_wr_prop;
+end;
+
+rule "t1 IxV --GetS--> SxV"
+  Dir = F_IxV
+==>
+begin
+  Dir := F_SxV;
+end;
+
+rule "t2 IxV --GetV--> IxV"
+  Dir = F_IxV
+==>
+begin
+  Dir := F_IxV;
+end;
+
+rule "t3 IxV --WB--> IxV+p0.IM_AD/wr-prop"
+  Dir = F_IxV
+==>
+begin
+  Dir := F_IxVpp0_IM_AD_wr_prop;
+end;
+
+rule "t4 IxV+p0.IM_AD/wr-prop --GetM--> MxV+p0.IM_AD/wr-prop"
+  Dir = F_IxVpp0_IM_AD_wr_prop
+==>
+begin
+  Dir := F_MxVpp0_IM_AD_wr_prop;
+end;
+
+rule "t5 IxV+p0.MI_A/wr-prop --PutAck--> IxV·o1"
+  Dir = F_IxVpp0_MI_A_wr_prop
+==>
+begin
+  Dir := F_IxV_o1;
+end;
+
+rule "t6 IxV+p0.MI_A/wr-prop·o0 --PutAck--> IxV·o1"
+  Dir = F_IxVpp0_MI_A_wr_prop_o0
+==>
+begin
+  Dir := F_IxV_o1;
+end;
+
+rule "t7 IxV+p1.DI_A/wr-prop --WB--> IxV+p1.DI_A/wr-prop"
+  Dir = F_IxVpp1_DI_A_wr_prop
+==>
+begin
+  Dir := F_IxVpp1_DI_A_wr_prop;
+end;
+
+rule "t8 IxV+p1.DI_A/wr-prop --WBAck--> MxV·o0"
+  Dir = F_IxVpp1_DI_A_wr_prop
+==>
+begin
+  Dir := F_MxV_o0;
+end;
+
+rule "t9 IxV+p1.DI_A/wr-prop·o1 --WB--> IxV+p1.DI_A/wr-prop·o1"
+  Dir = F_IxVpp1_DI_A_wr_prop_o1
+==>
+begin
+  Dir := F_IxVpp1_DI_A_wr_prop_o1;
+end;
+
+rule "t10 IxV+p1.DI_A/wr-prop·o1 --WBAck--> MxV·o0"
+  Dir = F_IxVpp1_DI_A_wr_prop_o1
+==>
+begin
+  Dir := F_MxV_o0;
+end;
+
+rule "t11 IxV+p1.ID_D/wr-prop --Data--> IxV+p1.DI_A/wr-prop"
+  Dir = F_IxVpp1_ID_D_wr_prop
+==>
+begin
+  Dir := F_IxVpp1_DI_A_wr_prop;
+end;
+
+rule "t12 IxV+p1.ID_D/wr-prop --GetV--> IxV+p1.ID_D/wr-prop"
+  Dir = F_IxVpp1_ID_D_wr_prop
+==>
+begin
+  Dir := F_IxVpp1_ID_D_wr_prop;
+end;
+
+rule "t13 IxV+p1.ID_D/wr-prop·o1 --Data--> IxV+p1.DI_A/wr-prop·o1"
+  Dir = F_IxVpp1_ID_D_wr_prop_o1
+==>
+begin
+  Dir := F_IxVpp1_DI_A_wr_prop_o1;
+end;
+
+rule "t14 IxV+p1.ID_D/wr-prop·o1 --GetV--> IxV+p1.ID_D/wr-prop·o1"
+  Dir = F_IxVpp1_ID_D_wr_prop_o1
+==>
+begin
+  Dir := F_IxVpp1_ID_D_wr_prop_o1;
+end;
+
+rule "t15 IxV+p1.IV_D/rd-fetch·o1 --Data--> SxV·o1"
+  Dir = F_IxVpp1_IV_D_rd_fetch_o1
+==>
+begin
+  Dir := F_SxV_o1;
+end;
+
+rule "t16 IxV+p1.IV_D/rd-fetch·o1 --GetV--> IxV+p1.IV_D/rd-fetch·o1"
+  Dir = F_IxVpp1_IV_D_rd_fetch_o1
+==>
+begin
+  Dir := F_IxVpp1_IV_D_rd_fetch_o1;
+end;
+
+rule "t17 IxV+p1.IV_D/wr-fetch·o1 --Data--> IxV+p1.ID_D/wr-prop·o1"
+  Dir = F_IxVpp1_IV_D_wr_fetch_o1
+==>
+begin
+  Dir := F_IxVpp1_ID_D_wr_prop_o1;
+end;
+
+rule "t18 IxV+p1.IV_D/wr-fetch·o1 --GetV--> IxV+p1.IV_D/wr-fetch·o1"
+  Dir = F_IxVpp1_IV_D_wr_fetch_o1
+==>
+begin
+  Dir := F_IxVpp1_IV_D_wr_fetch_o1;
+end;
+
+rule "t19 IxV·o1 --GetM--> IxV+p1.IV_D/wr-fetch·o1"
+  Dir = F_IxV_o1
+==>
+begin
+  Dir := F_IxVpp1_IV_D_wr_fetch_o1;
+end;
+
+rule "t20 IxV·o1 --GetS--> IxV+p1.IV_D/rd-fetch·o1"
+  Dir = F_IxV_o1
+==>
+begin
+  Dir := F_IxVpp1_IV_D_rd_fetch_o1;
+end;
+
+rule "t21 MxV+p0.IM_A/wr-prop --InvAck--> MxV+p0.MI_A/wr-prop"
+  Dir = F_MxVpp0_IM_A_wr_prop
+==>
+begin
+  Dir := F_MxVpp0_MI_A_wr_prop;
+end;
+
+rule "t22 MxV+p0.IM_A/wr-prop·o0 --InvAck--> MxV+p0.MI_A/wr-prop·o0"
+  Dir = F_MxVpp0_IM_A_wr_prop_o0
+==>
+begin
+  Dir := F_MxVpp0_MI_A_wr_prop_o0;
+end;
+
+rule "t23 MxV+p0.IM_AD/wr-prop --Data--> MxV+p0.IM_A/wr-prop"
+  Dir = F_MxVpp0_IM_AD_wr_prop
+==>
+begin
+  Dir := F_MxVpp0_IM_A_wr_prop;
+end;
+
+rule "t24 MxV+p0.IM_AD/wr-prop --Data--> MxV+p0.MI_A/wr-prop"
+  Dir = F_MxVpp0_IM_AD_wr_prop
+==>
+begin
+  Dir := F_MxVpp0_MI_A_wr_prop;
+end;
+
+rule "t25 MxV+p0.IM_AD/wr-prop --InvAck--> MxV+p0.IM_AD/wr-prop"
+  Dir = F_MxVpp0_IM_AD_wr_prop
+==>
+begin
+  Dir := F_MxVpp0_IM_AD_wr_prop;
+end;
+
+rule "t26 MxV+p0.IM_AD/wr-prop·o0 --Data--> MxV+p0.IM_A/wr-prop·o0"
+  Dir = F_MxVpp0_IM_AD_wr_prop_o0
+==>
+begin
+  Dir := F_MxVpp0_IM_A_wr_prop_o0;
+end;
+
+rule "t27 MxV+p0.IM_AD/wr-prop·o0 --Data--> MxV+p0.MI_A/wr-prop·o0"
+  Dir = F_MxVpp0_IM_AD_wr_prop_o0
+==>
+begin
+  Dir := F_MxVpp0_MI_A_wr_prop_o0;
+end;
+
+rule "t28 MxV+p0.IM_AD/wr-prop·o0 --InvAck--> MxV+p0.IM_AD/wr-prop·o0"
+  Dir = F_MxVpp0_IM_AD_wr_prop_o0
+==>
+begin
+  Dir := F_MxVpp0_IM_AD_wr_prop_o0;
+end;
+
+rule "t29 MxV+p0.IS_D/rd-fetch·o0 --GetS--> S_DxV+p0.IS_D/rd-fetch·o0"
+  Dir = F_MxVpp0_IS_D_rd_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_IS_D_rd_fetch_o0;
+end;
+
+rule "t30 MxV+p0.IS_D/wr-fetch·o0 --GetS--> S_DxV+p0.IS_D/wr-fetch·o0"
+  Dir = F_MxVpp0_IS_D_wr_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_IS_D_wr_fetch_o0;
+end;
+
+rule "t31 MxV+p0.MI_A/wr-prop --PutM--> IxV+p0.MI_A/wr-prop"
+  Dir = F_MxVpp0_MI_A_wr_prop
+==>
+begin
+  Dir := F_IxVpp0_MI_A_wr_prop;
+end;
+
+rule "t32 MxV+p0.MI_A/wr-prop·o0 --PutM--> IxV+p0.MI_A/wr-prop·o0"
+  Dir = F_MxVpp0_MI_A_wr_prop_o0
+==>
+begin
+  Dir := F_IxVpp0_MI_A_wr_prop_o0;
+end;
+
+rule "t33 MxV·o0 --GetV--> MxV+p0.IS_D/rd-fetch·o0"
+  Dir = F_MxV_o0
+==>
+begin
+  Dir := F_MxVpp0_IS_D_rd_fetch_o0;
+end;
+
+rule "t34 MxV·o0 --WB--> MxV+p0.IS_D/wr-fetch·o0"
+  Dir = F_MxV_o0
+==>
+begin
+  Dir := F_MxVpp0_IS_D_wr_fetch_o0;
+end;
+
+rule "t35 S_DxV+p0.IM_AD/wr-prop·o0 --Data--> SxV+p0.IM_AD/wr-prop·o0"
+  Dir = F_S_DxVpp0_IM_AD_wr_prop_o0
+==>
+begin
+  Dir := F_SxVpp0_IM_AD_wr_prop_o0;
+end;
+
+rule "t36 S_DxV+p0.IS_D/rd-fetch·o0 --Data--> S_DxV+p0.SI_A/rd-fetch·o0"
+  Dir = F_S_DxVpp0_IS_D_rd_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_SI_A_rd_fetch_o0;
+end;
+
+rule "t37 S_DxV+p0.IS_D/rd-fetch·o0 --Data--> SxV+p0.IS_D/rd-fetch·o0"
+  Dir = F_S_DxVpp0_IS_D_rd_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_IS_D_rd_fetch_o0;
+end;
+
+rule "t38 S_DxV+p0.IS_D/wr-fetch·o0 --Data--> S_DxV+p0.SI_A/wr-fetch·o0"
+  Dir = F_S_DxVpp0_IS_D_wr_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_SI_A_wr_fetch_o0;
+end;
+
+rule "t39 S_DxV+p0.IS_D/wr-fetch·o0 --Data--> SxV+p0.IS_D/wr-fetch·o0"
+  Dir = F_S_DxVpp0_IS_D_wr_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_IS_D_wr_fetch_o0;
+end;
+
+rule "t40 S_DxV+p0.SI_A/rd-fetch·o0 --Data--> SxV+p0.SI_A/rd-fetch·o0"
+  Dir = F_S_DxVpp0_SI_A_rd_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_SI_A_rd_fetch_o0;
+end;
+
+rule "t41 S_DxV+p0.SI_A/rd-fetch·o0 --PutAck--> S_DxV·o0"
+  Dir = F_S_DxVpp0_SI_A_rd_fetch_o0
+==>
+begin
+  Dir := F_S_DxV_o0;
+end;
+
+rule "t42 S_DxV+p0.SI_A/rd-fetch·o0 --PutS--> S_DxV+p0.SI_A/rd-fetch·o0"
+  Dir = F_S_DxVpp0_SI_A_rd_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_SI_A_rd_fetch_o0;
+end;
+
+rule "t43 S_DxV+p0.SI_A/wr-fetch·o0 --Data--> SxV+p0.SI_A/wr-fetch·o0"
+  Dir = F_S_DxVpp0_SI_A_wr_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_SI_A_wr_fetch_o0;
+end;
+
+rule "t44 S_DxV+p0.SI_A/wr-fetch·o0 --PutAck--> S_DxV+p0.IM_AD/wr-prop·o0"
+  Dir = F_S_DxVpp0_SI_A_wr_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_IM_AD_wr_prop_o0;
+end;
+
+rule "t45 S_DxV+p0.SI_A/wr-fetch·o0 --PutS--> S_DxV+p0.SI_A/wr-fetch·o0"
+  Dir = F_S_DxVpp0_SI_A_wr_fetch_o0
+==>
+begin
+  Dir := F_S_DxVpp0_SI_A_wr_fetch_o0;
+end;
+
+rule "t46 S_DxV·o0 --Data--> SxV·o0"
+  Dir = F_S_DxV_o0
+==>
+begin
+  Dir := F_SxV_o0;
+end;
+
+rule "t47 S_DxV·o0 --WB--> S_DxV+p0.IS_D/wr-fetch·o0"
+  Dir = F_S_DxV_o0
+==>
+begin
+  Dir := F_S_DxVpp0_IS_D_wr_fetch_o0;
+end;
+
+rule "t48 SxV --GetM--> SxV+p1.ID_D/wr-prop"
+  Dir = F_SxV
+==>
+begin
+  Dir := F_SxVpp1_ID_D_wr_prop;
+end;
+
+rule "t49 SxV --GetV--> SxV"
+  Dir = F_SxV
+==>
+begin
+  Dir := F_SxV;
+end;
+
+rule "t50 SxV --WB--> SxV+p0.IM_AD/wr-prop"
+  Dir = F_SxV
+==>
+begin
+  Dir := F_SxVpp0_IM_AD_wr_prop;
+end;
+
+rule "t51 SxV+p0.IM_AD/wr-prop --GetM--> MxV+p0.IM_AD/wr-prop"
+  Dir = F_SxVpp0_IM_AD_wr_prop
+==>
+begin
+  Dir := F_MxVpp0_IM_AD_wr_prop;
+end;
+
+rule "t52 SxV+p0.IM_AD/wr-prop·o0 --GetM--> MxV+p0.IM_AD/wr-prop·o0"
+  Dir = F_SxVpp0_IM_AD_wr_prop_o0
+==>
+begin
+  Dir := F_MxVpp0_IM_AD_wr_prop_o0;
+end;
+
+rule "t53 SxV+p0.IS_D/rd-fetch·o0 --Data--> SxV+p0.SI_A/rd-fetch·o0"
+  Dir = F_SxVpp0_IS_D_rd_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_SI_A_rd_fetch_o0;
+end;
+
+rule "t54 SxV+p0.IS_D/wr-fetch·o0 --Data--> SxV+p0.SI_A/wr-fetch·o0"
+  Dir = F_SxVpp0_IS_D_wr_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_SI_A_wr_fetch_o0;
+end;
+
+rule "t55 SxV+p0.IS_D/wr-fetch·o0 --GetS--> SxV+p0.IS_D/wr-fetch·o0"
+  Dir = F_SxVpp0_IS_D_wr_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_IS_D_wr_fetch_o0;
+end;
+
+rule "t56 SxV+p0.SI_A/rd-fetch·o0 --PutAck--> SxV·o0"
+  Dir = F_SxVpp0_SI_A_rd_fetch_o0
+==>
+begin
+  Dir := F_SxV_o0;
+end;
+
+rule "t57 SxV+p0.SI_A/rd-fetch·o0 --PutS--> SxV+p0.SI_A/rd-fetch·o0"
+  Dir = F_SxVpp0_SI_A_rd_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_SI_A_rd_fetch_o0;
+end;
+
+rule "t58 SxV+p0.SI_A/wr-fetch·o0 --PutAck--> SxV+p0.IM_AD/wr-prop·o0"
+  Dir = F_SxVpp0_SI_A_wr_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_IM_AD_wr_prop_o0;
+end;
+
+rule "t59 SxV+p0.SI_A/wr-fetch·o0 --PutS--> SxV+p0.SI_A/wr-fetch·o0"
+  Dir = F_SxVpp0_SI_A_wr_fetch_o0
+==>
+begin
+  Dir := F_SxVpp0_SI_A_wr_fetch_o0;
+end;
+
+rule "t60 SxV+p1.DI_A/wr-prop --WB--> SxV+p1.DI_A/wr-prop"
+  Dir = F_SxVpp1_DI_A_wr_prop
+==>
+begin
+  Dir := F_SxVpp1_DI_A_wr_prop;
+end;
+
+rule "t61 SxV+p1.DI_A/wr-prop --WBAck--> MxV·o0"
+  Dir = F_SxVpp1_DI_A_wr_prop
+==>
+begin
+  Dir := F_MxV_o0;
+end;
+
+rule "t62 SxV+p1.DI_A/wr-prop·o1 --WB--> SxV+p1.DI_A/wr-prop·o1"
+  Dir = F_SxVpp1_DI_A_wr_prop_o1
+==>
+begin
+  Dir := F_SxVpp1_DI_A_wr_prop_o1;
+end;
+
+rule "t63 SxV+p1.DI_A/wr-prop·o1 --WBAck--> MxV·o0"
+  Dir = F_SxVpp1_DI_A_wr_prop_o1
+==>
+begin
+  Dir := F_MxV_o0;
+end;
+
+rule "t64 SxV+p1.ID_D/wr-prop --Data--> SxV+p1.DI_A/wr-prop"
+  Dir = F_SxVpp1_ID_D_wr_prop
+==>
+begin
+  Dir := F_SxVpp1_DI_A_wr_prop;
+end;
+
+rule "t65 SxV+p1.ID_D/wr-prop --GetV--> SxV+p1.ID_D/wr-prop"
+  Dir = F_SxVpp1_ID_D_wr_prop
+==>
+begin
+  Dir := F_SxVpp1_ID_D_wr_prop;
+end;
+
+rule "t66 SxV+p1.ID_D/wr-prop·o1 --Data--> SxV+p1.DI_A/wr-prop·o1"
+  Dir = F_SxVpp1_ID_D_wr_prop_o1
+==>
+begin
+  Dir := F_SxVpp1_DI_A_wr_prop_o1;
+end;
+
+rule "t67 SxV+p1.ID_D/wr-prop·o1 --GetV--> SxV+p1.ID_D/wr-prop·o1"
+  Dir = F_SxVpp1_ID_D_wr_prop_o1
+==>
+begin
+  Dir := F_SxVpp1_ID_D_wr_prop_o1;
+end;
+
+rule "t68 SxV+p1.IV_D/wr-fetch·o1 --Data--> SxV+p1.ID_D/wr-prop·o1"
+  Dir = F_SxVpp1_IV_D_wr_fetch_o1
+==>
+begin
+  Dir := F_SxVpp1_ID_D_wr_prop_o1;
+end;
+
+rule "t69 SxV+p1.IV_D/wr-fetch·o1 --GetV--> SxV+p1.IV_D/wr-fetch·o1"
+  Dir = F_SxVpp1_IV_D_wr_fetch_o1
+==>
+begin
+  Dir := F_SxVpp1_IV_D_wr_fetch_o1;
+end;
+
+rule "t70 SxV·o0 --WB--> SxV+p0.IS_D/wr-fetch·o0"
+  Dir = F_SxV_o0
+==>
+begin
+  Dir := F_SxVpp0_IS_D_wr_fetch_o0;
+end;
+
+rule "t71 SxV·o1 --GetM--> SxV+p1.IV_D/wr-fetch·o1"
+  Dir = F_SxV_o1
+==>
+begin
+  Dir := F_SxVpp1_IV_D_wr_fetch_o1;
+end;
+
+-- stable (quiescent) composite states: F_IxV F_IxV_o1 F_MxV_o0 F_SxV F_SxV_o0 F_SxV_o1

@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -62,6 +63,13 @@ type Options struct {
 	// (mcheck.Options.SpillDir): non-empty bounds each test's frontier
 	// memory by spilling BFS waves to files under the directory.
 	SpillDir string
+	// Compiled checks each test against the fusion's compiled flat table
+	// (core.Compile) instead of the interpreted composite directory: the
+	// fusion is compiled per test configuration (caches and programs), then
+	// the search runs over the table transducer. Verdicts are identical by
+	// the compiler's differential contract; the table pays one extraction
+	// up front for cheap table-lookup deliveries during the search.
+	Compiled bool
 }
 
 // Result is the verdict of one litmus test run.
@@ -79,6 +87,7 @@ type Result struct {
 	Truncated     bool
 	Outcomes      int           // distinct observable outcomes
 	Elapsed       time.Duration // wall-clock time of the exploration
+	Engine        string        // directory engine label ("" = unlabeled)
 }
 
 // Pass reports whether the protocol passed this test.
@@ -97,8 +106,12 @@ func (r *Result) String() string {
 	case r.Truncated:
 		status = "Out of memory"
 	}
-	return fmt.Sprintf("%-8s %-18s alloc=%v states=%-7d outcomes=%-3d %s",
+	s := fmt.Sprintf("%-8s %-18s alloc=%v states=%-7d outcomes=%-3d %s",
 		r.Shape, r.Pair, r.Assign, r.States, r.Outcomes, status)
+	if r.Engine != "" {
+		s += fmt.Sprintf(" [%s]", r.Engine)
+	}
+	return s
 }
 
 // Allocations enumerates thread→cluster assignments. When all is false,
@@ -220,6 +233,24 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
 
 	start := time.Now()
+	if opts.Compiled {
+		// Lower the fusion to its flat table for exactly this test
+		// configuration; the extraction cost counts toward Elapsed so the
+		// engines compare end to end.
+		cf, err := core.Compile(f, core.CompileConfig{
+			CachesPerCluster: perCluster, Programs: progs,
+			Evictions: opts.Evictions, MaxStates: opts.MaxStates,
+			Workers: opts.ExploreWorkers,
+		})
+		if err != nil {
+			if errors.Is(err, core.ErrCompileTruncated) {
+				return &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
+					Truncated: true, Engine: core.EngineCompiled, Elapsed: time.Since(start)}
+			}
+			panic(err)
+		}
+		sys = cf.System()
+	}
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		HashCompaction: opts.HashCompaction,
@@ -237,7 +268,8 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 
 	out := &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
 		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
-		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed}
+		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed,
+		Engine: res.Engine}
 	for k := range res.Outcomes {
 		if _, ok := allowed[k]; !ok {
 			out.BadOutcomes = append(out.BadOutcomes, k)
@@ -353,7 +385,8 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 	allowed := memmodel.AllowedOutcomesMem(ap, memmodel.Homogeneous(model, len(ap.Threads)), memKeys)
 	out := &Result{Shape: shape.Name, Pair: p.Name, Assign: assign,
 		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
-		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed}
+		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed,
+		Engine: res.Engine}
 	for k := range res.Outcomes {
 		if _, ok := allowed[k]; !ok {
 			out.BadOutcomes = append(out.BadOutcomes, k)

@@ -143,6 +143,7 @@ type Result struct {
 	MaxStates     int                 // the state budget that was in effect
 	SymmetryPerms int                 // symmetry group order in effect (1 = unreduced)
 	PORReduced    int                 // states expanded through an ample subset only (0 = POR off or never hit)
+	Engine        string              // System.Engine() label of the searched system ("" = unlabeled)
 
 	// State-storage accounting (see storage.go).
 	BudgetFull     bool    // truncation came from the storage MemBudget, not MaxStates
@@ -168,6 +169,9 @@ func (r *Result) Ok() bool {
 func (r *Result) String() string {
 	s := fmt.Sprintf("%d states, %d transitions, %d deadlocks, %d outcomes",
 		r.States, r.Transitions, r.Deadlocks, len(r.Outcomes))
+	if r.Engine != "" {
+		s += fmt.Sprintf(" [%s]", r.Engine)
+	}
 	if r.SymmetryPerms > 1 {
 		s += fmt.Sprintf(" (symmetry ×%d)", r.SymmetryPerms)
 	}
@@ -376,6 +380,7 @@ func Explore(initial *System, opts Options) *Result {
 	}
 	stopProgress()
 	res.SymmetryPerms = ctx.canon.Perms()
+	res.Engine = initial.Engine()
 
 	st := visited.stats()
 	res.Storage = st.mode

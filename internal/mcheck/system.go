@@ -80,6 +80,39 @@ type System struct {
 	coreMask []uint64
 	chans    []chanState // nonempty channels, sorted by key
 	mc       moveCache   // incrementally maintained enabled-move sets
+	// engine names the directory-evaluation strategy backing the system
+	// ("interpreted composite", "compiled table"); Result and the CLIs
+	// surface it so runs are unambiguous. Empty for plain systems.
+	engine string
+}
+
+// SetEngine labels the system's directory-evaluation engine; Engine reads
+// the label back (empty when never set).
+func (s *System) SetEngine(name string) { s.engine = name }
+
+// Engine returns the engine label set with SetEngine.
+func (s *System) Engine() string { return s.engine }
+
+// SwapComponent replaces component i with c, which must own exactly the
+// same node ids (so the shared route table stays valid). The move cache is
+// invalidated wholesale; the caller re-derives any cached state.
+func (s *System) SwapComponent(i int, c spec.Component) error {
+	if i < 0 || i >= len(s.Components) {
+		return fmt.Errorf("mcheck: SwapComponent index %d out of range", i)
+	}
+	old := s.Components[i].OwnedIDs()
+	nu := c.OwnedIDs()
+	if len(old) != len(nu) {
+		return fmt.Errorf("mcheck: SwapComponent id mismatch: %v vs %v", old, nu)
+	}
+	for j := range old {
+		if old[j] != nu[j] {
+			return fmt.Errorf("mcheck: SwapComponent id mismatch: %v vs %v", old, nu)
+		}
+	}
+	s.Components[i] = c
+	s.invalidateMoveCache()
+	return nil
 }
 
 // moveCacheComps bounds how many components the incremental move cache
@@ -267,7 +300,8 @@ func (s *System) Clone() *System {
 		cores[i] = &coreArr[i]
 	}
 	cp := &System{Components: comps, Cores: cores, Mem: mem,
-		OnDeliver: s.OnDeliver, route: s.route, coreMask: s.coreMask, mc: s.mc}
+		OnDeliver: s.OnDeliver, route: s.route, coreMask: s.coreMask, mc: s.mc,
+		engine: s.engine}
 	if len(s.chans) > 0 {
 		total := 0
 		for i := range s.chans {

@@ -73,6 +73,15 @@ type Machine struct {
 	// (TSO-CC-basic's conservative staleness bound).
 	InvalidateOnFill []State
 
+	// Flat marks a machine projected from a compiled fusion's flat
+	// transition table. A flat machine is an observation, not an executable
+	// controller: its rows carry no actions, and the same (state, event)
+	// pair may appear with several next states — the projection collapses
+	// transducer states that differ only in hidden context (other
+	// addresses, memory) onto one composite local state. Validate relaxes
+	// the duplicate-row check accordingly.
+	Flat bool
+
 	index     map[State]map[MsgType][]*Transition
 	core      map[State]map[CoreOp]*Transition
 	stateIdx  map[State]int // dense state numbering for binary encoding
@@ -307,7 +316,7 @@ func (m *Machine) Validate() error {
 	seen := map[key]bool{}
 	for _, t := range m.Rows {
 		k := key{t.From, t.On}
-		if seen[k] {
+		if seen[k] && !m.Flat {
 			return fmt.Errorf("spec: machine %s has duplicate row %s on %s", m.Name, t.From, t.On)
 		}
 		seen[k] = true
@@ -354,6 +363,7 @@ func (m *Machine) Clone() *Machine {
 		Name:   m.Name,
 		Kind:   m.Kind,
 		Init:   m.Init,
+		Flat:   m.Flat,
 		Stable: append([]State(nil), m.Stable...),
 		Rows:   make([]Transition, len(m.Rows)),
 	}

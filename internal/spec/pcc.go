@@ -167,6 +167,11 @@ func parseSectionLine(f []string) (*Machine, error) {
 			}
 			m.Init = State(f[i+1])
 			i += 2
+		case "flat":
+			// A projected flat machine (compiled fusion directory): no
+			// actions, duplicate (state, event) rows allowed.
+			m.Flat = true
+			i++
 		case "stable":
 			for _, s := range f[i+1:] {
 				m.Stable = append(m.Stable, State(s))
@@ -386,7 +391,10 @@ func parseAction(s string) (Action, error) {
 // through ParsePCC).
 func ExportPCC(p *Protocol) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "protocol %s model %s", p.Name, p.Model)
+	fmt.Fprintf(&b, "protocol %s", p.Name)
+	if p.Model != "" {
+		fmt.Fprintf(&b, " model %s", p.Model)
+	}
 	if p.AckType != "" {
 		fmt.Fprintf(&b, " acktype %s", p.AckType)
 	}
@@ -413,14 +421,20 @@ func ExportPCC(p *Protocol) string {
 		b.WriteString("\n")
 	}
 	b.WriteString("\n")
-	exportMachine(&b, "cache", p.Cache)
-	b.WriteString("\n")
+	if p.Cache != nil {
+		exportMachine(&b, "cache", p.Cache)
+		b.WriteString("\n")
+	}
 	exportMachine(&b, "dir", p.Dir)
 	return b.String()
 }
 
 func exportMachine(b *strings.Builder, kind string, m *Machine) {
-	fmt.Fprintf(b, "%s init %s stable", kind, m.Init)
+	fmt.Fprintf(b, "%s init %s", kind, m.Init)
+	if m.Flat {
+		b.WriteString(" flat")
+	}
+	b.WriteString(" stable")
 	for _, s := range m.Stable {
 		fmt.Fprintf(b, " %s", s)
 	}

@@ -59,21 +59,31 @@ const EvLastAck MsgType = "__lastack"
 func OnLastAck() Event { return OnMsg(EvLastAck) }
 
 // Validate checks the protocol's machines and message references.
+//
+// A flat protocol — the projection of a compiled fusion's merged
+// directory, marked by Dir.Flat — is directory-only: Cache may be nil and
+// Model may be empty (the fused clusters enforce their own models; the
+// projection asserts none). All other structural checks still apply.
 func (p *Protocol) Validate() error {
-	if p.Cache == nil || p.Dir == nil {
+	flat := p.Dir != nil && p.Dir.Flat
+	if p.Dir == nil || (p.Cache == nil && !flat) {
 		return fmt.Errorf("spec: protocol %s missing a controller", p.Name)
 	}
-	if p.Cache.Kind != CacheCtrl || p.Dir.Kind != DirCtrl {
+	if (p.Cache != nil && p.Cache.Kind != CacheCtrl) || p.Dir.Kind != DirCtrl {
 		return fmt.Errorf("spec: protocol %s controllers have wrong kinds", p.Name)
 	}
-	if err := p.Cache.Validate(); err != nil {
-		return err
+	if p.Cache != nil {
+		if err := p.Cache.Validate(); err != nil {
+			return err
+		}
 	}
 	if err := p.Dir.Validate(); err != nil {
 		return err
 	}
-	if _, err := memmodel.ByID(p.Model); err != nil {
-		return fmt.Errorf("spec: protocol %s: %w", p.Name, err)
+	if p.Model != "" || !flat {
+		if _, err := memmodel.ByID(p.Model); err != nil {
+			return fmt.Errorf("spec: protocol %s: %w", p.Name, err)
+		}
 	}
 	check := func(m *Machine) error {
 		for _, t := range m.Rows {
@@ -92,8 +102,10 @@ func (p *Protocol) Validate() error {
 		}
 		return nil
 	}
-	if err := check(p.Cache); err != nil {
-		return err
+	if p.Cache != nil {
+		if err := check(p.Cache); err != nil {
+			return err
+		}
 	}
 	if err := check(p.Dir); err != nil {
 		return err
