@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage bench-por bench-compile allocs vet profile
+.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage bench-por bench-compile bench-sim allocs vet profile
 
 all: build
 
@@ -23,12 +23,13 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/... ./internal/core/...
 
-# Allocation regression guard on the search hot path (Clone+Apply+encode)
-# plus the bytes-per-state guard on the compacted visited table. Runs
+# Allocation regression guards: the search hot path (Clone+Apply+encode)
+# plus the bytes-per-state guard on the compacted visited table, and the
+# simulator's discrete-event loop (allocs per memory operation). Runs
 # without the race detector: its instrumentation changes alloc counts, so
-# the alloc guard file is build-tagged out of `make race`.
+# the alloc guard files are build-tagged out of `make race`.
 allocs:
-	$(GO) test -run 'TestAllocRegression|TestBytesPerStateRegression' ./internal/mcheck
+	$(GO) test -run 'TestAllocRegression|TestBytesPerStateRegression' ./internal/mcheck ./internal/sim
 
 # The verification gate: vet, race-checked tests of the concurrent
 # packages, and the allocation guard.
@@ -64,6 +65,14 @@ bench-por:
 # through an already-compiled table.
 bench-compile:
 	$(GO) test -run XXX -bench 'BenchmarkCompile' -benchtime 1x -timeout 30m .
+
+# Regenerate BENCH_SIM.json: the full-scale Figure 10 sweep (compiled
+# dispatch), the stress trace families and the Table II pair sweep, all
+# through the parallel scenario runner. The figure10 section records the
+# wall-clock against the pre-optimization sequential engine's measured
+# baseline (see EXPERIMENTS.md §VIII).
+bench-sim:
+	$(GO) run ./cmd/hgsim -compiled -family all -pairs -json BENCH_SIM.json
 
 # CPU- and heap-profile the §VII-C search (POR on, hash compaction).
 # Writes /tmp/hgcheck.{cpu,mem}.pprof; inspect with

@@ -77,6 +77,32 @@ func (s *Search) StartProfiling() (func() error, error) {
 	return profiling.Start(s.CPUProfile, s.MemProfile)
 }
 
+// Perf holds the worker-parallelism and profiling flags shared by
+// commands that sweep simulations rather than search a state space
+// (hgsim). It is the slim subset of Search: same spellings, same
+// semantics, none of the visited-set machinery.
+type Perf struct {
+	// Workers is the -workers parallelism (0 = all cores, 1 = sequential).
+	Workers int
+	// CPUProfile and MemProfile are -cpuprofile/-memprofile output paths.
+	CPUProfile string
+	MemProfile string
+}
+
+// Register installs the perf flags on fs with the current field values as
+// defaults.
+func (p *Perf) Register(fs *flag.FlagSet) {
+	fs.IntVar(&p.Workers, "workers", p.Workers, "worker parallelism (0 = all cores, 1 = sequential deterministic order)")
+	fs.StringVar(&p.CPUProfile, "cpuprofile", p.CPUProfile, "write a pprof CPU profile to this file")
+	fs.StringVar(&p.MemProfile, "memprofile", p.MemProfile, "write a pprof heap profile to this file on exit")
+}
+
+// StartProfiling begins CPU/heap profiling per the parsed flags and
+// returns the stop function (a no-op when both flags are empty).
+func (p *Perf) StartProfiling() (func() error, error) {
+	return profiling.Start(p.CPUProfile, p.MemProfile)
+}
+
 // ParseBytes reads a byte size with an optional binary-unit suffix
 // (K/M/G, KB/MB/GB, KiB/MiB/GiB — all powers of 1024, Murphi-style).
 func ParseBytes(s string) (int64, error) {

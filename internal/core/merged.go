@@ -87,6 +87,23 @@ func (t *proxyTask) snapshot(b *spec.SnapshotWriter) {
 	fmt.Fprintf(b, "t{c%d,p%d,i%d,%t,%t,%t}", t.cluster, t.proxyIdx, t.idx, t.issued, t.evicting, t.done)
 }
 
+// waitKind classifies what a blocked bridge is waiting for (lazy-advance
+// bookkeeping; see SetLazyAdvance).
+type waitKind uint8
+
+const (
+	wHSAck waitKind = iota // the handshake ack for this bridge's address
+	wPool                  // a free proxy slot in cluster arg
+	wProxy                 // a successful delivery to proxy node arg
+	wDir                   // a successful delivery to cluster arg's directory
+)
+
+// waitCond is one blocking condition of a lazily-advanced bridge.
+type waitCond struct {
+	kind waitKind
+	arg  int
+}
+
 // bridge is one in-flight cross-cluster operation: the write-propagation or
 // read-fetch triggered by an intercepted request (§VI-C, Figure 7).
 type bridge struct {
@@ -102,6 +119,12 @@ type bridge struct {
 	hsWith   int // cluster handshaken with
 	fetch    *proxyTask
 	props    []*proxyTask
+
+	// Lazy-advance bookkeeping (unused in the default eager mode): the
+	// conditions this bridge blocked on after its last drive, and whether
+	// one of them has fired since.
+	waits []waitCond
+	woken bool
 }
 
 func (br *bridge) snapshot(b *spec.SnapshotWriter) {
@@ -141,6 +164,12 @@ type MergedDir struct {
 	bridges   []*bridge   // in-flight bridges, sorted by address
 	busySrc   spec.NodeSet
 	proxyBusy spec.NodeSet
+
+	// lazy switches advance from the eager full fixpoint to the
+	// event-driven scheme (SetLazyAdvance); lazyWake is the global "some
+	// bridge may be runnable" latch.
+	lazy     bool
+	lazyWake bool
 
 	rec   *Recorder
 	obs   dirObserver
@@ -330,11 +359,19 @@ func (d *MergedDir) deliver(env spec.Env, m spec.Msg) bool {
 	case msgHSAck:
 		if br := d.bridgeAt(m.Addr); br != nil {
 			br.hsDone = true
+			if d.lazy {
+				br.woken = true
+				d.lazyWake = true
+			}
 		}
 		return true
 	}
 	if ci, pi := d.proxyAt(m.Dst); ci >= 0 {
-		return d.proxies[ci][pi].Deliver(env, m)
+		ok := d.proxies[ci][pi].Deliver(env, m)
+		if ok {
+			d.wake(wProxy, int(m.Dst))
+		}
+		return ok
 	}
 	cluster := d.clusterOfDir(m.Dst)
 	if cluster < 0 {
@@ -343,9 +380,20 @@ func (d *MergedDir) deliver(env spec.Env, m spec.Msg) bool {
 	// Proxy-originated traffic and responses flow straight to the
 	// sub-directory; only fresh requests from real caches are intercepted.
 	if d.isProxySrc(cluster, m.Src) || m.VNet != spec.VReq {
-		return d.dirs[cluster].Deliver(env, m)
+		return d.deliverDir(env, cluster, m)
 	}
 	return d.intake(env, cluster, m)
+}
+
+// deliverDir hands a message to a sub-directory, firing the lazy-advance
+// wakeup on success (a line-state change there can unblock a bridge's
+// final delivery).
+func (d *MergedDir) deliverDir(env spec.Env, cluster int, m spec.Msg) bool {
+	ok := d.dirs[cluster].Deliver(env, m)
+	if ok {
+		d.wake(wDir, cluster)
+	}
+	return ok
 }
 
 // intake applies the §VI-D5 rules to a request from a real cache.
@@ -370,7 +418,7 @@ func (d *MergedDir) intake(env spec.Env, cluster int, m spec.Msg) bool {
 			return false
 		}
 		if m.HasData && !writesMem(tr) {
-			return d.dirs[cluster].Deliver(env, m)
+			return d.deliverDir(env, cluster, m)
 		}
 		d.startBridge(env, cluster, m, true)
 		return true
@@ -378,7 +426,7 @@ func (d *MergedDir) intake(env spec.Env, cluster int, m spec.Msg) bool {
 		d.startBridge(env, cluster, m, false)
 		return true
 	default:
-		return d.dirs[cluster].Deliver(env, m)
+		return d.deliverDir(env, cluster, m)
 	}
 }
 
@@ -420,6 +468,7 @@ func (d *MergedDir) startBridge(env spec.Env, cluster int, m spec.Msg, isWrite b
 		}
 	}
 	d.addBridge(br)
+	d.lazyWake = true // a fresh bridge is always runnable
 	if d.fusion.Conservative {
 		d.busySrc.Add(m.Src)
 	}
@@ -441,11 +490,88 @@ func reqsOf(seq []spec.CoreOp, a spec.Addr, value int) []spec.CoreReq {
 	return out
 }
 
+// SetLazyAdvance switches the bridge-driving strategy. The default (off)
+// is the eager fixpoint: every delivery re-drives every in-flight bridge
+// until nothing changes — simple, and what the model checker and fusion
+// compiler run. On, advance becomes event-driven: after each drive a
+// bridge records the conditions it blocked on (handshake ack, proxy-pool
+// slot, a delivery to a specific proxy, a delivery to a sub-directory)
+// and is re-driven only when one fires. advanceBridge always runs a
+// bridge to a genuine blocking point and returns acted=false with no side
+// effects when nothing can happen, so skipping unwoken bridges produces
+// byte-identical trajectories; the performance simulator enables this to
+// take bridge driving off its per-delivery hot path.
+func (d *MergedDir) SetLazyAdvance(on bool) {
+	d.lazy = on
+	if on {
+		// Conservatively mark everything runnable at the switch point.
+		for _, br := range d.bridges {
+			br.woken = true
+		}
+		d.lazyWake = len(d.bridges) > 0
+	}
+}
+
+// wake marks every bridge blocked on the condition as runnable (lazy mode
+// only; a no-op otherwise).
+func (d *MergedDir) wake(k waitKind, arg int) {
+	if !d.lazy {
+		return
+	}
+	for _, br := range d.bridges {
+		if br.woken {
+			continue
+		}
+		for _, w := range br.waits {
+			if w.kind == k && w.arg == arg {
+				br.woken = true
+				d.lazyWake = true
+				break
+			}
+		}
+	}
+}
+
+// recordWaits derives the conditions br is blocked on from its current
+// phase and task state. Called after a drive that left the bridge in
+// place; precise because advanceBridge only stops at genuine blocks.
+func (d *MergedDir) recordWaits(br *bridge) {
+	br.waits = br.waits[:0]
+	switch br.phase {
+	case phaseHS:
+		br.waits = append(br.waits, waitCond{wHSAck, 0})
+	case phaseFetch:
+		d.taskWait(br, br.fetch)
+	case phaseProp:
+		for _, t := range br.props {
+			d.taskWait(br, t)
+		}
+	case phaseDeliver:
+		br.waits = append(br.waits, waitCond{wDir, br.origin})
+	}
+}
+
+// taskWait appends the blocking condition of one proxy task.
+func (d *MergedDir) taskWait(br *bridge, t *proxyTask) {
+	if t == nil || t.done {
+		return
+	}
+	if t.proxyIdx < 0 {
+		br.waits = append(br.waits, waitCond{wPool, t.cluster})
+		return
+	}
+	br.waits = append(br.waits, waitCond{wProxy, int(d.layout.ProxyIDs[t.cluster][t.proxyIdx])})
+}
+
 // advance drives every in-flight bridge to a fixpoint: completing one
 // bridge can free the proxy pool another bridge is waiting for, so passes
 // repeat until nothing changes (otherwise a bridge visited earlier in the
 // pass could miss the wakeup and stall forever).
 func (d *MergedDir) advance(env spec.Env) {
+	if d.lazy {
+		d.advanceLazy(env)
+		return
+	}
 	for {
 		progressed := false
 		// The slice is already address-ordered; advanceBridge may remove the
@@ -462,6 +588,29 @@ func (d *MergedDir) advance(env spec.Env) {
 		}
 		if !progressed {
 			return
+		}
+	}
+}
+
+// advanceLazy is the event-driven advance: only bridges that are fresh or
+// woken by a recorded condition get driven. Wakes fired during a pass
+// (freeProxy, sub-directory deliveries) re-arm the outer loop, so the
+// result is the same fixpoint the eager scheme reaches.
+func (d *MergedDir) advanceLazy(env spec.Env) {
+	for d.lazyWake {
+		d.lazyWake = false
+		for i := 0; i < len(d.bridges); {
+			br := d.bridges[i]
+			if len(br.waits) != 0 && !br.woken {
+				i++
+				continue
+			}
+			br.woken = false
+			d.advanceBridge(env, br)
+			if i < len(d.bridges) && d.bridges[i] == br {
+				d.recordWaits(br)
+				i++
+			}
 		}
 	}
 }
@@ -514,6 +663,7 @@ func (d *MergedDir) advanceBridge(env spec.Env, br *bridge) bool {
 		if !d.dirs[br.origin].Deliver(env, br.orig) {
 			return acted // sub-directory transiently busy; retried later
 		}
+		d.wake(wDir, br.origin)
 		if br.isWrite {
 			d.setOwner(br.addr, br.origin)
 		}
@@ -638,6 +788,7 @@ func (d *MergedDir) allocProxy(cluster int) int {
 
 func (d *MergedDir) freeProxy(cluster, idx int) {
 	d.proxyBusy.Remove(d.layout.ProxyIDs[cluster][idx])
+	d.wake(wPool, cluster)
 }
 
 // LocalState renders the merged directory's composite local state for an
@@ -723,6 +874,9 @@ func (d *MergedDir) CloneWithMemory(mem *spec.Memory) spec.Component {
 
 func (br *bridge) clone() *bridge {
 	cp := *br
+	// Lazy-advance bookkeeping is transient and host-specific: a clone
+	// starts eager (the checker's mode), so reset rather than alias.
+	cp.waits, cp.woken = nil, false
 	if br.fetch != nil {
 		f := *br.fetch
 		f.seq = append([]spec.CoreReq(nil), br.fetch.seq...)

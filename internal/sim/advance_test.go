@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/workload"
+)
+
+// TestLazyAdvanceMatchesEager pins the event-driven bridge advance (the
+// simulator's default) against the eager fixpoint the model checker runs:
+// identical workloads must produce identical statistics, message for
+// message. HSAll maximizes bridge traffic (every cross-cluster transfer
+// handshakes), so this exercises every wait/wake path.
+func TestLazyAdvanceMatchesEager(t *testing.T) {
+	cfg := tinyConfig()
+	layout := workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}
+	for _, hs := range []core.HandshakeMode{core.HSNone, core.HSWrites, core.HSAll} {
+		for _, bench := range []string{"cilk5-nq", "ligra-bf", "ligra-tc"} {
+			params, err := workload.BenchmarkByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params.OpsPerCore = 60
+			wl := workload.Generate(params, layout)
+
+			run := func(lazy bool) *Stats {
+				t.Helper()
+				s, err := New(cfg, tinyFusion(t, hs), wl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.merged.SetLazyAdvance(lazy)
+				st, err := s.Run()
+				if err != nil {
+					t.Fatalf("hs=%v %s lazy=%t: %v", hs, bench, lazy, err)
+				}
+				return st
+			}
+			lazy, eager := run(true), run(false)
+			if !reflect.DeepEqual(lazy, eager) {
+				t.Errorf("hs=%v %s: lazy advance diverged\nlazy:  %+v\neager: %+v", hs, bench, lazy, eager)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"heterogen/internal/core"
+	"heterogen/internal/workload"
+)
+
+// runEngines simulates one (pair, benchmark, variant) cell with the
+// interpreted and the compiled-dispatch engine and requires identical
+// statistics. The compiled tables must be a pure lowering: any divergence
+// is a dispatch bug, not a modeling choice.
+func runEngines(t *testing.T, cfg Config, pair [2]string, bench string, v Variant, ops int) {
+	t.Helper()
+	params, err := workload.BenchmarkByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.OpsPerCore = ops
+	wl := workload.Generate(params, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores})
+
+	cfg.Compiled = false
+	interp, err := RunBenchmarkPair(cfg, pair, v, wl)
+	if err != nil {
+		t.Fatalf("%v/%s/%s interpreted: %v", pair, bench, v.Name, err)
+	}
+	cfg.Compiled = true
+	compiled, err := RunBenchmarkPair(cfg, pair, v, wl)
+	if err != nil {
+		t.Fatalf("%v/%s/%s compiled: %v", pair, bench, v.Name, err)
+	}
+	if !reflect.DeepEqual(interp, compiled) {
+		t.Errorf("%v/%s/%s: compiled dispatch diverged\ninterpreted: %+v\ncompiled:    %+v",
+			pair, bench, v.Name, interp, compiled)
+	}
+}
+
+// TestCompiledMatchesInterpretedBenchmarks pins compiled ≡ interpreted
+// across every Figure 10 benchmark and every handshake variant on the
+// default MESI/RCC-O machine.
+func TestCompiledMatchesInterpretedBenchmarks(t *testing.T) {
+	cfg := tinyConfig()
+	for _, params := range workload.Benchmarks() {
+		for _, v := range Figure10Variants() {
+			runEngines(t, cfg, DefaultPair(), params.Name, v, 50)
+		}
+	}
+}
+
+// TestCompiledMatchesInterpretedFamilies extends the differential check to
+// the stress trace families (structured generators, larger working sets).
+func TestCompiledMatchesInterpretedFamilies(t *testing.T) {
+	cfg := tinyConfig()
+	for _, params := range workload.Families() {
+		for _, v := range Figure10Variants() {
+			runEngines(t, cfg, DefaultPair(), params.Name, v, 50)
+		}
+	}
+}
+
+// TestCompiledMatchesInterpretedTableII pins the differential across every
+// Table II protocol pair: the compiled lowering must be exact for all
+// seven input protocols' controller tables, not just the Figure 10 pair.
+func TestCompiledMatchesInterpretedTableII(t *testing.T) {
+	cfg := tinyConfig()
+	for _, pair := range core.TableIIPairs() {
+		for _, v := range Figure10Variants() {
+			runEngines(t, cfg, pair, "cilk5-nq", v, 40)
+		}
+		runEngines(t, cfg, pair, "prodcons-chain", Variant{Name: "HeteroGen-wrHS", Handshake: core.HSWrites}, 40)
+	}
+}

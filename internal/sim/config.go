@@ -52,13 +52,34 @@ type Config struct {
 	ProxyPool int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles uint64
+	// Compiled selects compiled-table dispatch: the fusion's controller
+	// tables are lowered to dense arrays (core.Fusion.CompileDispatch)
+	// before the run. Results are identical to the interpreted default —
+	// the differential suite pins that — only dispatch cost changes.
+	Compiled bool
 }
 
 // TableIII returns the paper's simulated system parameters, adapted to the
-// simulator's abstractions.
-func TableIII() Config {
+// simulator's abstractions: the 8×8-mesh point of the TableIIIMesh family.
+func TableIII() Config { return TableIIIMesh(8) }
+
+// TableIIIMesh returns the Table III parameter family scaled to a
+// dim×dim mesh: one big core per 16 tiles (minimum 2), the rest tiny, one
+// L2 bank and memory channel per column, and a proxy pool of 2·dim per
+// cluster. TableIIIMesh(8) is exactly TableIII; larger meshes (12, 16)
+// widen the sweep beyond the paper's 64-core machine, smaller ones (4)
+// give quick runs.
+func TableIIIMesh(dim int) Config {
+	if dim < 2 {
+		dim = 2
+	}
+	tiles := dim * dim
+	big := tiles / 16
+	if big < 2 {
+		big = 2
+	}
 	return Config{
-		MeshDim:        8,
+		MeshDim:        dim,
 		FlitBytes:      16,
 		CtrlBytes:      8,
 		DataBytes:      72,
@@ -67,13 +88,13 @@ func TableIII() Config {
 		L1Latency:      1,
 		L2Latency:      8,
 		MemLatency:     60,
-		L2Banks:        8,
-		BigCores:       4,
-		TinyCores:      60,
+		L2Banks:        dim,
+		BigCores:       big,
+		TinyCores:      tiles - big,
 		BigL1Lines:     1024, // 64 KB / 64 B
 		TinyL1Lines:    64,   // 4 KB / 64 B
 		BigWindow:      48,
-		ProxyPool:      16,
+		ProxyPool:      2 * dim,
 		MaxCycles:      1 << 40,
 	}
 }

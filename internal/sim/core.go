@@ -127,13 +127,13 @@ func (c *Core) ensureCapacity(s *Sim, a spec.Addr) {
 	if c.cache.LineState(a) != init {
 		return
 	}
-	addrs := c.cache.Addrs()
-	if len(addrs) < c.capacity {
+	if c.cache.NumLines() < c.capacity {
 		return
 	}
 	var victim spec.Addr = -1
 	var oldest uint64 = ^uint64(0)
-	for _, va := range addrs {
+	for i := 0; i < c.cache.NumLines(); i++ {
+		va := c.cache.AddrAt(i)
 		st := c.cache.LineState(va)
 		if !c.cache.Protocol().Cache.IsStable(st) || !c.cache.CanEvict(va) {
 			continue

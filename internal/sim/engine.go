@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
 
 	"heterogen/internal/core"
 	"heterogen/internal/spec"
@@ -13,6 +11,7 @@ import (
 // tile is a mesh coordinate.
 type tile struct{ x, y int }
 
+// hops returns the XY-routed hop count to another tile.
 func (t tile) hops(o tile) int {
 	dx := t.x - o.x
 	if dx < 0 {
@@ -34,6 +33,7 @@ type event struct {
 	core int
 }
 
+// eventKind discriminates event payloads.
 type eventKind int
 
 const (
@@ -41,70 +41,148 @@ const (
 	evCore
 )
 
-type eventHeap []event
+// eventQueue is a binary min-heap of events ordered by (at, seq). It is
+// hand-rolled rather than container/heap so pushes and pops stay free of
+// interface boxing — the event loop runs millions of them per simulation.
+type eventQueue []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventQueue) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventQueue) push(e event) {
+	*h = append(*h, e)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
 }
 
-// chanKey identifies an ordered channel.
-type chanKey struct {
-	src, dst spec.NodeID
-	vnet     spec.VNet
+func (h *eventQueue) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && q.less(l, small) {
+			small = l
+		}
+		if r < n && q.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q[i], q[small] = q[small], q[i]
+		i = small
+	}
+	return top
+}
+
+// nodeKind classifies a node id for routing and latency charging.
+type nodeKind uint8
+
+const (
+	nkCache  nodeKind = iota // a core's private L1
+	nkMerged                 // a merged-directory endpoint (sub-directory or proxy)
+)
+
+// channel is one ordered (src, dst, vnet) virtual channel: a FIFO of
+// in-flight-delivered messages plus the serialization horizon. The queue
+// backing array is reused across the run (head indexes the logical front),
+// so steady-state message passing allocates nothing.
+type channel struct {
+	q    []spec.Msg
+	head int
+	free uint64 // next cycle the channel can deliver
+}
+
+// pending reports whether the channel holds an undelivered message.
+func (c *channel) pending() bool { return c.head < len(c.q) }
+
+// popHead consumes the delivered head message, recycling the backing
+// array once the queue empties.
+func (c *channel) popHead() {
+	c.head++
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	}
 }
 
 // Sim is one simulation instance: a heterogeneous machine built from a
-// fusion, driven by a workload.
+// fusion, driven by a workload. All per-node state is indexed by the dense
+// node-id space (caches first, then the merged directory's endpoints), so
+// the event loop runs on slice indexing rather than map lookups.
 type Sim struct {
+	// Cfg is the system parameterization the instance was built with.
 	Cfg    Config
 	fusion *core.Fusion
 	merged *core.MergedDir
 
-	caches  []*spec.CacheInst
-	cores   []*Core
-	comp    map[spec.NodeID]spec.Component
-	corendx map[spec.NodeID]int // cache id → core index
+	caches []*spec.CacheInst
+	cores  []*Core
 
-	pos      map[spec.NodeID]tile // cache tiles
-	dirIDs   map[spec.NodeID]bool
-	proxyIDs map[spec.NodeID]bool
+	nNodes   int
+	nodeKind []nodeKind // node id → kind
+	corendx  []int      // node id → core index (-1 for non-caches)
+	pos      []tile     // node id → tile (caches only; others sit at the bank)
 
-	now      uint64
-	seq      uint64
-	events   eventHeap
-	inbox    map[chanKey][]spec.Msg
-	chanFree map[chanKey]uint64 // next cycle the channel can deliver
-	bankFree map[int]uint64     // per-L2-bank occupancy (contention)
-	coldMem  map[spec.Addr]bool // first-touch DRAM accounting
+	now    uint64
+	seq    uint64
+	events eventQueue
 
+	chans     []channel // dense channel registry, appended on first use
+	chanKeys  []chanKey // parallel to chans
+	chanIdx   []int32   // (src*nNodes+dst)*NumVNets+vnet → chans index or -1
+	nodeChans [][]int32 // dst node id → its channels, sorted by (src, vnet)
+	mergedIDs []spec.NodeID
+
+	bankFree  []uint64 // per-L2-bank occupancy (contention)
+	coldMem   []bool   // first-touch DRAM accounting, indexed by address
+	ctrlFlits uint64
+	dataFlits uint64
+
+	// Stats accumulates as the run progresses.
 	Stats Stats
 }
 
-// Stats aggregates run statistics.
+// Stats aggregates run statistics. Cycles is the simulated wall-clock;
+// stall totals are in simulated cycles, counters in events.
 type Stats struct {
-	Cycles     uint64
-	Messages   uint64
-	DataMsgs   uint64
-	Flits      uint64
+	// Cycles is the simulated completion time of the slowest core.
+	Cycles uint64
+	// Messages counts every coherence message sent.
+	Messages uint64
+	// DataMsgs counts the subset of messages carrying a data block.
+	DataMsgs uint64
+	// Flits is total network traffic in flits (the Figure 10 traffic metric).
+	Flits uint64
+	// Handshakes counts handshake request/ack messages (§VIII variants).
 	Handshakes uint64
-	MemOps     uint64
-	LoadStall  uint64 // total load latency cycles
+	// MemOps counts completed load and store operations.
+	MemOps uint64
+	// LoadStall is the total load latency in cycles (issue to completion).
+	LoadStall uint64
+	// StoreStall is the total store latency in cycles.
 	StoreStall uint64
-	Loads      uint64
-	Stores     uint64
+	// Loads and Stores count completed operations by kind.
+	Loads  uint64
+	Stores uint64
 	// ByType breaks traffic down per coherence message type.
 	ByType map[spec.MsgType]uint64
 }
@@ -129,24 +207,38 @@ func New(cfg Config, fusion *core.Fusion, wl *workload.Workload) (*Sim, error) {
 		return nil, fmt.Errorf("sim: workload has %d traces, config has %d cores", len(wl.Traces), n)
 	}
 	s := &Sim{Cfg: cfg, fusion: fusion,
-		comp: map[spec.NodeID]spec.Component{}, corendx: map[spec.NodeID]int{},
-		pos: map[spec.NodeID]tile{}, dirIDs: map[spec.NodeID]bool{}, proxyIDs: map[spec.NodeID]bool{},
-		inbox: map[chanKey][]spec.Msg{}, chanFree: map[chanKey]uint64{},
-		bankFree: map[int]uint64{}, coldMem: map[spec.Addr]bool{}}
+		ctrlFlits: uint64(cfg.Flits(false)), dataFlits: uint64(cfg.Flits(true))}
 
 	layout := fusion.DefaultLayout(spec.NodeID(n))
 	s.merged = core.NewMergedDir(fusion, layout)
-	for _, id := range s.merged.OwnedIDs() {
-		s.comp[id] = s.merged
-	}
-	for _, id := range layout.DirIDs {
-		s.dirIDs[id] = true
-	}
-	for _, pool := range layout.ProxyIDs {
-		for _, id := range pool {
-			s.proxyIDs[id] = true
+	// The simulator holds the only live copy of the merged directory (no
+	// checker-style cloning), so the event-driven advance is safe and takes
+	// bridge re-driving off the per-delivery hot path.
+	s.merged.SetLazyAdvance(true)
+	s.mergedIDs = s.merged.OwnedIDs()
+
+	max := spec.NodeID(n - 1)
+	for _, id := range s.mergedIDs {
+		if id > max {
+			max = id
 		}
 	}
+	s.nNodes = int(max) + 1
+	s.nodeKind = make([]nodeKind, s.nNodes)
+	s.corendx = make([]int, s.nNodes)
+	s.pos = make([]tile, s.nNodes)
+	for i := range s.corendx {
+		s.corendx[i] = -1
+	}
+	for _, id := range s.mergedIDs {
+		s.nodeKind[id] = nkMerged
+	}
+	s.chanIdx = make([]int32, s.nNodes*s.nNodes*int(spec.NumVNets))
+	for i := range s.chanIdx {
+		s.chanIdx[i] = -1
+	}
+	s.nodeChans = make([][]int32, s.nNodes)
+	s.bankFree = make([]uint64, cfg.L2Banks)
 
 	for i := 0; i < n; i++ {
 		cluster := 1 // tiny
@@ -159,7 +251,6 @@ func New(cfg Config, fusion *core.Fusion, wl *workload.Workload) (*Sim, error) {
 		id := spec.NodeID(i)
 		cache := spec.NewCacheInst(id, layout.DirIDs[cluster], fusion.Protocols[cluster])
 		s.caches = append(s.caches, cache)
-		s.comp[id] = cache
 		s.corendx[id] = i
 		s.pos[id] = tile{i % cfg.MeshDim, i / cfg.MeshDim}
 		s.cores = append(s.cores, newCore(i, cluster, big, capacity, cache, wl.Traces[i]))
@@ -177,40 +268,94 @@ func (s *Sim) bankTile(a spec.Addr) tile {
 // tileOf resolves an endpoint's position for a message (directory and proxy
 // endpoints live at the address's bank).
 func (s *Sim) tileOf(id spec.NodeID, a spec.Addr) tile {
-	if t, ok := s.pos[id]; ok {
-		return t
+	if s.nodeKind[id] == nkCache {
+		return s.pos[id]
 	}
 	return s.bankTile(a)
+}
+
+// isCold reports (and records) the first touch of an address.
+func (s *Sim) isCold(a spec.Addr) bool {
+	i := int(a)
+	if i >= len(s.coldMem) {
+		grown := make([]bool, i+i/2+64)
+		copy(grown, s.coldMem)
+		s.coldMem = grown
+	}
+	if s.coldMem[i] {
+		return false
+	}
+	s.coldMem[i] = true
+	return true
 }
 
 // latency computes a message's network + controller latency in cycles.
 func (s *Sim) latency(m spec.Msg) uint64 {
 	hops := s.tileOf(m.Src, m.Addr).hops(s.tileOf(m.Dst, m.Addr))
 	lat := uint64(hops * (s.Cfg.ChannelLatency + s.Cfg.RouterLatency))
-	if s.dirIDs[m.Dst] || s.proxyIDs[m.Dst] {
+	if s.nodeKind[m.Dst] == nkMerged {
 		lat += uint64(s.Cfg.L2Latency)
 	}
 	// First touch of an address at the directory pays the memory access.
-	if (s.dirIDs[m.Src] || s.proxyIDs[m.Src]) && m.HasData && !s.coldMem[m.Addr] {
-		s.coldMem[m.Addr] = true
+	if s.nodeKind[m.Src] == nkMerged && m.HasData && s.isCold(m.Addr) {
 		lat += uint64(s.Cfg.MemLatency)
 	}
 	return lat
 }
 
+// chanFor interns the ordered channel for (src, dst, vnet), registering it
+// with the destination node in (src, vnet) order on first use.
+func (s *Sim) chanFor(src, dst spec.NodeID, vnet spec.VNet) *channel {
+	key := (int(src)*s.nNodes+int(dst))*int(spec.NumVNets) + int(vnet)
+	if ci := s.chanIdx[key]; ci >= 0 {
+		return &s.chans[ci]
+	}
+	ci := int32(len(s.chans))
+	s.chans = append(s.chans, channel{})
+	s.chanKeys = append(s.chanKeys, chanKey{src, dst, vnet})
+	s.chanIdx[key] = ci
+	// Insert into the destination's list keeping (src, vnet) order: drains
+	// must visit a node's channels in the same deterministic order the old
+	// sort-based scheme produced.
+	list := s.nodeChans[dst]
+	pos := len(list)
+	for i, other := range list {
+		oKey := s.chanKeys[other]
+		if src < oKey.src || (src == oKey.src && vnet < oKey.vnet) {
+			pos = i
+			break
+		}
+	}
+	list = append(list, 0)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = ci
+	s.nodeChans[dst] = list
+	return &s.chans[ci]
+}
+
+// chanKey identifies an ordered channel (kept alongside the dense registry
+// for the ordered insertion into a node's channel list).
+type chanKey struct {
+	src, dst spec.NodeID
+	vnet     spec.VNet
+}
+
 // Send implements spec.Env: schedule the message's arrival respecting the
 // ordered channel's serialization.
 func (s *Sim) Send(m spec.Msg) {
-	k := chanKey{m.Src, m.Dst, m.VNet}
-	flits := uint64(s.Cfg.Flits(m.HasData))
-	arrive := s.now + s.latency(m)
-	if free := s.chanFree[k]; arrive < free {
-		arrive = free
+	flits := s.ctrlFlits
+	if m.HasData {
+		flits = s.dataFlits
 	}
-	s.chanFree[k] = arrive + flits
+	arrive := s.now + s.latency(m)
+	ch := s.chanFor(m.Src, m.Dst, m.VNet)
+	if arrive < ch.free {
+		arrive = ch.free
+	}
+	ch.free = arrive + flits
 	// Bank contention: directory-bound messages serialize at their L2
 	// bank for the bank access time.
-	if s.dirIDs[m.Dst] || s.proxyIDs[m.Dst] {
+	if s.nodeKind[m.Dst] == nkMerged {
 		col := int(m.Addr) % s.Cfg.L2Banks
 		if free := s.bankFree[col]; arrive < free {
 			arrive = free
@@ -230,16 +375,16 @@ func (s *Sim) Send(m spec.Msg) {
 	}
 }
 
+// schedule enqueues an event at the given cycle.
 func (s *Sim) schedule(at uint64, e event) {
 	e.at = at
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 }
 
 // Run executes to completion and returns the statistics.
 func (s *Sim) Run() (*Stats, error) {
-	heap.Init(&s.events)
 	for i, c := range s.cores {
 		start := uint64(0)
 		if len(c.trace) > 0 {
@@ -248,15 +393,15 @@ func (s *Sim) Run() (*Stats, error) {
 		s.schedule(start, event{kind: evCore, core: i})
 	}
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
+		e := s.events.pop()
 		if e.at > s.Cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded %d cycles (livelock?)", s.Cfg.MaxCycles)
 		}
 		s.now = e.at
 		switch e.kind {
 		case evArrive:
-			k := chanKey{e.msg.Src, e.msg.Dst, e.msg.VNet}
-			s.inbox[k] = append(s.inbox[k], e.msg)
+			ch := s.chanFor(e.msg.Src, e.msg.Dst, e.msg.VNet)
+			ch.q = append(ch.q, e.msg)
 			s.drain(e.msg.Dst)
 		case evCore:
 			s.cores[e.core].step(s)
@@ -275,59 +420,44 @@ func (s *Sim) Run() (*Stats, error) {
 
 // drain delivers queued messages to the component owning dst, retrying
 // sibling channels until no further progress (stalled heads stay queued and
-// are retried on the component's next activity).
+// are retried on the component's next activity). Each pass hands every
+// pending channel at most its head message, in (dst, src, vnet) order —
+// the same discipline the checker's scheduler and the previous map-based
+// implementation used, so simulated cycle counts are unchanged.
 func (s *Sim) drain(dst spec.NodeID) {
-	comp := s.comp[dst]
-	if comp == nil {
-		panic(fmt.Sprintf("sim: message to unknown node %d", dst))
-	}
-	owned := comp.OwnedIDs()
-	for {
-		progress := false
-		keys := make([]chanKey, 0, 8)
-		for k, q := range s.inbox {
-			if len(q) == 0 {
-				continue
-			}
-			for _, id := range owned {
-				if k.dst == id {
-					keys = append(keys, k)
-					break
+	if s.nodeKind[dst] == nkCache {
+		ci := s.corendx[dst]
+		cache := s.caches[ci]
+		for {
+			progress := false
+			for _, chi := range s.nodeChans[dst] {
+				// Index (not pointer) access: a Deliver can Send on a channel
+				// seen for the first time, growing s.chans under us.
+				if s.chans[chi].pending() && cache.Deliver(s, s.chans[chi].q[s.chans[chi].head]) {
+					s.chans[chi].popHead()
+					progress = true
 				}
+			}
+			if !progress {
+				break
 			}
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			a, b := keys[i], keys[j]
-			if a.dst != b.dst {
-				return a.dst < b.dst
-			}
-			if a.src != b.src {
-				return a.src < b.src
-			}
-			return a.vnet < b.vnet
-		})
-		for _, k := range keys {
-			q := s.inbox[k]
-			if len(q) == 0 {
-				continue
-			}
-			if comp.Deliver(s, q[0]) {
-				if len(q) == 1 {
-					delete(s.inbox, k)
-				} else {
-					s.inbox[k] = q[1:]
+		// Completing a delivery at a cache may finish its core's pending op.
+		s.cores[ci].onCacheActivity(s)
+		return
+	}
+	for {
+		progress := false
+		for _, id := range s.mergedIDs {
+			for _, chi := range s.nodeChans[id] {
+				if s.chans[chi].pending() && s.merged.Deliver(s, s.chans[chi].q[s.chans[chi].head]) {
+					s.chans[chi].popHead()
+					progress = true
 				}
-				progress = true
 			}
 		}
 		if !progress {
 			break
-		}
-	}
-	// Completing a delivery at a cache may finish its core's pending op.
-	for _, id := range owned {
-		if i, ok := s.corendx[id]; ok {
-			s.cores[i].onCacheActivity(s)
 		}
 	}
 }

@@ -28,23 +28,58 @@ func Figure10Variants() []Variant {
 	}
 }
 
-// Row is one benchmark's Figure 10 entry.
+// Row is one benchmark's Figure 10 entry: the three variants' raw
+// cycle/flit counts and the derived ratios.
 type Row struct {
-	Benchmark   string
-	Cycles      map[string]uint64 // per variant
-	Flits       map[string]uint64 // per variant (network traffic)
-	SpeedupNoHS float64           // HCC cycles / noHS cycles
-	SpeedupWrHS float64           // HCC cycles / wrHS cycles
-	TrafficNoHS float64           // noHS flits / HCC flits
-	TrafficWrHS float64
+	// Benchmark is the workload parameter-point name.
+	Benchmark string `json:"benchmark"`
+	// Pair names the simulated protocol pair (big cluster, tiny cluster);
+	// the Figure 10 machine is {MESI, RCC-O}.
+	Pair [2]string `json:"pair"`
+	// Cycles is the simulated completion time per variant, in cycles.
+	Cycles map[string]uint64 `json:"cycles"`
+	// Flits is total NoC traffic per variant, in flits.
+	Flits map[string]uint64 `json:"flits"`
+	// SpeedupNoHS is HCC cycles / HeteroGen-noHS cycles (>1 = HeteroGen
+	// faster); SpeedupWrHS likewise for HeteroGen-wrHS.
+	SpeedupNoHS float64 `json:"speedup_nohs"`
+	SpeedupWrHS float64 `json:"speedup_wrhs"`
+	// TrafficNoHS is HeteroGen-noHS flits / HCC flits (<1 = HeteroGen
+	// sends less traffic); TrafficWrHS likewise.
+	TrafficNoHS float64 `json:"traffic_nohs"`
+	TrafficWrHS float64 `json:"traffic_wrhs"`
 }
 
-// RunBenchmark simulates one benchmark under one variant.
+// DefaultPair is the §VIII case-study machine: MESI big cores over an
+// RCC-O (DeNovo-like) tiny cluster.
+func DefaultPair() [2]string {
+	return [2]string{protocols.NameMESI, protocols.NameRCCO}
+}
+
+// RunBenchmark simulates one benchmark under one variant on the default
+// MESI/RCC-O pair.
 func RunBenchmark(cfg Config, v Variant, wl *workload.Workload) (*Stats, error) {
-	f, err := core.Fuse(core.Options{Handshake: v.Handshake, ProxyPool: cfg.ProxyPool},
-		protocols.MustByName(protocols.NameMESI), protocols.MustByName(protocols.NameRCCO))
+	return RunBenchmarkPair(cfg, DefaultPair(), v, wl)
+}
+
+// RunBenchmarkPair simulates one benchmark under one variant with the
+// given protocol pair (big cluster, tiny cluster). With cfg.Compiled the
+// fused controller tables are lowered to dense dispatch first.
+func RunBenchmarkPair(cfg Config, pair [2]string, v Variant, wl *workload.Workload) (*Stats, error) {
+	big, err := protocols.ByName(pair[0])
 	if err != nil {
 		return nil, err
+	}
+	tiny, err := protocols.ByName(pair[1])
+	if err != nil {
+		return nil, err
+	}
+	f, err := core.Fuse(core.Options{Handshake: v.Handshake, ProxyPool: cfg.ProxyPool}, big, tiny)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Compiled {
+		f.CompileDispatch()
 	}
 	s, err := New(cfg, f, wl)
 	if err != nil {
@@ -55,21 +90,36 @@ func RunBenchmark(cfg Config, v Variant, wl *workload.Workload) (*Stats, error) 
 
 // RunFigure10 regenerates Figure 10: for each of the 13 benchmarks, the
 // speedup of the two HeteroGen variants over the HCC baseline, plus the
-// network-traffic ratios. scale shrinks the traces for quick runs.
+// network-traffic ratios. scale shrinks the traces for quick runs. The
+// matrix runs on the worker pool (all cores); rows come back in benchmark
+// order regardless of scheduling.
 func RunFigure10(cfg Config, scale float64) ([]Row, error) {
+	return RunMatrix(cfg, DefaultPair(), workload.Benchmarks(), scale, 0)
+}
+
+// RunMatrix sweeps benchmarks × Figure10Variants on one protocol pair with
+// the given worker parallelism (0 = all cores) and assembles the Figure 10
+// rows deterministically (benchmark order, independent of scheduling).
+func RunMatrix(cfg Config, pair [2]string, benchmarks []workload.Params, scale float64, workers int) ([]Row, error) {
+	variants := Figure10Variants()
+	var jobs []Job
+	for _, params := range benchmarks {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Pair: pair, Params: params, Variant: v, Scale: scale})
+		}
+	}
+	results := Sweep(cfg, jobs, workers)
 	var rows []Row
-	layout := workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores}
-	for _, params := range workload.Benchmarks() {
-		wl := workload.Generate(params, layout).Scale(scale)
-		row := Row{Benchmark: params.Name,
+	for bi, params := range benchmarks {
+		row := Row{Benchmark: params.Name, Pair: pair,
 			Cycles: map[string]uint64{}, Flits: map[string]uint64{}}
-		for _, v := range Figure10Variants() {
-			st, err := RunBenchmark(cfg, v, wl)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", params.Name, v.Name, err)
+		for vi, v := range variants {
+			r := results[bi*len(variants)+vi]
+			if r.Err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", params.Name, v.Name, r.Err)
 			}
-			row.Cycles[v.Name] = st.Cycles
-			row.Flits[v.Name] = st.Flits
+			row.Cycles[v.Name] = r.Stats.Cycles
+			row.Flits[v.Name] = r.Stats.Flits
 		}
 		hcc := float64(row.Cycles["HCC"])
 		row.SpeedupNoHS = hcc / float64(row.Cycles["HeteroGen-noHS"])

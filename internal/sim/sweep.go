@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"heterogen/internal/workload"
+)
+
+// Job is one cell of a scenario sweep: a protocol pair, a workload
+// parameter point, a handshake variant and an optional trace scale. Each
+// job is self-contained — the worker regenerates the workload from Params
+// (generation is deterministic in Params.Seed), fuses a fresh protocol
+// pair and runs an isolated simulator instance.
+type Job struct {
+	// Pair is the protocol pair (big cluster, tiny cluster) by name.
+	Pair [2]string
+	// Params is the workload parameter point. Vary Params.Seed to sweep
+	// seeds of one benchmark.
+	Params workload.Params
+	// Variant is the handshake configuration.
+	Variant Variant
+	// Scale shrinks traces (0 or ≥1 = full length).
+	Scale float64
+}
+
+// Result pairs a job with its outcome. Exactly one of Stats and Err is
+// non-nil.
+type Result struct {
+	Job   Job
+	Stats *Stats
+	Err   error
+}
+
+// Sweep runs a scenario matrix on a worker pool and returns results in
+// job order. workers ≤ 0 uses all available cores. Assembly is
+// deterministic: each worker writes its result into the job's own slot,
+// so the returned slice is identical whatever the worker count or
+// scheduling — the determinism test pins this.
+func Sweep(cfg Config, jobs []Job, workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	run := func(i int) {
+		job := jobs[i]
+		wl := workload.Generate(job.Params, workload.Layout{BigCores: cfg.BigCores, TinyCores: cfg.TinyCores})
+		if job.Scale > 0 && job.Scale < 1 {
+			wl = wl.Scale(job.Scale)
+		}
+		st, err := RunBenchmarkPair(cfg, job.Pair, job.Variant, wl)
+		results[i] = Result{Job: job, Stats: st, Err: err}
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(jobs) {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

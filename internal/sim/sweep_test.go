@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"heterogen/internal/workload"
+)
+
+// sweepJobs builds a small heterogeneous job matrix: two pairs × three
+// benchmarks × three variants, mixed scales and one explicit seed
+// override.
+func sweepJobs(t *testing.T) []Job {
+	t.Helper()
+	var jobs []Job
+	for _, pair := range [][2]string{DefaultPair(), {"MESI", "TSO-CC"}} {
+		for _, bench := range []string{"cilk5-nq", "ligra-bfs", "gpu-phases"} {
+			params, err := workload.BenchmarkByName(bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			params.OpsPerCore = 40
+			for _, v := range Figure10Variants() {
+				jobs = append(jobs, Job{Pair: pair, Params: params, Variant: v})
+			}
+		}
+	}
+	// A seed-swept duplicate of the first job.
+	seeded := jobs[0]
+	seeded.Params.Seed += 1000
+	return append(jobs, seeded)
+}
+
+// TestSweepDeterministic pins the parallel sweep's deterministic assembly:
+// fixed seeds must yield byte-identical result rows whatever the worker
+// count — the property that makes BENCH_SIM.json reproducible.
+func TestSweepDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	jobs := sweepJobs(t)
+
+	marshal := func(results []Result) string {
+		t.Helper()
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s/%s: %v", r.Job.Params.Name, r.Job.Variant.Name, r.Err)
+			}
+		}
+		b, err := json.Marshal(results)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	sequential := marshal(Sweep(cfg, jobs, 1))
+	for _, workers := range []int{2, 4, 16} {
+		if got := marshal(Sweep(cfg, jobs, workers)); got != sequential {
+			t.Errorf("workers=%d: sweep results differ from sequential run", workers)
+		}
+	}
+}
+
+// TestRunMatrixOrdersRows checks row assembly: rows come back in benchmark
+// order with all three variants filled in, under parallel execution.
+func TestRunMatrixOrdersRows(t *testing.T) {
+	cfg := tinyConfig()
+	benchmarks := []workload.Params{}
+	for _, name := range []string{"cilk5-cs", "ligra-tc"} {
+		p, err := workload.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.OpsPerCore = 40
+		benchmarks = append(benchmarks, p)
+	}
+	rows, err := RunMatrix(cfg, DefaultPair(), benchmarks, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benchmarks) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(benchmarks))
+	}
+	for i, r := range rows {
+		if r.Benchmark != benchmarks[i].Name {
+			t.Errorf("row %d is %s, want %s", i, r.Benchmark, benchmarks[i].Name)
+		}
+		for _, v := range Figure10Variants() {
+			if r.Cycles[v.Name] == 0 {
+				t.Errorf("%s/%s: zero cycles", r.Benchmark, v.Name)
+			}
+		}
+		if r.Pair != DefaultPair() {
+			t.Errorf("row %d pair = %v", i, r.Pair)
+		}
+	}
+}

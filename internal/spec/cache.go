@@ -41,6 +41,7 @@ type CacheInst struct {
 	pending  *CoreReq // current core request, nil when idle
 	syncWait bool     // pending is a sync op waiting for outstanding drain
 	lastLoad int      // value returned by the most recent completed load
+	multi    bool     // a whole-cache effect ran; next compaction scans all lines
 
 	// trace, when non-nil, receives a line for every applied transition.
 	trace func(string)
@@ -68,16 +69,28 @@ func (c *CacheInst) Protocol() *Protocol { return c.proto }
 // checker's symmetry detection groups caches by (protocol, directory).
 func (c *CacheInst) DirID() NodeID { return c.dir }
 
+// findLine binary-searches the sorted line slice for addr, returning the
+// insertion index and whether the line is present. The checker holds two
+// or three lines per cache, but the performance simulator holds hundreds,
+// so lookup must not be linear.
+func (c *CacheInst) findLine(a Addr) (int, bool) {
+	lo, hi := 0, len(c.lines)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.lines[mid].a < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(c.lines) && c.lines[lo].a == a
+}
+
 // lineAt returns the materialized line for addr, or nil. The pointer is
 // valid until the next materialization or compaction.
 func (c *CacheInst) lineAt(a Addr) *Line {
-	for i := range c.lines {
-		if c.lines[i].a == a {
-			return &c.lines[i].l
-		}
-		if c.lines[i].a > a {
-			return nil
-		}
+	if i, ok := c.findLine(a); ok {
+		return &c.lines[i].l
 	}
 	return nil
 }
@@ -87,14 +100,9 @@ func (c *CacheInst) lineAt(a Addr) *Line {
 // calls are invalid afterwards. Public entry points materialize at most
 // once, up front.
 func (c *CacheInst) line(a Addr) *Line {
-	i := 0
-	for ; i < len(c.lines); i++ {
-		if c.lines[i].a == a {
-			return &c.lines[i].l
-		}
-		if c.lines[i].a > a {
-			break
-		}
+	i, ok := c.findLine(a)
+	if ok {
+		return &c.lines[i].l
 	}
 	c.lines = append(c.lines, cacheEntry{})
 	copy(c.lines[i+1:], c.lines[i:])
@@ -119,6 +127,23 @@ func (c *CacheInst) compact() {
 		}
 	}
 	c.lines = kept
+}
+
+// compactAfter is the end-of-entry-point compaction. An entry point that
+// only touched the line at a checks just that line; whole-cache effects
+// (sync behaviors, fill-triggered self-invalidation) set c.multi so the
+// full scan runs instead. This keeps compaction O(log n) for the
+// performance simulator's large caches without changing what compact
+// produces.
+func (c *CacheInst) compactAfter(a Addr) {
+	if c.multi {
+		c.multi = false
+		c.compact()
+		return
+	}
+	if i, ok := c.findLine(a); ok && c.pristine(&c.lines[i].l) {
+		c.lines = append(c.lines[:i], c.lines[i+1:]...)
+	}
 }
 
 // Idle reports whether the cache has no pending core request.
@@ -178,7 +203,7 @@ func (c *CacheInst) Issue(env Env, req CoreReq) bool {
 	if !c.CanIssue(req) {
 		return false
 	}
-	defer c.compact()
+	defer c.compactAfter(req.Addr)
 	r := req
 	c.pending = &r
 	if req.Op.IsSync() {
@@ -213,6 +238,7 @@ func (c *CacheInst) startSync(env Env, op CoreOp) {
 	// Arm the wait flag before triggering write-backs: apply() checks for
 	// sync completion after every transition it executes.
 	c.syncWait = sb.WaitOutstanding
+	c.multi = true
 	for i := range c.lines {
 		l := &c.lines[i].l
 		switch {
@@ -273,7 +299,7 @@ func (c *CacheInst) addrs() []Addr {
 // eviction transition. Used by the model checker's optional eviction
 // exploration and by sync write-backs.
 func (c *CacheInst) Evict(env Env, a Addr) bool {
-	defer c.compact()
+	defer c.compactAfter(a)
 	line := c.line(a)
 	t := c.proto.Cache.OnCoreOp(line.State, OpEvict)
 	if t == nil {
@@ -290,7 +316,7 @@ func (c *CacheInst) CanEvict(a Addr) bool {
 
 // Deliver implements Component.
 func (c *CacheInst) Deliver(env Env, m Msg) bool {
-	defer c.compact()
+	defer c.compactAfter(m.Addr)
 	line := c.line(m.Addr)
 	// Automatic invalidation-ack bookkeeping.
 	if c.proto.AckType != "" && m.Type == c.proto.AckType {
@@ -376,6 +402,7 @@ func (c *CacheInst) invalidateOnFill(filledAddr Addr) {
 	if len(c.proto.Cache.InvalidateOnFill) == 0 {
 		return
 	}
+	c.multi = true
 	for i := range c.lines {
 		if c.lines[i].a == filledAddr {
 			continue

@@ -1,0 +1,142 @@
+package spec
+
+// Dense dispatch tables: a compiled form of the Machine lookup structures.
+//
+// The interpreted path resolves every delivery through two chained map
+// probes (state → per-type map → rule list) and then scans the rule list's
+// conditions. CompileDense lowers the frozen table into per-state arrays
+// indexed by an interned event-type id — one state probe, one type probe,
+// then direct array indexing — and precomputes the overwhelmingly common
+// single-unconditional-rule case so the condition scan disappears from the
+// hot path. This is the controller-table analogue of what
+// internal/core/compile.go does for whole merged-directory states: hand an
+// implementation a flat table instead of an interpreter (the BedRock
+// arrangement), with the interpreted path kept as the differential oracle.
+
+// DenseMachine is the compiled dispatch table of one Machine. Build it
+// with Machine.CompileDense after the table is final; lookups through the
+// owning machine then route here automatically.
+type DenseMachine struct {
+	types  map[MsgType]int32
+	states map[State]*denseState
+}
+
+// denseState is the compiled row block of one state.
+type denseState struct {
+	// rules[t] is the condition-ordered rule list for interned type t
+	// (shared with the interpreted index, so evaluation order is identical).
+	rules [][]*Transition
+	// fast[t] short-circuits rules[t] when it is a single unconditional
+	// rule — no condition scan needed.
+	fast []*Transition
+	// core is the dense CoreOp-indexed row (same layout as the interpreted
+	// coreRow).
+	core coreRow
+}
+
+// CompileDense builds the machine's dense dispatch table. The table
+// snapshots the frozen rule set: call it only once the machine is final
+// (after any fusion rewriting), and before concurrent use — the same
+// discipline Freeze requires. Idempotent.
+func (m *Machine) CompileDense() {
+	if m.dense != nil {
+		return
+	}
+	m.buildIndex()
+	d := &DenseMachine{
+		types:  make(map[MsgType]int32),
+		states: make(map[State]*denseState),
+	}
+	for _, byMsg := range m.index {
+		for mt := range byMsg {
+			if _, ok := d.types[mt]; !ok {
+				d.types[mt] = int32(len(d.types))
+			}
+		}
+	}
+	n := len(d.types)
+	stateOf := func(s State) *denseState {
+		ds := d.states[s]
+		if ds == nil {
+			ds = &denseState{rules: make([][]*Transition, n), fast: make([]*Transition, n)}
+			d.states[s] = ds
+		}
+		return ds
+	}
+	for s, byMsg := range m.index {
+		ds := stateOf(s)
+		for mt, rules := range byMsg {
+			ti := d.types[mt]
+			ds.rules[ti] = rules
+			if len(rules) == 1 && rules[0].On.Cond == CondAny {
+				ds.fast[ti] = rules[0]
+			}
+		}
+	}
+	for s, row := range m.coreRows {
+		stateOf(s).core = *row
+	}
+	m.dense = d
+}
+
+// DenseCompiled reports whether the machine dispatches through a compiled
+// dense table.
+func (m *Machine) DenseCompiled() bool { return m.dense != nil }
+
+// onMessage is the compiled OnMessage path. It must agree with the
+// interpreted loop rule for rule; the sim's differential suite pins that.
+func (d *DenseMachine) onMessage(s State, msg *Msg, ctx MsgCtx) *Transition {
+	ds := d.states[s]
+	if ds == nil {
+		return nil
+	}
+	ti, ok := d.types[msg.Type]
+	if !ok {
+		return nil
+	}
+	if t := ds.fast[ti]; t != nil {
+		return t
+	}
+	var fallback *Transition
+	for _, t := range ds.rules[ti] {
+		switch t.On.Cond {
+		case CondAny:
+			if fallback == nil {
+				fallback = t
+			}
+		case CondAckZero:
+			if msg.Ack == 0 {
+				return t
+			}
+		case CondAckPos:
+			if msg.Ack > 0 {
+				return t
+			}
+		case CondFromOwner:
+			if ctx.IsOwner {
+				return t
+			}
+		case CondNotOwner:
+			if !ctx.IsOwner {
+				return t
+			}
+		case CondLastSharer:
+			if ctx.IsLastSharer {
+				return t
+			}
+		case CondNotLastSharer:
+			if !ctx.IsLastSharer {
+				return t
+			}
+		}
+	}
+	return fallback
+}
+
+// onCoreOp is the compiled OnCoreOp path.
+func (d *DenseMachine) onCoreOp(s State, op CoreOp) *Transition {
+	if ds := d.states[s]; ds != nil && int(op) < len(ds.core) {
+		return ds.core[op]
+	}
+	return nil
+}

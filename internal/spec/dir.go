@@ -64,15 +64,27 @@ func (d *DirInst) initLine() DirLine {
 	return DirLine{State: d.proto.Dir.Init, Owner: NoNode}
 }
 
+// findLine binary-searches the sorted line slice for addr, returning the
+// insertion index and whether the line is present. The checker holds a
+// handful of lines; the performance simulator holds thousands, so lookup
+// must not be linear.
+func (d *DirInst) findLine(a Addr) (int, bool) {
+	lo, hi := 0, len(d.lines)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.lines[mid].a < a {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(d.lines) && d.lines[lo].a == a
+}
+
 // lineAt returns the materialized line for addr, or nil.
 func (d *DirInst) lineAt(a Addr) *DirLine {
-	for i := range d.lines {
-		if d.lines[i].a == a {
-			return &d.lines[i].l
-		}
-		if d.lines[i].a > a {
-			return nil
-		}
+	if i, ok := d.findLine(a); ok {
+		return &d.lines[i].l
 	}
 	return nil
 }
@@ -88,14 +100,9 @@ func (d *DirInst) lineRead(a Addr) DirLine {
 // Line returns the directory line for addr (materialized on demand). The
 // pointer is valid until the next materialization or compaction.
 func (d *DirInst) Line(a Addr) *DirLine {
-	i := 0
-	for ; i < len(d.lines); i++ {
-		if d.lines[i].a == a {
-			return &d.lines[i].l
-		}
-		if d.lines[i].a > a {
-			break
-		}
+	i, ok := d.findLine(a)
+	if ok {
+		return &d.lines[i].l
 	}
 	d.lines = append(d.lines, dirEntry{})
 	copy(d.lines[i+1:], d.lines[i:])
@@ -122,8 +129,7 @@ func (d *DirInst) Stable() bool {
 }
 
 // compact drops lines that are back to the pristine initial state so
-// snapshots stay canonical. Called at the end of Apply (which is the only
-// place line state changes).
+// snapshots stay canonical.
 func (d *DirInst) compact() {
 	init := d.initLine()
 	kept := d.lines[:0]
@@ -133,6 +139,16 @@ func (d *DirInst) compact() {
 		}
 	}
 	d.lines = kept
+}
+
+// compactAt drops the line at a if it is back to the pristine initial
+// state. Apply only mutates the line it was handed, so checking that one
+// line is equivalent to the full compact scan (and O(log n) rather than
+// O(n) for the simulator's thousands of lines).
+func (d *DirInst) compactAt(a Addr) {
+	if i, ok := d.findLine(a); ok && d.lines[i].l == d.initLine() {
+		d.lines = append(d.lines[:i], d.lines[i+1:]...)
+	}
 }
 
 // Lookup returns the transition this directory would take for the message
@@ -194,7 +210,7 @@ func (d *DirInst) Apply(env Env, a Addr, line *DirLine, t *Transition, m *Msg) {
 	if d.onTransition != nil {
 		d.onTransition(a, t, m)
 	}
-	d.compact()
+	d.compactAt(a)
 }
 
 // ackCount returns the number of sharers excluding the requestor.

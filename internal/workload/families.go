@@ -1,0 +1,246 @@
+package workload
+
+import "heterogen/internal/spec"
+
+// Trace-generation patterns. The zero value selects the mixed
+// statistical generator the 13 Figure 10 benchmark points use; the others
+// are structured families exercising sharing shapes the mixed generator
+// cannot express.
+const (
+	// PatternMixed is the default statistical mix (reads/writes/bursts
+	// drawn independently per op).
+	PatternMixed = ""
+	// PatternProdCons builds producer/consumer chains: the big cluster
+	// streams writes through a chain region that the tiny cluster reads
+	// behind an acquire, with results flowing back through a second region.
+	// Nearly every shared read is a communicating read.
+	PatternProdCons = "prodcons"
+	// PatternGPUBurst builds bursty GPU-style phases: the tiny cluster
+	// alternates long private compute phases with dense store bursts to a
+	// per-core stripe of the shared region (release at the end of each
+	// burst), while the big cluster consumes the produced stripes.
+	PatternGPUBurst = "gpuburst"
+)
+
+// Families returns the stress trace families added on top of the 13
+// benchmark points: targeted corners (false sharing, producer/consumer
+// chains, bursty GPU-style phases, large multi-address working sets) that
+// widen the §VIII sweep beyond the Figure 10 mix. Each is a Params point
+// like the benchmarks, usable anywhere a benchmark is.
+func Families() []Params {
+	base := Params{
+		OpsPerCore: 220, ReadFrac: 0.7, SharedFrac: 0.3,
+		SharedBlocks: 64, PrivateBlocks: 48,
+		CommReadFrac: 0.3, WriteBurst: 1, FalseSharing: 0.05,
+		SyncPeriod: 16, MaxGap: 6,
+	}
+	mk := func(name string, seed int64, mut func(*Params)) Params {
+		p := base
+		p.Name = name
+		p.Seed = seed
+		mut(&p)
+		return p
+	}
+	return []Params{
+		// Heavy false sharing: most shared writes land on a tiny contended
+		// hot set, in bursts. The handshake variants keep a contended block
+		// home long enough to absorb a burst — HCC's strongest case.
+		mk("fs-storm", 101, func(p *Params) {
+			p.FalseSharing = 0.85
+			p.WriteBurst = 6
+			p.ReadFrac = 0.4
+			p.SharedFrac = 0.5
+			p.SharedBlocks = 16
+		}),
+		// Producer/consumer chains: cross-cluster data flow dominates, so
+		// almost every shared access communicates — where eschewing
+		// handshakes pays most.
+		mk("prodcons-chain", 202, func(p *Params) {
+			p.Pattern = PatternProdCons
+			p.SharedBlocks = 96
+			p.WriteBurst = 8
+			p.SharedFrac = 0.55
+			p.SyncPeriod = 24
+			p.OpsPerCore = 260
+		}),
+		// Migratory read-modify-write: singleton writes and predominantly
+		// cross-cluster reads bounce each block between clusters, so every
+		// transfer is handshake-exposed.
+		mk("migratory-rmw", 505, func(p *Params) {
+			p.SharedFrac = 0.7
+			p.ReadFrac = 0.5
+			p.CommReadFrac = 0.95
+			p.WriteBurst = 1
+			p.FalseSharing = 0
+			p.SharedBlocks = 24
+			p.SyncPeriod = 40
+			p.OpsPerCore = 260
+		}),
+		// GPU-style phases: the tiny cluster streams long store bursts into
+		// private stripes (no inter-core contention inside a phase), the big
+		// cluster reads the results.
+		mk("gpu-phases", 303, func(p *Params) {
+			p.Pattern = PatternGPUBurst
+			p.SharedBlocks = 128
+			p.WriteBurst = 24
+			p.SharedFrac = 0.5
+			p.SyncPeriod = 32
+			p.OpsPerCore = 260
+			p.MaxGap = 10
+		}),
+		// Large multi-address working set: an order of magnitude more
+		// shared blocks than any Figure 10 point plus big private regions,
+		// stressing L1 capacity management and directory occupancy.
+		mk("bigset-mix", 404, func(p *Params) {
+			p.SharedBlocks = 512
+			p.PrivateBlocks = 192
+			p.SharedFrac = 0.45
+			p.CommReadFrac = 0.6
+			p.ReadFrac = 0.75
+			p.OpsPerCore = 300
+		}),
+	}
+}
+
+// generateProdCons emits producer/consumer chain traces (PatternProdCons).
+// The shared region splits into a chain half (big cluster writes, tiny
+// cluster reads) and a result half flowing the other way. WriteBurst is
+// the chain-segment length; SyncPeriod paces the tiny cluster's
+// acquire/release pairs.
+func generateProdCons(p Params, l Layout, wl *Workload, rng rngSource) {
+	n := l.BigCores + l.TinyCores
+	shared := p.SharedBlocks
+	if shared < 8 {
+		shared = 8
+	}
+	half := shared / 2
+	chain := func(i int) spec.Addr { return spec.Addr(i % half) }
+	result := func(i int) spec.Addr { return spec.Addr(half + i%(shared-half)) }
+	seg := p.WriteBurst
+	if seg < 2 {
+		seg = 2
+	}
+
+	for c := 0; c < n; c++ {
+		big := c < l.BigCores
+		privBase := spec.Addr(4096 + c*p.PrivateBlocks)
+		var tr CoreTrace
+		cursor := rng.Intn(half) // chain position, per-core phase offset
+		sharedSince := 0
+		emit := func(req spec.CoreReq) {
+			tr = append(tr, TraceOp{Gap: rng.Intn(p.MaxGap + 1), Req: req})
+		}
+		for len(tr) < p.OpsPerCore {
+			if rng.Float64() >= p.SharedFrac {
+				a := privBase + spec.Addr(rng.Intn(p.PrivateBlocks))
+				if rng.Float64() < 0.8 {
+					emit(spec.CoreReq{Op: spec.OpLoad, Addr: a})
+				} else {
+					emit(spec.CoreReq{Op: spec.OpStore, Addr: a, Value: rng.Intn(64)})
+				}
+				continue
+			}
+			sharedSince++
+			if big {
+				// Producer: stream a chain segment, then check one result.
+				for i := 0; i < seg && len(tr) < p.OpsPerCore; i++ {
+					emit(spec.CoreReq{Op: spec.OpStore, Addr: chain(cursor), Value: rng.Intn(64)})
+					cursor++
+				}
+				emit(spec.CoreReq{Op: spec.OpLoad, Addr: result(rng.Intn(shared - half))})
+				continue
+			}
+			// Consumer: acquire, read a chain segment, occasionally publish
+			// a result.
+			if p.SyncPeriod > 0 && sharedSince%p.SyncPeriod == 0 {
+				emit(spec.CoreReq{Op: spec.OpRelease})
+				emit(spec.CoreReq{Op: spec.OpAcquire})
+			}
+			for i := 0; i < seg && len(tr) < p.OpsPerCore; i++ {
+				emit(spec.CoreReq{Op: spec.OpLoad, Addr: chain(cursor)})
+				cursor++
+			}
+			if rng.Float64() < 0.25 {
+				emit(spec.CoreReq{Op: spec.OpStore, Addr: result(rng.Intn(shared - half)), Value: rng.Intn(64)})
+			}
+		}
+		wl.Traces[c] = tr
+	}
+}
+
+// generateGPUBurst emits bursty GPU-style phase traces (PatternGPUBurst).
+// Tiny cores cycle through compute phases (private accesses, long gaps)
+// and store bursts to a per-core stripe of the shared region, releasing at
+// each burst's end; big cores read completed stripes (communicating
+// reads). WriteBurst is the burst length, SyncPeriod the compute-phase
+// length in ops.
+func generateGPUBurst(p Params, l Layout, wl *Workload, rng rngSource) {
+	n := l.BigCores + l.TinyCores
+	shared := p.SharedBlocks
+	if shared < n {
+		shared = n
+	}
+	stripe := shared / maxInt(l.TinyCores, 1)
+	if stripe < 1 {
+		stripe = 1
+	}
+	burst := maxInt(p.WriteBurst, 4)
+	phase := maxInt(p.SyncPeriod, 8)
+
+	for c := 0; c < n; c++ {
+		big := c < l.BigCores
+		privBase := spec.Addr(4096 + c*p.PrivateBlocks)
+		var tr CoreTrace
+		emit := func(req spec.CoreReq) {
+			tr = append(tr, TraceOp{Gap: rng.Intn(p.MaxGap + 1), Req: req})
+		}
+		if big {
+			// Consumer: mostly reads across all stripes, some private work.
+			for len(tr) < p.OpsPerCore {
+				if rng.Float64() >= p.SharedFrac {
+					a := privBase + spec.Addr(rng.Intn(p.PrivateBlocks))
+					emit(spec.CoreReq{Op: spec.OpLoad, Addr: a})
+					continue
+				}
+				emit(spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr(rng.Intn(shared))})
+			}
+			wl.Traces[c] = tr
+			continue
+		}
+		stripeBase := ((c - l.BigCores) % maxInt(l.TinyCores, 1)) * stripe
+		for len(tr) < p.OpsPerCore {
+			// Compute phase: private ops with long gaps.
+			for i := 0; i < phase && len(tr) < p.OpsPerCore; i++ {
+				a := privBase + spec.Addr(rng.Intn(p.PrivateBlocks))
+				if rng.Float64() < 0.7 {
+					emit(spec.CoreReq{Op: spec.OpLoad, Addr: a})
+				} else {
+					emit(spec.CoreReq{Op: spec.OpStore, Addr: a, Value: rng.Intn(64)})
+				}
+			}
+			// Store burst into this core's stripe, then publish.
+			for i := 0; i < burst && len(tr) < p.OpsPerCore; i++ {
+				a := spec.Addr(stripeBase + i%stripe)
+				emit(spec.CoreReq{Op: spec.OpStore, Addr: a, Value: rng.Intn(64)})
+			}
+			if len(tr) < p.OpsPerCore {
+				emit(spec.CoreReq{Op: spec.OpRelease})
+			}
+		}
+		wl.Traces[c] = tr
+	}
+}
+
+// rngSource is the slice of *rand.Rand the generators use; an interface so
+// the pattern generators state their needs explicitly.
+type rngSource interface {
+	Intn(n int) int
+	Float64() float64
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

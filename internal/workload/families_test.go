@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"heterogen/internal/spec"
+)
+
+func testLayout() Layout { return Layout{BigCores: 2, TinyCores: 6} }
+
+// TestFamiliesDeterministic pins trace generation for every stress family:
+// same parameters, same traces.
+func TestFamiliesDeterministic(t *testing.T) {
+	for _, p := range Families() {
+		a := Generate(p, testLayout())
+		b := Generate(p, testLayout())
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: generation is not deterministic", p.Name)
+		}
+	}
+}
+
+// TestFamiliesResolvable checks the families are reachable through
+// BenchmarkByName alongside the 13 benchmarks, with distinct names.
+func TestFamiliesResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Benchmarks() {
+		seen[p.Name] = true
+	}
+	for _, p := range Families() {
+		if seen[p.Name] {
+			t.Errorf("family %s collides with another parameter point", p.Name)
+		}
+		seen[p.Name] = true
+		got, err := BenchmarkByName(p.Name)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		} else if !reflect.DeepEqual(got, p) {
+			t.Errorf("%s: BenchmarkByName returned different parameters", p.Name)
+		}
+	}
+}
+
+// sharedOps partitions one trace's memory ops into shared-region loads and
+// stores (address below the private base).
+func sharedOps(tr CoreTrace) (loads, stores []spec.Addr) {
+	for _, op := range tr {
+		if op.Req.Addr >= 4096 {
+			continue
+		}
+		switch op.Req.Op {
+		case spec.OpLoad:
+			loads = append(loads, op.Req.Addr)
+		case spec.OpStore:
+			stores = append(stores, op.Req.Addr)
+		}
+	}
+	return
+}
+
+// TestFalseSharingStorm checks the fs-storm family's defining statistic:
+// the majority of shared stores land on the contended hot set.
+func TestFalseSharingStorm(t *testing.T) {
+	p, err := BenchmarkByName("fs-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Generate(p, testLayout())
+	hot, total := 0, 0
+	for _, tr := range wl.Traces {
+		_, stores := sharedOps(tr)
+		for _, a := range stores {
+			total++
+			if int(a) < hotBlocks {
+				hot++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no shared stores generated")
+	}
+	if frac := float64(hot) / float64(total); frac < 0.5 {
+		t.Errorf("hot-set store fraction %.2f, want ≥ 0.5 (of %d shared stores)", frac, total)
+	}
+}
+
+// TestProdConsChain checks the producer/consumer family's data-flow shape:
+// big cores write the chain half and read the result half; tiny cores do
+// the opposite, behind acquire/release pairs.
+func TestProdConsChain(t *testing.T) {
+	p, err := BenchmarkByName("prodcons-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := testLayout()
+	wl := Generate(p, l)
+	half := spec.Addr(p.SharedBlocks / 2)
+	for c, tr := range wl.Traces {
+		big := c < l.BigCores
+		loads, stores := sharedOps(tr)
+		syncs := 0
+		for _, op := range tr {
+			if op.Req.Op == spec.OpAcquire || op.Req.Op == spec.OpRelease {
+				syncs++
+			}
+		}
+		inChain := func(as []spec.Addr) int {
+			n := 0
+			for _, a := range as {
+				if a < half {
+					n++
+				}
+			}
+			return n
+		}
+		if big {
+			if len(stores) == 0 || inChain(stores) != len(stores) {
+				t.Errorf("core %d (big): %d/%d shared stores in chain region", c, inChain(stores), len(stores))
+			}
+			if len(loads) == 0 || inChain(loads) != 0 {
+				t.Errorf("core %d (big): %d/%d shared loads in chain region, want 0", c, inChain(loads), len(loads))
+			}
+			if syncs != 0 {
+				t.Errorf("core %d (big): %d sync ops, want 0", c, syncs)
+			}
+		} else {
+			if len(loads) == 0 || inChain(loads) != len(loads) {
+				t.Errorf("core %d (tiny): %d/%d shared loads in chain region", c, inChain(loads), len(loads))
+			}
+			if inChain(stores) != 0 {
+				t.Errorf("core %d (tiny): %d shared stores in chain region, want 0", c, inChain(stores))
+			}
+			if syncs == 0 {
+				t.Errorf("core %d (tiny): no acquire/release pairs", c)
+			}
+		}
+	}
+}
+
+// TestGPUBurstPhases checks the GPU-phase family: tiny cores write only
+// their own stripe in dense bursts and publish with a release; big cores
+// only read the shared region.
+func TestGPUBurstPhases(t *testing.T) {
+	p, err := BenchmarkByName("gpu-phases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := testLayout()
+	wl := Generate(p, l)
+	stripe := p.SharedBlocks / l.TinyCores
+	for c, tr := range wl.Traces {
+		big := c < l.BigCores
+		loads, stores := sharedOps(tr)
+		if big {
+			if len(stores) != 0 {
+				t.Errorf("core %d (big): %d shared stores, want 0", c, len(stores))
+			}
+			if len(loads) == 0 {
+				t.Errorf("core %d (big): no shared loads", c)
+			}
+			continue
+		}
+		base := spec.Addr((c - l.BigCores) * stripe)
+		for _, a := range stores {
+			if a < base || a >= base+spec.Addr(stripe) {
+				t.Errorf("core %d (tiny): store to %d outside stripe [%d,%d)", c, a, base, base+spec.Addr(stripe))
+				break
+			}
+		}
+		// Bursts are dense: the longest consecutive shared-store run should
+		// reach the configured burst length.
+		run, best := 0, 0
+		releases := 0
+		for _, op := range tr {
+			switch {
+			case op.Req.Op == spec.OpStore && op.Req.Addr < 4096:
+				run++
+				if run > best {
+					best = run
+				}
+			case op.Req.Op == spec.OpRelease:
+				releases++
+				run = 0
+			default:
+				run = 0
+			}
+		}
+		if best < 4 {
+			t.Errorf("core %d (tiny): longest store burst %d, want ≥ 4", c, best)
+		}
+		if releases == 0 {
+			t.Errorf("core %d (tiny): no releases after bursts", c)
+		}
+	}
+}
+
+// TestBigsetWorkingSet checks the large-working-set family actually
+// widens the address footprint past every Figure 10 point.
+func TestBigsetWorkingSet(t *testing.T) {
+	p, err := BenchmarkByName("bigset-mix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := Generate(p, testLayout())
+	addrs := map[spec.Addr]bool{}
+	for _, tr := range wl.Traces {
+		for _, op := range tr {
+			if op.Req.Addr < 4096 && (op.Req.Op == spec.OpLoad || op.Req.Op == spec.OpStore) {
+				addrs[op.Req.Addr] = true
+			}
+		}
+	}
+	if len(addrs) < 128 {
+		t.Errorf("bigset-mix touches %d distinct shared blocks, want ≥ 128", len(addrs))
+	}
+}

@@ -61,6 +61,10 @@ type Params struct {
 	MaxGap int
 	// Seed makes generation deterministic.
 	Seed int64
+	// Pattern selects the trace-generation scheme (PatternMixed,
+	// PatternProdCons, PatternGPUBurst). The zero value is the mixed
+	// statistical generator of the 13 benchmark points.
+	Pattern string
 }
 
 // Benchmarks returns the 13 HCC benchmark parameter points.
@@ -109,9 +113,15 @@ func Benchmarks() []Params {
 	}
 }
 
-// BenchmarkByName returns the named benchmark parameters.
+// BenchmarkByName returns the named parameter point, searching the 13
+// benchmarks first and then the stress families.
 func BenchmarkByName(name string) (Params, error) {
 	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	for _, p := range Families() {
 		if p.Name == name {
 			return p, nil
 		}
@@ -138,6 +148,14 @@ func Generate(p Params, l Layout) *Workload {
 	rng := rand.New(rand.NewSource(p.Seed))
 	n := l.BigCores + l.TinyCores
 	wl := &Workload{Name: p.Name, Traces: make([]CoreTrace, n)}
+	switch p.Pattern {
+	case PatternProdCons:
+		generateProdCons(p, l, wl, rng)
+		return wl
+	case PatternGPUBurst:
+		generateGPUBurst(p, l, wl, rng)
+		return wl
+	}
 	shared := p.SharedBlocks
 	if shared < 2*hotBlocks {
 		shared = 2 * hotBlocks
