@@ -60,11 +60,12 @@ bench-storage:
 bench-por:
 	$(GO) test -run XXX -bench 'BenchmarkExplorePOR' -benchtime 1x -timeout 30m .
 
-# Regenerate the compiled-engine numbers in BENCH_COMPILE.json: the §VII-C
-# search through the interpreted composite, through compile+check, and
-# through an already-compiled table.
+# Regenerate BENCH_COMPILE.json (schema v2): the §VII-C search through the
+# interpreted composite, the table extraction alone, compile+check, the
+# dispatch-only precompiled check, and the .hgcf artifact lifecycle
+# (serialize, cold load, cold load + check).
 bench-compile:
-	$(GO) test -run XXX -bench 'BenchmarkCompile' -benchtime 1x -timeout 30m .
+	BENCH_COMPILE_OUT=BENCH_COMPILE.json $(GO) test -run XXX -bench 'BenchmarkCompile' -benchtime 1x -timeout 30m .
 
 # Regenerate BENCH_SIM.json: the full-scale Figure 10 sweep (compiled
 # dispatch), the stress trace families and the Table II pair sweep, all

@@ -19,11 +19,21 @@
 //	heterogen -export MSI                 # print a protocol in PCC form
 //	heterogen -spec my.pcc -pair -,MESI   # fuse a user protocol ("-")
 //	heterogen -most                       # print the ArMOR MOST tables
+//
+// Compiled-table artifacts (the versioned .hgcf binary form):
+//
+//	heterogen -pair MESI,RCC-O -compile-out t.hgcf   # compile, serialize
+//	heterogen -compile-in t.hgcf                     # load, summarize
+//	heterogen -compile-in t.hgcf -emit table         # emit from the artifact
+//	heterogen -pair MESI,RCC-O -emit pcc -o out.pcc  # write instead of stdout
+//	heterogen -pair MESI,RCC-O -emit table -compile-cache ~/.cache/hg
+//	                                      # reuse/populate the digest-keyed cache
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -38,20 +48,23 @@ import (
 
 // cliConfig carries the parsed command line.
 type cliConfig struct {
-	list     bool
-	pair     string
-	fsm      bool
-	full     bool
-	tableii  bool
-	compiled bool
-	export   string
-	specFile string
-	most     bool
-	hs       string
-	dot      string
-	murphi   string
-	emit     string
-	search   cliopts.Search
+	list       bool
+	pair       string
+	fsm        bool
+	full       bool
+	tableii    bool
+	compiled   bool
+	export     string
+	specFile   string
+	most       bool
+	hs         string
+	dot        string
+	murphi     string
+	emit       string
+	out        string
+	compileOut string
+	compileIn  string
+	search     cliopts.Search
 }
 
 func main() {
@@ -69,6 +82,9 @@ func main() {
 	flag.StringVar(&cfg.dot, "dot", "", "emit a protocol's controllers as Graphviz DOT")
 	flag.StringVar(&cfg.murphi, "murphi", "", "emit a protocol as a CMurphi model")
 	flag.StringVar(&cfg.emit, "emit", "", "compile the fused pair and print an artifact: table|pcc|murphi|dot")
+	flag.StringVar(&cfg.out, "o", "", "write -emit/-export output to this file instead of stdout")
+	flag.StringVar(&cfg.compileOut, "compile-out", "", "serialize the compiled table to this .hgcf artifact file")
+	flag.StringVar(&cfg.compileIn, "compile-in", "", "load a compiled table from this .hgcf artifact instead of compiling")
 	cfg.search.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -117,8 +133,20 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(spec.ExportPCC(p))
-		return nil
+		return withOut(cfg.out, func(w io.Writer) error {
+			_, err := io.WriteString(w, spec.ExportPCC(p))
+			return err
+		})
+	case cfg.compileIn != "":
+		cf, err := core.LoadArtifactFile(cfg.compileIn)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "heterogen: %s: %s\n", cf.Fusion().Name(), cf.Stats())
+		if cfg.emit != "" {
+			return withOut(cfg.out, func(w io.Writer) error { return emit(cf, cfg.emit, w) })
+		}
+		return withOut(cfg.out, func(w io.Writer) error { return summarize(w, cf) })
 	case cfg.most:
 		for _, id := range memmodel.AllIDs() {
 			fmt.Println(armor.BuildMOST(memmodel.MustByID(id)).Format())
@@ -153,8 +181,23 @@ func run(cfg cliConfig) error {
 		if err != nil {
 			return err
 		}
-		if cfg.emit != "" {
-			return emit(f, cfg.emit, cfg.full, cfg.search.Workers)
+		if cfg.emit != "" || cfg.compileOut != "" {
+			cf, cached, err := core.CompileOrLoad(f, core.TableIICompileConfig(!cfg.full, cfg.search.Workers), cfg.search.CompileCache)
+			if err != nil {
+				return err
+			}
+			_ = cached
+			fmt.Fprintf(os.Stderr, "heterogen: %s: %s\n", f.Name(), cf.Stats())
+			if cfg.compileOut != "" {
+				if err := cf.WriteArtifact(cfg.compileOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "heterogen: artifact written to %s (digest %s)\n", cfg.compileOut, cf.Digest())
+			}
+			if cfg.emit != "" {
+				return withOut(cfg.out, func(w io.Writer) error { return emit(cf, cfg.emit, w) })
+			}
+			return withOut(cfg.out, func(w io.Writer) error { return summarize(w, cf) })
 		}
 		fmt.Print(f.Describe())
 		e, rec, err := core.EnumerateFSM(f, !cfg.full)
@@ -172,35 +215,60 @@ func run(cfg cliConfig) error {
 	return nil
 }
 
-// emit compiles the fusion for the Table II configuration (extraction
-// parallelism per -workers) and prints the requested artifact of the flat
-// table.
-func emit(f *core.Fusion, kind string, full bool, workers int) error {
-	cf, err := core.Compile(f, core.TableIICompileConfig(!full, workers))
-	if err != nil {
-		return err
-	}
+// emit prints the requested artifact of an already-compiled (or loaded)
+// flat table.
+func emit(cf *core.CompiledFusion, kind string, w io.Writer) error {
 	switch kind {
 	case "table":
-		fmt.Print(cf.FlatFSM().Format())
+		fmt.Fprint(w, cf.FlatFSM().Format())
 	case "pcc":
 		p, err := cf.Protocol()
 		if err != nil {
 			return err
 		}
-		fmt.Print(spec.ExportPCC(p))
+		fmt.Fprint(w, spec.ExportPCC(p))
 	case "murphi":
 		p, err := cf.Protocol()
 		if err != nil {
 			return err
 		}
-		fmt.Print(exportpkg.Murphi(p, exportpkg.DefaultMurphiConfig()))
+		fmt.Fprint(w, exportpkg.Murphi(p, exportpkg.DefaultMurphiConfig()))
 	case "dot":
-		fmt.Print(exportpkg.DOTFlat(cf.FlatFSM()))
+		fmt.Fprint(w, exportpkg.DOTFlat(cf.FlatFSM()))
 	default:
 		return fmt.Errorf("unknown -emit artifact %q (want table, pcc, murphi or dot)", kind)
 	}
 	return nil
+}
+
+// summarize prints the one-paragraph description of a compiled table —
+// what -compile-in (and a bare -compile-out) show.
+func summarize(w io.Writer, cf *core.CompiledFusion) error {
+	cfg := cf.Config()
+	fmt.Fprintf(w, "%s: compiled table, format v%d, digest %s\n", cf.Fusion().Name(), core.ArtifactVersion, cf.Digest())
+	fmt.Fprintf(w, "  config: caches per cluster %v, %d programs, evictions %v\n",
+		cfg.CachesPerCluster, len(cfg.Programs), cfg.Evictions)
+	fmt.Fprintf(w, "  table: %d directory states, %d transitions (%d system states explored)\n",
+		cf.DirStates(), cf.Transitions(), cf.Explored())
+	fsm := cf.FlatFSM()
+	fmt.Fprintf(w, "  projection: %d local states, %d edges\n", len(fsm.States), len(fsm.Edges))
+	return nil
+}
+
+// withOut runs emit against stdout or the -o file.
+func withOut(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fuse(hs, a, b, specFile string, more ...string) (*core.Fusion, error) {

@@ -10,6 +10,10 @@
 //	hgcheck -pair MESI,RCC-O -caches 2 -mem 512MiB -spill-dir /tmp -progress 10s
 //	hgcheck -pair MESI,RCC-O -caches 2 -por=0   # full unreduced interleaving space
 //	hgcheck -pair MESI,RCC-O -compiled          # check the compiled flat table
+//	hgcheck -pair MESI,RCC-O -compiled -compile-cache ~/.cache/hg
+//	                                   # reuse the digest-keyed artifact cache
+//	hgcheck -table t.hgcf              # check a serialized artifact's own config
+//	hgcheck -pair MESI,RCC-O -table t.hgcf  # ... digest-checked against the flags
 //	hgcheck -protocol MSI -cpuprofile cpu.pprof # profile the search
 package main
 
@@ -36,6 +40,7 @@ type checkConfig struct {
 	memBudget   int64
 	maxStates   int
 	compiled    bool
+	table       string
 	progress    time.Duration
 	search      cliopts.Search
 	encoding    mcheck.Encoding
@@ -52,6 +57,7 @@ func main() {
 	mem := flag.String("mem", "", "visited-set memory budget, e.g. 512MiB or 2GiB (default: 8GiB table cap / 64MiB bitstate filter)")
 	flag.IntVar(&cfg.maxStates, "max-states", 8<<20, "state budget")
 	flag.BoolVar(&cfg.compiled, "compiled", false, "compile the fused directory to a flat table first and check that (-pair only)")
+	flag.StringVar(&cfg.table, "table", "", "check a compiled-table .hgcf artifact (alone: its baked config; with -pair: digest-checked against the flags)")
 	flag.DurationVar(&cfg.progress, "progress", 0, "log states/sec, frontier depth, load factor and heap every interval (e.g. 10s; 0 = silent)")
 	cfg.search.Register(flag.CommandLine)
 	flag.Parse()
@@ -109,10 +115,22 @@ func driver(cores, addrs int, symmetric bool) [][]spec.CoreReq {
 func run(cfg checkConfig) error {
 	var sys *mcheck.System
 	var name string
+	evictions := true
 	switch {
+	case cfg.table != "" && cfg.pair == "" && cfg.proto == "":
+		// Standalone artifact check: the table's own baked configuration
+		// (programs, caches, evictions) defines the search.
+		cf, err := core.LoadArtifactFile(cfg.table)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", cf.Fusion().Name(), cf.Stats())
+		sys = cf.System()
+		name = cf.Fusion().Name()
+		evictions = cf.Config().Evictions
 	case cfg.proto != "":
-		if cfg.compiled {
-			return fmt.Errorf("-compiled applies to fused pairs (-pair), not homogeneous protocols")
+		if cfg.compiled || cfg.table != "" {
+			return fmt.Errorf("-compiled/-table apply to fused pairs (-pair), not homogeneous protocols")
 		}
 		p, err := protocols.ByName(cfg.proto)
 		if err != nil {
@@ -139,19 +157,31 @@ func run(cfg checkConfig) error {
 			return err
 		}
 		progs := driver(2*cfg.caches, cfg.addrs, cfg.search.Symmetry)
-		if cfg.compiled {
-			cf, err := core.Compile(f, core.CompileConfig{
-				CachesPerCluster: []int{cfg.caches, cfg.caches},
-				Programs:         progs,
-				Evictions:        true,
-				MaxStates:        cfg.maxStates,
-				Workers:          cfg.search.Workers,
-			})
+		ccfg := core.CompileConfig{
+			CachesPerCluster: []int{cfg.caches, cfg.caches},
+			Programs:         progs,
+			Evictions:        true,
+			MaxStates:        cfg.maxStates,
+			Workers:          cfg.search.Workers,
+		}
+		switch {
+		case cfg.table != "":
+			// Artifact against explicit flags: the stored digest must match
+			// the requested (pair, config) or the load fails up front.
+			cf, err := core.LoadArtifactFileFor(cfg.table, f, ccfg)
 			if err != nil {
 				return err
 			}
+			fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", f.Name(), cf.Stats())
 			sys = cf.System()
-		} else {
+		case cfg.compiled:
+			cf, _, err := core.CompileOrLoad(f, ccfg, cfg.search.CompileCache)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", f.Name(), cf.Stats())
+			sys = cf.System()
+		default:
 			sys, _ = core.BuildSystem(f, []int{cfg.caches, cfg.caches})
 			sys.SetPrograms(progs)
 		}
@@ -165,7 +195,7 @@ func run(cfg checkConfig) error {
 		return fmt.Errorf("-spill-dir: this system's components lack the faithful state codec spilling requires")
 	}
 	opts := mcheck.Options{
-		Evictions: true, HashCompaction: cfg.search.Hash, Bitstate: cfg.bitstate,
+		Evictions: evictions, HashCompaction: cfg.search.Hash, Bitstate: cfg.bitstate,
 		MemBudget: cfg.memBudget, SpillDir: cfg.search.SpillDir,
 		MaxStates: cfg.maxStates, Workers: cfg.search.Workers,
 		Encoding: cfg.encoding, Symmetry: cfg.search.Symmetry,

@@ -13,6 +13,8 @@
 //	hglitmus -all-allocs -evict      # every allocation, with replacements
 //	hglitmus -workers 1              # sequential (deterministic timing)
 //	hglitmus -pair MESI,RCC-O -compiled  # check the compiled flat tables
+//	hglitmus -pair MESI,RCC-O -table ~/.cache/hg  # compiled, with per-test
+//	                                  # artifacts cached by content digest
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	evict := flag.Bool("evict", false, "explore replacements at any time")
 	maxThreads := flag.Int("max-threads", 3, "skip shapes with more threads (IRIW=4 is expensive)")
 	compiled := flag.Bool("compiled", false, "check each test against the fusion's compiled flat table instead of the interpreted composite")
+	table := flag.String("table", "", "content-addressed compiled-table cache directory for the per-test artifacts (implies -compiled)")
 	verdicts := flag.Bool("verdicts", false, "print the axiomatic forbidden/allowed matrix and exit")
 	search := cliopts.DefaultSearch()
 	search.Register(flag.CommandLine)
@@ -61,7 +64,7 @@ func main() {
 		Evictions: *evict, AllAllocations: *allAllocs,
 		HashCompaction: search.Hash, Encoding: enc, Symmetry: search.Symmetry,
 		POR: search.PORMode(), SpillDir: search.SpillDir,
-		Compiled: *compiled,
+		Compiled: *compiled, TableCache: *table,
 	}
 	stopProf, err := search.StartProfiling()
 	if err != nil {

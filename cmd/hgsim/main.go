@@ -11,6 +11,7 @@
 //	hgsim -scale 0.25          # quick run with shortened traces
 //	hgsim -bench cilk5-nq      # one benchmark, all three variants
 //	hgsim -compiled            # compiled-table dispatch (identical results)
+//	hgsim -table t.hgcf        # sweep the pair a .hgcf artifact was built for
 //	hgsim -family all          # add the stress trace families
 //	hgsim -pairs               # sweep every Table II protocol pair
 //	hgsim -seeds 3             # three workload seeds per parameter point
@@ -29,6 +30,7 @@ import (
 
 	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
+	"heterogen/internal/protocols"
 	"heterogen/internal/sim"
 	"heterogen/internal/spec"
 	"heterogen/internal/workload"
@@ -47,6 +49,7 @@ func main() {
 	bench := flag.String("bench", "", "run a single benchmark or family point")
 	scale := flag.Float64("scale", 1.0, "trace length scale factor")
 	compiled := flag.Bool("compiled", false, "compiled-table dispatch (dense controller tables; identical results)")
+	table := flag.String("table", "", "sweep the protocol pair a compiled .hgcf artifact was built for (implies -compiled)")
 	family := flag.String("family", "bench", "parameter points to sweep: bench (Figure 10's 13), stress (trace families), all")
 	pairs := flag.Bool("pairs", false, "also sweep every Table II protocol pair")
 	seeds := flag.Int("seeds", 1, "workload seeds per parameter point")
@@ -57,7 +60,8 @@ func main() {
 	flag.Parse()
 
 	if err := run(opts{params: *params, bench: *bench, scale: *scale, compiled: *compiled,
-		family: *family, pairs: *pairs, seeds: *seeds, mesh: *mesh, jsonPath: *jsonPath, perf: perf}); err != nil {
+		table: *table, family: *family, pairs: *pairs, seeds: *seeds, mesh: *mesh,
+		jsonPath: *jsonPath, perf: perf}); err != nil {
 		fmt.Fprintln(os.Stderr, "hgsim:", err)
 		os.Exit(1)
 	}
@@ -68,6 +72,7 @@ type opts struct {
 	bench    string
 	scale    float64
 	compiled bool
+	table    string
 	family   string
 	pairs    bool
 	seeds    int
@@ -103,6 +108,28 @@ type report struct {
 func run(o opts) error {
 	cfg := sim.TableIIIMesh(o.mesh)
 	cfg.Compiled = o.compiled
+	defaultPair := sim.DefaultPair()
+	if o.table != "" {
+		// The artifact names the pair: reuse its constituent protocols for
+		// the sweep (compiled dispatch, like the table itself).
+		cf, err := core.LoadArtifactFile(o.table)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hgsim: %s: %s\n", cf.Fusion().Name(), cf.Stats())
+		ps := cf.Fusion().Protocols
+		if len(ps) != 2 {
+			return fmt.Errorf("-table: artifact fuses %d protocols, the sweep needs a pair", len(ps))
+		}
+		for _, p := range ps {
+			if _, err := protocols.ByName(p.Name); err != nil {
+				return fmt.Errorf("-table: artifact protocol %q is not a builtin: %w", p.Name, err)
+			}
+		}
+		defaultPair = [2]string{ps[0].Name, ps[1].Name}
+		cfg.Compiled = true
+		o.compiled = true
+	}
 	if o.params {
 		fmt.Println(cfg.Format())
 		return nil
@@ -140,12 +167,12 @@ func run(o opts) error {
 	}
 
 	if o.family == "bench" || o.family == "all" {
-		if err := sweep("figure10", sim.DefaultPair(), workload.Benchmarks()); err != nil {
+		if err := sweep("figure10", defaultPair, workload.Benchmarks()); err != nil {
 			return err
 		}
 	}
 	if o.family == "stress" || o.family == "all" {
-		if err := sweep("stress", sim.DefaultPair(), workload.Families()); err != nil {
+		if err := sweep("stress", defaultPair, workload.Families()); err != nil {
 			return err
 		}
 	}

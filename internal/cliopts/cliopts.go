@@ -33,6 +33,9 @@ type Search struct {
 	POR bool
 	// SpillDir is -spill-dir: frontier overflow directory ("" = in-memory).
 	SpillDir string
+	// CompileCache is -compile-cache: a content-addressed compiled-table
+	// artifact cache directory ("" = compile in-process every time).
+	CompileCache string
 	// CPUProfile and MemProfile are -cpuprofile/-memprofile output paths.
 	CPUProfile string
 	MemProfile string
@@ -47,6 +50,7 @@ func (s *Search) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.Symmetry, "symmetry", s.Symmetry, "canonicalize states under cache-permutation symmetry")
 	fs.BoolVar(&s.POR, "por", s.POR, "ample-set partial order reduction (-por=0 forces the full interleaving space)")
 	fs.StringVar(&s.SpillDir, "spill-dir", s.SpillDir, "spill frontier overflow to temp files under this directory (bounds BFS memory)")
+	fs.StringVar(&s.CompileCache, "compile-cache", s.CompileCache, "cache compiled-table artifacts in this directory, keyed by (pair, config) digest (skips re-extraction)")
 	fs.StringVar(&s.CPUProfile, "cpuprofile", s.CPUProfile, "write a pprof CPU profile to this file")
 	fs.StringVar(&s.MemProfile, "memprofile", s.MemProfile, "write a pprof heap profile to this file on exit")
 }

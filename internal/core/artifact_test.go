@@ -1,0 +1,264 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heterogen/internal/mcheck"
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+// quickArtifactFusion compiles a small fixed configuration used by the
+// artifact unit tests (two single-cache clusters, two-op programs).
+func quickArtifactFusion(t testing.TB) (*Fusion, CompileConfig, *CompiledFusion) {
+	t.Helper()
+	f, err := Fuse(Options{}, protocols.MustByName(protocols.NameMSI), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := CompileConfig{CachesPerCluster: []int{1, 1}, Programs: tableIIDriver()}
+	cf, err := Compile(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cfg, cf
+}
+
+// TestArtifactRoundTripAllPairs pins the full codec on every Table II
+// pair: a self-contained load from the marshaled bytes must reproduce the
+// table's counts, a byte-identical FlatFSM dump, the same content digest,
+// and a byte-identical re-marshal (the encoding is deterministic).
+func TestArtifactRoundTripAllPairs(t *testing.T) {
+	for _, pair := range TableIIPairs() {
+		f, err := Fuse(Options{}, protocols.MustByName(pair[0]), protocols.MustByName(pair[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := CompileConfig{CachesPerCluster: []int{1, 1}, Programs: tableIIDriver()}
+		cf, err := Compile(f, cfg)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", f.Name(), err)
+		}
+		data := cf.MarshalArtifact()
+		lcf, err := LoadArtifact(data)
+		if err != nil {
+			t.Fatalf("%s: load: %v", f.Name(), err)
+		}
+		if lcf.DirStates() != cf.DirStates() || lcf.Transitions() != cf.Transitions() || lcf.Explored() != cf.Explored() {
+			t.Errorf("%s: loaded table %d/%d/%d vs compiled %d/%d/%d",
+				f.Name(), lcf.DirStates(), lcf.Transitions(), lcf.Explored(),
+				cf.DirStates(), cf.Transitions(), cf.Explored())
+		}
+		if lcf.Fusion().Name() != f.Name() {
+			t.Errorf("%s: re-fused name %q", f.Name(), lcf.Fusion().Name())
+		}
+		if got, want := lcf.FlatFSM().Format(), cf.FlatFSM().Format(); got != want {
+			t.Errorf("%s: FlatFSM dump differs across the round trip", f.Name())
+		}
+		if lcf.Digest() != cf.Digest() {
+			t.Errorf("%s: digest differs across the round trip", f.Name())
+		}
+		if again := lcf.MarshalArtifact(); !bytes.Equal(again, data) {
+			t.Errorf("%s: re-marshal of the loaded table is not byte-identical (%d vs %d bytes)",
+				f.Name(), len(again), len(data))
+		}
+		if src := lcf.Stats().Source; src != "artifact" {
+			t.Errorf("%s: loaded table reports source %q", f.Name(), src)
+		}
+	}
+}
+
+// TestArtifactMismatchErrors pins the structured load-time failures: a
+// digest mismatch against the requested search, a foreign format, an
+// unsupported version, and corrupted or truncated bytes all fail with the
+// matching sentinel error — never an unknown-key panic inside a later
+// Deliver.
+func TestArtifactMismatchErrors(t *testing.T) {
+	f, cfg, cf := quickArtifactFusion(t)
+	data := cf.MarshalArtifact()
+
+	t.Run("foreign config digest", func(t *testing.T) {
+		foreign := cfg
+		foreign.Programs = [][]spec.CoreReq{
+			{{Op: spec.OpStore, Addr: 1, Value: 9}},
+			{{Op: spec.OpStore, Addr: 1, Value: 8}},
+		}
+		if _, err := LoadArtifactFor(data, f, foreign); !errors.Is(err, ErrArtifactMismatch) {
+			t.Errorf("foreign programs: got %v, want ErrArtifactMismatch", err)
+		}
+	})
+	t.Run("foreign fusion digest", func(t *testing.T) {
+		g, err := Fuse(Options{}, protocols.MustByName(protocols.NameRCC), protocols.MustByName(protocols.NameRCC))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadArtifactFor(data, g, cfg); !errors.Is(err, ErrArtifactMismatch) {
+			t.Errorf("foreign fusion: got %v, want ErrArtifactMismatch", err)
+		}
+	})
+	t.Run("matching digest loads", func(t *testing.T) {
+		if _, err := LoadArtifactFor(data, f, cfg); err != nil {
+			t.Errorf("matching load failed: %v", err)
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[0] = 'X'
+		if _, err := LoadArtifact(bad); !errors.Is(err, ErrArtifactFormat) {
+			t.Errorf("bad magic: got %v, want ErrArtifactFormat", err)
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[4] = ArtifactVersion + 1
+		if _, err := LoadArtifact(bad); !errors.Is(err, ErrArtifactVersion) {
+			t.Errorf("bad version: got %v, want ErrArtifactVersion", err)
+		}
+	})
+	t.Run("tampered digest", func(t *testing.T) {
+		bad := append([]byte(nil), data...)
+		bad[8] ^= 0xff
+		if _, err := LoadArtifact(bad); !errors.Is(err, ErrArtifactCorrupt) {
+			t.Errorf("tampered digest: got %v, want ErrArtifactCorrupt", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{artifactHeaderLen + 3, len(data) / 2, len(data) - 1} {
+			if _, err := LoadArtifact(data[:n]); !errors.Is(err, ErrArtifactCorrupt) {
+				t.Errorf("truncated to %d bytes: got %v, want ErrArtifactCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := LoadArtifact(append(append([]byte(nil), data...), 0xaa)); !errors.Is(err, ErrArtifactCorrupt) {
+			t.Error("trailing byte accepted")
+		}
+	})
+}
+
+// TestArtifactFileAndCache pins the file layer and the content-addressed
+// cache: WriteArtifact round-trips through disk, CompileOrLoad compiles
+// and populates the cache on a miss, then loads on a hit (reporting
+// Source "cache"), and a corrupt cache entry is silently recompiled over.
+func TestArtifactFileAndCache(t *testing.T) {
+	f, cfg, cf := quickArtifactFusion(t)
+	dir := t.TempDir()
+
+	path := filepath.Join(dir, "table"+ArtifactExt)
+	if err := cf.WriteArtifact(path); err != nil {
+		t.Fatal(err)
+	}
+	lcf, err := LoadArtifactFileFor(path, f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lcf.DirStates() != cf.DirStates() {
+		t.Errorf("file round trip: %d states vs %d", lcf.DirStates(), cf.DirStates())
+	}
+	if _, err := LoadArtifactFile(path); err != nil {
+		t.Errorf("self-contained file load: %v", err)
+	}
+
+	cacheDir := filepath.Join(dir, "cache")
+	ccf, cached, err := CompileOrLoad(f, cfg, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first CompileOrLoad reported a cache hit")
+	}
+	entry := filepath.Join(cacheDir, CompileDigest(f, cfg)+ArtifactExt)
+	if _, err := os.Stat(entry); err != nil {
+		t.Fatalf("cache entry not written: %v", err)
+	}
+	ccf2, cached2, err := CompileOrLoad(f, cfg, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached2 {
+		t.Error("second CompileOrLoad missed the cache")
+	}
+	if ccf2.Stats().Source != "cache" {
+		t.Errorf("cache hit reports source %q", ccf2.Stats().Source)
+	}
+	if ccf2.DirStates() != ccf.DirStates() || ccf2.Transitions() != ccf.Transitions() {
+		t.Errorf("cache hit table differs: %d/%d vs %d/%d",
+			ccf2.DirStates(), ccf2.Transitions(), ccf.DirStates(), ccf.Transitions())
+	}
+
+	if err := os.WriteFile(entry, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, cached3, err := CompileOrLoad(f, cfg, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached3 {
+		t.Error("corrupt cache entry reported as a hit")
+	}
+}
+
+// TestArtifactSnapshotEncoding pins the lazy snapshot reconstruction: a
+// search over a loaded artifact with the snapshot visited-set encoding
+// must agree with the interpreted snapshot-mode search — the reconstructed
+// snapshots have to be byte-identical to the interpreted component's or
+// the visited sets diverge.
+func TestArtifactSnapshotEncoding(t *testing.T) {
+	f, cfg, cf := quickArtifactFusion(t)
+	lcf, err := LoadArtifactFor(cf.MarshalArtifact(), f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := mcheck.Options{Workers: 1, Encoding: mcheck.EncodingSnapshot}
+	isys, _ := BuildSystem(f, cfg.CachesPerCluster)
+	isys.SetPrograms(cfg.Programs)
+	ires := mcheck.Explore(isys, opts)
+	lres := mcheck.Explore(lcf.System(), opts)
+	if lres.States != ires.States || lres.Transitions != ires.Transitions || lres.Deadlocks != ires.Deadlocks {
+		t.Errorf("snapshot-encoding search over loaded artifact diverges: %d/%d states, %d/%d transitions",
+			lres.States, ires.States, lres.Transitions, ires.Transitions)
+	}
+}
+
+// FuzzArtifactCodec hammers the loader with mutated artifact bytes: it
+// must return structured errors, never panic, and any accepted input must
+// re-marshal deterministically.
+func FuzzArtifactCodec(f *testing.F) {
+	fz, err := Fuse(Options{}, protocols.MustByName(protocols.NameMSI), protocols.MustByName(protocols.NameRCC))
+	if err != nil {
+		f.Fatal(err)
+	}
+	progs := [][]spec.CoreReq{
+		{{Op: spec.OpLoad, Addr: 0}},
+		{{Op: spec.OpLoad, Addr: 0}},
+	}
+	cf, err := Compile(fz, CompileConfig{CachesPerCluster: []int{1, 1}, Programs: progs})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := cf.MarshalArtifact()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:artifactHeaderLen])
+	f.Add([]byte(ArtifactMagic))
+	f.Add([]byte{})
+	mutated := append([]byte(nil), valid...)
+	for i := artifactHeaderLen; i < len(mutated); i += 97 {
+		mutated[i] ^= 0x5a
+	}
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lcf, err := LoadArtifact(data)
+		if err != nil {
+			return
+		}
+		if again := lcf.MarshalArtifact(); !bytes.Equal(again, data) {
+			t.Errorf("accepted %d-byte input re-marshals to %d different bytes", len(data), len(again))
+		}
+	})
+}

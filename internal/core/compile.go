@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"heterogen/internal/mcheck"
 	"heterogen/internal/spec"
@@ -24,10 +25,19 @@ import (
 // The observer interns every (directory state, shared memory) pair it is
 // about to transition from, replays the interpreted deliver, and records
 // the outcome — successor state, messages sent, whether memory changed, or
-// a stall — keyed by (interned state, message bytes). Exploration runs
-// with partial order reduction off and symmetry off so every reachable
+// a stall — keyed by (interned state, message). Exploration runs with
+// partial order reduction off and symmetry off so every reachable
 // (state, message) pair is covered; the resulting table is total over the
 // compiled configuration by construction.
+//
+// After extraction the recorded transitions are finalized into a dense
+// layout: every interned state owns a contiguous, message-sorted span of
+// table entries (stateOff/entries), with the recorded sends interned once
+// into a shared replay pool. CompiledDir.Deliver is then a binary search
+// over the current state's span by direct message-field comparison — a few
+// array reads, no per-delivery key encoding, hashing or allocation. The
+// same dense arrays are what the on-disk artifact (artifact.go) serializes
+// verbatim.
 //
 // The compiled artifact drives every downstream layer:
 //
@@ -42,6 +52,9 @@ import (
 //     states/transitions), sharing the rendering path with the Recorder.
 //   - Protocol() lifts the projection into a spec.Protocol value that
 //     round-trips through the PCC text form and exports to Murphi/DOT.
+//   - MarshalArtifact() serializes the dense tables into the versioned
+//     on-disk form; LoadArtifact* rebuilds a working CompiledFusion from
+//     those bytes without re-running the extraction search (artifact.go).
 //
 // Soundness: the interpreted composite stays the oracle. Whenever the
 // compiled table is asked for a (state, message) pair the extraction never
@@ -74,8 +87,12 @@ type CompileConfig struct {
 	Evictions bool
 	// MaxStates bounds the extraction search (0 = checker default).
 	// Extraction must complete: a truncated extraction fails Compile.
+	// Excluded from the artifact digest — a completed extraction is
+	// independent of the bound it ran under.
 	MaxStates int
 	// Workers sets the extraction search parallelism (0 = all cores).
+	// Excluded from the artifact digest — the extracted table is a pure
+	// function of the configuration, not of the search schedule.
 	Workers int
 }
 
@@ -88,28 +105,77 @@ const stallState = int32(-1)
 // Detectable with errors.Is.
 var ErrCompileTruncated = errors.New("core: compile extraction truncated")
 
+// CompileStats reports where a CompiledFusion came from and what each
+// phase cost — the extraction search and dense-table finalization for a
+// fresh compile, or the artifact decode for a load. CLIs print it so runs
+// are unambiguous about whether the ~39s extraction actually ran.
+type CompileStats struct {
+	// Source is "compiler" (fresh extraction), "artifact" (explicit load)
+	// or "cache" (content-addressed cache hit in CompileOrLoad).
+	Source string
+	// Extract is the exhaustive POR-off extraction search wall time
+	// (zero when loaded).
+	Extract time.Duration
+	// ExtractStates counts the system states the extraction visited.
+	ExtractStates int
+	// Finalize is the dense-table build time after extraction.
+	Finalize time.Duration
+	// Load is the artifact read+decode+rebuild time (zero when compiled).
+	Load time.Duration
+}
+
+// String renders the phase breakdown for CLI logs.
+func (s CompileStats) String() string {
+	switch s.Source {
+	case "artifact", "cache":
+		from := "artifact"
+		if s.Source == "cache" {
+			from = "cache"
+		}
+		return fmt.Sprintf("loaded from %s in %s", from, s.Load.Round(time.Millisecond))
+	default:
+		return fmt.Sprintf("extract %s (%d states) + finalize %s",
+			s.Extract.Round(10*time.Millisecond), s.ExtractStates,
+			s.Finalize.Round(time.Millisecond))
+	}
+}
+
 // compState is one interned merged-directory state: the raw component
-// encoding (byte-identical to the interpreted MergedDir's), the shared
-// memory image it implies, the interpreted snapshot string, the POR node
-// references, and the encoding under every cache permutation the symmetry
-// reducer may request.
+// encoding (byte-identical to the interpreted MergedDir's), the bijective
+// spill-codec image (from which the interpreted snapshot and relabelings
+// can be reconstructed exactly), the shared memory image it implies, the
+// POR node references, and the encoding under every cache permutation the
+// symmetry reducer may request.
 type compState struct {
-	enc  []byte       // MergedDir.AppendBinary bytes
-	mem  []byte       // Memory.AppendBinary bytes (replayed on remem transitions)
-	snap string       // interpreted Snapshot output (diagnostics, snapshot encoding)
-	refs spec.NodeSet // interpreted RefNodes (ample-set POR)
+	enc   []byte       // MergedDir.AppendBinary bytes
+	spill []byte       // MergedDir.AppendState bytes (exact state image)
+	mem   []byte       // Memory.AppendBinary bytes (replayed on remem transitions)
+	snap  string       // interpreted Snapshot output; reconstructed lazily from spill
+	refs  spec.NodeSet // interpreted RefNodes (ample-set POR)
 	// relab holds the relabeled encoding per permutation (relab[0] aliases
 	// enc); nil when the group is trivial.
 	relab [][]byte
 }
 
-// compTransition is one table entry: the successor state, the messages the
-// interpreted deliver sent (replayed in order), and whether the shared
-// memory changed (the successor's memory image is installed wholesale).
+// compTransition is one recorded outcome: the successor state, the
+// messages the interpreted deliver sent (replayed in order), and whether
+// the shared memory changed (the successor's memory image is installed
+// wholesale).
 type compTransition struct {
 	next  int32
 	sends []spec.Msg
 	remem bool
+}
+
+// compEntry is one finalized dense-table entry: the triggering message
+// (the binary-search key, compared field by field) and the outcome, with
+// sends flattened into the shared pool.
+type compEntry struct {
+	msg     spec.Msg
+	next    int32 // successor state index, or stallState
+	sendOff int32 // span into CompiledFusion.sends
+	sendLen int32
+	remem   bool
 }
 
 // CompiledFusion is the compiled flat merged-directory machine plus the
@@ -119,15 +185,20 @@ type CompiledFusion struct {
 	cfg       CompileConfig
 	template  *mcheck.System // pristine interpreted system; cloned per System()
 	layout    *SystemLayout
+	scratch   *MergedDir // pristine interpreted clone; spill-decode target for snapshots
+	snapMu    sync.Mutex // guards scratch and lazy compState.snap fills
 	mergedIdx int
 	owned     []spec.NodeID
 	states    []compState
-	trans     map[string]compTransition // varint(state) ++ msg bytes
+	entries   []compEntry // per-state contiguous spans, message-sorted
+	stateOff  []int32     // len(states)+1 span offsets into entries
+	sends     []spec.Msg  // shared send-replay pool
 	fsm       *FlatFSM
 	explored  int // system states visited during extraction
 	porLocal  bool
 	initLocal string          // composite local state at the initial state
 	stable    map[string]bool // composite local state -> quiescent?
+	stats     CompileStats
 
 	// Cache-permutation group for symmetry interop: the full product of
 	// per-cluster cache-id permutations (every group the checker's
@@ -143,34 +214,45 @@ type CompiledFusion struct {
 // relabelings will ever be requested and precomputing them would be waste.
 const maxCompiledPerms = 5040
 
-// Compile lowers f into a flat transition table for the given
-// configuration by exhaustively exploring the interpreted composite with
-// an extraction observer installed on the merged directory.
-func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
+// newCompiledFusion builds the configuration-dependent skeleton shared by
+// Compile and the artifact loader: the interpreted template system, the
+// pristine scratch directory, the permutation group and the locality
+// verdicts — everything derivable from (fusion, config) without running
+// the extraction. It returns the system it built so Compile can run the
+// extraction search over it.
+func newCompiledFusion(f *Fusion, cfg CompileConfig) (*CompiledFusion, *mcheck.System) {
 	sys, layout := BuildSystem(f, cfg.CachesPerCluster)
 	sys.SetPrograms(cfg.Programs)
 	f.Freeze()
-	template := sys.Clone() // no observer: System() clones stay interpreted-free
-
 	cf := &CompiledFusion{
-		fusion: f, cfg: cfg, template: template, layout: layout,
+		fusion: f, cfg: cfg, layout: layout,
+		scratch:   layout.Merged.Clone().(*MergedDir),
 		mergedIdx: len(sys.Components) - 1,
 		owned:     layout.Merged.OwnedIDs(),
-		trans:     map[string]compTransition{},
 		fsm:       &FlatFSM{Name: f.Name()},
 		porLocal:  layout.Merged.PORLocal(),
 		stable:    map[string]bool{},
 	}
+	cf.template = sys.Clone() // no observer: System() clones stay interpreted-free
 	cf.initLocal = layout.Merged.LocalState(0)
 	cf.stable[cf.initLocal] = layout.Merged.localStable(0)
 	cf.buildPerms()
+	return cf, sys
+}
 
-	c := &compiler{cf: cf, keys: map[string]int32{},
+// Compile lowers f into a flat transition table for the given
+// configuration by exhaustively exploring the interpreted composite with
+// an extraction observer installed on the merged directory, then
+// finalizing the recorded transitions into the dense dispatch layout.
+func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
+	start := time.Now()
+	cf, sys := newCompiledFusion(f, cfg)
+	c := &compiler{cf: cf, keys: map[string]int32{}, seen: map[string]int32{},
 		fsmStates: map[string]bool{}, fsmEdges: map[Edge]bool{}}
 	// Intern the initial directory state first: CompiledDir starts at
 	// index 0.
-	c.intern(layout.Merged)
-	layout.Merged.obs = c
+	c.intern(cf.layout.Merged)
+	cf.layout.Merged.obs = c
 
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: cfg.Evictions, MaxStates: cfg.MaxStates,
@@ -179,7 +261,7 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 		// may later need. Deadlocks are fine — the table must reproduce them.
 		POR: mcheck.POROff,
 	})
-	layout.Merged.obs = nil
+	cf.layout.Merged.obs = nil
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -187,6 +269,47 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 		return nil, fmt.Errorf("%w: %s at %d states", ErrCompileTruncated, f.Name(), res.States)
 	}
 	cf.explored = res.States
+	cf.stats.Extract = time.Since(start)
+	cf.stats.ExtractStates = res.States
+
+	finalizeStart := time.Now()
+	cf.finalize(c)
+	cf.stats.Finalize = time.Since(finalizeStart)
+	cf.stats.Source = "compiler"
+	return cf, nil
+}
+
+// finalize turns the compiler's recorded transitions into the dense
+// per-state spans: records sorted by (pre-state, message order), entries
+// laid out contiguously per state, sends flattened into the shared pool,
+// and the projected FSM sorted into its canonical rendering order.
+func (cf *CompiledFusion) finalize(c *compiler) {
+	sort.Slice(c.recs, func(i, j int) bool {
+		a, b := &c.recs[i], &c.recs[j]
+		if a.pre != b.pre {
+			return a.pre < b.pre
+		}
+		return msgCmp(a.msg, b.msg) < 0
+	})
+	cf.entries = make([]compEntry, 0, len(c.recs))
+	cf.stateOff = make([]int32, len(cf.states)+1)
+	next := int32(0)
+	for i := range c.recs {
+		r := &c.recs[i]
+		for next <= r.pre {
+			cf.stateOff[next] = int32(len(cf.entries))
+			next++
+		}
+		e := compEntry{msg: r.msg, next: r.tr.next, remem: r.tr.remem,
+			sendOff: int32(len(cf.sends)), sendLen: int32(len(r.tr.sends))}
+		cf.sends = append(cf.sends, r.tr.sends...)
+		cf.entries = append(cf.entries, e)
+	}
+	for int(next) <= len(cf.states) {
+		cf.stateOff[next] = int32(len(cf.entries))
+		next++
+	}
+
 	for s := range c.fsmStates {
 		cf.fsm.States = append(cf.fsm.States, s)
 	}
@@ -201,7 +324,57 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 		}
 		return a.To < b.To
 	})
-	return cf, nil
+}
+
+// msgCmp is a strict total order over messages consistent with equality,
+// cheap integer fields first so the string compare only runs when every
+// endpoint and payload field ties. It is both the finalized span order and
+// the binary-search comparison in CompiledDir.Deliver.
+func msgCmp(a, b spec.Msg) int {
+	switch {
+	case a.Addr != b.Addr:
+		if a.Addr < b.Addr {
+			return -1
+		}
+		return 1
+	case a.Src != b.Src:
+		if a.Src < b.Src {
+			return -1
+		}
+		return 1
+	case a.Dst != b.Dst:
+		if a.Dst < b.Dst {
+			return -1
+		}
+		return 1
+	case a.Req != b.Req:
+		if a.Req < b.Req {
+			return -1
+		}
+		return 1
+	case a.Data != b.Data:
+		if a.Data < b.Data {
+			return -1
+		}
+		return 1
+	case a.Ack != b.Ack:
+		if a.Ack < b.Ack {
+			return -1
+		}
+		return 1
+	case a.VNet != b.VNet:
+		if a.VNet < b.VNet {
+			return -1
+		}
+		return 1
+	case a.HasData != b.HasData:
+		if !a.HasData {
+			return -1
+		}
+		return 1
+	default:
+		return strings.Compare(string(a.Type), string(b.Type))
+	}
 }
 
 // buildPerms materializes the per-cluster cache-permutation product group
@@ -333,12 +506,16 @@ func (cf *CompiledFusion) Fusion() *Fusion { return cf.fusion }
 // Config returns the configuration the table was compiled for.
 func (cf *CompiledFusion) Config() CompileConfig { return cf.cfg }
 
+// Stats reports the phase breakdown of how this table came to be
+// (extraction vs artifact load).
+func (cf *CompiledFusion) Stats() CompileStats { return cf.stats }
+
 // DirStates counts the interned (directory state, memory) pairs — the
 // transducer's state count (finer than the per-address FlatFSM states).
 func (cf *CompiledFusion) DirStates() int { return len(cf.states) }
 
 // Transitions counts the recorded table entries (including stalls).
-func (cf *CompiledFusion) Transitions() int { return len(cf.trans) }
+func (cf *CompiledFusion) Transitions() int { return len(cf.entries) }
 
 // Explored reports the system states visited during extraction.
 func (cf *CompiledFusion) Explored() int { return cf.explored }
@@ -346,6 +523,27 @@ func (cf *CompiledFusion) Explored() int { return cf.explored }
 // FlatFSM returns the projected per-address local-state machine — the
 // Table II artifact. Shared with the Recorder's rendering path.
 func (cf *CompiledFusion) FlatFSM() *FlatFSM { return cf.fsm }
+
+// snapOf returns the interpreted snapshot of an interned state,
+// reconstructing it on first use by decoding the state's exact spill-codec
+// image into the pristine scratch directory (the spill codec is bijective,
+// so the reconstructed bytes equal what the interpreted component would
+// print). Lazy reconstruction keeps the fmt-heavy snapshot path off the
+// extraction hot loop entirely.
+func (cf *CompiledFusion) snapOf(idx int32) string {
+	cf.snapMu.Lock()
+	defer cf.snapMu.Unlock()
+	st := &cf.states[idx]
+	if st.snap == "" {
+		if err := cf.scratch.DecodeState(spec.NewDec(st.spill)); err != nil {
+			panic(fmt.Sprintf("core: compiled state %d spill image undecodable: %v", idx, err))
+		}
+		var w spec.SnapshotWriter
+		cf.scratch.Snapshot(&w)
+		st.snap = w.String()
+	}
+	return st.snap
+}
 
 // Protocol lifts the compiled table's per-address projection (FlatFSM)
 // into a spec.Protocol value: a directory-only flat machine that
@@ -422,6 +620,13 @@ func (cf *CompiledFusion) System() *mcheck.System {
 	return sys
 }
 
+// compRecord is one extraction observation awaiting finalization.
+type compRecord struct {
+	pre int32
+	msg spec.Msg
+	tr  compTransition
+}
+
 // compiler is the extraction observer installed on the searched system's
 // merged directory (shared by every clone; the mutex serializes
 // observation so extraction may run on the parallel search path).
@@ -430,6 +635,8 @@ type compiler struct {
 	cf        *CompiledFusion
 	keys      map[string]int32 // interned enc++mem -> state index
 	keyBuf    []byte
+	seen      map[string]int32 // transKey -> index into recs (dup detection)
+	recs      []compRecord
 	fsmStates map[string]bool
 	fsmEdges  map[Edge]bool
 	err       error
@@ -469,7 +676,10 @@ func (c *compiler) observe(d *MergedDir, env spec.Env, m spec.Msg) bool {
 }
 
 // intern returns the dense index of the directory's current
-// (state, memory) pair, creating the compState on first sight.
+// (state, memory) pair, creating the compState on first sight. The
+// fmt-based Snapshot is deliberately NOT captured here — the exact
+// spill-codec image is, and snapshots are reconstructed from it on demand
+// (snapOf), keeping extraction on the binary-encoding path throughout.
 func (c *compiler) intern(d *MergedDir) int32 {
 	c.keyBuf = d.AppendBinary(c.keyBuf[:0])
 	split := len(c.keyBuf)
@@ -477,13 +687,11 @@ func (c *compiler) intern(d *MergedDir) int32 {
 	if idx, ok := c.keys[string(c.keyBuf)]; ok {
 		return idx
 	}
-	var w spec.SnapshotWriter
-	d.Snapshot(&w)
 	st := compState{
-		enc:  append([]byte(nil), c.keyBuf[:split]...),
-		mem:  append([]byte(nil), c.keyBuf[split:]...),
-		snap: w.String(),
-		refs: d.RefNodes(),
+		enc:   append([]byte(nil), c.keyBuf[:split]...),
+		mem:   append([]byte(nil), c.keyBuf[split:]...),
+		spill: d.AppendState(nil),
+		refs:  d.RefNodes(),
 	}
 	if len(c.cf.perms) > 1 {
 		st.relab = make([][]byte, len(c.cf.perms))
@@ -501,13 +709,14 @@ func (c *compiler) intern(d *MergedDir) int32 {
 // record stores (or re-verifies) one table entry.
 func (c *compiler) record(pre int32, m spec.Msg, tr compTransition) {
 	key := transKey(nil, pre, m)
-	if prev, ok := c.cf.trans[string(key)]; ok {
-		if !sameTransition(prev, tr) && c.err == nil {
+	if ri, ok := c.seen[string(key)]; ok {
+		if !sameTransition(c.recs[ri].tr, tr) && c.err == nil {
 			c.err = fmt.Errorf("core: state %d on %s recorded two different outcomes — binary state encoding is not injective over reachable states", pre, m)
 		}
 		return
 	}
-	c.cf.trans[string(key)] = tr
+	c.seen[string(key)] = int32(len(c.recs))
+	c.recs = append(c.recs, compRecord{pre: pre, msg: m, tr: tr})
 }
 
 // edge records one projected FSM transition (Recorder semantics: only
@@ -522,8 +731,9 @@ func (c *compiler) edge(from, event, to string) {
 	}
 }
 
-// transKey appends the transducer lookup key: varint state index plus the
-// message's binary encoding.
+// transKey appends the dedup lookup key: varint state index plus the
+// message's binary encoding. Only the compiler uses it — the finalized
+// dispatch path never encodes keys.
 func transKey(buf []byte, state int32, m spec.Msg) []byte {
 	buf = spec.AppendUvarint(buf, uint64(state))
 	return m.AppendBinary(buf)
@@ -543,44 +753,56 @@ func sameTransition(a, b compTransition) bool {
 }
 
 // CompiledDir is the flat-table stand-in for the interpreted MergedDir: an
-// int32 state register, the shared memory handle, and O(1) table lookups
-// per delivery. It reproduces the interpreted component's visited-set
-// encoding, snapshot, relabelings, POR references and spill codec byte for
-// byte, so searches over compiled and interpreted systems agree exactly.
+// int32 state register, the shared memory handle, and a binary search over
+// the current state's contiguous entry span per delivery — no hashing, key
+// encoding or allocation on the dispatch path. It reproduces the
+// interpreted component's visited-set encoding, snapshot, relabelings, POR
+// references and spill codec byte for byte, so searches over compiled and
+// interpreted systems agree exactly.
 type CompiledDir struct {
-	cf     *CompiledFusion
-	cur    int32
-	mem    *spec.Memory
-	keyBuf []byte
+	cf  *CompiledFusion
+	cur int32
+	mem *spec.Memory
 }
 
 // OwnedIDs implements spec.Component (same endpoints as the interpreted
 // directory, so the route table is unchanged).
 func (d *CompiledDir) OwnedIDs() []spec.NodeID { return d.cf.owned }
 
-// Deliver implements spec.Component by table lookup: stall, or replay the
+// Deliver implements spec.Component by dense table lookup: binary-search
+// the current state's message-sorted span, then stall or replay the
 // recorded sends, memory image and successor state.
 func (d *CompiledDir) Deliver(env spec.Env, m spec.Msg) bool {
-	d.keyBuf = transKey(d.keyBuf[:0], d.cur, m)
-	tr, ok := d.cf.trans[string(d.keyBuf)]
-	if !ok {
-		panic(fmt.Sprintf("core: compiled table for %s has no entry for state %d on %s — the checked configuration does not match the CompileConfig",
-			d.cf.fusion.Name(), d.cur, m))
-	}
-	if tr.next == stallState {
-		return false
-	}
-	for _, s := range tr.sends {
-		env.Send(s)
-	}
-	if tr.remem {
-		dec := spec.NewDec(d.cf.states[tr.next].mem)
-		if err := d.mem.DecodeState(dec); err != nil {
-			panic(err.Error())
+	cf := d.cf
+	lo, hi := cf.stateOff[d.cur], cf.stateOff[d.cur+1]
+	for lo < hi {
+		mid := int32(uint32(lo+hi) >> 1)
+		e := &cf.entries[mid]
+		c := msgCmp(m, e.msg)
+		if c == 0 {
+			if e.next == stallState {
+				return false
+			}
+			for _, s := range cf.sends[e.sendOff : e.sendOff+e.sendLen] {
+				env.Send(s)
+			}
+			if e.remem {
+				dec := spec.NewDec(cf.states[e.next].mem)
+				if err := d.mem.DecodeState(dec); err != nil {
+					panic(err.Error())
+				}
+			}
+			d.cur = e.next
+			return true
+		}
+		if c < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	d.cur = tr.next
-	return true
+	panic(fmt.Sprintf("core: compiled table for %s has no entry for state %d on %s — the checked configuration does not match the CompileConfig",
+		cf.fusion.Name(), d.cur, m))
 }
 
 // Clone implements spec.Component.
@@ -593,10 +815,10 @@ func (d *CompiledDir) CloneWithMemory(mem *spec.Memory) spec.Component {
 }
 
 // Snapshot implements spec.Component with the interpreted snapshot
-// captured at intern time — byte-identical diagnostics and snapshot-mode
-// visited keys.
+// reconstructed from the state's spill image (lazily, cached) —
+// byte-identical diagnostics and snapshot-mode visited keys.
 func (d *CompiledDir) Snapshot(b *spec.SnapshotWriter) {
-	b.WriteString(d.cf.states[d.cur].snap)
+	b.WriteString(d.cf.snapOf(d.cur))
 }
 
 // AppendBinary implements spec.BinaryAppender with the interpreted

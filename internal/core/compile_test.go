@@ -30,12 +30,13 @@ func sameStrings(a, b []string) bool {
 	return true
 }
 
-// requireAgreement explores the interpreted composite and the compiled
-// table under identical options and fails unless every observable the
-// differential contract covers agrees: reachable-state and transition
-// counts, deadlock count, outcome sets, and the symmetry group order the
-// checker settled on. DeadlockAt is deliberately excluded (parallel search
-// order is nondeterministic).
+// requireAgreement explores the interpreted composite, the freshly
+// compiled table, AND the table after a serialize → load round trip
+// through the binary artifact, all under identical options, and fails
+// unless every observable the differential contract covers agrees:
+// reachable-state and transition counts, deadlock count, outcome sets, and
+// the symmetry group order the checker settled on. DeadlockAt is
+// deliberately excluded (parallel search order is nondeterministic).
 func requireAgreement(t *testing.T, f *Fusion, cfg CompileConfig, opts mcheck.Options) (*mcheck.Result, *mcheck.Result) {
 	t.Helper()
 	cf, err := Compile(f, cfg)
@@ -49,6 +50,23 @@ func requireAgreement(t *testing.T, f *Fusion, cfg CompileConfig, opts mcheck.Op
 
 	csys := cf.System()
 	cres := mcheck.Explore(csys, opts)
+
+	// Serialize → load → check: the reloaded table must be observationally
+	// identical to the freshly compiled one.
+	lcf, err := LoadArtifactFor(cf.MarshalArtifact(), f, cfg)
+	if err != nil {
+		t.Fatalf("%s: artifact round trip: %v", f.Name(), err)
+	}
+	lres := mcheck.Explore(lcf.System(), opts)
+	if lres.States != cres.States || lres.Transitions != cres.Transitions ||
+		lres.Deadlocks != cres.Deadlocks || lres.Truncated != cres.Truncated ||
+		lres.SymmetryPerms != cres.SymmetryPerms {
+		t.Errorf("%s: loaded-artifact run diverges from compiled: %d/%d states, %d/%d transitions, %d/%d deadlocks",
+			f.Name(), lres.States, cres.States, lres.Transitions, cres.Transitions, lres.Deadlocks, cres.Deadlocks)
+	}
+	if lk, ck := outcomeKeys(lres), outcomeKeys(cres); !sameStrings(lk, ck) {
+		t.Errorf("%s: loaded-artifact outcome set differs:\n  compiled: %v\n  loaded:   %v", f.Name(), ck, lk)
+	}
 
 	if ires.Engine != EngineInterpreted {
 		t.Errorf("%s: interpreted run labeled %q", f.Name(), ires.Engine)

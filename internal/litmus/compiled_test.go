@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"os"
 	"sort"
 	"testing"
 
@@ -76,5 +77,36 @@ func TestCompiledLitmusEvictions(t *testing.T) {
 		if cr.States != ir.States || cr.Outcomes != ir.Outcomes || cr.Pass() != ir.Pass() {
 			t.Errorf("MP %v evictions: compiled %s vs interpreted %s", assign, cr, ir)
 		}
+	}
+}
+
+// TestCompiledLitmusTableCache pins the content-addressed table cache: a
+// cached compiled run must populate the directory with one artifact per
+// test configuration, and a second run over the warm cache must reproduce
+// the cold run's verdicts exactly while loading every table.
+func TestCompiledLitmusTableCache(t *testing.T) {
+	f := fuse(t, protocols.NameMESI, protocols.NameRCCO)
+	shape, _ := ShapeByName("MP")
+	cache := t.TempDir()
+	assign := Allocations(len(shape.Prog().Threads), 2, false)[0]
+
+	cold := RunFused(f, shape, assign, Options{TableCache: cache})
+	if cold.Engine != core.EngineCompiled {
+		t.Fatalf("TableCache run labeled %q — should imply the compiled engine", cold.Engine)
+	}
+	entries, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("cold run left %d cache entries, want 1", len(entries))
+	}
+	warm := RunFused(f, shape, assign, Options{TableCache: cache})
+	if warm.States != cold.States || warm.Outcomes != cold.Outcomes ||
+		warm.Deadlocks != cold.Deadlocks || warm.Pass() != cold.Pass() {
+		t.Errorf("warm cache run diverges: %s vs %s", warm, cold)
+	}
+	if warm.Elapsed <= 0 {
+		t.Error("warm run did not report elapsed time")
 	}
 }

@@ -70,6 +70,11 @@ type Options struct {
 	// the compiler's differential contract; the table pays one extraction
 	// up front for cheap table-lookup deliveries during the search.
 	Compiled bool
+	// TableCache names a content-addressed compiled-table cache directory
+	// (core.CompileOrLoad): each test configuration's artifact is keyed by
+	// its (pair, CompileConfig) digest, so re-running a compiled suite
+	// loads every table instead of re-extracting it. Implies Compiled.
+	TableCache string
 }
 
 // Result is the verdict of one litmus test run.
@@ -233,15 +238,17 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
 
 	start := time.Now()
-	if opts.Compiled {
+	if opts.Compiled || opts.TableCache != "" {
 		// Lower the fusion to its flat table for exactly this test
-		// configuration; the extraction cost counts toward Elapsed so the
-		// engines compare end to end.
-		cf, err := core.Compile(f, core.CompileConfig{
+		// configuration; the extraction (or cache load) cost counts toward
+		// Elapsed so the engines compare end to end. With a TableCache the
+		// artifact is loaded by content digest when present and written
+		// back after a fresh compile.
+		cf, _, err := core.CompileOrLoad(f, core.CompileConfig{
 			CachesPerCluster: perCluster, Programs: progs,
 			Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 			Workers: opts.ExploreWorkers,
-		})
+		}, opts.TableCache)
 		if err != nil {
 			if errors.Is(err, core.ErrCompileTruncated) {
 				return &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,

@@ -216,8 +216,9 @@ type searchCtx struct {
 	maxStates int
 	canon     *canonicalizer
 	parallel  bool
-	por       bool      // ample-set reduction active for this search
-	porCands  []porCand // reduction candidates (top-level caches)
+	por       bool       // ample-set reduction active for this search
+	restore   bool       // in-place successor generation via the spill codec (see expand)
+	porCands  []porCand  // reduction candidates (top-level caches)
 	loadKeys  [][]string // per core, per completed-load index
 	memKeys   []string   // per ObserveMem entry
 	stats     searchStats
@@ -230,6 +231,7 @@ type expandScratch struct {
 	rest     []Move
 	encBuf   []byte
 	spillBuf []byte
+	preImg   []byte // expanded state's spill image (in-place restore)
 	canon    canonScratch
 }
 
@@ -241,6 +243,7 @@ type searchStats struct {
 
 func newSearchCtx(initial *System, opts Options, maxStates int, parallel bool) *searchCtx {
 	ctx := &searchCtx{opts: opts, maxStates: maxStates, parallel: parallel}
+	ctx.restore = CanSpill(initial)
 	if opts.Symmetry {
 		ctx.canon = detectSymmetry(initial, opts)
 	}
@@ -507,10 +510,19 @@ func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *sp
 // (insert filters duplicates, enqueue receives the new ones) and
 // deadlock/outcome classification. Shared by both search modes.
 //
-// The final enabled move is applied to cur in place instead of a clone:
-// once its successors are generated, an expanded state is never read again
-// (classification only happens when no move progressed), so the last
-// successor can reuse its storage — one fewer full deep-copy per state.
+// Successor generation has two strategies. When every component supports
+// the faithful spill codec (ctx.restore — every system this repo builds),
+// moves are applied to cur *in place*: the successor is encoded, a deep
+// copy is made only if the visited set actually admits it, and cur is
+// restored from its one-time spill image before the next move. Most
+// applied moves reach already-visited states, so this trades the full
+// clone per transition — the checker's dominant allocation and the GC
+// pressure behind it — for a cheap allocation-light in-place decode;
+// clones happen per *new* state instead of per transition. The restore is
+// lazy (a stalled Apply leaves the system unchanged, so only a progressed
+// move dirties cur), which also means a state whose moves all stall
+// reaches classification untouched. The fallback strategy clones ahead of
+// every Apply, reusing cur's storage for the final move.
 //
 // With POR active, an ample subset is tried first: if any ample move
 // progressed, the remaining moves are pruned. No cycle proviso is needed:
@@ -534,45 +546,11 @@ func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert
 	}
 
 	sc.moves = cur.AppendMoves(sc.moves[:0], ctx.opts.Evictions)
-	progressed := false
-	start := 0
-	if ctx.por && len(sc.moves) > 1 {
-		if amp := ctx.selectAmple(cur, sc); amp > 0 {
-			ampProgressed := false
-			for i := 0; i < amp; i++ {
-				next := cur.Clone() // cur must survive a possible fallback
-				if !next.Apply(sc.moves[i]) {
-					continue
-				}
-				ampProgressed = true
-				progressed = true
-				res.Transitions++
-				sc.encBuf = ctx.encode(next, sc, sc.encBuf[:0])
-				if insert(sc.encBuf) {
-					enqueue(next)
-				}
-			}
-			if ampProgressed {
-				res.PORReduced++
-				return
-			}
-			start = amp // every ample move stalled: full expansion
-		}
-	}
-	for i, n := start, len(sc.moves); i < n; i++ {
-		next := cur
-		if i < n-1 {
-			next = cur.Clone()
-		}
-		if !next.Apply(sc.moves[i]) {
-			continue
-		}
-		progressed = true
-		res.Transitions++
-		sc.encBuf = ctx.encode(next, sc, sc.encBuf[:0])
-		if insert(sc.encBuf) {
-			enqueue(next)
-		}
+	var progressed bool
+	if ctx.restore && len(sc.moves) > 1 {
+		progressed = ctx.successorsInPlace(cur, res, sc, insert, enqueue)
+	} else {
+		progressed = ctx.successorsCloned(cur, res, sc, insert, enqueue)
 	}
 
 	if !progressed {
@@ -602,6 +580,118 @@ func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert
 			}
 		}
 	}
+}
+
+// successorsInPlace generates cur's successors by mutating cur directly,
+// restoring it from its spill image between moves and deep-copying only
+// the states the visited set admits. Requires CanSpill components (the
+// codec contract is bijectivity, so the restore is exact — including the
+// incremental move cache, which is saved by value and reinstated with the
+// state bytes it described). Returns whether any move progressed; when
+// none did, cur was never dirtied and is still the expanded state.
+func (ctx *searchCtx) successorsInPlace(cur *System, res *Result, sc *expandScratch, insert func([]byte) bool, enqueue func(*System)) bool {
+	sc.preImg = appendSpill(cur, sc.preImg[:0])
+	mcSave := cur.mc
+	dirty := false
+	ensureClean := func() {
+		if !dirty {
+			return
+		}
+		if err := decodeSpill(cur, sc.preImg); err != nil {
+			panic(err.Error())
+		}
+		cur.mc = mcSave
+		dirty = false
+	}
+	progressed := false
+	start := 0
+	if ctx.por && len(sc.moves) > 1 {
+		if amp := ctx.selectAmple(cur, sc); amp > 0 {
+			ampProgressed := false
+			for i := 0; i < amp; i++ {
+				ensureClean()
+				if !cur.Apply(sc.moves[i]) {
+					continue
+				}
+				dirty = true
+				ampProgressed = true
+				progressed = true
+				res.Transitions++
+				sc.encBuf = ctx.encode(cur, sc, sc.encBuf[:0])
+				if insert(sc.encBuf) {
+					enqueue(cur.Clone())
+				}
+			}
+			if ampProgressed {
+				res.PORReduced++
+				return true
+			}
+			start = amp // every ample move stalled: full expansion
+		}
+	}
+	for i, n := start, len(sc.moves); i < n; i++ {
+		ensureClean()
+		if !cur.Apply(sc.moves[i]) {
+			continue
+		}
+		dirty = true
+		progressed = true
+		res.Transitions++
+		sc.encBuf = ctx.encode(cur, sc, sc.encBuf[:0])
+		if insert(sc.encBuf) {
+			enqueue(cur.Clone())
+		}
+	}
+	return progressed
+}
+
+// successorsCloned is the fallback successor strategy for systems without
+// the faithful codec: clone ahead of every Apply. The final enabled move
+// reuses cur's storage — once its successors are generated, an expanded
+// state is only read again when no move progressed, and a stalled Apply
+// leaves the system unchanged.
+func (ctx *searchCtx) successorsCloned(cur *System, res *Result, sc *expandScratch, insert func([]byte) bool, enqueue func(*System)) bool {
+	progressed := false
+	start := 0
+	if ctx.por && len(sc.moves) > 1 {
+		if amp := ctx.selectAmple(cur, sc); amp > 0 {
+			ampProgressed := false
+			for i := 0; i < amp; i++ {
+				next := cur.Clone() // cur must survive a possible fallback
+				if !next.Apply(sc.moves[i]) {
+					continue
+				}
+				ampProgressed = true
+				progressed = true
+				res.Transitions++
+				sc.encBuf = ctx.encode(next, sc, sc.encBuf[:0])
+				if insert(sc.encBuf) {
+					enqueue(next)
+				}
+			}
+			if ampProgressed {
+				res.PORReduced++
+				return true
+			}
+			start = amp // every ample move stalled: full expansion
+		}
+	}
+	for i, n := start, len(sc.moves); i < n; i++ {
+		next := cur
+		if i < n-1 {
+			next = cur.Clone()
+		}
+		if !next.Apply(sc.moves[i]) {
+			continue
+		}
+		progressed = true
+		res.Transitions++
+		sc.encBuf = ctx.encode(next, sc, sc.encBuf[:0])
+		if insert(sc.encBuf) {
+			enqueue(next)
+		}
+	}
+	return progressed
 }
 
 // workSource is the shared work queue of the parallel search: the

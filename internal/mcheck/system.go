@@ -292,6 +292,10 @@ func (s *System) Clone() *System {
 	}
 	for i, c := range s.Cores {
 		coreArr[i] = *c
+		// Never alias the source's Loads backing array: an empty slice can
+		// still carry capacity (decodeSpill restores reuse allocations), and
+		// a shared backing array races once parent and clone both append.
+		coreArr[i].Loads = nil
 		if len(c.Loads) > 0 {
 			start := len(loadArena)
 			loadArena = append(loadArena, c.Loads...)

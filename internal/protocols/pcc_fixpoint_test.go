@@ -1,0 +1,30 @@
+package protocols
+
+import (
+	"testing"
+
+	"heterogen/internal/spec"
+)
+
+// TestPCCExportFixpointAllBuiltins pins export → parse → export as a
+// byte-identical fixpoint for every builtin protocol. The compiled-table
+// artifact (core/artifact.go) depends on this: it embeds each constituent
+// as canonical PCC text, and the loader re-fuses the reparsed protocols
+// and cross-checks the stored content digest — which only reproduces if
+// the text form loses nothing a re-export would reveal.
+func TestPCCExportFixpointAllBuiltins(t *testing.T) {
+	for _, name := range Names() {
+		p := MustByName(name)
+		text := spec.ExportPCC(p)
+		reparsed, err := spec.ParsePCC(text)
+		if err != nil {
+			t.Fatalf("%s: reparsing exported PCC: %v", name, err)
+		}
+		if err := reparsed.Validate(); err != nil {
+			t.Errorf("%s: reparsed protocol invalid: %v", name, err)
+		}
+		if again := spec.ExportPCC(reparsed); again != text {
+			t.Errorf("%s: PCC export not a fixpoint across a parse round trip", name)
+		}
+	}
+}
