@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-smoke bench-symmetry bench-storage bench-por bench-compile bench-sim allocs vet profile
+.PHONY: all build test check race bench bench-all bench-smoke bench-symmetry bench-storage bench-por bench-compile bench-sim allocs vet profile
 
 all: build
 
@@ -23,26 +23,33 @@ vet:
 race:
 	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/... ./internal/core/...
 
-# Allocation regression guards: the search hot path (Clone+Apply+encode)
-# plus the bytes-per-state guard on the compacted visited table, and the
-# simulator's discrete-event loop (allocs per memory operation). Runs
-# without the race detector: its instrumentation changes alloc counts, so
-# the alloc guard files are build-tagged out of `make race`.
+# Allocation regression guards: the search hot path (Clone+Apply+encode),
+# the bytes-per-state guard on the compacted visited table, the
+# work-stealing deque push/take cycle, the compiler's memo-hit replay
+# path, and the simulator's discrete-event loop (allocs per memory
+# operation). Runs without the race detector: its instrumentation changes
+# alloc counts, so the alloc guard files are build-tagged out of
+# `make race`.
 allocs:
-	$(GO) test -run 'TestAllocRegression|TestBytesPerStateRegression' ./internal/mcheck ./internal/sim
+	$(GO) test -run 'TestAllocRegression|TestBytesPerStateRegression' ./internal/mcheck ./internal/sim ./internal/core
 
 # The verification gate: vet, race-checked tests of the concurrent
 # packages, and the allocation guard.
 check: vet race allocs
 
+# Every bench-* target hands its emitter the output path through the
+# matching BENCH_*_OUT environment variable (bench_test.go's emitBench);
+# without the variable the benchmarks run but write nothing. All reports
+# embed the same runner-metadata block (internal/benchmeta).
+
 # Regenerate the performance numbers in BENCH_PARALLEL.json / README.
 # Heavy: the §VII-C workload is ~1.1M states per case.
 bench:
-	$(GO) test -run XXX -bench 'BenchmarkExploreParallel|BenchmarkLitmusSuiteParallel' -benchtime 1x -timeout 30m .
+	BENCH_PARALLEL_OUT=BENCH_PARALLEL.json $(GO) test -run XXX -bench 'BenchmarkExploreParallel|BenchmarkLitmusSuiteParallel' -benchtime 1x -timeout 30m .
 
 # Regenerate the symmetry-reduction numbers in BENCH_SYMMETRY.json.
 bench-symmetry:
-	$(GO) test -run XXX -bench 'BenchmarkExploreSymmetry' -benchtime 1x -timeout 30m .
+	BENCH_SYMMETRY_OUT=BENCH_SYMMETRY.json $(GO) test -run XXX -bench 'BenchmarkExploreSymmetry' -benchtime 1x -timeout 30m .
 
 # Minutes-scale end-to-end health check: a MaxStates-capped §VII-C search
 # plus the 2-thread litmus shapes on the headline pair.
@@ -53,17 +60,17 @@ bench-smoke:
 # search under each visited-set mode, and the 2-caches-per-cluster
 # free-running search to the 10M-state bound in fixed memory.
 bench-storage:
-	$(GO) test -run XXX -bench 'BenchmarkStorage' -benchtime 1x -timeout 30m .
+	BENCH_STORAGE_OUT=BENCH_STORAGE.json $(GO) test -run XXX -bench 'BenchmarkStorage' -benchtime 1x -timeout 30m .
 
 # Regenerate the partial-order-reduction numbers in BENCH_POR.json: the
 # §VII-C search and the fused 2x2 symmetric workload, POR off vs on.
 bench-por:
-	$(GO) test -run XXX -bench 'BenchmarkExplorePOR' -benchtime 1x -timeout 30m .
+	BENCH_POR_OUT=BENCH_POR.json $(GO) test -run XXX -bench 'BenchmarkExplorePOR' -benchtime 1x -timeout 30m .
 
-# Regenerate BENCH_COMPILE.json (schema v2): the §VII-C search through the
-# interpreted composite, the table extraction alone, compile+check, the
-# dispatch-only precompiled check, and the .hgcf artifact lifecycle
-# (serialize, cold load, cold load + check).
+# Regenerate BENCH_COMPILE.json (schema v3): the §VII-C search through the
+# interpreted composite, table extraction (memoized, non-memoized and
+# warm-started), compile+check, the dispatch-only precompiled check, and
+# the .hgcf artifact lifecycle (serialize, cold load, cold load + check).
 bench-compile:
 	BENCH_COMPILE_OUT=BENCH_COMPILE.json $(GO) test -run XXX -bench 'BenchmarkCompile' -benchtime 1x -timeout 30m .
 
@@ -74,6 +81,11 @@ bench-compile:
 # baseline (see EXPERIMENTS.md §VIII).
 bench-sim:
 	$(GO) run ./cmd/hgsim -compiled -family all -pairs -json BENCH_SIM.json
+
+# Regenerate every BENCH_*.json in one (long) sitting: all the bench-*
+# targets above, each writing through its BENCH_*_OUT variable. Hours of
+# wall-clock on a single-core runner — run it when the numbers matter.
+bench-all: bench bench-symmetry bench-storage bench-por bench-compile bench-sim
 
 # CPU- and heap-profile the §VII-C search (POR on, hash compaction).
 # Writes /tmp/hgcheck.{cpu,mem}.pprof; inspect with

@@ -36,6 +36,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"heterogen/internal/armor"
 	"heterogen/internal/cliopts"
@@ -64,6 +65,7 @@ type cliConfig struct {
 	out        string
 	compileOut string
 	compileIn  string
+	progress   time.Duration
 	search     cliopts.Search
 }
 
@@ -85,6 +87,7 @@ func main() {
 	flag.StringVar(&cfg.out, "o", "", "write -emit/-export output to this file instead of stdout")
 	flag.StringVar(&cfg.compileOut, "compile-out", "", "serialize the compiled table to this .hgcf artifact file")
 	flag.StringVar(&cfg.compileIn, "compile-in", "", "load a compiled table from this .hgcf artifact instead of compiling")
+	flag.DurationVar(&cfg.progress, "progress", 0, "log extraction-search progress every interval during a compile (e.g. 10s; 0 = silent)")
 	cfg.search.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -182,7 +185,12 @@ func run(cfg cliConfig) error {
 			return err
 		}
 		if cfg.emit != "" || cfg.compileOut != "" {
-			cf, cached, err := core.CompileOrLoad(f, core.TableIICompileConfig(!cfg.full, cfg.search.Workers), cfg.search.CompileCache)
+			ccfg := core.TableIICompileConfig(!cfg.full, cfg.search.Workers)
+			if cfg.progress > 0 {
+				ccfg.ProgressEvery = cfg.progress
+				ccfg.OnProgress = cliopts.ProgressPrinter(os.Stderr)
+			}
+			cf, cached, err := core.CompileOrLoad(f, ccfg, cfg.search.CompileCache)
 			if err != nil {
 				return err
 			}

@@ -164,6 +164,12 @@ func run(cfg checkConfig) error {
 			MaxStates:        cfg.maxStates,
 			Workers:          cfg.search.Workers,
 		}
+		if cfg.progress > 0 {
+			// -progress also covers the extraction search behind -compiled:
+			// a cold compile is the long silent phase of a compiled check.
+			ccfg.ProgressEvery = cfg.progress
+			ccfg.OnProgress = cliopts.ProgressPrinter(os.Stderr)
+		}
 		switch {
 		case cfg.table != "":
 			// Artifact against explicit flags: the stored digest must match
@@ -203,12 +209,7 @@ func run(cfg checkConfig) error {
 	}
 	if cfg.progress > 0 {
 		opts.ProgressEvery = cfg.progress
-		opts.OnProgress = func(p mcheck.Progress) {
-			fmt.Fprintf(os.Stderr,
-				"progress %8s: %d states visited (%.0f/s), frontier %d, load %.2f, spilled %d, heap %dMB\n",
-				p.Elapsed.Round(time.Second), p.Visited, p.StatesPerSec,
-				p.Frontier, p.LoadFactor, p.SpilledStates, p.HeapBytes>>20)
-		}
+		opts.OnProgress = cliopts.ProgressPrinter(os.Stderr)
 	}
 	res := mcheck.Explore(sys, opts)
 	fmt.Printf("%s: %s\n", name, res)

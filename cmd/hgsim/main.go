@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"heterogen/internal/benchmeta"
 	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
 	"heterogen/internal/protocols"
@@ -94,15 +95,16 @@ type section struct {
 // section per sweep stage. The figure10 section of a full-scale default
 // run additionally carries the seed-engine baseline comparison.
 type report struct {
-	Schema              string    `json:"schema"`
-	Engine              string    `json:"engine"`
-	Workers             int       `json:"workers"`
-	Mesh                int       `json:"mesh"`
-	Scale               float64   `json:"scale"`
-	Seeds               int       `json:"seeds"`
-	Sections            []section `json:"sections"`
-	SeedBaselineSeconds float64   `json:"seed_baseline_seconds,omitempty"`
-	SpeedupVsSeed       float64   `json:"speedup_vs_seed,omitempty"`
+	Schema              string           `json:"schema"`
+	Engine              string           `json:"engine"`
+	Runner              benchmeta.Runner `json:"runner"`
+	Workers             int              `json:"workers"`
+	Mesh                int              `json:"mesh"`
+	Scale               float64          `json:"scale"`
+	Seeds               int              `json:"seeds"`
+	Sections            []section        `json:"sections"`
+	SeedBaselineSeconds float64          `json:"seed_baseline_seconds,omitempty"`
+	SpeedupVsSeed       float64          `json:"speedup_vs_seed,omitempty"`
 }
 
 func run(o opts) error {
@@ -148,7 +150,8 @@ func run(o opts) error {
 	if o.compiled {
 		engine = core.EngineCompiled
 	}
-	rep := &report{Schema: "heterogen-bench-sim/v1", Engine: engine,
+	rep := &report{Schema: "heterogen-bench-sim/v2", Engine: engine,
+		Runner:  benchmeta.Collect("single-core container: the parallel scenario runner degenerates to sequential sweeps here"),
 		Workers: o.perf.Workers, Mesh: o.mesh, Scale: o.scale, Seeds: o.seeds}
 
 	sweep := func(name string, pair [2]string, points []workload.Params) error {

@@ -1,0 +1,56 @@
+// Package benchmeta collects the runner metadata every BENCH_*.json report
+// embeds — core count, GOMAXPROCS, Go toolchain and CPU model — so the
+// benchmark emitters all describe the machine the same way instead of
+// hand-maintaining per-file runner notes. Numbers recorded on one machine
+// are only comparable to numbers recorded on a like machine; the Runner
+// block is what makes that judgment possible after the fact.
+package benchmeta
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Runner describes the machine and toolchain a benchmark report was
+// produced on. The JSON field names are the BENCH_*.json schema.
+type Runner struct {
+	// CPU is the processor model ("model name" from /proc/cpuinfo; empty
+	// when unreadable, e.g. off Linux).
+	CPU string `json:"cpu,omitempty"`
+	// Cores is runtime.NumCPU at collection time.
+	Cores int `json:"cores"`
+	// GOMAXPROCS is the effective scheduler parallelism (it may differ
+	// from Cores under the GOMAXPROCS env or in a quota-limited cgroup).
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GoVersion is the toolchain that built the benchmark binary.
+	GoVersion string `json:"go_version"`
+	// Note carries the benchmark-specific caveat (what the machine shape
+	// means for how to read the numbers).
+	Note string `json:"note,omitempty"`
+}
+
+// Collect gathers the current machine's metadata, attaching note.
+func Collect(note string) Runner {
+	return Runner{
+		CPU:        cpuModel(),
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Note:       note,
+	}
+}
+
+// cpuModel reads the first "model name" line of /proc/cpuinfo.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

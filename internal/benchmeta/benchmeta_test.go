@@ -1,0 +1,27 @@
+package benchmeta
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	r := Collect("test note")
+	if r.Cores != runtime.NumCPU() {
+		t.Errorf("Cores = %d, want %d", r.Cores, runtime.NumCPU())
+	}
+	if r.GOMAXPROCS != runtime.GOMAXPROCS(0) {
+		t.Errorf("GOMAXPROCS = %d, want %d", r.GOMAXPROCS, runtime.GOMAXPROCS(0))
+	}
+	if r.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", r.GoVersion, runtime.Version())
+	}
+	if r.Note != "test note" {
+		t.Errorf("Note = %q", r.Note)
+	}
+	// CPU is best-effort (empty off Linux); on this Linux runner the
+	// cpuinfo model name must surface.
+	if runtime.GOOS == "linux" && r.CPU == "" {
+		t.Error("CPU model empty on a Linux runner")
+	}
+}

@@ -10,8 +10,10 @@ package cliopts
 import (
 	"flag"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"heterogen/internal/mcheck"
 	"heterogen/internal/profiling"
@@ -79,6 +81,20 @@ func (s *Search) PORMode() mcheck.PORMode {
 // returns the stop function (a no-op when both flags are empty).
 func (s *Search) StartProfiling() (func() error, error) {
 	return profiling.Start(s.CPUProfile, s.MemProfile)
+}
+
+// ProgressPrinter returns the standard -progress reporter: one stderr-style
+// line per interval with the search rate, frontier depth, visited-set load
+// and heap use. Commands pass it to mcheck.Options.OnProgress (and, via
+// core.CompileConfig, to the extraction search behind a compile) so a
+// progress line reads the same everywhere.
+func ProgressPrinter(w io.Writer) func(mcheck.Progress) {
+	return func(p mcheck.Progress) {
+		fmt.Fprintf(w,
+			"progress %8s: %d states visited (%.0f/s), frontier %d, load %.2f, spilled %d, heap %dMB\n",
+			p.Elapsed.Round(time.Second), p.Visited, p.StatesPerSec,
+			p.Frontier, p.LoadFactor, p.SpilledStates, p.HeapBytes>>20)
+	}
 }
 
 // Perf holds the worker-parallelism and profiling flags shared by

@@ -1,0 +1,85 @@
+//go:build !race
+
+package core
+
+// Allocation regression guard for the memoized-extraction fast path. Once
+// a (state, message) pair is in the recorded table, observe must replay it
+// with a handful of allocations — the intern lookup and the transKey probe
+// reuse scratch buffers, and the map probes are string([]byte) lookups the
+// compiler keeps alloc-free. A regression here multiplies across the
+// millions of deliveries the §VII-C extraction replays. Excluded under the
+// race detector (instrumentation changes alloc counts); `make check` runs
+// it in a separate uninstrumented pass.
+
+import (
+	"testing"
+
+	"heterogen/internal/protocols"
+	"heterogen/internal/spec"
+)
+
+// memoObserveBudget is the per-delivery ceiling for a memo-hit replay
+// plus the test's own state restore: a spec.NewDec per decoded image
+// (successor spill, memory when it changed, and two more in the restore)
+// plus decode-side slack. Measured ~6 on the current path; the
+// interpreted deliver it replaces sits far above this (proxy clones,
+// bridge phases, send capture).
+const memoObserveBudget = 12
+
+func TestAllocRegressionMemoObserve(t *testing.T) {
+	f := fusePair(t, protocols.NameMSI, protocols.NameRCC)
+	cfg := TableIICompileConfig(true, 1)
+	base, err := Compile(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-stall message deliverable in the initial state, from the
+	// finished table (renumbering keeps state 0 initial).
+	var m spec.Msg
+	found := false
+	for _, e := range base.entries[base.stateOff[0]:base.stateOff[1]] {
+		if e.next != stallState {
+			m, found = e.msg, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("initial state has no non-stall entry to replay")
+	}
+
+	// A fresh extraction observer over a fresh system, mid-extraction: the
+	// pair is interpreted once below, then every measured delivery is a
+	// memo hit.
+	cf, _ := newCompiledFusion(f, cfg)
+	c := &compiler{cf: cf, keys: map[string]int32{}, seen: map[string]int32{},
+		memo: true}
+	d := cf.layout.Merged
+	c.intern(d)
+	env := spec.EnvFunc(func(spec.Msg) {})
+	init := &cf.states[0]
+	restore := func() {
+		if err := d.DecodeState(spec.NewDec(init.spill)); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Memory().DecodeState(spec.NewDec(init.mem)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.observe(d, env, m) {
+		t.Fatalf("delivery of %s unexpectedly stalled", m)
+	}
+	restore()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		c.observe(d, env, m)
+		restore()
+	})
+	if c.memoHits < 200 {
+		t.Fatalf("measured loop ran the interpreter (%d memo hits)", c.memoHits)
+	}
+	t.Logf("memo-hit observe+restore: %.1f allocs per delivery", allocs)
+	if allocs > memoObserveBudget {
+		t.Errorf("memo-hit replay allocates %.1f per delivery, budget %d — the extraction fast path regressed",
+			allocs, memoObserveBudget)
+	}
+}

@@ -120,6 +120,129 @@ func compileDigestRaw(f *Fusion, cfg CompileConfig) [sha256.Size]byte {
 // Digest returns this table's content address (see CompileDigest).
 func (cf *CompiledFusion) Digest() string { return CompileDigest(cf.fusion, cf.cfg) }
 
+// WarmDigest is the warm-start compatibility address: a hex sha256 over
+// the constituent protocols' canonical PCC export, the fusion options and
+// the caches per cluster — the inputs the merged directory's transition
+// function depends on. Programs and evictions are deliberately excluded:
+// they shape which (state, message) pairs are reachable, never what any
+// pair does, so a table extracted under one driver program can seed a
+// recompile under another (Compile re-interns and re-verifies; seed
+// entries only replay on an exact (encoding, memory, message) byte
+// match).
+func WarmDigest(f *Fusion, cfg CompileConfig) string {
+	texts := make([]string, 0, len(f.Protocols))
+	for _, p := range f.Protocols {
+		texts = append(texts, spec.ExportPCC(p))
+	}
+	return warmDigest(texts, f.Opts, cfg.CachesPerCluster)
+}
+
+func warmDigest(pccTexts []string, opts Options, caches []int) string {
+	h := sha256.New()
+	io.WriteString(h, "heterogen-warm-seed/v1\n")
+	fmt.Fprintf(h, "protocols %d\n", len(pccTexts))
+	for _, text := range pccTexts {
+		io.WriteString(h, text)
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "opts %d %d %v\n", opts.Handshake, opts.ProxyPool, opts.ForceConservative)
+	fmt.Fprintf(h, "caches %v\n", caches)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WarmSeed is an existing compiled table reduced to what extraction can
+// replay from it: the interned states' exact byte images keyed for
+// matching against a fresh compile's interned states, and the dense
+// entries keyed by (seed state, message). Built by LoadWarmSeed, consumed
+// via CompileConfig.WarmSeed.
+type WarmSeed struct {
+	name    string
+	digest  string // warm digest the seed was validated against
+	keys    map[string]int32
+	seen    map[string]int32
+	spills  [][]byte
+	mems    [][]byte
+	entries []compEntry
+	sends   []spec.Msg
+}
+
+// Name returns the seed table's fusion name (diagnostics).
+func (s *WarmSeed) Name() string { return s.name }
+
+// States returns the seed's interned-state count.
+func (s *WarmSeed) States() int { return len(s.spills) }
+
+// Pairs returns the seed's recorded (state, message) entry count.
+func (s *WarmSeed) Pairs() int { return len(s.entries) }
+
+// LoadWarmSeed prepares artifact bytes as a warm-start seed for compiling
+// (f, cfg). The artifact must be warm-compatible — same protocols, fusion
+// options and caches per cluster (WarmDigest); its programs and evictions
+// may differ, which is the whole point: the §VII-C cache turns a
+// cross-config recompile into an incremental top-up. Every stored spill
+// image is decoded through a scratch directory and re-encoded against the
+// caller's fusion before the seed is accepted, so a drifted or corrupt
+// cache entry fails here instead of panicking mid-extraction.
+func LoadWarmSeed(data []byte, f *Fusion, cfg CompileConfig) (*WarmSeed, error) {
+	p, err := parseArtifact(data)
+	if err != nil {
+		return nil, err
+	}
+	want := WarmDigest(f, cfg)
+	if got := warmDigest(p.pccTexts, p.opts, p.cfg.CachesPerCluster); got != want {
+		return nil, fmt.Errorf("%w: artifact %q is not warm-compatible (warm digest %s…, want %s…)",
+			ErrArtifactMismatch, p.name, got[:8], want[:8])
+	}
+	scratchCF, _ := newCompiledFusion(f, cfg)
+	var encBuf []byte
+	for i := range p.spills {
+		if err := scratchCF.scratch.DecodeState(spec.NewDec(p.spills[i])); err != nil {
+			return nil, fmt.Errorf("%w: seed state %d spill image undecodable against the live fusion: %v",
+				ErrArtifactMismatch, i, err)
+		}
+		encBuf = scratchCF.scratch.AppendBinary(encBuf[:0])
+		if !bytesEqual(encBuf, p.encs[i]) {
+			return nil, fmt.Errorf("%w: seed state %d encoding differs from the live fusion's", ErrArtifactMismatch, i)
+		}
+		if err := scratchCF.scratch.Memory().DecodeState(spec.NewDec(p.mems[i])); err != nil {
+			return nil, fmt.Errorf("%w: seed state %d memory image undecodable: %v", ErrArtifactMismatch, i, err)
+		}
+	}
+	s := &WarmSeed{
+		name: p.name, digest: want,
+		keys:    make(map[string]int32, len(p.encs)),
+		seen:    make(map[string]int32, len(p.entries)),
+		spills:  p.spills,
+		mems:    p.mems,
+		entries: p.entries,
+		sends:   p.sends,
+	}
+	var keyBuf []byte
+	for i := range p.encs {
+		s.keys[string(p.encs[i])+string(p.mems[i])] = int32(i)
+	}
+	for st := 0; st < len(p.encs); st++ {
+		for ei := p.stateOff[st]; ei < p.stateOff[st+1]; ei++ {
+			keyBuf = transKey(keyBuf[:0], int32(st), p.entries[ei].msg)
+			s.seen[string(keyBuf)] = ei
+		}
+	}
+	return s, nil
+}
+
+// LoadWarmSeedFile is LoadWarmSeed over a file.
+func LoadWarmSeedFile(path string, f *Fusion, cfg CompileConfig) (*WarmSeed, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := LoadWarmSeed(data, f, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
 // artEnc is the little-endian section writer.
 type artEnc struct{ buf []byte }
 
@@ -789,11 +912,14 @@ func bytesEqual(a, b []byte) bool {
 
 // CompileOrLoad consults a content-addressed artifact cache before
 // compiling: cacheDir/<digest>.hgcf is loaded when present (cached=true,
-// skipping the extraction search entirely), otherwise the fusion is
-// compiled and the artifact written back best-effort — a cache-write
-// failure degrades to an uncached compile, never a failed run. A stale or
-// corrupt cache entry is recompiled over, not trusted. An empty cacheDir
-// means plain Compile.
+// skipping the extraction search entirely). On a miss, any other cached
+// artifact that is warm-compatible (WarmDigest: same protocols, fusion
+// options and caches, different programs or evictions) seeds the
+// extraction as an incremental top-up before the fusion is compiled and
+// the artifact written back best-effort — a cache-write failure degrades
+// to an uncached compile, never a failed run. A stale or corrupt cache
+// entry is recompiled over, not trusted. An empty cacheDir means plain
+// Compile.
 func CompileOrLoad(f *Fusion, cfg CompileConfig, cacheDir string) (cf *CompiledFusion, cached bool, err error) {
 	if cacheDir == "" {
 		cf, err = Compile(f, cfg)
@@ -806,6 +932,9 @@ func CompileOrLoad(f *Fusion, cfg CompileConfig, cacheDir string) (cf *CompiledF
 			return cf, true, nil
 		}
 	}
+	if cfg.WarmSeed == nil {
+		cfg.WarmSeed = scanWarmSeed(cacheDir, f, cfg, path)
+	}
 	cf, err = Compile(f, cfg)
 	if err != nil {
 		return nil, false, err
@@ -814,4 +943,29 @@ func CompileOrLoad(f *Fusion, cfg CompileConfig, cacheDir string) (cf *CompiledF
 		_ = cf.WriteArtifact(path)
 	}
 	return cf, false, nil
+}
+
+// scanWarmSeed looks for a warm-compatible artifact in the cache: entries
+// are tried in sorted filename order (deterministic across runs) and the
+// first that loads as a valid seed wins; unreadable or incompatible files
+// are skipped silently, exactly like a corrupt exact-hit entry.
+func scanWarmSeed(cacheDir string, f *Fusion, cfg CompileConfig, skip string) *WarmSeed {
+	names, err := filepath.Glob(filepath.Join(cacheDir, "*"+ArtifactExt))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == skip {
+			continue
+		}
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		if seed, err := LoadWarmSeed(data, f, cfg); err == nil {
+			return seed
+		}
+	}
+	return nil
 }

@@ -22,8 +22,13 @@ func (t *proxyTask) appendState(buf []byte) []byte {
 	return buf
 }
 
-func decodeTask(d *spec.Dec) *proxyTask {
-	t := &proxyTask{}
+// decodeTaskInto rebuilds a task over t, keeping t's seq backing array for
+// the caller to refill (the seq is re-derived from the fusion, not decoded).
+// Task objects are never shared between merged directories — bridge.clone
+// deep-copies them — so overwriting in place is exact.
+func decodeTaskInto(t *proxyTask, d *spec.Dec) {
+	seq := t.seq[:0]
+	*t = proxyTask{seq: seq}
 	t.cluster = d.Int()
 	t.proxyIdx = d.Int()
 	t.idx = d.Int()
@@ -32,7 +37,6 @@ func decodeTask(d *spec.Dec) *proxyTask {
 	t.done = d.Bool()
 	t.captured = d.Int()
 	t.hasCaptured = d.Bool()
-	return t
 }
 
 func (br *bridge) appendState(buf []byte) []byte {
@@ -59,8 +63,13 @@ func (br *bridge) appendState(buf []byte) []byte {
 	return buf
 }
 
-func (d *MergedDir) decodeBridge(dec *spec.Dec) *bridge {
-	br := &bridge{}
+// decodeBridgeInto rebuilds a bridge over br, reusing its fetch/prop task
+// objects and their seq arrays when the shapes line up. Safe for the same
+// reason as decodeTaskInto: bridge.clone deep-copies, so a bridge reached
+// through d.bridges is owned by exactly this directory.
+func (d *MergedDir) decodeBridgeInto(br *bridge, dec *spec.Dec) {
+	oldFetch, oldProps := br.fetch, br.props
+	*br = bridge{}
 	br.addr = spec.Addr(dec.Int())
 	br.origin = dec.Int()
 	br.phase = bridgePhase(dec.Int())
@@ -72,16 +81,27 @@ func (d *MergedDir) decodeBridge(dec *spec.Dec) *bridge {
 	br.hsWith = dec.Int()
 	br.orig = spec.DecodeMsg(dec)
 	if dec.Bool() {
-		br.fetch = decodeTask(dec)
-		br.fetch.seq = reqsOf(d.fusion.LoadSeqs[br.fetch.cluster], br.addr, 0)
+		if oldFetch == nil {
+			oldFetch = &proxyTask{}
+		}
+		decodeTaskInto(oldFetch, dec)
+		oldFetch.seq = reqsOfInto(oldFetch.seq, d.fusion.LoadSeqs[oldFetch.cluster], br.addr, 0)
+		br.fetch = oldFetch
 	}
 	n := dec.Uvarint()
+	props := oldProps[:0]
 	for i := uint64(0); i < n && dec.Err() == nil; i++ {
-		t := decodeTask(dec)
-		t.seq = reqsOf(d.fusion.StoreSeqs[t.cluster], br.addr, 0)
-		br.props = append(br.props, t)
+		var t *proxyTask
+		if int(i) < len(oldProps) {
+			t = oldProps[i]
+		} else {
+			t = &proxyTask{}
+		}
+		decodeTaskInto(t, dec)
+		t.seq = reqsOfInto(t.seq, d.fusion.StoreSeqs[t.cluster], br.addr, 0)
+		props = append(props, t)
 	}
-	return br
+	br.props = props
 }
 
 // AppendState implements spec.StateCodec. The shared LLC/memory is encoded
@@ -134,9 +154,17 @@ func (d *MergedDir) DecodeState(dec *spec.Dec) error {
 		d.owners = append(d.owners, ownerCell{a: a, cluster: dec.Int()})
 	}
 	n = dec.Uvarint()
+	old := d.bridges
 	d.bridges = d.bridges[:0]
 	for i := uint64(0); i < n && dec.Err() == nil; i++ {
-		d.bridges = append(d.bridges, d.decodeBridge(dec))
+		var br *bridge
+		if int(i) < len(old) {
+			br = old[i] // d.bridges[:0] kept the backing array; reuse the object
+		} else {
+			br = &bridge{}
+		}
+		d.decodeBridgeInto(br, dec)
+		d.bridges = append(d.bridges, br)
 	}
 	d.busySrc = spec.DecodeNodeSet(dec)
 	d.proxyBusy = spec.DecodeNodeSet(dec)

@@ -94,6 +94,29 @@ type CompileConfig struct {
 	// Excluded from the artifact digest — the extracted table is a pure
 	// function of the configuration, not of the search schedule.
 	Workers int
+	// NoMemo disables memoized extraction: every delivery re-runs the
+	// interpreted MergedDir instead of replaying the recorded outcome once
+	// its (state, message) pair is in the table. The interpreted path
+	// re-records every revisited pair, which double-checks that the binary
+	// state encoding is injective over reachable states — the property
+	// memoized replay (like the visited set) relies on. The determinism
+	// tests compile both ways and pin byte-identical artifacts. Excluded
+	// from the artifact digest: memoization changes how the table is
+	// extracted, never what is extracted.
+	NoMemo bool
+	// WarmSeed, when non-nil, seeds extraction from a compatible existing
+	// table (LoadWarmSeed): transitions already recorded for a matching
+	// (state, message) pair replay from the seed instead of interpreting,
+	// turning a cross-config recompile into an incremental top-up.
+	// Compatibility is digest-checked (WarmDigest): same protocols, fusion
+	// options and caches per cluster; programs and evictions may differ.
+	// Excluded from the artifact digest for the same reason as NoMemo.
+	WarmSeed *WarmSeed
+	// ProgressEvery/OnProgress mirror mcheck.Options: periodic reports
+	// from the otherwise-silent extraction search, surfaced by
+	// `heterogen -compile-out -progress`. Excluded from the digest.
+	ProgressEvery time.Duration
+	OnProgress    func(mcheck.Progress)
 }
 
 // stallState marks a recorded stall: Deliver returns false, no side
@@ -118,6 +141,17 @@ type CompileStats struct {
 	Extract time.Duration
 	// ExtractStates counts the system states the extraction visited.
 	ExtractStates int
+	// Interpreted counts the deliveries that ran the interpreted
+	// MergedDir during extraction — with memoization on, exactly one per
+	// distinct (state, message) pair the warm seed didn't cover.
+	Interpreted int64
+	// MemoHits counts deliveries replayed from the already-recorded table
+	// instead of interpreting (zero under CompileConfig.NoMemo).
+	MemoHits int64
+	// WarmHits counts deliveries replayed from the warm-start seed.
+	WarmHits int64
+	// WarmStates is the seed's interned-state count (zero with no seed).
+	WarmStates int
 	// Finalize is the dense-table build time after extraction.
 	Finalize time.Duration
 	// Load is the artifact read+decode+rebuild time (zero when compiled).
@@ -134,8 +168,15 @@ func (s CompileStats) String() string {
 		}
 		return fmt.Sprintf("loaded from %s in %s", from, s.Load.Round(time.Millisecond))
 	default:
-		return fmt.Sprintf("extract %s (%d states) + finalize %s",
-			s.Extract.Round(10*time.Millisecond), s.ExtractStates,
+		deliveries := fmt.Sprintf("%d interpreted", s.Interpreted)
+		if s.MemoHits > 0 {
+			deliveries += fmt.Sprintf(", %d memoized", s.MemoHits)
+		}
+		if s.WarmHits > 0 {
+			deliveries += fmt.Sprintf(", %d warm from a %d-state seed", s.WarmHits, s.WarmStates)
+		}
+		return fmt.Sprintf("extract %s (%d states; %s) + finalize %s",
+			s.Extract.Round(10*time.Millisecond), s.ExtractStates, deliveries,
 			s.Finalize.Round(time.Millisecond))
 	}
 }
@@ -248,7 +289,14 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 	start := time.Now()
 	cf, sys := newCompiledFusion(f, cfg)
 	c := &compiler{cf: cf, keys: map[string]int32{}, seen: map[string]int32{},
-		fsmStates: map[string]bool{}, fsmEdges: map[Edge]bool{}}
+		memo: !cfg.NoMemo}
+	if cfg.WarmSeed != nil {
+		if got := WarmDigest(f, cfg); got != cfg.WarmSeed.digest {
+			return nil, fmt.Errorf("%w: warm seed %q (digest %s…) is not compatible with %s (digest %s…)",
+				ErrArtifactMismatch, cfg.WarmSeed.name, cfg.WarmSeed.digest[:8], f.Name(), got[:8])
+		}
+		c.seed = cfg.WarmSeed
+	}
 	// Intern the initial directory state first: CompiledDir starts at
 	// index 0.
 	c.intern(cf.layout.Merged)
@@ -256,7 +304,8 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 
 	res := mcheck.Explore(sys, mcheck.Options{
 		Evictions: cfg.Evictions, MaxStates: cfg.MaxStates,
-		Workers: cfg.Workers,
+		Workers:       cfg.Workers,
+		ProgressEvery: cfg.ProgressEvery, OnProgress: cfg.OnProgress,
 		// Full coverage: reductions prune (state, message) pairs the checker
 		// may later need. Deadlocks are fine — the table must reproduce them.
 		POR: mcheck.POROff,
@@ -271,6 +320,12 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 	cf.explored = res.States
 	cf.stats.Extract = time.Since(start)
 	cf.stats.ExtractStates = res.States
+	cf.stats.Interpreted = c.interpreted
+	cf.stats.MemoHits = c.memoHits
+	cf.stats.WarmHits = c.warmHits
+	if c.seed != nil {
+		cf.stats.WarmStates = len(c.seed.spills)
+	}
 
 	finalizeStart := time.Now()
 	cf.finalize(c)
@@ -280,10 +335,12 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 }
 
 // finalize turns the compiler's recorded transitions into the dense
-// per-state spans: records sorted by (pre-state, message order), entries
-// laid out contiguously per state, sends flattened into the shared pool,
-// and the projected FSM sorted into its canonical rendering order.
+// per-state spans: states renumbered into their canonical order, records
+// sorted by (pre-state, message order), entries laid out contiguously per
+// state, sends flattened into the shared pool, and the projected FSM
+// derived from the records and sorted into its canonical rendering order.
 func (cf *CompiledFusion) finalize(c *compiler) {
+	cf.renumber(c)
 	sort.Slice(c.recs, func(i, j int) bool {
 		a, b := &c.recs[i], &c.recs[j]
 		if a.pre != b.pre {
@@ -309,8 +366,109 @@ func (cf *CompiledFusion) finalize(c *compiler) {
 		cf.stateOff[next] = int32(len(cf.entries))
 		next++
 	}
+	cf.projectFSM(c.recs)
+}
 
-	for s := range c.fsmStates {
+// renumber rewrites the interned state indices into a canonical order:
+// state 0 stays the initial state (CompiledDir starts there and the
+// artifact codec assumes it), the rest sort by their (encoding, memory)
+// key. Intern order is a schedule artifact — of the extraction search's
+// worker interleaving and of how many pairs memoization or a warm seed
+// short-circuited — so canonical numbering is what makes the finalized
+// table, and therefore the artifact bytes, identical across worker
+// counts, memo on/off and warm starts (the determinism tests pin this).
+func (cf *CompiledFusion) renumber(c *compiler) {
+	n := len(cf.states)
+	if n <= 2 {
+		return
+	}
+	ord := make([]int32, n-1)
+	for i := range ord {
+		ord[i] = int32(i + 1)
+	}
+	sort.Slice(ord, func(i, j int) bool {
+		a, b := &cf.states[ord[i]], &cf.states[ord[j]]
+		if cmp := bytes.Compare(a.enc, b.enc); cmp != 0 {
+			return cmp < 0
+		}
+		return bytes.Compare(a.mem, b.mem) < 0
+	})
+	remap := make([]int32, n)
+	states := make([]compState, n)
+	states[0] = cf.states[0]
+	for i, old := range ord {
+		remap[old] = int32(i + 1)
+		states[i+1] = cf.states[old]
+	}
+	cf.states = states
+	for i := range c.recs {
+		r := &c.recs[i]
+		r.pre = remap[r.pre]
+		if r.tr.next != stallState {
+			r.tr.next = remap[r.tr.next]
+		}
+	}
+}
+
+// projectFSM derives the per-address local-state projection (the Table II
+// machine) from the finalized records, decoding each referenced state's
+// exact spill image once — instead of building LocalState strings inline
+// on every extraction delivery as the pre-memoization observer did. The
+// projection over records equals the projection over deliveries because a
+// (state, message) pair determines its successor: every successful
+// delivery contributes the edge its record contributes.
+func (cf *CompiledFusion) projectFSM(recs []compRecord) {
+	needs := make(map[int32]map[spec.Addr]bool)
+	add := func(s int32, a spec.Addr) {
+		m := needs[s]
+		if m == nil {
+			m = map[spec.Addr]bool{}
+			needs[s] = m
+		}
+		m[a] = true
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.tr.next == stallState {
+			continue
+		}
+		add(r.pre, r.msg.Addr)
+		add(r.tr.next, r.msg.Addr)
+	}
+	local := make(map[int32]map[spec.Addr]string, len(needs))
+	cf.snapMu.Lock()
+	for s, addrs := range needs {
+		if err := cf.scratch.DecodeState(spec.NewDec(cf.states[s].spill)); err != nil {
+			cf.snapMu.Unlock()
+			panic(fmt.Sprintf("core: state %d spill image undecodable during FSM projection: %v", s, err))
+		}
+		byAddr := make(map[spec.Addr]string, len(addrs))
+		for a := range addrs {
+			name := cf.scratch.LocalState(a)
+			byAddr[a] = name
+			cf.stable[name] = cf.scratch.localStable(a)
+		}
+		local[s] = byAddr
+	}
+	cf.snapMu.Unlock()
+
+	states := map[string]bool{}
+	seen := map[Edge]bool{}
+	for i := range recs {
+		r := &recs[i]
+		if r.tr.next == stallState {
+			continue
+		}
+		e := Edge{From: local[r.pre][r.msg.Addr], Event: string(r.msg.Type),
+			To: local[r.tr.next][r.msg.Addr]}
+		states[e.From] = true
+		states[e.To] = true
+		if !seen[e] {
+			seen[e] = true
+			cf.fsm.Edges = append(cf.fsm.Edges, e)
+		}
+	}
+	for s := range states {
 		cf.fsm.States = append(cf.fsm.States, s)
 	}
 	sort.Strings(cf.fsm.States)
@@ -631,26 +789,103 @@ type compRecord struct {
 // merged directory (shared by every clone; the mutex serializes
 // observation so extraction may run on the parallel search path).
 type compiler struct {
-	mu        sync.Mutex
-	cf        *CompiledFusion
-	keys      map[string]int32 // interned enc++mem -> state index
-	keyBuf    []byte
-	seen      map[string]int32 // transKey -> index into recs (dup detection)
-	recs      []compRecord
-	fsmStates map[string]bool
-	fsmEdges  map[Edge]bool
-	err       error
+	mu     sync.Mutex
+	cf     *CompiledFusion
+	keys   map[string]int32 // interned enc++mem -> state index
+	keyBuf []byte
+	// Two-entry recent-key cache in front of the keys map. The search
+	// restores the directory to the expansion's base state before every
+	// delivery, so consecutive observes mostly re-intern the same one or
+	// two (pre, post) images; a byte compare is far cheaper than hashing a
+	// ~250-byte key into the map each time.
+	mruKey [2][]byte
+	mruIdx [2]int32
+	mruN   int
+	seen   map[string]int32 // transKey -> index into recs (memo + dup detection)
+	tkBuf  []byte           // transKey scratch (observe fast path)
+	recs   []compRecord
+	memo   bool // replay recorded pairs instead of re-interpreting
+
+	// Warm start: seedIdx[i] is the seed's index for interned state i (-1
+	// when the seed never saw that state), filled as intern discovers
+	// states; skBuf is the seed-side transKey scratch.
+	seed    *WarmSeed
+	seedIdx []int32
+	skBuf   []byte
+
+	interpreted int64 // deliveries that ran the interpreted MergedDir
+	memoHits    int64 // deliveries replayed from the recorded table
+	warmHits    int64 // deliveries replayed from the warm seed
+	err         error
+
+	// Replay-path decode scratch: one reusable cursor with a message-type
+	// intern table instead of a Dec allocation (and a fresh MsgType string)
+	// per replayed image. observe holds c.mu, so single-goroutine
+	// confinement holds.
+	dec       spec.Dec
+	decIntern *spec.Intern
 }
 
-// observe implements dirObserver: intern the pre-state, replay the
-// interpreted deliver with sends captured, record the table entry and the
-// projected FSM edge.
+// remember records keyBuf -> idx in the recent-key cache, evicting the
+// older of the two entries. The slot buffers rotate so no allocation
+// happens after the first two calls.
+func (c *compiler) remember(idx int32) {
+	c.mruKey[0], c.mruKey[1] = c.mruKey[1], c.mruKey[0]
+	c.mruIdx[1] = c.mruIdx[0]
+	c.mruKey[0] = append(c.mruKey[0][:0], c.keyBuf...)
+	c.mruIdx[0] = idx
+	if c.mruN < 2 {
+		c.mruN++
+	}
+}
+
+// replayDec returns the compiler's reusable cursor repointed at buf.
+func (c *compiler) replayDec(buf []byte) *spec.Dec {
+	if c.decIntern == nil {
+		c.decIntern = new(spec.Intern)
+		c.dec.InternStrings(c.decIntern)
+	}
+	c.dec.Reset(buf)
+	return &c.dec
+}
+
+// observe implements dirObserver. The fast path is memoized replay: once
+// a (state, message) pair is in the recorded table, later deliveries of
+// that pair replay the stored outcome directly — sends re-sent, the
+// successor's exact spill image decoded into d, the memory image
+// installed when it changed — instead of re-running the interpreted
+// deliver with its proxy clones and bridge phases. Each distinct pair is
+// interpreted exactly once, and the extraction search delivers far more
+// messages than it has distinct pairs, so the hit rate climbs toward
+// 100% as the table fills. On a memo miss the warm-start seed (when
+// present) is consulted the same way; only a miss on both runs the
+// interpreter. Replay is exact because the spill codec is bijective and
+// the interned key covers the full (directory, memory) pair.
+//
+// The projected FSM is NOT computed here anymore: the pre-memoization
+// observer built two LocalState strings per delivery, which would dwarf
+// the replay fast path. finalize derives it from the records instead.
 func (c *compiler) observe(d *MergedDir, env spec.Env, m spec.Msg) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	pre := c.intern(d)
-	before := d.LocalState(m.Addr)
-	beforeStable := d.localStable(m.Addr)
+	c.tkBuf = transKey(c.tkBuf[:0], pre, m)
+	if c.memo {
+		if ri, ok := c.seen[string(c.tkBuf)]; ok {
+			c.memoHits++
+			return c.replay(d, env, c.recs[ri].tr)
+		}
+	}
+	if c.seed != nil {
+		if si := c.seedIdx[pre]; si >= 0 {
+			c.skBuf = transKey(c.skBuf[:0], si, m)
+			if ei, ok := c.seed.seen[string(c.skBuf)]; ok {
+				c.warmHits++
+				return c.replaySeed(d, env, pre, m, ei)
+			}
+		}
+	}
+	c.interpreted++
 	var sends []spec.Msg
 	wrap := spec.EnvFunc(func(msg spec.Msg) {
 		sends = append(sends, msg)
@@ -662,17 +897,67 @@ func (c *compiler) observe(d *MergedDir, env spec.Env, m spec.Msg) bool {
 		post := c.intern(d)
 		tr = compTransition{next: post, sends: sends,
 			remem: !bytes.Equal(c.cf.states[pre].mem, c.cf.states[post].mem)}
-		after := d.LocalState(m.Addr)
-		c.edge(before, string(m.Type), after)
-		c.cf.stable[before] = beforeStable
-		c.cf.stable[after] = d.localStable(m.Addr)
 	} else if len(sends) > 0 && c.err == nil {
 		// A stalled delivery must be effect-free: the checker discards the
 		// stalled clone, so a send here would be unreplayable.
 		c.err = fmt.Errorf("core: stalled delivery of %s sent %d messages during compile", m, len(sends))
 	}
-	c.record(pre, m, tr)
+	c.record(c.tkBuf, pre, m, tr)
 	return ok
+}
+
+// replay applies a recorded outcome to d directly — the extraction-time
+// counterpart of CompiledDir.Deliver. A recorded stall replays as a plain
+// refusal: the stall contract (Deliver returns false, no side effects) is
+// checker-wide, so leaving d untouched is exact.
+func (c *compiler) replay(d *MergedDir, env spec.Env, tr compTransition) bool {
+	if tr.next == stallState {
+		return false
+	}
+	for _, s := range tr.sends {
+		env.Send(s)
+	}
+	st := &c.cf.states[tr.next]
+	if err := d.DecodeState(c.replayDec(st.spill)); err != nil {
+		panic(fmt.Sprintf("core: memoized successor spill image undecodable: %v", err))
+	}
+	if tr.remem {
+		if err := d.Memory().DecodeState(c.replayDec(st.mem)); err != nil {
+			panic(fmt.Sprintf("core: memoized successor memory image undecodable: %v", err))
+		}
+	}
+	return true
+}
+
+// replaySeed applies a warm-seed entry: replay the seed's recorded sends
+// and successor images into d, then intern the result and record it as
+// this compile's own transition (so later deliveries of the pair hit the
+// memo table, and finalize sees a self-contained record set). Matching is
+// by exact (encoding, memory) bytes plus the message, so a hit replays
+// the very transition this configuration would interpret — the merged
+// directory's transition function does not depend on the driver programs
+// a compatible seed may differ in (programs only shape reachability).
+func (c *compiler) replaySeed(d *MergedDir, env spec.Env, pre int32, m spec.Msg, ei int32) bool {
+	e := &c.seed.entries[ei]
+	if e.next == stallState {
+		c.record(c.tkBuf, pre, m, compTransition{next: stallState})
+		return false
+	}
+	sends := c.seed.sends[e.sendOff : e.sendOff+e.sendLen : e.sendOff+e.sendLen]
+	for _, s := range sends {
+		env.Send(s)
+	}
+	if err := d.DecodeState(c.replayDec(c.seed.spills[e.next])); err != nil {
+		panic(fmt.Sprintf("core: warm-seed successor spill image undecodable: %v", err))
+	}
+	if e.remem {
+		if err := d.Memory().DecodeState(c.replayDec(c.seed.mems[e.next])); err != nil {
+			panic(fmt.Sprintf("core: warm-seed successor memory image undecodable: %v", err))
+		}
+	}
+	post := c.intern(d)
+	c.record(c.tkBuf, pre, m, compTransition{next: post, sends: sends, remem: e.remem})
+	return true
 }
 
 // intern returns the dense index of the directory's current
@@ -684,7 +969,13 @@ func (c *compiler) intern(d *MergedDir) int32 {
 	c.keyBuf = d.AppendBinary(c.keyBuf[:0])
 	split := len(c.keyBuf)
 	c.keyBuf = d.Memory().AppendBinary(c.keyBuf)
+	for i := 0; i < c.mruN; i++ {
+		if bytes.Equal(c.keyBuf, c.mruKey[i]) {
+			return c.mruIdx[i]
+		}
+	}
 	if idx, ok := c.keys[string(c.keyBuf)]; ok {
+		c.remember(idx)
 		return idx
 	}
 	st := compState{
@@ -703,12 +994,23 @@ func (c *compiler) intern(d *MergedDir) int32 {
 	idx := int32(len(c.cf.states))
 	c.cf.states = append(c.cf.states, st)
 	c.keys[string(st.enc)+string(st.mem)] = idx
+	c.remember(idx)
+	if c.seed != nil {
+		si := int32(-1)
+		if v, ok := c.seed.keys[string(st.enc)+string(st.mem)]; ok {
+			si = v
+		}
+		c.seedIdx = append(c.seedIdx, si)
+	}
 	return idx
 }
 
-// record stores (or re-verifies) one table entry.
-func (c *compiler) record(pre int32, m spec.Msg, tr compTransition) {
-	key := transKey(nil, pre, m)
+// record stores (or re-verifies) one table entry; key is transKey(pre, m)
+// already built by the caller. The conflicting-outcome check only ever
+// fires under NoMemo — with memoization on a revisited pair replays before
+// reaching record — which is exactly why NoMemo exists as the injectivity
+// escape hatch.
+func (c *compiler) record(key []byte, pre int32, m spec.Msg, tr compTransition) {
 	if ri, ok := c.seen[string(key)]; ok {
 		if !sameTransition(c.recs[ri].tr, tr) && c.err == nil {
 			c.err = fmt.Errorf("core: state %d on %s recorded two different outcomes — binary state encoding is not injective over reachable states", pre, m)
@@ -717,18 +1019,6 @@ func (c *compiler) record(pre int32, m spec.Msg, tr compTransition) {
 	}
 	c.seen[string(key)] = int32(len(c.recs))
 	c.recs = append(c.recs, compRecord{pre: pre, msg: m, tr: tr})
-}
-
-// edge records one projected FSM transition (Recorder semantics: only
-// successful deliveries, deduplicated).
-func (c *compiler) edge(from, event, to string) {
-	c.fsmStates[from] = true
-	c.fsmStates[to] = true
-	e := Edge{From: from, Event: event, To: to}
-	if !c.fsmEdges[e] {
-		c.fsmEdges[e] = true
-		c.cf.fsm.Edges = append(c.cf.fsm.Edges, e)
-	}
 }
 
 // transKey appends the dedup lookup key: varint state index plus the

@@ -483,11 +483,18 @@ func (d *MergedDir) startBridge(env spec.Env, cluster int, m spec.Msg, isWrite b
 
 // reqsOf instantiates an armor core-op sequence for an address.
 func reqsOf(seq []spec.CoreOp, a spec.Addr, value int) []spec.CoreReq {
-	out := make([]spec.CoreReq, len(seq))
-	for i, op := range seq {
-		out[i] = spec.CoreReq{Op: op, Addr: a, Value: value}
+	return reqsOfInto(nil, seq, a, value)
+}
+
+// reqsOfInto is reqsOf reusing dst's backing array (the spill decoder's
+// task-rebuild path, which would otherwise allocate a seq per task per
+// restored state).
+func reqsOfInto(dst []spec.CoreReq, seq []spec.CoreOp, a spec.Addr, value int) []spec.CoreReq {
+	dst = dst[:0]
+	for _, op := range seq {
+		dst = append(dst, spec.CoreReq{Op: op, Addr: a, Value: value})
 	}
-	return out
+	return dst
 }
 
 // SetLazyAdvance switches the bridge-driving strategy. The default (off)

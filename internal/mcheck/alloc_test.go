@@ -64,3 +64,27 @@ func TestAllocRegressionCloneApplyEncode(t *testing.T) {
 			allocs, allocBudget)
 	}
 }
+
+// TestAllocRegressionWSDeque guards the work-stealing frontier's push/take
+// cycle: pushTail appends into a reused buffer (amortized zero) and each
+// take allocates exactly one batch slice. A regression here multiplies
+// across every state the parallel search moves through its deques.
+func TestAllocRegressionWSDeque(t *testing.T) {
+	var d wsDeque
+	states := make([]*System, 8)
+	for i := range states {
+		states[i] = &System{}
+	}
+	d.pushTail(make([]*System, 1024)) // pre-grow the backing buffer
+	for d.popTail(maxBatch) != nil {
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		d.pushTail(states)
+		d.popTail(maxBatch)
+		d.popTail(maxBatch)
+	})
+	t.Logf("deque push+pop cycle: %.1f allocs", allocs)
+	if allocs > 3 {
+		t.Errorf("deque push+pop cycle allocates %.1f, budget 3 — a take should cost one batch slice", allocs)
+	}
+}

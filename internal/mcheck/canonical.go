@@ -312,8 +312,8 @@ func (c *canonicalizer) encodePerm(s *System, p *symPerm, sc *canonScratch, buf 
 		buf = spec.AppendInt(buf, int(k.dst))
 		buf = spec.AppendInt(buf, int(k.vnet))
 		buf = spec.AppendUvarint(buf, uint64(len(s.chans[ci].msgs)))
-		for _, m := range s.chans[ci].msgs {
-			buf = m.AppendBinaryRelabeled(buf, p.ids)
+		for j := range s.chans[ci].msgs {
+			buf = s.chans[ci].msgs[j].AppendBinaryRelabeled(buf, p.ids)
 		}
 	}
 	for _, ti := range p.core {

@@ -62,8 +62,8 @@ func (s *System) EncodeBinary(buf []byte) []byte {
 		buf = spec.AppendInt(buf, int(k.dst))
 		buf = spec.AppendInt(buf, int(k.vnet))
 		buf = spec.AppendUvarint(buf, uint64(len(s.chans[i].msgs)))
-		for _, m := range s.chans[i].msgs {
-			buf = m.AppendBinary(buf)
+		for j := range s.chans[i].msgs {
+			buf = s.chans[i].msgs[j].AppendBinary(buf)
 		}
 	}
 	for _, c := range s.Cores {

@@ -218,6 +218,7 @@ type searchCtx struct {
 	parallel  bool
 	por       bool       // ample-set reduction active for this search
 	restore   bool       // in-place successor generation via the spill codec (see expand)
+	initial   *System    // caller-owned root state, exempt from pool recycling
 	porCands  []porCand  // reduction candidates (top-level caches)
 	loadKeys  [][]string // per core, per completed-load index
 	memKeys   []string   // per ObserveMem entry
@@ -232,7 +233,52 @@ type expandScratch struct {
 	encBuf   []byte
 	spillBuf []byte
 	preImg   []byte // expanded state's spill image (in-place restore)
+	preSegs  []int  // per-component end offsets into preImg (partial restore)
 	canon    canonScratch
+	pool     []*System // recycled expanded states (claim/recycle)
+	copyBuf  []byte    // claim's spill-image scratch
+}
+
+// poolCap bounds one worker's claim pool; beyond it recycle drops states
+// for the collector, so a draining frontier cannot pin its peak footprint
+// in recycled Systems.
+const poolCap = 256
+
+// claim converts a successor handed to an enqueue callback into a System
+// the frontier may own. In restore mode the callback's argument is
+// borrowed — successorsInPlace restores it right after the callback
+// returns — so claim deep-copies it, preferably onto a recycled System
+// through the spill codec: the in-place decode reuses the recycled
+// state's allocations (lines, channels, bridges, tasks), collapsing the
+// checker's per-admitted-state allocation cost to a byte copy. Without
+// the codec, successorsCloned already hands over a fresh clone, which
+// claim passes through untouched.
+func (ctx *searchCtx) claim(next *System, sc *expandScratch) *System {
+	if !ctx.restore {
+		return next
+	}
+	n := len(sc.pool)
+	if n == 0 {
+		return next.Clone()
+	}
+	s := sc.pool[n-1]
+	sc.pool[n-1] = nil
+	sc.pool = sc.pool[:n-1]
+	sc.copyBuf = appendSpill(next, sc.copyBuf[:0])
+	if err := decodeSpill(s, sc.copyBuf); err != nil {
+		panic(err.Error())
+	}
+	s.mc = next.mc // carry the incremental move cache, exactly as Clone does
+	return s
+}
+
+// recycle returns an expanded state to the worker's claim pool once the
+// search is finished with it. Callers must never recycle the caller-owned
+// initial state or a System an enqueue callback took ownership of.
+func (sc *expandScratch) recycle(s *System) {
+	if len(sc.pool) < poolCap {
+		sc.pool = append(sc.pool, s)
+	}
 }
 
 // searchStats is the live-counter block the progress ticker reads while
@@ -242,7 +288,8 @@ type searchStats struct {
 }
 
 func newSearchCtx(initial *System, opts Options, maxStates int, parallel bool) *searchCtx {
-	ctx := &searchCtx{opts: opts, maxStates: maxStates, parallel: parallel}
+	ctx := &searchCtx{opts: opts, maxStates: maxStates, parallel: parallel,
+		initial: initial}
 	ctx.restore = CanSpill(initial)
 	if opts.Symmetry {
 		ctx.canon = detectSymmetry(initial, opts)
@@ -375,9 +422,9 @@ func Explore(initial *System, opts Options) *Result {
 		freezeComponents(initial)
 		var f workSource
 		if sq != nil {
-			f = newSpillFrontier(initial, ctx, sq)
+			f = newWSSpillFrontier(initial, ctx, sq, workers)
 		} else {
-			f = newMemFrontier(initial, ctx)
+			f = newWSFrontier(initial, ctx, workers)
 		}
 		res = exploreParallel(ctx, workers, visited, f)
 	}
@@ -464,10 +511,17 @@ func exploreSeq(initial *System, ctx *searchCtx, visited visitedSet) *Result {
 			break
 		}
 		cur := queue[head]
-		queue[head] = nil // release the expanded state to the collector
+		queue[head] = nil // release the expanded state (recycled or collected)
+		ins.Begin()
 		ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
-			queue = append(queue, next)
+			queue = append(queue, ctx.claim(next, &sc))
 		})
+		ins.End()
+		if ctx.restore && cur != initial {
+			// Expanded states feed the claim pool; the caller-owned initial
+			// state is exempt so it is never handed back out as a copy.
+			sc.recycle(cur)
+		}
 		ctx.stats.frontier.Store(int64(len(queue) - head - 1))
 	}
 	return res
@@ -475,11 +529,14 @@ func exploreSeq(initial *System, ctx *searchCtx, visited visitedSet) *Result {
 
 // exploreSeqSpill is exploreSeq over the disk-spilling frontier: the queue
 // holds spill encodings instead of cloned Systems, rehydrated on pop into
-// clones of the pristine template. Pop order is the same FIFO order, so
+// one long-lived working copy of the initial state (the enqueue callback
+// encodes borrowed successors straight to bytes, so the search never
+// retains a System past its own expansion — the whole search runs on a
+// single rehydration target). Pop order is the same FIFO order, so
 // counts, outcomes and the first deadlock match exploreSeq exactly.
 func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *spillQueue) *Result {
 	res := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates}
-	template := initial.Clone()
+	cur := initial.Clone()
 	ins := visited.handle(0)
 	var sc expandScratch
 	sq.push(appendSpill(initial, nil))
@@ -493,14 +550,15 @@ func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *sp
 		if !ok {
 			break
 		}
-		cur := template.Clone()
 		if err := decodeSpill(cur, enc); err != nil {
 			panic(err.Error())
 		}
+		ins.Begin()
 		ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
 			sc.spillBuf = appendSpill(next, sc.spillBuf[:0])
 			sq.push(append([]byte(nil), sc.spillBuf...))
 		})
+		ins.End()
 		ctx.stats.frontier.Store(int64(sq.len()))
 	}
 	return res
@@ -512,17 +570,20 @@ func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *sp
 //
 // Successor generation has two strategies. When every component supports
 // the faithful spill codec (ctx.restore — every system this repo builds),
-// moves are applied to cur *in place*: the successor is encoded, a deep
-// copy is made only if the visited set actually admits it, and cur is
-// restored from its one-time spill image before the next move. Most
+// moves are applied to cur *in place*: the successor is encoded, handed
+// to enqueue *borrowed* only if the visited set actually admits it (the
+// callback must copy through searchCtx.claim before returning), and cur
+// is restored from its one-time spill image before the next move. Most
 // applied moves reach already-visited states, so this trades the full
 // clone per transition — the checker's dominant allocation and the GC
 // pressure behind it — for a cheap allocation-light in-place decode;
-// clones happen per *new* state instead of per transition. The restore is
-// lazy (a stalled Apply leaves the system unchanged, so only a progressed
-// move dirties cur), which also means a state whose moves all stall
-// reaches classification untouched. The fallback strategy clones ahead of
-// every Apply, reusing cur's storage for the final move.
+// copies happen per *new* state instead of per transition, and claim
+// recycles expanded states so even those copies reuse prior allocations.
+// The restore is lazy (a stalled Apply leaves the system unchanged, so
+// only a progressed move dirties cur), which also means a state whose
+// moves all stall reaches classification untouched. The fallback strategy
+// clones ahead of every Apply and transfers ownership through the same
+// enqueue callback (claim passes the clone through).
 //
 // With POR active, an ample subset is tried first: if any ample move
 // progressed, the remaining moves are pruned. No cycle proviso is needed:
@@ -547,7 +608,7 @@ func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert
 
 	sc.moves = cur.AppendMoves(sc.moves[:0], ctx.opts.Evictions)
 	var progressed bool
-	if ctx.restore && len(sc.moves) > 1 {
+	if ctx.restore && len(sc.moves) > 0 {
 		progressed = ctx.successorsInPlace(cur, res, sc, insert, enqueue)
 	} else {
 		progressed = ctx.successorsCloned(cur, res, sc, insert, enqueue)
@@ -583,25 +644,35 @@ func (ctx *searchCtx) expand(cur *System, res *Result, sc *expandScratch, insert
 }
 
 // successorsInPlace generates cur's successors by mutating cur directly,
-// restoring it from its spill image between moves and deep-copying only
-// the states the visited set admits. Requires CanSpill components (the
-// codec contract is bijectivity, so the restore is exact — including the
-// incremental move cache, which is saved by value and reinstated with the
-// state bytes it described). Returns whether any move progressed; when
-// none did, cur was never dirtied and is still the expanded state.
+// restoring it from its spill image between moves. Admitted successors
+// are handed to enqueue as cur itself — borrowed, valid only until the
+// callback returns — so the callback decides how to retain them (claim a
+// recycled copy, or encode to frontier bytes with no copy at all).
+// Requires CanSpill components (the codec contract is bijectivity, so the
+// restore is exact — including the incremental move cache, which is saved
+// by value and reinstated with the state bytes it described). Returns
+// whether any move progressed; when none did, cur was never dirtied and
+// is still the expanded state.
 func (ctx *searchCtx) successorsInPlace(cur *System, res *Result, sc *expandScratch, insert func([]byte) bool, enqueue func(*System)) bool {
-	sc.preImg = appendSpill(cur, sc.preImg[:0])
+	sc.preImg, sc.preSegs = appendSpillSegs(cur, sc.preImg[:0], sc.preSegs)
 	mcSave := cur.mc
-	dirty := false
+	var dirtyMask uint64
+	markDirty := func() {
+		if t := cur.touched; t >= 0 && t < 64 {
+			dirtyMask |= uint64(1) << uint(t)
+		} else {
+			dirtyMask = ^uint64(0)
+		}
+	}
 	ensureClean := func() {
-		if !dirty {
+		if dirtyMask == 0 {
 			return
 		}
-		if err := decodeSpill(cur, sc.preImg); err != nil {
+		if err := cur.restoreSegs(sc.preImg, sc.preSegs, dirtyMask); err != nil {
 			panic(err.Error())
 		}
 		cur.mc = mcSave
-		dirty = false
+		dirtyMask = 0
 	}
 	progressed := false
 	start := 0
@@ -613,13 +684,13 @@ func (ctx *searchCtx) successorsInPlace(cur *System, res *Result, sc *expandScra
 				if !cur.Apply(sc.moves[i]) {
 					continue
 				}
-				dirty = true
+				markDirty()
 				ampProgressed = true
 				progressed = true
 				res.Transitions++
 				sc.encBuf = ctx.encode(cur, sc, sc.encBuf[:0])
 				if insert(sc.encBuf) {
-					enqueue(cur.Clone())
+					enqueue(cur)
 				}
 			}
 			if ampProgressed {
@@ -634,12 +705,12 @@ func (ctx *searchCtx) successorsInPlace(cur *System, res *Result, sc *expandScra
 		if !cur.Apply(sc.moves[i]) {
 			continue
 		}
-		dirty = true
+		markDirty()
 		progressed = true
 		res.Transitions++
 		sc.encBuf = ctx.encode(cur, sc, sc.encBuf[:0])
 		if insert(sc.encBuf) {
-			enqueue(cur.Clone())
+			enqueue(cur)
 		}
 	}
 	return progressed
@@ -694,18 +765,27 @@ func (ctx *searchCtx) successorsCloned(cur *System, res *Result, sc *expandScrat
 	return progressed
 }
 
-// workSource is the shared work queue of the parallel search: the
-// in-memory pointer frontier (memFrontier) or the disk-spilling encoded
-// frontier (spillFrontier).
+// workSource is the parallel search's work distributor: the in-memory
+// work-stealing frontier (wsFrontier) or its disk-spilling counterpart
+// (wsSpillFrontier). Both shard the frontier into per-worker deques with
+// steal-half balancing — no shared queue mutex, no condition variable.
 type workSource interface {
-	// take hands the caller a batch of frontier states (marking them
-	// pending), blocking while the queue is empty but other workers may
-	// still enqueue. It returns nil when the search is complete or stopped.
-	take(workers int) []*System
-	// push enqueues newly discovered states.
-	push(states []*System)
-	// settle retires n expanded states and signals termination when the
-	// search has drained.
+	// take hands worker w its next batch: popped from the worker's own
+	// deque when possible, stolen from a sibling otherwise. It spins down
+	// with a short backoff while siblings may still produce work and
+	// returns nil when the search is complete or stopped. sc is the
+	// worker's scratch: the spill frontier rehydrates into its recycled
+	// Systems instead of cloning fresh ones.
+	take(w int, sc *expandScratch) []*System
+	// admit buffers one admitted successor for worker w. next is borrowed —
+	// valid only for the duration of the call — so each frontier converts
+	// it to its own representation immediately: the in-memory frontier
+	// claims a (pool-recycled) copy, the spill frontier encodes it to
+	// bytes with no System copy at all.
+	admit(w int, sc *expandScratch, next *System)
+	// flush publishes worker w's buffered admissions onto w's own deque.
+	flush(w int)
+	// settle retires n expanded states from the outstanding-work count.
 	settle(n int)
 	// stop aborts the search (truncation).
 	stop()
@@ -714,134 +794,334 @@ type workSource interface {
 // maxBatch caps how many states one take hands a worker.
 const maxBatch = 64
 
-// memFrontier holds cloned Systems directly. pending counts states handed
-// to workers but not yet fully expanded; the search is done when the queue
-// is empty and nothing is pending.
-type memFrontier struct {
-	mu      sync.Mutex
-	cond    sync.Cond
-	stats   *searchStats
-	queue   []*System
-	pending int
-	stopped bool
+// takeSpins is how many empty take sweeps merely yield before backing off
+// with a short sleep (idle workers poll: there is no condition variable).
+const takeSpins = 8
+
+// wsDeque is one worker's frontier deque: the owner pushes and pops at the
+// tail (depth-first-ish, cache-warm), thieves steal from the head — the
+// oldest, shallowest states, which tend to root the largest unexplored
+// subtrees. A plain mutex guards it: per-worker deques are uncontended
+// except during steals, and a mutex keeps the memory ordering honest on the
+// single-core runner this repo benchmarks on (a lock-free Chase–Lev deque
+// would buy nothing there).
+type wsDeque struct {
+	mu   sync.Mutex
+	buf  []*System
+	head int      // buf[head:] are live; the dead prefix is compacted lazily
+	_    [32]byte // pad deques apart: owner-written fields stay on one line
 }
 
-func newMemFrontier(initial *System, ctx *searchCtx) *memFrontier {
-	f := &memFrontier{queue: []*System{initial}, stats: &ctx.stats}
-	f.cond.L = &f.mu
-	return f
-}
-
-func (f *memFrontier) take(workers int) []*System {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for len(f.queue) == 0 && f.pending > 0 && !f.stopped {
-		f.cond.Wait()
-	}
-	if f.stopped || len(f.queue) == 0 {
-		// Complete (or truncated): wake every parked worker so they exit.
-		f.stopped = true
-		f.cond.Broadcast()
+// popTail removes up to max (at most half the live entries, rounded up)
+// states from the tail, leaving the rest in place for thieves.
+func (d *wsDeque) popTail(max int) []*System {
+	d.mu.Lock()
+	n := len(d.buf) - d.head
+	if n == 0 {
+		d.mu.Unlock()
 		return nil
 	}
-	n := len(f.queue)/workers + 1
-	if n > maxBatch {
-		n = maxBatch
+	k := (n + 1) / 2
+	if k > max {
+		k = max
 	}
-	// Copy the batch out: a subslice would alias the queue's backing
-	// array, and later pushes would overwrite entries mid-expansion.
-	tail := f.queue[len(f.queue)-n:]
-	batch := make([]*System, n)
-	copy(batch, tail)
-	for i := range tail {
-		tail[i] = nil // release to the collector
+	lo := len(d.buf) - k
+	batch := make([]*System, k)
+	copy(batch, d.buf[lo:])
+	for i := lo; i < len(d.buf); i++ {
+		d.buf[i] = nil // release to the collector
 	}
-	f.queue = f.queue[:len(f.queue)-n]
-	f.pending += n
-	f.stats.frontier.Store(int64(len(f.queue)))
+	d.buf = d.buf[:lo]
+	d.mu.Unlock()
 	return batch
 }
 
-func (f *memFrontier) push(states []*System) {
-	if len(states) == 0 {
+// stealHalf removes up to max (half the live entries, rounded up) states
+// from the head.
+func (d *wsDeque) stealHalf(max int) []*System {
+	d.mu.Lock()
+	n := len(d.buf) - d.head
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	k := (n + 1) / 2
+	if k > max {
+		k = max
+	}
+	batch := make([]*System, k)
+	copy(batch, d.buf[d.head:d.head+k])
+	for i := d.head; i < d.head+k; i++ {
+		d.buf[i] = nil
+	}
+	d.head += k
+	d.compactLocked()
+	d.mu.Unlock()
+	return batch
+}
+
+// pushTail appends states at the owner's end.
+func (d *wsDeque) pushTail(states []*System) {
+	d.mu.Lock()
+	d.buf = append(d.buf, states...)
+	d.mu.Unlock()
+}
+
+// compactLocked reclaims the dead prefix once it dominates the buffer
+// (amortized O(1) per steal).
+func (d *wsDeque) compactLocked() {
+	if d.head < 64 || d.head*2 < len(d.buf) {
 		return
 	}
-	f.mu.Lock()
-	f.queue = append(f.queue, states...)
-	f.stats.frontier.Store(int64(len(f.queue)))
-	f.mu.Unlock()
-	f.cond.Broadcast()
-}
-
-func (f *memFrontier) settle(n int) {
-	f.mu.Lock()
-	f.pending -= n
-	if f.pending == 0 && len(f.queue) == 0 {
-		f.cond.Broadcast()
+	n := copy(d.buf, d.buf[d.head:])
+	for i := n; i < len(d.buf); i++ {
+		d.buf[i] = nil
 	}
-	f.mu.Unlock()
+	d.buf = d.buf[:n]
+	d.head = 0
 }
 
-func (f *memFrontier) stop() {
-	f.mu.Lock()
-	f.stopped = true
-	f.cond.Broadcast()
-	f.mu.Unlock()
+// wsFrontier distributes cloned Systems through per-worker deques with
+// steal-half balancing. Termination detection is one atomic outstanding-
+// work counter: push raises it before the states become visible and settle
+// lowers it only after their expansion completed, so the counter reaches
+// zero exactly when every deque is empty and no expansion is in flight —
+// a worker that sweeps every deque empty and then reads zero can exit.
+// Which worker expands which state is schedule-dependent, but the visited
+// set admits each state exactly once, so counts, outcomes and verdicts are
+// identical at any worker count (the determinism tests pin 1/2/4/8).
+type wsFrontier struct {
+	ctx     *searchCtx
+	stats   *searchStats
+	deques  []wsDeque
+	pend    [][]*System  // per-worker admit buffers, published by flush
+	work    atomic.Int64 // states pushed but not yet settled
+	queued  atomic.Int64 // states sitting in deques (frontier gauge)
+	stopped atomic.Bool
 }
 
-// spillFrontier is the disk-spilling counterpart: the queue holds spill
-// encodings in a spillQueue (bounded memory, overflow waves on disk), and
-// take rehydrates its batch into clones of the pristine template after
-// releasing the lock. Encoding in push likewise happens outside the lock;
-// only the byte-queue operations (and their occasional wave I/O) are
-// serialized.
-type spillFrontier struct {
-	mu       sync.Mutex
-	cond     sync.Cond
-	stats    *searchStats
-	sq       *spillQueue
-	template *System
-	pending  int
-	stopped  bool
-}
-
-func newSpillFrontier(initial *System, ctx *searchCtx, sq *spillQueue) *spillFrontier {
-	f := &spillFrontier{sq: sq, template: initial.Clone(), stats: &ctx.stats}
-	f.cond.L = &f.mu
-	sq.push(appendSpill(initial, nil))
+func newWSFrontier(initial *System, ctx *searchCtx, workers int) *wsFrontier {
+	f := &wsFrontier{ctx: ctx, deques: make([]wsDeque, workers),
+		pend: make([][]*System, workers), stats: &ctx.stats}
+	f.deques[0].buf = []*System{initial}
+	f.work.Store(1)
+	f.queued.Store(1)
 	return f
 }
 
-func (f *spillFrontier) take(workers int) []*System {
-	f.mu.Lock()
-	for f.sq.len() == 0 && f.pending > 0 && !f.stopped {
-		f.cond.Wait()
+func (f *wsFrontier) take(w int, sc *expandScratch) []*System {
+	for spins := 0; ; spins++ {
+		if f.stopped.Load() {
+			return nil
+		}
+		if batch := f.deques[w].popTail(maxBatch); batch != nil {
+			f.taken(len(batch))
+			return batch
+		}
+		for i := 1; i < len(f.deques); i++ {
+			if batch := f.deques[(w+i)%len(f.deques)].stealHalf(maxBatch); batch != nil {
+				f.taken(len(batch))
+				return batch
+			}
+		}
+		if f.work.Load() == 0 {
+			return nil
+		}
+		idleWait(spins)
 	}
-	if f.stopped || f.sq.len() == 0 {
-		f.stopped = true
-		f.cond.Broadcast()
-		f.mu.Unlock()
+}
+
+func (f *wsFrontier) taken(n int) {
+	f.stats.frontier.Store(f.queued.Add(int64(-n)))
+}
+
+func (f *wsFrontier) admit(w int, sc *expandScratch, next *System) {
+	f.pend[w] = append(f.pend[w], f.ctx.claim(next, sc))
+}
+
+func (f *wsFrontier) flush(w int) {
+	states := f.pend[w]
+	if len(states) == 0 {
+		return
+	}
+	f.work.Add(int64(len(states)))
+	f.deques[w].pushTail(states)
+	f.stats.frontier.Store(f.queued.Add(int64(len(states))))
+	for i := range states {
+		states[i] = nil
+	}
+	f.pend[w] = states[:0]
+}
+
+func (f *wsFrontier) settle(n int) { f.work.Add(int64(-n)) }
+func (f *wsFrontier) stop()        { f.stopped.Store(true) }
+
+// idleWait backs an empty-handed worker off: yield for the first sweeps
+// (another worker is likely mid-expansion), then sleep briefly so idle
+// workers stop burning a core while one long expansion drains.
+func idleWait(spins int) {
+	if spins < takeSpins {
+		runtime.Gosched()
+	} else {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// wsByteDeque is wsDeque over spill encodings, consumed FIFO: the owner
+// and thieves both take from the head. Breadth-first consumption keeps the
+// frontier wide the way the sequential spill search does, so a search that
+// outgrows the ring genuinely overflows into the spill queue's wave files
+// instead of hiding its frontier in a handful of deep deques — the memory
+// bound SpillDir promises is a property of the ring, not of a lucky visit
+// order.
+type wsByteDeque struct {
+	mu   sync.Mutex
+	buf  [][]byte
+	head int
+	_    [32]byte
+}
+
+func (d *wsByteDeque) stealHalf(max int) [][]byte {
+	d.mu.Lock()
+	n := len(d.buf) - d.head
+	if n == 0 {
+		d.mu.Unlock()
 		return nil
 	}
-	n := f.sq.len()/workers + 1
-	if n > maxBatch {
-		n = maxBatch
+	k := (n + 1) / 2
+	if k > max {
+		k = max
 	}
-	encs := make([][]byte, 0, n)
-	for i := 0; i < n; i++ {
-		enc, ok := f.sq.pop()
-		if !ok {
-			break
-		}
-		encs = append(encs, enc)
+	batch := make([][]byte, k)
+	copy(batch, d.buf[d.head:d.head+k])
+	for i := d.head; i < d.head+k; i++ {
+		d.buf[i] = nil
 	}
-	f.pending += len(encs)
-	f.stats.frontier.Store(int64(f.sq.len()))
-	f.mu.Unlock()
+	d.head += k
+	d.compactLocked()
+	d.mu.Unlock()
+	return batch
+}
 
+// pushTail appends encodings at the tail and returns the oldest half of
+// the deque for the caller to spill when the live count exceeded limit
+// (ownership of the returned slices transfers to the caller).
+func (d *wsByteDeque) pushTail(encs [][]byte, limit int) [][]byte {
+	d.mu.Lock()
+	d.buf = append(d.buf, encs...)
+	var overflow [][]byte
+	if live := len(d.buf) - d.head; live > limit {
+		k := live / 2
+		overflow = make([][]byte, k)
+		copy(overflow, d.buf[d.head:d.head+k])
+		for i := d.head; i < d.head+k; i++ {
+			d.buf[i] = nil
+		}
+		d.head += k
+		d.compactLocked()
+	}
+	d.mu.Unlock()
+	return overflow
+}
+
+func (d *wsByteDeque) compactLocked() {
+	if d.head < 64 || d.head*2 < len(d.buf) {
+		return
+	}
+	n := copy(d.buf, d.buf[d.head:])
+	for i := n; i < len(d.buf); i++ {
+		d.buf[i] = nil
+	}
+	d.buf = d.buf[:n]
+	d.head = 0
+}
+
+// wsSpillFrontier is the disk-spilling work-stealing frontier: per-worker
+// deques hold spill encodings (encoded and rehydrated outside any lock),
+// each capped at SpillRing/workers live entries and consumed FIFO. On
+// overflow the oldest half migrates to the shared spillQueue (bounded
+// memory + wave files on disk, guarded by its own mutex since the queue
+// itself is not goroutine-safe); a worker that finds every deque empty
+// refills from the spill queue before concluding the search drained.
+// Frontier memory is therefore O(SpillRing) across the deques plus the
+// spill queue's own in-memory window, however wide the search gets.
+type wsSpillFrontier struct {
+	stats    *searchStats
+	template *System
+	deques   []wsByteDeque
+	pend     [][][]byte // per-worker admit buffers (spill encodings)
+	dequeCap int        // per-deque live-entry cap
+	spillMu  sync.Mutex
+	sq       *spillQueue
+	work     atomic.Int64
+	queued   atomic.Int64
+	stopped  atomic.Bool
+}
+
+func newWSSpillFrontier(initial *System, ctx *searchCtx, sq *spillQueue, workers int) *wsSpillFrontier {
+	ring := ctx.opts.SpillRing
+	if ring <= 0 {
+		ring = defaultSpillRing
+	}
+	dequeCap := ring / workers
+	if dequeCap < 64 {
+		dequeCap = 64
+	}
+	f := &wsSpillFrontier{sq: sq, template: initial.Clone(), stats: &ctx.stats,
+		deques: make([]wsByteDeque, workers), pend: make([][][]byte, workers),
+		dequeCap: dequeCap}
+	f.deques[0].buf = [][]byte{appendSpill(initial, nil)}
+	f.work.Store(1)
+	f.queued.Store(1)
+	return f
+}
+
+func (f *wsSpillFrontier) take(w int, sc *expandScratch) []*System {
+	for spins := 0; ; spins++ {
+		if f.stopped.Load() {
+			return nil
+		}
+		if encs := f.deques[w].stealHalf(maxBatch); encs != nil {
+			return f.rehydrate(encs, sc)
+		}
+		for i := 1; i < len(f.deques); i++ {
+			if encs := f.deques[(w+i)%len(f.deques)].stealHalf(maxBatch); encs != nil {
+				return f.rehydrate(encs, sc)
+			}
+		}
+		f.spillMu.Lock()
+		var encs [][]byte
+		for len(encs) < maxBatch {
+			enc, ok := f.sq.pop()
+			if !ok {
+				break
+			}
+			encs = append(encs, enc)
+		}
+		f.spillMu.Unlock()
+		if len(encs) > 0 {
+			return f.rehydrate(encs, sc)
+		}
+		if f.work.Load() == 0 {
+			return nil
+		}
+		idleWait(spins)
+	}
+}
+
+// rehydrate decodes a taken batch into the worker's recycled Systems,
+// cloning the pristine template only when the pool runs dry.
+func (f *wsSpillFrontier) rehydrate(encs [][]byte, sc *expandScratch) []*System {
+	f.stats.frontier.Store(f.queued.Add(int64(-len(encs))))
 	batch := make([]*System, len(encs))
 	for i, enc := range encs {
-		batch[i] = f.template.Clone()
+		if n := len(sc.pool); n > 0 {
+			batch[i] = sc.pool[n-1]
+			sc.pool[n-1] = nil
+			sc.pool = sc.pool[:n-1]
+		} else {
+			batch[i] = f.template.Clone()
+		}
 		if err := decodeSpill(batch[i], enc); err != nil {
 			panic(err.Error())
 		}
@@ -849,40 +1129,34 @@ func (f *spillFrontier) take(workers int) []*System {
 	return batch
 }
 
-func (f *spillFrontier) push(states []*System) {
-	if len(states) == 0 {
+func (f *wsSpillFrontier) admit(w int, sc *expandScratch, next *System) {
+	sc.spillBuf = appendSpill(next, sc.spillBuf[:0])
+	f.pend[w] = append(f.pend[w], append([]byte(nil), sc.spillBuf...))
+}
+
+func (f *wsSpillFrontier) flush(w int) {
+	encs := f.pend[w]
+	if len(encs) == 0 {
 		return
 	}
-	encs := make([][]byte, len(states))
-	var buf []byte
-	for i, s := range states {
-		buf = appendSpill(s, buf[:0])
-		encs[i] = append([]byte(nil), buf...)
+	f.work.Add(int64(len(encs)))
+	overflow := f.deques[w].pushTail(encs, f.dequeCap)
+	if overflow != nil {
+		f.spillMu.Lock()
+		for _, enc := range overflow {
+			f.sq.push(enc)
+		}
+		f.spillMu.Unlock()
 	}
-	f.mu.Lock()
-	for _, enc := range encs {
-		f.sq.push(enc)
+	f.stats.frontier.Store(f.queued.Add(int64(len(encs))))
+	for i := range encs {
+		encs[i] = nil
 	}
-	f.stats.frontier.Store(int64(f.sq.len()))
-	f.mu.Unlock()
-	f.cond.Broadcast()
+	f.pend[w] = encs[:0]
 }
 
-func (f *spillFrontier) settle(n int) {
-	f.mu.Lock()
-	f.pending -= n
-	if f.pending == 0 && f.sq.len() == 0 {
-		f.cond.Broadcast()
-	}
-	f.mu.Unlock()
-}
-
-func (f *spillFrontier) stop() {
-	f.mu.Lock()
-	f.stopped = true
-	f.cond.Broadcast()
-	f.mu.Unlock()
-}
+func (f *wsSpillFrontier) settle(n int) { f.work.Add(int64(-n)) }
+func (f *wsSpillFrontier) stop()        { f.stopped.Store(true) }
 
 // exploreParallel runs the worker-pool frontier search: workers pull
 // batches from a shared frontier, filter successors through the shared
@@ -897,31 +1171,35 @@ func exploreParallel(ctx *searchCtx, workers int, visited visitedSet, f workSour
 		results[w] = res
 		ins := visited.handle(w)
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			var sc expandScratch
-			var fresh []*System
 			for {
-				batch := f.take(workers)
+				batch := f.take(w, &sc)
 				if batch == nil {
 					return
 				}
-				for _, cur := range batch {
+				for bi, cur := range batch {
 					if visited.Size() > ctx.maxStates || visited.Full() {
 						truncated.Store(true)
 						f.stop()
 						f.settle(len(batch))
 						return
 					}
-					fresh = fresh[:0]
+					ins.Begin()
 					ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
-						fresh = append(fresh, next)
+						f.admit(w, &sc, next)
 					})
-					f.push(fresh)
+					ins.End()
+					f.flush(w)
+					if ctx.restore && cur != ctx.initial {
+						batch[bi] = nil
+						sc.recycle(cur)
+					}
 				}
 				f.settle(len(batch))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

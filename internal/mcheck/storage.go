@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"bytes"
 	"math"
 	"runtime"
 	"sync"
@@ -38,6 +39,13 @@ type storageStats struct {
 type inserter interface {
 	// Insert adds the state encoding and reports whether it was new.
 	Insert(enc []byte) bool
+	// Begin and End bracket one expansion's run of Inserts so a handle can
+	// amortize per-probe synchronization across the whole batch (the
+	// fingerprint table holds its growth-rendezvous flag open for the
+	// window; the striped sets have nothing to amortize and no-op). An
+	// Insert outside any window behaves as a window of one.
+	Begin()
+	End()
 }
 
 // visitedSet is the visited-state store shared by search workers.
@@ -87,62 +95,126 @@ func sternDillOmission(n int64) float64 {
 // contention negligible for any worker count the search runs with.
 const visitedShards = 64
 
-// exactShard is one mutex-striped slice of the exact set.
+// exactSlot is one open-addressing slot: the encoding's full 64-bit hash
+// plus its position in the shard's arena. len == 0 marks an empty slot
+// (state encodings are never empty — every component writes at least its
+// id or a count).
+type exactSlot struct {
+	hash uint64
+	off  uint32
+	len  uint32
+}
+
+// exactShard is one mutex-striped stripe of the exact set: a power-of-two
+// open-addressing table over a pointer-free byte arena. Compared to a
+// map[string]struct{} this reuses the hash the stripe selector already
+// computed (the runtime map would re-hash every ~250-byte key) and stores
+// all encodings in one append-only allocation, so the garbage collector
+// neither traces per-state strings nor scans the arena.
 type exactShard struct {
-	mu   sync.Mutex
-	full map[string]struct{} // complete state encodings
-	_    [24]byte            // pad shards apart to reduce false sharing
+	mu    sync.Mutex
+	slots []exactSlot
+	n     int
+	arena []byte // all stored encodings, concatenated
+	_     [24]byte
 }
 
 // exactSet stores complete state encodings — no omissions, memory grows
 // with total encoding size. States are keyed by their compact binary
-// encoding; the encoding's 64-bit FNV-1a hash selects the stripe.
+// encoding; the encoding's exactHash selects the stripe and probe start.
 type exactSet struct {
 	size     atomic.Int64
 	encBytes atomic.Int64 // total bytes of stored encodings
 	shards   [visitedShards]exactShard
 }
 
-func newExactSet() *exactSet {
-	v := &exactSet{}
-	for i := range v.shards {
-		v.shards[i].full = map[string]struct{}{}
+func newExactSet() *exactSet { return &exactSet{} }
+
+const exactInitSlots = 1024
+
+// probeStart maps a hash to a slot index. The low six bits picked the
+// shard, so they are constant within one stripe; probing starts from the
+// bits above them.
+func exactProbeStart(h uint64, mask uint64) uint64 { return (h >> 6) & mask }
+
+func (s *exactShard) grow() {
+	old := s.slots
+	s.slots = make([]exactSlot, 2*len(old))
+	mask := uint64(len(s.slots) - 1)
+	for _, sl := range old {
+		if sl.len == 0 {
+			continue
+		}
+		i := exactProbeStart(sl.hash, mask)
+		for s.slots[i].len != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = sl
 	}
-	return v
 }
 
 // Insert implements inserter. The set itself is the handle for every
 // worker: shard mutexes make it safe for concurrent use.
 func (v *exactSet) Insert(enc []byte) bool {
-	h := fnv64a(enc)
+	h := exactHash(enc)
 	s := &v.shards[h%visitedShards]
 	s.mu.Lock()
-	if _, ok := s.full[string(enc)]; ok {
-		s.mu.Unlock()
-		return false
+	if s.slots == nil {
+		s.slots = make([]exactSlot, exactInitSlots)
 	}
-	s.full[string(enc)] = struct{}{}
+	mask := uint64(len(s.slots) - 1)
+	i := exactProbeStart(h, mask)
+	for {
+		sl := s.slots[i]
+		if sl.len == 0 {
+			break
+		}
+		if sl.hash == h && int(sl.len) == len(enc) &&
+			bytes.Equal(s.arena[sl.off:sl.off+sl.len], enc) {
+			s.mu.Unlock()
+			return false
+		}
+		i = (i + 1) & mask
+	}
+	off := len(s.arena)
+	if off+len(enc) > math.MaxUint32 {
+		// 4 GiB of encodings in ONE of 64 stripes (~256 GiB total) is far
+		// beyond any configuration this checker hosts.
+		s.mu.Unlock()
+		panic("mcheck: exact-set stripe arena exceeds 4 GiB")
+	}
+	s.arena = append(s.arena, enc...)
+	s.slots[i] = exactSlot{hash: h, off: uint32(off), len: uint32(len(enc))}
+	s.n++
+	if 4*s.n >= 3*len(s.slots) {
+		s.grow()
+	}
 	s.mu.Unlock()
 	v.size.Add(1)
 	v.encBytes.Add(int64(len(enc)))
 	return true
 }
 
+// Begin/End implement the inserter batching hooks: the shard mutexes are
+// already per-probe, there is no cross-worker rendezvous to amortize.
+func (v *exactSet) Begin() {}
+func (v *exactSet) End()   {}
+
 func (v *exactSet) handle(int) inserter { return v }
 func (v *exactSet) Size() int           { return int(v.size.Load()) }
 func (v *exactSet) Full() bool          { return false }
 func (v *exactSet) load() float64       { return 0 }
 
-// exactMapOverhead approximates Go map bookkeeping (bucket slot, string
-// header, allocator rounding) per stored encoding, for the bytes-per-state
-// report only.
-const exactMapOverhead = 48
-
 func (v *exactSet) stats() storageStats {
-	n := v.size.Load()
+	slotBytes := int64(0)
+	for i := range v.shards {
+		v.shards[i].mu.Lock()
+		slotBytes += int64(len(v.shards[i].slots)) * 16 // sizeof(exactSlot)
+		v.shards[i].mu.Unlock()
+	}
 	return storageStats{
 		mode:       "exact",
-		tableBytes: v.encBytes.Load() + n*exactMapOverhead,
+		tableBytes: v.encBytes.Load() + slotBytes,
 	}
 }
 
@@ -222,10 +294,58 @@ func (t *fpSlots) insertFresh(fp uint64) {
 // before reading the table pointer and lowers it after its CAS completes,
 // so once the grower has flipped seq to odd and observed every handle at
 // zero, no insert can be in flight against the old generation.
+//
+// Begin/End open a batched window: the flag is raised once and held across
+// every Insert of one expansion instead of being raised and lowered per
+// probe, halving the rendezvous stores on the hot path. The safety argument
+// is unchanged — a grower cannot pass its drain wait while the flag is up,
+// so every windowed insert lands in the old generation and is rehashed.
+// Growth is delayed by at most the remainder of one expansion: an Insert
+// that observes seq odd mid-window stands down (drops the flag, waits,
+// re-raises against the new table), and a windowed Insert that must grow
+// itself drops the flag around the grow call — the grower drains every
+// handle, its own caller's included.
 type fpHandle struct {
 	s        *fpSet
 	inflight atomic.Int64
-	_        [48]byte // pad handles apart: each is written by one worker
+	batched  bool     // owner-only: a Begin/End window is open
+	_        [40]byte // pad handles apart: each is written by one worker
+}
+
+// Begin implements inserter by opening a batched probe window.
+func (h *fpHandle) Begin() { h.batched = true; h.raise() }
+
+// End implements inserter by closing the window.
+func (h *fpHandle) End() { h.batched = false; h.inflight.Store(0) }
+
+// raise publishes the inflight flag, waiting out any growth in progress: on
+// return the flag is up and seq was observed even after it went up — the
+// precondition the growth rendezvous relies on.
+func (h *fpHandle) raise() {
+	for {
+		h.inflight.Store(1)
+		if h.s.seq.Load()&1 == 0 {
+			return
+		}
+		h.inflight.Store(0)
+		for h.s.seq.Load()&1 != 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// pause drops a batched window's flag (before a grow call); resume re-arms
+// it. Both no-op outside a window, where Insert manages the flag per probe.
+func (h *fpHandle) pause() {
+	if h.batched {
+		h.inflight.Store(0)
+	}
+}
+
+func (h *fpHandle) resume() {
+	if h.batched {
+		h.raise()
+	}
 }
 
 // fpSet is the lock-free fingerprint table (hash-compaction mode).
@@ -320,27 +440,35 @@ func (h *fpHandle) Insert(enc []byte) bool {
 		fp = 1 // 0 is the empty-slot sentinel
 	}
 	for {
-		h.inflight.Store(1)
-		if s.seq.Load()&1 != 0 {
-			// Growth in progress: stand down and wait it out.
+		if !h.batched {
+			h.raise()
+		} else if s.seq.Load()&1 != 0 {
+			// A grower is waiting on this handle: stand down so it can run,
+			// then re-arm the window against the new generation.
 			h.inflight.Store(0)
 			for s.seq.Load()&1 != 0 {
 				runtime.Gosched()
 			}
-			continue
+			h.raise()
 		}
 		t := s.cur.Load()
 		isNew, ok := t.insert(fp)
-		h.inflight.Store(0)
+		if !h.batched {
+			h.inflight.Store(0)
+		}
 		if !ok {
+			h.pause()
 			s.grow(t, true)
+			h.resume()
 			if s.full.Load() {
 				return false
 			}
 			continue
 		}
 		if isNew && s.count.Add(1) >= t.growAt {
+			h.pause()
 			s.grow(t, false)
+			h.resume()
 		}
 		return isNew
 	}
@@ -464,6 +592,11 @@ func (b *bloomSet) Insert(enc []byte) bool {
 	}
 	return isNew
 }
+
+// Begin/End implement the inserter batching hooks: filter inserts are
+// stripe-locked per probe, nothing to amortize.
+func (b *bloomSet) Begin() {}
+func (b *bloomSet) End()   {}
 
 func (b *bloomSet) handle(int) inserter { return b }
 func (b *bloomSet) Size() int           { return int(b.size.Load()) }

@@ -84,6 +84,20 @@ type System struct {
 	// ("interpreted composite", "compiled table"); Result and the CLIs
 	// surface it so runs are unambiguous. Empty for plain systems.
 	engine string
+
+	// Spill-decode scratch: a reusable cursor plus a message-type intern
+	// table, lazily initialized by decodeSpill. Owned by this System alone
+	// (Clone starts its copy with fresh zero values), so the single-
+	// goroutine confinement the decoder requires holds as long as the
+	// System itself is goroutine-confined — which the searches guarantee.
+	dec       spec.Dec
+	decIntern *spec.Intern
+
+	// touched is the component index the last successful Apply mutated
+	// (-1 when unrouted). Only meaningful immediately after Apply returns
+	// true; the in-place successor strategy reads it to restore just the
+	// dirtied component between moves.
+	touched int
 }
 
 // SetEngine labels the system's directory-evaluation engine; Engine reads
@@ -600,6 +614,7 @@ func (s *System) Apply(m Move) bool {
 		if !s.Components[idx].Deliver(s.env(), msg) {
 			return false
 		}
+		s.touched = idx
 		s.noteMutation(idx)
 		if s.OnDeliver != nil {
 			s.OnDeliver(msg)
@@ -619,13 +634,15 @@ func (s *System) Apply(m Move) bool {
 			return false
 		}
 		core.Issued = true
-		s.noteMutation(s.componentOf(core.Cache))
+		s.touched = s.componentOf(core.Cache)
+		s.noteMutation(s.touched)
 	case MoveEvict:
 		cache := s.Cache(m.Cache)
 		if cache == nil || !cache.Evict(s.env(), m.Addr) {
 			return false
 		}
-		s.noteMutation(s.componentOf(m.Cache))
+		s.touched = s.componentOf(m.Cache)
+		s.noteMutation(s.touched)
 	}
 	s.syncCores()
 	return true

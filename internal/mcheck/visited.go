@@ -1,5 +1,10 @@
 package mcheck
 
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
 // fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
 const (
 	fnvOffset = 14695981039346656037
@@ -8,14 +13,40 @@ const (
 
 // fnv64a hashes b with FNV-1a, inlined to avoid the hash.Hash64 allocation
 // per state that hash/fnv would cost on the exploration hot path. It is the
-// fingerprint function of every visited-set mode: the stripe selector in
-// exact mode, the stored fingerprint under hash compaction, and the first
-// of the double hashes in bitstate mode (see storage.go).
+// fingerprint function of the lossy visited-set modes: the stored
+// fingerprint under hash compaction and the first of the double hashes in
+// bitstate mode (see storage.go). Exact mode uses exactHash below.
 func fnv64a(b []byte) uint64 {
 	h := uint64(fnvOffset)
 	for _, c := range b {
 		h ^= uint64(c)
 		h *= fnvPrime
 	}
+	return h
+}
+
+// exactHash is the exact set's stripe-and-probe hash: a word-at-a-time
+// multiply-rotate mix (xxhash-style constants) that runs ~8x faster than
+// byte-at-a-time FNV on the ~250-byte encodings the exact mode stores per
+// state. Exactness never depends on it — Insert compares full encodings —
+// so unlike fnv64a it is free to change; the compacted modes keep fnv64a
+// as their fingerprint function.
+func exactHash(b []byte) uint64 {
+	const (
+		m1 = 0x9e3779b185ebca87
+		m2 = 0xc2b2ae3d27d4eb4f
+	)
+	h := uint64(len(b))*m1 + fnvOffset
+	for len(b) >= 8 {
+		k := binary.LittleEndian.Uint64(b)
+		h = bits.RotateLeft64(h^(k*m2), 31) * m1
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * m2
+	}
+	h ^= h >> 33
+	h *= m2
+	h ^= h >> 29
 	return h
 }

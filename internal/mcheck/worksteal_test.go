@@ -1,0 +1,126 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestWorkStealingDeterminism pins the work-stealing frontier's core
+// contract: a non-truncated search visits the same state set — identical
+// counts, deadlocks and outcome sets — at every worker count, over both
+// the in-memory deques and the disk-spilling variant. Workers ∈ {2,4,8}
+// all exceed this runner's core count, so the schedule interleavings the
+// test sees include heavy steal traffic, not just one deque per core.
+func TestWorkStealingDeterminism(t *testing.T) {
+	baseline := exploreWith(t, sb(), 1, Options{Evictions: true, POR: POROff})
+	bk := baseline.Outcomes.Keys()
+	sort.Strings(bk)
+
+	for _, workers := range []int{2, 4, 8} {
+		for _, spill := range []bool{false, true} {
+			name := fmt.Sprintf("w%d", workers)
+			opts := Options{Evictions: true, POR: POROff}
+			if spill {
+				name += "+spill"
+				opts.SpillDir = t.TempDir()
+				opts.SpillRing = 128 // tiny ring: force overflow + wave files
+			}
+			t.Run(name, func(t *testing.T) {
+				res := exploreWith(t, sb(), workers, opts)
+				if res.States != baseline.States {
+					t.Errorf("visited %d states, sequential baseline %d", res.States, baseline.States)
+				}
+				if res.Transitions != baseline.Transitions {
+					t.Errorf("applied %d transitions, baseline %d", res.Transitions, baseline.Transitions)
+				}
+				if res.Deadlocks != baseline.Deadlocks {
+					t.Errorf("found %d deadlocks, baseline %d", res.Deadlocks, baseline.Deadlocks)
+				}
+				rk := res.Outcomes.Keys()
+				sort.Strings(rk)
+				if strings.Join(rk, "\n") != strings.Join(bk, "\n") {
+					t.Errorf("outcome sets differ:\ngot:      %v\nbaseline: %v", rk, bk)
+				}
+				if spill && res.SpilledStates == 0 && res.States > 5_000 {
+					t.Errorf("ring of 128 never spilled a wave (%d states)", res.States)
+				}
+			})
+		}
+	}
+}
+
+// TestWSDequeMechanics exercises the deque primitives directly: steal-half
+// splits, owner tail pops, and lazy head compaction.
+func TestWSDequeMechanics(t *testing.T) {
+	mk := func(n int) []*System {
+		s := make([]*System, n)
+		for i := range s {
+			s[i] = &System{}
+		}
+		return s
+	}
+
+	var d wsDeque
+	states := mk(10)
+	d.pushTail(states)
+
+	// Thief takes half (rounded up) from the head, oldest first.
+	got := d.stealHalf(maxBatch)
+	if len(got) != 5 || got[0] != states[0] || got[4] != states[4] {
+		t.Fatalf("stealHalf took %d entries (want the oldest 5)", len(got))
+	}
+	// Owner takes half the remainder from the tail, newest last.
+	got = d.popTail(maxBatch)
+	if len(got) != 3 || got[len(got)-1] != states[9] {
+		t.Fatalf("popTail took %d entries (want 3 ending at the newest)", len(got))
+	}
+	// max caps a batch below the half split.
+	d.pushTail(mk(100))
+	if got = d.popTail(10); len(got) != 10 {
+		t.Fatalf("popTail ignored max: took %d", len(got))
+	}
+
+	// Repeated steals compact the dead prefix instead of growing head
+	// without bound.
+	var d2 wsDeque
+	for i := 0; i < 200; i++ {
+		d2.pushTail(mk(2))
+		d2.stealHalf(maxBatch)
+		d2.stealHalf(maxBatch)
+	}
+	if d2.head > 64+len(d2.buf) {
+		t.Fatalf("dead prefix never compacted: head=%d buf=%d", d2.head, len(d2.buf))
+	}
+}
+
+// TestWSByteDequeOverflow pins the spill deque's cap contract: pushTail
+// returns the oldest half once the live count exceeds the limit, and the
+// returned slices are exactly the entries that left the deque.
+func TestWSByteDequeOverflow(t *testing.T) {
+	var d wsByteDeque
+	var encs [][]byte
+	for i := 0; i < 10; i++ {
+		encs = append(encs, []byte{byte(i)})
+	}
+	if over := d.pushTail(encs[:6], 8); over != nil {
+		t.Fatalf("overflow below the cap: %d entries", len(over))
+	}
+	over := d.pushTail(encs[6:], 8)
+	if len(over) != 5 {
+		t.Fatalf("overflow of a 10-live deque returned %d entries, want 5", len(over))
+	}
+	for i, enc := range over {
+		if enc[0] != byte(i) {
+			t.Fatalf("overflow entry %d is %d, want the oldest half in order", i, enc[0])
+		}
+	}
+	var rest [][]byte
+	for batch := d.stealHalf(100); batch != nil; batch = d.stealHalf(100) {
+		rest = append(rest, batch...)
+	}
+	if len(rest) != 5 || rest[0][0] != 5 {
+		t.Fatalf("deque kept %d entries starting at %d, want the newest 5", len(rest), rest[0][0])
+	}
+}

@@ -21,13 +21,58 @@ import (
 // Read methods record the first error and return zero values afterwards, so
 // callers check Err() once at the end of a decode.
 type Dec struct {
-	buf []byte
-	off int
-	err error
+	buf    []byte
+	off    int
+	err    error
+	intern *Intern
+}
+
+// Intern is a tiny open-addressed string-intern table sized for the decode
+// vocabulary of this repo: the message types of the protocols in play, a few
+// dozen distinct values. A fixed probe table beats map[string]string here
+// because the runtime map's hash+probe dominated hot decode loops; two bytes
+// and the length are enough to spread such a small vocabulary. An Intern and
+// the Decs using it must stay confined to one goroutine.
+type Intern struct {
+	slots [128]string
+}
+
+const internProbes = 8
+
+func (t *Intern) lookup(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	h := (uint32(len(b))*131 + uint32(b[0])*31 + uint32(b[len(b)-1])) & uint32(len(t.slots)-1)
+	for i := uint32(0); i < internProbes; i++ {
+		j := (h + i) & uint32(len(t.slots)-1)
+		s := t.slots[j]
+		if s == "" {
+			s = string(b)
+			t.slots[j] = s
+			return s
+		}
+		if s == string(b) { // no-alloc comparison
+			return s
+		}
+	}
+	// Probe window saturated (vocabulary larger than designed for): give up
+	// interning this value rather than evicting.
+	return string(b)
 }
 
 // NewDec returns a cursor reading from buf.
 func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// Reset repoints the cursor at buf and clears any recorded error, so one
+// long-lived Dec can decode millions of images without a per-decode
+// allocation. The intern table, if set, survives resets.
+func (d *Dec) Reset(buf []byte) { d.buf, d.off, d.err = buf, 0, nil }
+
+// InternStrings attaches a string-intern table: String reads whose bytes
+// match an earlier decode return the retained copy instead of allocating a
+// fresh one. The Dec and its table must stay confined to one goroutine.
+func (d *Dec) InternStrings(t *Intern) { d.intern = t }
 
 // Err returns the first decode error, or nil.
 func (d *Dec) Err() error { return d.err }
@@ -41,10 +86,18 @@ func (d *Dec) fail(format string, args ...any) {
 	}
 }
 
-// Uvarint reads an unsigned varint (inverse of AppendUvarint).
+// Uvarint reads an unsigned varint (inverse of AppendUvarint). Values under
+// 0x80 — the overwhelming majority in this repo's encodings — take a
+// single-byte fast path that skips binary.Uvarint's loop.
 func (d *Dec) Uvarint() uint64 {
 	if d.err != nil {
 		return 0
+	}
+	if d.off < len(d.buf) {
+		if b := d.buf[d.off]; b < 0x80 {
+			d.off++
+			return uint64(b)
+		}
 	}
 	v, n := binary.Uvarint(d.buf[d.off:])
 	if n <= 0 {
@@ -55,10 +108,17 @@ func (d *Dec) Uvarint() uint64 {
 	return v
 }
 
-// Int reads a zigzag varint (inverse of AppendInt).
+// Int reads a zigzag varint (inverse of AppendInt), with the same
+// single-byte fast path as Uvarint.
 func (d *Dec) Int() int {
 	if d.err != nil {
 		return 0
+	}
+	if d.off < len(d.buf) {
+		if b := d.buf[d.off]; b < 0x80 {
+			d.off++
+			return int(int64(b>>1) ^ -int64(b&1))
+		}
 	}
 	v, n := binary.Varint(d.buf[d.off:])
 	if n <= 0 {
@@ -98,9 +158,12 @@ func (d *Dec) String() string {
 		d.fail("string of %d bytes past end at offset %d", n, d.off)
 		return ""
 	}
-	s := string(d.buf[d.off : d.off+int(n)])
+	b := d.buf[d.off : d.off+int(n)]
 	d.off += int(n)
-	return s
+	if d.intern != nil {
+		return d.intern.lookup(b)
+	}
+	return string(b)
 }
 
 // StateCodec is implemented by components whose state can be serialized to a
@@ -132,6 +195,13 @@ func decodeState(d *Dec, m *Machine, what string) State {
 // DecodeMsg reads a message written by Msg.AppendBinary.
 func DecodeMsg(d *Dec) Msg {
 	var m Msg
+	DecodeMsgInto(&m, d)
+	return m
+}
+
+// DecodeMsgInto decodes in place, for hot loops that would otherwise copy
+// the message struct through a return value.
+func DecodeMsgInto(m *Msg, d *Dec) {
 	m.Type = MsgType(d.String())
 	m.Addr = Addr(d.Int())
 	m.Src = NodeID(d.Int())
@@ -141,7 +211,6 @@ func DecodeMsg(d *Dec) Msg {
 	m.HasData = d.Bool()
 	m.Ack = d.Int()
 	m.VNet = VNet(d.Int())
-	return m
 }
 
 // DecodeNodeSet reads a count-prefixed id list written by the NodeSet
@@ -180,7 +249,12 @@ func (c *CacheInst) DecodeState(d *Dec) error {
 	}
 	if d.Bool() {
 		req := CoreReq{Op: CoreOp(d.Int()), Addr: Addr(d.Int()), Value: d.Int()}
-		c.pending = &req
+		if c.pending == nil {
+			// Clones never share this pointer (CloneCache copies the value),
+			// so an in-place restore can overwrite rather than reallocate.
+			c.pending = new(CoreReq)
+		}
+		*c.pending = req
 	} else {
 		c.pending = nil
 	}
