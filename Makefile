@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-all bench-smoke bench-symmetry bench-storage bench-por bench-compile bench-sim allocs vet profile
+.PHONY: all build test check race bench bench-all bench-smoke bench-symmetry bench-storage bench-por bench-compile bench-sim allocs vet profile serve
 
 all: build
 
@@ -16,12 +16,13 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-check the packages the parallel search touches (the model checker
-# and the litmus suite pool). The storage agreement matrices put the
+# Race-check the packages the parallel search touches (the model
+# checker, the litmus suite pool, the compiler, the engine layer and the
+# server's job/SSE machinery). The storage agreement matrices put the
 # mcheck package near go test's default 10m cap under the race detector
 # on a single-core runner, hence the explicit timeout.
 race:
-	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/... ./internal/core/...
+	$(GO) test -race -timeout 30m ./internal/mcheck/... ./internal/litmus/... ./internal/core/... ./internal/engine/... ./internal/server/...
 
 # Allocation regression guards: the search hot path (Clone+Apply+encode),
 # the bytes-per-state guard on the compacted visited table, the
@@ -86,6 +87,11 @@ bench-sim:
 # targets above, each writing through its BENCH_*_OUT variable. Hours of
 # wall-clock on a single-core runner — run it when the numbers matter.
 bench-all: bench bench-symmetry bench-storage bench-por bench-compile bench-sim
+
+# Run the verification daemon locally with a warm compile cache and a
+# bounded memory pool; see docs/SERVER.md for the API.
+serve: build
+	$(GO) run ./cmd/hgserve -addr 127.0.0.1:8080 -compile-cache .hgcache -mem-pool 1GiB
 
 # CPU- and heap-profile the §VII-C search (POR on, hash compaction).
 # Writes /tmp/hgcheck.{cpu,mem}.pprof; inspect with

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +42,7 @@ import (
 	"heterogen/internal/armor"
 	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
+	"heterogen/internal/engine"
 	exportpkg "heterogen/internal/export"
 	"heterogen/internal/memmodel"
 	"heterogen/internal/protocols"
@@ -83,7 +85,7 @@ func main() {
 	flag.StringVar(&cfg.hs, "handshake", "none", "handshake variant: none|writes|all")
 	flag.StringVar(&cfg.dot, "dot", "", "emit a protocol's controllers as Graphviz DOT")
 	flag.StringVar(&cfg.murphi, "murphi", "", "emit a protocol as a CMurphi model")
-	flag.StringVar(&cfg.emit, "emit", "", "compile the fused pair and print an artifact: table|pcc|murphi|dot")
+	flag.StringVar(&cfg.emit, "emit", "", "compile the fused pair and print an artifact: table|pcc|murphi|dot|hgcf")
 	flag.StringVar(&cfg.out, "o", "", "write -emit/-export output to this file instead of stdout")
 	flag.StringVar(&cfg.compileOut, "compile-out", "", "serialize the compiled table to this .hgcf artifact file")
 	flag.StringVar(&cfg.compileIn, "compile-in", "", "load a compiled table from this .hgcf artifact instead of compiling")
@@ -96,7 +98,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "heterogen:", err)
 		os.Exit(1)
 	}
-	runErr := run(cfg)
+	ctx, stop := cfg.search.Context()
+	runErr := run(ctx, cfg)
+	stop()
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "heterogen:", err)
 		if runErr == nil {
@@ -109,7 +113,7 @@ func main() {
 	}
 }
 
-func run(cfg cliConfig) error {
+func run(ctx context.Context, cfg cliConfig) error {
 	switch {
 	case cfg.dot != "":
 		p, err := protocols.ByName(cfg.dot)
@@ -147,7 +151,7 @@ func run(cfg cliConfig) error {
 		}
 		fmt.Fprintf(os.Stderr, "heterogen: %s: %s\n", cf.Fusion().Name(), cf.Stats())
 		if cfg.emit != "" {
-			return withOut(cfg.out, func(w io.Writer) error { return emit(cf, cfg.emit, w) })
+			return withOut(cfg.out, func(w io.Writer) error { return engine.Emit(cf, cfg.emit, w) })
 		}
 		return withOut(cfg.out, func(w io.Writer) error { return summarize(w, cf) })
 	case cfg.most:
@@ -185,25 +189,39 @@ func run(cfg cliConfig) error {
 			return err
 		}
 		if cfg.emit != "" || cfg.compileOut != "" {
-			ccfg := core.TableIICompileConfig(!cfg.full, cfg.search.Workers)
-			if cfg.progress > 0 {
-				ccfg.ProgressEvery = cfg.progress
-				ccfg.OnProgress = cliopts.ProgressPrinter(os.Stderr)
-			}
-			cf, cached, err := core.CompileOrLoad(f, ccfg, cfg.search.CompileCache)
+			pcc, err := engine.ReadSpecFile(cfg.specFile)
 			if err != nil {
 				return err
 			}
-			_ = cached
-			fmt.Fprintf(os.Stderr, "heterogen: %s: %s\n", f.Name(), cf.Stats())
+			req := engine.CompileRequest{
+				Pair:      names,
+				Spec:      pcc,
+				Handshake: cfg.hs,
+				Full:      cfg.full,
+				Search:    cfg.search.Engine(),
+			}
+			hooks := engine.Hooks{
+				OnCompiled: func(name string, stats core.CompileStats) {
+					fmt.Fprintf(os.Stderr, "heterogen: %s: %s\n", name, stats)
+				},
+			}
+			if cfg.progress > 0 {
+				hooks.ProgressEvery = cfg.progress
+				hooks.OnProgress = cliopts.EngineProgressPrinter(os.Stderr)
+			}
+			res, err := engine.Compile(ctx, req, hooks)
+			if err != nil {
+				return err
+			}
+			cf := res.Compiled()
 			if cfg.compileOut != "" {
 				if err := cf.WriteArtifact(cfg.compileOut); err != nil {
 					return err
 				}
-				fmt.Fprintf(os.Stderr, "heterogen: artifact written to %s (digest %s)\n", cfg.compileOut, cf.Digest())
+				fmt.Fprintf(os.Stderr, "heterogen: artifact written to %s (digest %s)\n", cfg.compileOut, res.Digest)
 			}
 			if cfg.emit != "" {
-				return withOut(cfg.out, func(w io.Writer) error { return emit(cf, cfg.emit, w) })
+				return withOut(cfg.out, func(w io.Writer) error { return engine.Emit(cf, cfg.emit, w) })
 			}
 			return withOut(cfg.out, func(w io.Writer) error { return summarize(w, cf) })
 		}
@@ -220,32 +238,6 @@ func run(cfg cliConfig) error {
 		return nil
 	}
 	flag.Usage()
-	return nil
-}
-
-// emit prints the requested artifact of an already-compiled (or loaded)
-// flat table.
-func emit(cf *core.CompiledFusion, kind string, w io.Writer) error {
-	switch kind {
-	case "table":
-		fmt.Fprint(w, cf.FlatFSM().Format())
-	case "pcc":
-		p, err := cf.Protocol()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, spec.ExportPCC(p))
-	case "murphi":
-		p, err := cf.Protocol()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, exportpkg.Murphi(p, exportpkg.DefaultMurphiConfig()))
-	case "dot":
-		fmt.Fprint(w, exportpkg.DOTFlat(cf.FlatFSM()))
-	default:
-		return fmt.Errorf("unknown -emit artifact %q (want table, pcc, murphi or dot)", kind)
-	}
 	return nil
 }
 

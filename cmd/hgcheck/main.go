@@ -1,7 +1,8 @@
 // Command hgcheck model-checks protocols for deadlock freedom (§VII-C):
 // exhaustive search over small configurations (caches per cluster,
 // addresses) with evictions permitted at any time, using state hashing for
-// the larger configurations.
+// the larger configurations. It is a thin front end over the engine layer
+// (internal/engine) — the same requests the hgserve daemon runs.
 //
 // Usage:
 //
@@ -14,10 +15,18 @@
 //	                                   # reuse the digest-keyed artifact cache
 //	hgcheck -table t.hgcf              # check a serialized artifact's own config
 //	hgcheck -pair MESI,RCC-O -table t.hgcf  # ... digest-checked against the flags
+//	hgcheck -pair MESI,RCC-O -timeout 30s   # cancel after 30s, print the partial result
+//	hgcheck -pair MESI,RCC-O -json          # machine-readable result on stdout
 //	hgcheck -protocol MSI -cpuprofile cpu.pprof # profile the search
+//
+// ^C (or -timeout firing) cancels the search cooperatively: the partial
+// result — states expanded so far, storage accounting, omission bound —
+// still prints, and the command exits nonzero.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,9 +35,7 @@ import (
 
 	"heterogen/internal/cliopts"
 	"heterogen/internal/core"
-	"heterogen/internal/mcheck"
-	"heterogen/internal/protocols"
-	"heterogen/internal/spec"
+	"heterogen/internal/engine"
 )
 
 // checkConfig carries the resolved command-line configuration.
@@ -41,9 +48,9 @@ type checkConfig struct {
 	maxStates   int
 	compiled    bool
 	table       string
+	jsonOut     bool
 	progress    time.Duration
 	search      cliopts.Search
-	encoding    mcheck.Encoding
 }
 
 func main() {
@@ -55,9 +62,10 @@ func main() {
 	flag.IntVar(&cfg.addrs, "addrs", 2, "addresses in the driver workload")
 	flag.BoolVar(&cfg.bitstate, "bitstate", false, "use bitstate (Bloom-filter supertrace) state storage; overrides -hash")
 	mem := flag.String("mem", "", "visited-set memory budget, e.g. 512MiB or 2GiB (default: 8GiB table cap / 64MiB bitstate filter)")
-	flag.IntVar(&cfg.maxStates, "max-states", 8<<20, "state budget")
+	flag.IntVar(&cfg.maxStates, "max-states", engine.DefaultCheckMaxStates, "state budget")
 	flag.BoolVar(&cfg.compiled, "compiled", false, "compile the fused directory to a flat table first and check that (-pair only)")
 	flag.StringVar(&cfg.table, "table", "", "check a compiled-table .hgcf artifact (alone: its baked config; with -pair: digest-checked against the flags)")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "print the result as JSON on stdout (diagnostics stay on stderr)")
 	flag.DurationVar(&cfg.progress, "progress", 0, "log states/sec, frontier depth, load factor and heap every interval (e.g. 10s; 0 = silent)")
 	cfg.search.Register(flag.CommandLine)
 	flag.Parse()
@@ -67,16 +75,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		os.Exit(1)
 	}
-
-	if cfg.encoding, err = cfg.search.Enc(); err != nil {
-		fmt.Fprintln(os.Stderr, "hgcheck:", err)
-		os.Exit(1)
-	}
 	if cfg.memBudget, err = cliopts.ParseBytes(*mem); err != nil {
 		fmt.Fprintf(os.Stderr, "hgcheck: -mem: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := run(cfg)
+	ctx, stop := cfg.search.Context()
+	runErr := run(ctx, cfg)
+	stop()
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "hgcheck:", err)
 		if runErr == nil {
@@ -89,130 +94,60 @@ func main() {
 	}
 }
 
-// driver builds the deadlock-stress workload: every core stores and loads
-// every address; the checker injects evictions at any time. Stores carry
-// per-core distinct values so outcomes identify the writer — except under
-// -symmetry, where every core stores the same value: protocol guards
-// never read data values, so deadlock reachability is unchanged, and the
-// identical programs make the caches interchangeable for the reduction.
-func driver(cores, addrs int, symmetric bool) [][]spec.CoreReq {
-	progs := make([][]spec.CoreReq, cores)
-	for c := 0; c < cores; c++ {
-		v := c + 1
-		if symmetric {
-			v = 1
-		}
-		for a := 0; a < addrs; a++ {
-			progs[c] = append(progs[c],
-				spec.CoreReq{Op: spec.OpStore, Addr: spec.Addr(a), Value: v},
-				spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr((a + 1) % addrs)})
-		}
-		progs[c] = append(progs[c], spec.CoreReq{Op: spec.OpRelease}, spec.CoreReq{Op: spec.OpAcquire})
+// request maps the flags onto the engine's structured form.
+func (cfg checkConfig) request() (engine.CheckRequest, error) {
+	req := engine.CheckRequest{
+		Protocol: cfg.proto,
+		Caches:   cfg.caches,
+		Addrs:    cfg.addrs,
+		Compiled: cfg.compiled,
+		Table:    cfg.table,
+		Search:   cfg.search.Engine(),
 	}
-	return progs
-}
-
-func run(cfg checkConfig) error {
-	var sys *mcheck.System
-	var name string
-	evictions := true
-	switch {
-	case cfg.table != "" && cfg.pair == "" && cfg.proto == "":
-		// Standalone artifact check: the table's own baked configuration
-		// (programs, caches, evictions) defines the search.
-		cf, err := core.LoadArtifactFile(cfg.table)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", cf.Fusion().Name(), cf.Stats())
-		sys = cf.System()
-		name = cf.Fusion().Name()
-		evictions = cf.Config().Evictions
-	case cfg.proto != "":
-		if cfg.compiled || cfg.table != "" {
-			return fmt.Errorf("-compiled/-table apply to fused pairs (-pair), not homogeneous protocols")
-		}
-		p, err := protocols.ByName(cfg.proto)
-		if err != nil {
-			return err
-		}
-		sys = mcheck.NewHomogeneous(p, cfg.caches)
-		sys.SetPrograms(driver(cfg.caches, cfg.addrs, cfg.search.Symmetry))
-		name = cfg.proto
-	case cfg.pair != "":
+	if cfg.pair != "" {
 		parts := strings.Split(cfg.pair, ",")
 		if len(parts) != 2 {
-			return fmt.Errorf("-pair needs exactly two protocols")
+			return req, fmt.Errorf("-pair needs exactly two protocols")
 		}
-		a, err := protocols.ByName(parts[0])
-		if err != nil {
-			return err
-		}
-		b, err := protocols.ByName(parts[1])
-		if err != nil {
-			return err
-		}
-		f, err := core.Fuse(core.Options{}, a, b)
-		if err != nil {
-			return err
-		}
-		progs := driver(2*cfg.caches, cfg.addrs, cfg.search.Symmetry)
-		ccfg := core.CompileConfig{
-			CachesPerCluster: []int{cfg.caches, cfg.caches},
-			Programs:         progs,
-			Evictions:        true,
-			MaxStates:        cfg.maxStates,
-			Workers:          cfg.search.Workers,
-		}
-		if cfg.progress > 0 {
-			// -progress also covers the extraction search behind -compiled:
-			// a cold compile is the long silent phase of a compiled check.
-			ccfg.ProgressEvery = cfg.progress
-			ccfg.OnProgress = cliopts.ProgressPrinter(os.Stderr)
-		}
-		switch {
-		case cfg.table != "":
-			// Artifact against explicit flags: the stored digest must match
-			// the requested (pair, config) or the load fails up front.
-			cf, err := core.LoadArtifactFileFor(cfg.table, f, ccfg)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", f.Name(), cf.Stats())
-			sys = cf.System()
-		case cfg.compiled:
-			cf, _, err := core.CompileOrLoad(f, ccfg, cfg.search.CompileCache)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", f.Name(), cf.Stats())
-			sys = cf.System()
-		default:
-			sys, _ = core.BuildSystem(f, []int{cfg.caches, cfg.caches})
-			sys.SetPrograms(progs)
-		}
-		name = f.Name()
-	default:
+		req.Pair = parts
+	}
+	req.Search.Bitstate = cfg.bitstate
+	req.Search.MemBudget = cfg.memBudget
+	req.Search.MaxStates = cfg.maxStates
+	return req, nil
+}
+
+func run(ctx context.Context, cfg checkConfig) error {
+	if cfg.proto == "" && cfg.pair == "" && cfg.table == "" {
 		flag.Usage()
 		return nil
 	}
-
-	if cfg.search.SpillDir != "" && !mcheck.CanSpill(sys) {
-		return fmt.Errorf("-spill-dir: this system's components lack the faithful state codec spilling requires")
+	req, err := cfg.request()
+	if err != nil {
+		return err
 	}
-	opts := mcheck.Options{
-		Evictions: evictions, HashCompaction: cfg.search.Hash, Bitstate: cfg.bitstate,
-		MemBudget: cfg.memBudget, SpillDir: cfg.search.SpillDir,
-		MaxStates: cfg.maxStates, Workers: cfg.search.Workers,
-		Encoding: cfg.encoding, Symmetry: cfg.search.Symmetry,
-		POR: cfg.search.PORMode(),
+	hooks := engine.Hooks{
+		OnCompiled: func(name string, stats core.CompileStats) {
+			fmt.Fprintf(os.Stderr, "hgcheck: %s: %s\n", name, stats)
+		},
 	}
 	if cfg.progress > 0 {
-		opts.ProgressEvery = cfg.progress
-		opts.OnProgress = cliopts.ProgressPrinter(os.Stderr)
+		hooks.ProgressEvery = cfg.progress
+		hooks.OnProgress = cliopts.EngineProgressPrinter(os.Stderr)
 	}
-	res := mcheck.Explore(sys, opts)
-	fmt.Printf("%s: %s\n", name, res)
+	res, err := engine.Check(ctx, req, hooks)
+	if err != nil {
+		return err
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return res.Verdict()
+	}
+	fmt.Printf("%s: %s\n", res.Name, &res.Result)
 	if res.Storage != "" {
 		fmt.Printf("storage: %s, %.1f bytes/state (%d table bytes, peak load %.2f)",
 			res.Storage, res.BytesPerState, res.TableBytes, res.PeakLoadFactor)
@@ -221,12 +156,15 @@ func run(cfg checkConfig) error {
 		}
 		fmt.Println()
 	}
-	if cfg.search.Symmetry && res.SymmetryPerms == 1 {
+	if req.Search.Symmetry && res.SymmetryPerms == 1 {
 		fmt.Println("note: -symmetry requested but no symmetric cache group detected (asymmetric programs?)")
 	}
 	if res.Deadlocks > 0 {
 		fmt.Println("first deadlock state:", res.DeadlockAt)
 		return fmt.Errorf("deadlock found")
+	}
+	if res.Cancelled {
+		return fmt.Errorf("cancelled after expanding %d states (partial result): %w", res.States, ctx.Err())
 	}
 	if res.Truncated {
 		if res.BudgetFull {

@@ -3,7 +3,8 @@
 // validated exhaustively against the compound consistency model. The
 // report mirrors the artifact's Test_Result.txt. Independent tests are
 // spread over a worker pool (-workers); each line reports the test's
-// wall-clock time.
+// wall-clock time. Like hgcheck, it is a thin front end over the engine
+// layer — the same requests the hgserve daemon runs.
 //
 // Usage:
 //
@@ -15,20 +16,24 @@
 //	hglitmus -pair MESI,RCC-O -compiled  # check the compiled flat tables
 //	hglitmus -pair MESI,RCC-O -table ~/.cache/hg  # compiled, with per-test
 //	                                  # artifacts cached by content digest
+//	hglitmus -timeout 2m             # stop after 2m, report completed tests
+//
+// ^C (or -timeout) cancels the run cooperatively: completed verdicts
+// print, the summary notes the cancellation, and the command exits
+// nonzero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"heterogen/internal/cliopts"
-	"heterogen/internal/core"
+	"heterogen/internal/engine"
 	"heterogen/internal/litmus"
 	"heterogen/internal/memmodel"
-	"heterogen/internal/protocols"
-	"heterogen/internal/spec"
 )
 
 func main() {
@@ -55,23 +60,47 @@ func main() {
 		fmt.Print(litmus.FormatVerdicts(vs))
 		return
 	}
-	enc, err := search.Enc()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hglitmus:", err)
-		os.Exit(1)
+	req := engine.LitmusRequest{
+		Protocol:       *protoFlag,
+		MaxThreads:     *maxThreads,
+		AllAllocations: *allAllocs,
+		Evictions:      *evict,
+		Compiled:       *compiled || *table != "",
+		Search:         search.Engine(),
 	}
-	base := litmus.Options{
-		Evictions: *evict, AllAllocations: *allAllocs,
-		HashCompaction: search.Hash, Encoding: enc, Symmetry: search.Symmetry,
-		POR: search.PORMode(), SpillDir: search.SpillDir,
-		Compiled: *compiled, TableCache: *table,
+	if *pairFlag != "" {
+		parts := strings.Split(*pairFlag, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "hglitmus: -pair needs exactly two protocols")
+			os.Exit(1)
+		}
+		req.Pair = parts
 	}
+	if *shapeFlag != "" {
+		req.Shapes = strings.Split(*shapeFlag, ",")
+	}
+	if *table != "" {
+		// -table names the per-test artifact cache; it shares the
+		// engine's compile-cache field.
+		req.Search.CompileCache = *table
+	}
+	if *fileFlag != "" {
+		src, err := os.ReadFile(*fileFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hglitmus:", err)
+			os.Exit(1)
+		}
+		req.Test = string(src)
+	}
+
 	stopProf, err := search.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		os.Exit(1)
 	}
-	runErr := run(*pairFlag, *protoFlag, *shapeFlag, *fileFlag, *maxThreads, search.Workers, base)
+	ctx, stop := search.Context()
+	runErr := run(ctx, req)
+	stop()
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "hglitmus:", err)
 		if runErr == nil {
@@ -84,99 +113,25 @@ func main() {
 	}
 }
 
-// printResult renders one verdict line with its wall-clock time.
-func printResult(r *litmus.Result) {
-	fmt.Printf("%s %8.1fms\n", r, float64(r.Elapsed.Microseconds())/1000)
-}
-
-func run(pairFlag, protoFlag, shapeFlag, fileFlag string, maxThreads, workers int, base litmus.Options) error {
-	var pairs [][2]string
-	if pairFlag != "" {
-		parts := strings.Split(pairFlag, ",")
-		if len(parts) != 2 {
-			return fmt.Errorf("-pair needs exactly two protocols")
-		}
-		pairs = [][2]string{{parts[0], parts[1]}}
-	} else {
-		pairs = core.TableIIPairs()
-	}
-
-	var shapes []litmus.Shape
-	if shapeFlag != "" {
-		for _, name := range strings.Split(shapeFlag, ",") {
-			s, ok := litmus.ShapeByName(name)
-			if !ok {
-				return fmt.Errorf("unknown shape %q", name)
-			}
-			shapes = append(shapes, s)
-		}
-	}
-	if fileFlag != "" {
-		src, err := os.ReadFile(fileFlag)
-		if err != nil {
-			return err
-		}
-		pt, err := litmus.ParseTest(string(src))
-		if err != nil {
-			return err
-		}
-		shapes = []litmus.Shape{pt.Shape()}
-	}
-
-	if protoFlag != "" {
-		p, err := protocols.ByName(protoFlag)
-		if err != nil {
-			return err
-		}
-		opts := base
-		sel := shapes
-		if sel == nil {
-			sel = litmus.Shapes()
-		}
-		failed := 0
-		for _, shape := range sel {
-			if len(shape.Prog().Threads) > maxThreads {
-				continue
-			}
-			r := litmus.RunHomogeneous(p, shape, opts)
-			printResult(r)
-			if !r.Pass() {
-				failed++
-			}
-		}
-		if failed > 0 {
-			return fmt.Errorf("%d homogeneous litmus failures", failed)
-		}
-		return nil
-	}
-
-	var protoPairs [][]*spec.Protocol
-	for _, pr := range pairs {
-		a, err := protocols.ByName(pr[0])
-		if err != nil {
-			return err
-		}
-		b, err := protocols.ByName(pr[1])
-		if err != nil {
-			return err
-		}
-		protoPairs = append(protoPairs, []*spec.Protocol{a, b})
-	}
-	suiteOpts := base
-	suiteOpts.MaxThreads = maxThreads
-	suiteOpts.Shapes = shapes
-	suiteOpts.Workers = workers
-	report, err := litmus.RunSuite(protoPairs, suiteOpts)
+func run(ctx context.Context, req engine.LitmusRequest) error {
+	res, err := engine.Litmus(ctx, req, engine.Hooks{})
 	if err != nil {
 		return err
 	}
-	for _, r := range report.Results {
-		printResult(r)
+	for _, r := range res.Results {
+		fmt.Printf("%s %8.1fms\n", r, float64(r.Elapsed.Microseconds())/1000)
+	}
+	if req.Protocol != "" {
+		// The homogeneous path keeps its terser historical summary.
+		if res.Verdict() == nil {
+			return nil
+		}
+		if res.Failed > 0 {
+			return fmt.Errorf("%d homogeneous litmus failures", res.Failed)
+		}
+		return res.Verdict()
 	}
 	fmt.Printf("litmus: %d tests, %d passed, %d failed\n",
-		len(report.Results), report.Passed(), report.Failed())
-	if report.Failed() > 0 {
-		return fmt.Errorf("%d litmus failures", report.Failed())
-	}
-	return nil
+		len(res.Results), res.Passed, res.Failed)
+	return res.Verdict()
 }

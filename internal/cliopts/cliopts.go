@@ -8,13 +8,18 @@
 package cliopts
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"heterogen/internal/engine"
 	"heterogen/internal/mcheck"
 	"heterogen/internal/profiling"
 )
@@ -38,6 +43,10 @@ type Search struct {
 	// CompileCache is -compile-cache: a content-addressed compiled-table
 	// artifact cache directory ("" = compile in-process every time).
 	CompileCache string
+	// Timeout is -timeout: a wall-clock bound on the run (0 = none). The
+	// search is cancelled cooperatively when it fires, and the command
+	// prints the partial result it has.
+	Timeout time.Duration
 	// CPUProfile and MemProfile are -cpuprofile/-memprofile output paths.
 	CPUProfile string
 	MemProfile string
@@ -53,6 +62,7 @@ func (s *Search) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&s.POR, "por", s.POR, "ample-set partial order reduction (-por=0 forces the full interleaving space)")
 	fs.StringVar(&s.SpillDir, "spill-dir", s.SpillDir, "spill frontier overflow to temp files under this directory (bounds BFS memory)")
 	fs.StringVar(&s.CompileCache, "compile-cache", s.CompileCache, "cache compiled-table artifacts in this directory, keyed by (pair, config) digest (skips re-extraction)")
+	fs.DurationVar(&s.Timeout, "timeout", s.Timeout, "cancel the run after this long and print the partial result (e.g. 30s; 0 = no limit)")
 	fs.StringVar(&s.CPUProfile, "cpuprofile", s.CPUProfile, "write a pprof CPU profile to this file")
 	fs.StringVar(&s.MemProfile, "memprofile", s.MemProfile, "write a pprof heap profile to this file on exit")
 }
@@ -83,6 +93,40 @@ func (s *Search) StartProfiling() (func() error, error) {
 	return profiling.Start(s.CPUProfile, s.MemProfile)
 }
 
+// Context builds the run context the parsed flags describe: cancelled on
+// SIGINT/SIGTERM (so ^C prints the partial result instead of killing the
+// process) and after -timeout when one is set. Call the returned stop
+// function before exiting to restore default signal behavior — after
+// cancellation a second ^C kills the process the normal way.
+func (s *Search) Context() (context.Context, context.CancelFunc) {
+	return SignalContext(s.Timeout)
+}
+
+// SignalContext is Context for callers without a Search: cancel on
+// SIGINT/SIGTERM plus an optional wall-clock timeout.
+func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { tcancel(); stop() }
+}
+
+// Engine maps the parsed flags onto the engine's request options — the
+// one spot where flag spellings meet the structured API.
+func (s *Search) Engine() engine.SearchOptions {
+	return engine.SearchOptions{
+		Workers:      s.Workers,
+		Hash:         s.Hash,
+		Encoding:     s.Encoding,
+		Symmetry:     s.Symmetry,
+		NoPOR:        !s.POR,
+		SpillDir:     s.SpillDir,
+		CompileCache: s.CompileCache,
+	}
+}
+
 // ProgressPrinter returns the standard -progress reporter: one stderr-style
 // line per interval with the search rate, frontier depth, visited-set load
 // and heap use. Commands pass it to mcheck.Options.OnProgress (and, via
@@ -95,6 +139,14 @@ func ProgressPrinter(w io.Writer) func(mcheck.Progress) {
 			p.Elapsed.Round(time.Second), p.Visited, p.StatesPerSec,
 			p.Frontier, p.LoadFactor, p.SpilledStates, p.HeapBytes>>20)
 	}
+}
+
+// EngineProgressPrinter adapts ProgressPrinter to the engine's hook: the
+// same line for both phases, so a compiled check's extraction reports
+// read exactly as they did when the commands drove mcheck directly.
+func EngineProgressPrinter(w io.Writer) func(engine.Progress) {
+	pp := ProgressPrinter(w)
+	return func(p engine.Progress) { pp(p.Progress) }
 }
 
 // Perf holds the worker-parallelism and profiling flags shared by

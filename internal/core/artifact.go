@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -776,7 +777,7 @@ func LoadArtifact(data []byte) (*CompiledFusion, error) {
 	if err != nil {
 		return nil, err
 	}
-	cf.stats = CompileStats{Source: "artifact", Load: time.Since(start)}
+	cf.stats = CompileStats{Source: SourceArtifact, Load: time.Since(start)}
 	return cf, nil
 }
 
@@ -798,7 +799,7 @@ func LoadArtifactFor(data []byte, f *Fusion, cfg CompileConfig) (*CompiledFusion
 	if err != nil {
 		return nil, err
 	}
-	cf.stats = CompileStats{Source: "artifact", Load: time.Since(start)}
+	cf.stats = CompileStats{Source: SourceArtifact, Load: time.Since(start)}
 	return cf, nil
 }
 
@@ -921,21 +922,28 @@ func bytesEqual(a, b []byte) bool {
 // entry is recompiled over, not trusted. An empty cacheDir means plain
 // Compile.
 func CompileOrLoad(f *Fusion, cfg CompileConfig, cacheDir string) (cf *CompiledFusion, cached bool, err error) {
+	return CompileOrLoadCtx(context.Background(), f, cfg, cacheDir)
+}
+
+// CompileOrLoadCtx is CompileOrLoad under a context: a cache hit loads
+// regardless (loading is milliseconds), but a compile on a miss is
+// cancellable like CompileCtx. A cancelled compile writes nothing back.
+func CompileOrLoadCtx(ctx context.Context, f *Fusion, cfg CompileConfig, cacheDir string) (cf *CompiledFusion, cached bool, err error) {
 	if cacheDir == "" {
-		cf, err = Compile(f, cfg)
+		cf, err = CompileCtx(ctx, f, cfg)
 		return cf, false, err
 	}
 	path := filepath.Join(cacheDir, CompileDigest(f, cfg)+ArtifactExt)
 	if data, rerr := os.ReadFile(path); rerr == nil {
 		if cf, lerr := LoadArtifactFor(data, f, cfg); lerr == nil {
-			cf.stats.Source = "cache"
+			cf.stats.Source = SourceCache
 			return cf, true, nil
 		}
 	}
 	if cfg.WarmSeed == nil {
 		cfg.WarmSeed = scanWarmSeed(cacheDir, f, cfg, path)
 	}
-	cf, err = Compile(f, cfg)
+	cf, err = CompileCtx(ctx, f, cfg)
 	if err != nil {
 		return nil, false, err
 	}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"heterogen/internal/protocols"
+)
+
+// TestCompileCancelled pins the compile cancellation contract: a
+// cancelled extraction returns ErrCompileCancelled (matching the
+// context's own error through the wrap chain) and never a partial table,
+// and CompileOrLoadCtx writes nothing into the cache for it.
+func TestCompileCancelled(t *testing.T) {
+	msi := protocols.MustByName(protocols.NameMSI)
+	f, err := Fuse(Options{}, msi, msi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Freeze()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	cf, err := CompileCtx(ctx, f, TableIICompileConfig(true, 1))
+	if cf != nil {
+		t.Fatal("cancelled compile returned a table")
+	}
+	if !errors.Is(err, ErrCompileCancelled) {
+		t.Fatalf("error chain missing ErrCompileCancelled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error chain missing the context error: %v", err)
+	}
+
+	cacheDir := t.TempDir()
+	if _, _, err := CompileOrLoadCtx(ctx, f, TableIICompileConfig(true, 1), cacheDir); !errors.Is(err, ErrCompileCancelled) {
+		t.Fatalf("CompileOrLoadCtx under a cancelled context: %v", err)
+	}
+	// The cache must not have been populated by the cancelled compile: a
+	// fresh load-or-compile still reports a compiler run, not a hit.
+	cf2, cached, err := CompileOrLoadCtx(context.Background(), f, TableIICompileConfig(true, 1), cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || cf2.Stats().Source != SourceCompiler {
+		t.Fatalf("cache was populated by a cancelled compile (source %q, cached %v)", cf2.Stats().Source, cached)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -117,6 +118,11 @@ type CompileConfig struct {
 	// `heterogen -compile-out -progress`. Excluded from the digest.
 	ProgressEvery time.Duration
 	OnProgress    func(mcheck.Progress)
+	// MemPool forwards a shared visited-set memory accountant to the
+	// extraction search (mcheck.Options.MemPool) so a server hosting
+	// concurrent compiles shares one budget. Excluded from the digest —
+	// accounting never changes what is extracted.
+	MemPool *mcheck.MemPool
 }
 
 // stallState marks a recorded stall: Deliver returns false, no side
@@ -128,13 +134,29 @@ const stallState = int32(-1)
 // Detectable with errors.Is.
 var ErrCompileTruncated = errors.New("core: compile extraction truncated")
 
+// ErrCompileCancelled marks a CompileCtx failure caused by context
+// cancellation mid-extraction. A partial table is never returned — unlike
+// a partial search Result, a partial transition table would silently
+// panic on the first unseen (state, message) pair. Detectable with
+// errors.Is; the wrapped chain also matches the context's own error
+// (context.Canceled or DeadlineExceeded).
+var ErrCompileCancelled = errors.New("core: compile extraction cancelled")
+
 // CompileStats reports where a CompiledFusion came from and what each
 // phase cost — the extraction search and dense-table finalization for a
 // fresh compile, or the artifact decode for a load. CLIs print it so runs
 // are unambiguous about whether the ~39s extraction actually ran.
+// The CompileStats.Source values: a fresh extraction, an explicit
+// artifact load, or a content-addressed cache hit in CompileOrLoad.
+const (
+	SourceCompiler = "compiler"
+	SourceArtifact = "artifact"
+	SourceCache    = "cache"
+)
+
 type CompileStats struct {
-	// Source is "compiler" (fresh extraction), "artifact" (explicit load)
-	// or "cache" (content-addressed cache hit in CompileOrLoad).
+	// Source is SourceCompiler (fresh extraction), SourceArtifact
+	// (explicit load) or SourceCache (cache hit in CompileOrLoad).
 	Source string
 	// Extract is the exhaustive POR-off extraction search wall time
 	// (zero when loaded).
@@ -286,6 +308,14 @@ func newCompiledFusion(f *Fusion, cfg CompileConfig) (*CompiledFusion, *mcheck.S
 // an extraction observer installed on the merged directory, then
 // finalizing the recorded transitions into the dense dispatch layout.
 func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
+	return CompileCtx(context.Background(), f, cfg)
+}
+
+// CompileCtx is Compile under a context: the extraction search stops
+// cooperatively when ctx is cancelled and CompileCtx returns
+// ErrCompileCancelled (also matching ctx.Err() via errors.Is) instead of
+// a table.
+func CompileCtx(ctx context.Context, f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 	start := time.Now()
 	cf, sys := newCompiledFusion(f, cfg)
 	c := &compiler{cf: cf, keys: map[string]int32{}, seen: map[string]int32{},
@@ -302,10 +332,11 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 	c.intern(cf.layout.Merged)
 	cf.layout.Merged.obs = c
 
-	res := mcheck.Explore(sys, mcheck.Options{
+	res := mcheck.ExploreCtx(ctx, sys, mcheck.Options{
 		Evictions: cfg.Evictions, MaxStates: cfg.MaxStates,
 		Workers:       cfg.Workers,
 		ProgressEvery: cfg.ProgressEvery, OnProgress: cfg.OnProgress,
+		MemPool: cfg.MemPool,
 		// Full coverage: reductions prune (state, message) pairs the checker
 		// may later need. Deadlocks are fine — the table must reproduce them.
 		POR: mcheck.POROff,
@@ -313,6 +344,9 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 	cf.layout.Merged.obs = nil
 	if c.err != nil {
 		return nil, c.err
+	}
+	if res.Cancelled {
+		return nil, fmt.Errorf("%w: %s at %d states: %w", ErrCompileCancelled, f.Name(), res.States, ctx.Err())
 	}
 	if res.Truncated {
 		return nil, fmt.Errorf("%w: %s at %d states", ErrCompileTruncated, f.Name(), res.States)
@@ -330,7 +364,7 @@ func Compile(f *Fusion, cfg CompileConfig) (*CompiledFusion, error) {
 	finalizeStart := time.Now()
 	cf.finalize(c)
 	cf.stats.Finalize = time.Since(finalizeStart)
-	cf.stats.Source = "compiler"
+	cf.stats.Source = SourceCompiler
 	return cf, nil
 }
 

@@ -1,0 +1,219 @@
+// Deadlock checking (§VII-C) as a structured request: the engine behind
+// `hgcheck` and the server's "check" jobs.
+
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"heterogen/internal/core"
+	"heterogen/internal/mcheck"
+	"heterogen/internal/spec"
+)
+
+// DefaultCheckMaxStates is the check-request state budget when the
+// request leaves MaxStates zero — hgcheck's longstanding 8M default.
+const DefaultCheckMaxStates = 8 << 20
+
+// CheckRequest describes one deadlock-freedom check. Exactly one of
+// Protocol, Pair or Table (alone) selects the system:
+//
+//   - Protocol: a homogeneous system of Caches caches.
+//   - Pair: a fused heterogeneous system, Caches caches per cluster;
+//     Compiled first compiles the fused directory to a flat table, and
+//     Table digest-checks a serialized artifact against the request.
+//   - Table alone: a standalone artifact check under the table's own
+//     baked configuration.
+type CheckRequest struct {
+	// Protocol checks a homogeneous protocol by name.
+	Protocol string `json:"protocol,omitempty"`
+	// Pair checks the fusion of two protocols ("-" resolves Spec).
+	Pair []string `json:"pair,omitempty"`
+	// Spec is inline PCC source for a "-" entry in Pair.
+	Spec string `json:"spec,omitempty"`
+	// Caches is the cache count (per cluster for Pair); 0 = 2.
+	Caches int `json:"caches,omitempty"`
+	// Addrs is the address count of the driver workload; 0 = 2.
+	Addrs int `json:"addrs,omitempty"`
+	// Compiled compiles the fused directory to a flat table first and
+	// checks that (Pair only).
+	Compiled bool `json:"compiled,omitempty"`
+	// Table is a compiled-table .hgcf artifact path: alone it supplies
+	// the whole configuration, with Pair it is digest-checked against
+	// the request.
+	Table string `json:"table,omitempty"`
+	// Search carries the shared search knobs.
+	Search SearchOptions `json:"search,omitempty"`
+}
+
+// CheckResult is the outcome of a check: the search result under the
+// resolved system's name, plus the compile stats when a compiled table
+// was involved.
+type CheckResult struct {
+	// Name identifies the checked system (protocol or fusion name).
+	Name string `json:"name"`
+	mcheck.Result
+	// Compile reports the table's provenance for compiled checks
+	// (Source distinguishes a fresh extraction from a cache hit).
+	Compile *core.CompileStats `json:"compile,omitempty"`
+}
+
+// Verdict maps the result onto the error the CLIs exit nonzero on: a
+// found deadlock, a truncated search, or a cancelled one. A nil verdict
+// means the exhaustive search proved deadlock freedom.
+func (r *CheckResult) Verdict() error {
+	switch {
+	case r.Deadlocks > 0:
+		return fmt.Errorf("deadlock found")
+	case r.Cancelled:
+		return fmt.Errorf("cancelled after expanding %d states (partial result)", r.States)
+	case r.BudgetFull:
+		return fmt.Errorf("storage memory budget exhausted after expanding %d states (raise the memory budget)", r.States)
+	case r.Truncated:
+		return fmt.Errorf("state budget MaxStates=%d exhausted after expanding %d states (raise the state budget)",
+			r.MaxStates, r.States)
+	}
+	return nil
+}
+
+// CheckDriver builds the deadlock-stress workload shared by hgcheck and
+// the server: every core stores and loads every address; the checker
+// injects evictions at any time. Stores carry per-core distinct values so
+// outcomes identify the writer — except under symmetry, where every core
+// stores the same value: protocol guards never read data values, so
+// deadlock reachability is unchanged, and the identical programs make the
+// caches interchangeable for the reduction.
+func CheckDriver(cores, addrs int, symmetric bool) [][]spec.CoreReq {
+	progs := make([][]spec.CoreReq, cores)
+	for c := 0; c < cores; c++ {
+		v := c + 1
+		if symmetric {
+			v = 1
+		}
+		for a := 0; a < addrs; a++ {
+			progs[c] = append(progs[c],
+				spec.CoreReq{Op: spec.OpStore, Addr: spec.Addr(a), Value: v},
+				spec.CoreReq{Op: spec.OpLoad, Addr: spec.Addr((a + 1) % addrs)})
+		}
+		progs[c] = append(progs[c], spec.CoreReq{Op: spec.OpRelease}, spec.CoreReq{Op: spec.OpAcquire})
+	}
+	return progs
+}
+
+// Check runs one deadlock check to completion (or cancellation). The
+// returned error covers request and setup problems only; search outcomes
+// — deadlocks, truncation, cancellation — land in the result, with
+// Verdict mapping them back to the CLI error convention.
+func Check(ctx context.Context, req CheckRequest, hooks Hooks) (*CheckResult, error) {
+	caches := req.Caches
+	if caches == 0 {
+		caches = 2
+	}
+	addrs := req.Addrs
+	if addrs == 0 {
+		addrs = 2
+	}
+	if req.Search.MaxStates == 0 {
+		req.Search.MaxStates = DefaultCheckMaxStates
+	}
+
+	var sys *mcheck.System
+	var name string
+	var compileStats *core.CompileStats
+	evictions := true
+	switch {
+	case req.Table != "" && len(req.Pair) == 0 && req.Protocol == "":
+		// Standalone artifact check: the table's own baked configuration
+		// (programs, caches, evictions) defines the search.
+		cf, err := core.LoadArtifactFile(req.Table)
+		if err != nil {
+			return nil, err
+		}
+		stats := cf.Stats()
+		compileStats = &stats
+		hooks.compiled(cf.Fusion().Name(), stats)
+		sys = cf.System()
+		name = cf.Fusion().Name()
+		evictions = cf.Config().Evictions
+	case req.Protocol != "":
+		if req.Compiled || req.Table != "" {
+			return nil, fmt.Errorf("compiled/table checks apply to fused pairs, not homogeneous protocols")
+		}
+		p, err := resolveProtocol(req.Protocol, req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		sys = mcheck.NewHomogeneous(p, caches)
+		sys.SetPrograms(CheckDriver(caches, addrs, req.Search.Symmetry))
+		name = req.Protocol
+	case len(req.Pair) > 0:
+		a, b, err := resolvePair(req.Pair, req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.Fuse(core.Options{}, a, b)
+		if err != nil {
+			return nil, err
+		}
+		progs := CheckDriver(2*caches, addrs, req.Search.Symmetry)
+		ccfg := core.CompileConfig{
+			CachesPerCluster: []int{caches, caches},
+			Programs:         progs,
+			Evictions:        true,
+			MaxStates:        req.Search.MaxStates,
+			Workers:          req.Search.Workers,
+			ProgressEvery:    hooks.ProgressEvery,
+			OnProgress:       hooks.searchProgress("extract"),
+			MemPool:          hooks.MemPool,
+		}
+		switch {
+		case req.Table != "":
+			// Artifact against explicit request: the stored digest must
+			// match the requested (pair, config) or the load fails up
+			// front.
+			cf, err := core.LoadArtifactFileFor(req.Table, f, ccfg)
+			if err != nil {
+				return nil, err
+			}
+			stats := cf.Stats()
+			compileStats = &stats
+			hooks.compiled(f.Name(), stats)
+			sys = cf.System()
+		case req.Compiled:
+			cf, _, err := core.CompileOrLoadCtx(ctx, f, ccfg, req.Search.CompileCache)
+			if errors.Is(err, core.ErrCompileCancelled) {
+				// Cancelled before the search even started: a partial
+				// result with nothing searched, not a request error.
+				return &CheckResult{
+					Name:   f.Name(),
+					Result: mcheck.Result{Cancelled: true, MaxStates: req.Search.MaxStates},
+				}, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			stats := cf.Stats()
+			compileStats = &stats
+			hooks.compiled(f.Name(), stats)
+			sys = cf.System()
+		default:
+			sys, _ = core.BuildSystem(f, []int{caches, caches})
+			sys.SetPrograms(progs)
+		}
+		name = f.Name()
+	default:
+		return nil, fmt.Errorf("check request selects nothing: set protocol, pair or table")
+	}
+
+	if req.Search.SpillDir != "" && !mcheck.CanSpill(sys) {
+		return nil, fmt.Errorf("spill-dir: this system's components lack the faithful state codec spilling requires")
+	}
+	opts, err := req.Search.mcheckOptions(hooks, evictions)
+	if err != nil {
+		return nil, err
+	}
+	res := mcheck.ExploreCtx(ctx, sys, opts)
+	return &CheckResult{Name: name, Result: *res, Compile: compileStats}, nil
+}

@@ -1,6 +1,7 @@
 package litmus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -75,6 +76,10 @@ type Options struct {
 	// its (pair, CompileConfig) digest, so re-running a compiled suite
 	// loads every table instead of re-extracting it. Implies Compiled.
 	TableCache string
+	// MemPool forwards a shared visited-set memory accountant to every
+	// test's search (mcheck.Options.MemPool), so a suite — or a server
+	// running several suites — draws all its searches from one budget.
+	MemPool *mcheck.MemPool
 }
 
 // Result is the verdict of one litmus test run.
@@ -90,24 +95,32 @@ type Result struct {
 	// DeadlockState holds the first deadlocked state's snapshot (debug).
 	DeadlockState string
 	Truncated     bool
-	Outcomes      int           // distinct observable outcomes
-	Elapsed       time.Duration // wall-clock time of the exploration
-	Engine        string        // directory engine label ("" = unlabeled)
+	// Cancelled marks a test whose exploration was stopped by context
+	// cancellation: counts and outcomes are a partial lower bound, and
+	// the verdict fields are not meaningful.
+	Cancelled bool
+	Outcomes  int           // distinct observable outcomes
+	Elapsed   time.Duration // wall-clock time of the exploration
+	Engine    string        // directory engine label ("" = unlabeled)
 }
 
 // Pass reports whether the protocol passed this test.
 func (r *Result) Pass() bool {
-	return !r.Observed && len(r.BadOutcomes) == 0 && r.Deadlocks == 0 && !r.Truncated
+	return !r.Observed && len(r.BadOutcomes) == 0 && r.Deadlocks == 0 && !r.Truncated && !r.Cancelled
 }
 
 // String renders the result Murphi-report-style (§A.5.1).
 func (r *Result) String() string {
 	status := "pass"
 	switch {
+	// A deadlock or forbidden outcome found in a partial space is sound
+	// evidence of failure, so those verdicts outrank Cancelled.
 	case r.Deadlocks > 0:
 		status = "Deadlock"
 	case r.Observed || len(r.BadOutcomes) > 0:
 		status = "Litmus test fail"
+	case r.Cancelled:
+		status = "Cancelled"
 	case r.Truncated:
 		status = "Out of memory"
 	}
@@ -202,6 +215,13 @@ func Translate(p *memmodel.Program, models []memmodel.Model, assign []int) (*mem
 // RunFused executes one shape on a fusion with the given thread→cluster
 // assignment, model-checking the heterogeneous system exhaustively.
 func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
+	return RunFusedCtx(context.Background(), f, shape, assign, opts)
+}
+
+// RunFusedCtx is RunFused under a context: cancellation stops the test's
+// exploration (and any in-flight table compile) cooperatively and returns
+// a Result marked Cancelled.
+func RunFusedCtx(ctx context.Context, f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 	p := shape.Prog()
 	ap, progsByThread, keysByThread, addrs := Translate(p, f.Compound, assign)
 
@@ -244,12 +264,16 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 		// Elapsed so the engines compare end to end. With a TableCache the
 		// artifact is loaded by content digest when present and written
 		// back after a fresh compile.
-		cf, _, err := core.CompileOrLoad(f, core.CompileConfig{
+		cf, _, err := core.CompileOrLoadCtx(ctx, f, core.CompileConfig{
 			CachesPerCluster: perCluster, Programs: progs,
 			Evictions: opts.Evictions, MaxStates: opts.MaxStates,
-			Workers: opts.ExploreWorkers,
+			Workers: opts.ExploreWorkers, MemPool: opts.MemPool,
 		}, opts.TableCache)
 		if err != nil {
+			if errors.Is(err, core.ErrCompileCancelled) {
+				return &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
+					Cancelled: true, Engine: core.EngineCompiled, Elapsed: time.Since(start)}
+			}
 			if errors.Is(err, core.ErrCompileTruncated) {
 				return &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
 					Truncated: true, Engine: core.EngineCompiled, Elapsed: time.Since(start)}
@@ -258,12 +282,12 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 		}
 		sys = cf.System()
 	}
-	res := mcheck.Explore(sys, mcheck.Options{
+	res := mcheck.ExploreCtx(ctx, sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		HashCompaction: opts.HashCompaction,
 		Workers:        opts.ExploreWorkers, Encoding: opts.Encoding,
 		Symmetry: opts.Symmetry, POR: opts.POR, SpillDir: opts.SpillDir,
-		LoadKeys: keys, ObserveMem: observe,
+		LoadKeys: keys, ObserveMem: observe, MemPool: opts.MemPool,
 	})
 	elapsed := time.Since(start)
 
@@ -275,7 +299,8 @@ func RunFused(f *core.Fusion, shape Shape, assign []int, opts Options) *Result {
 
 	out := &Result{Shape: shape.Name, Pair: f.Name(), Assign: assign,
 		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
-		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed,
+		Truncated: res.Truncated, Cancelled: res.Cancelled,
+		Outcomes: len(res.Outcomes), Elapsed: elapsed,
 		Engine: res.Engine}
 	for k := range res.Outcomes {
 		if _, ok := allowed[k]; !ok {
@@ -335,6 +360,11 @@ func exposedFor(shape Shape, orig, adapted *memmodel.Program, memKeys map[string
 // Test_Result.txt.
 type SuiteReport struct {
 	Results []*Result
+	// Cancelled marks a partial report: the suite's context fired before
+	// every scheduled test ran. Results holds the tests that completed
+	// (possibly themselves Cancelled mid-search) in the deterministic
+	// suite order; never-started tests are absent.
+	Cancelled bool
 }
 
 // Passed and Failed count verdicts.
@@ -365,6 +395,11 @@ func (s *SuiteReport) String() string {
 // given protocol: the §VII methodology applied to a constituent protocol
 // against its own consistency model.
 func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
+	return RunHomogeneousCtx(context.Background(), p, shape, opts)
+}
+
+// RunHomogeneousCtx is RunHomogeneous under a context (see RunFusedCtx).
+func RunHomogeneousCtx(ctx context.Context, p *spec.Protocol, shape Shape, opts Options) *Result {
 	prog := shape.Prog()
 	model := memmodel.MustByID(p.Model)
 	models := []memmodel.Model{model}
@@ -381,18 +416,19 @@ func RunHomogeneous(p *spec.Protocol, shape Shape, opts Options) *Result {
 	}
 	sort.Slice(observe, func(i, j int) bool { return observe[i] < observe[j] })
 	start := time.Now()
-	res := mcheck.Explore(sys, mcheck.Options{
+	res := mcheck.ExploreCtx(ctx, sys, mcheck.Options{
 		Evictions: opts.Evictions, MaxStates: opts.MaxStates,
 		HashCompaction: opts.HashCompaction,
 		Workers:        opts.ExploreWorkers, Encoding: opts.Encoding,
 		Symmetry: opts.Symmetry, POR: opts.POR, SpillDir: opts.SpillDir,
-		LoadKeys: keys, ObserveMem: observe})
+		LoadKeys: keys, ObserveMem: observe, MemPool: opts.MemPool})
 	elapsed := time.Since(start)
 
 	allowed := memmodel.AllowedOutcomesMem(ap, memmodel.Homogeneous(model, len(ap.Threads)), memKeys)
 	out := &Result{Shape: shape.Name, Pair: p.Name, Assign: assign,
 		States: res.States, Deadlocks: res.Deadlocks, DeadlockState: res.DeadlockAt,
-		Truncated: res.Truncated, Outcomes: len(res.Outcomes), Elapsed: elapsed,
+		Truncated: res.Truncated, Cancelled: res.Cancelled,
+		Outcomes: len(res.Outcomes), Elapsed: elapsed,
 		Engine: res.Engine}
 	for k := range res.Outcomes {
 		if _, ok := allowed[k]; !ok {
@@ -423,6 +459,14 @@ type suiteJob struct {
 // during the run). Results come back in the same deterministic order as a
 // sequential run.
 func RunSuite(pairs [][]*spec.Protocol, opts Options) (*SuiteReport, error) {
+	return RunSuiteCtx(context.Background(), pairs, opts)
+}
+
+// RunSuiteCtx is RunSuite under a context: cancellation stops dispatching
+// new tests, cancels the in-flight explorations, and returns the partial
+// report with Cancelled set — completed verdicts are kept, never-started
+// tests are dropped.
+func RunSuiteCtx(ctx context.Context, pairs [][]*spec.Protocol, opts Options) (*SuiteReport, error) {
 	shapes := opts.Shapes
 	if shapes == nil {
 		shapes = Shapes()
@@ -458,12 +502,15 @@ func RunSuite(pairs [][]*spec.Protocol, opts Options) (*SuiteReport, error) {
 		opts.ExploreWorkers = 1
 	}
 
-	report := &SuiteReport{Results: make([]*Result, len(jobs))}
+	results := make([]*Result, len(jobs))
 	if workers <= 1 {
 		for i, j := range jobs {
-			report.Results[i] = RunFused(j.fusion, j.shape, j.assign, opts)
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = RunFusedCtx(ctx, j.fusion, j.shape, j.assign, opts)
 		}
-		return report, nil
+		return assembleSuite(ctx, results), nil
 	}
 
 	next := make(chan int)
@@ -474,14 +521,31 @@ func RunSuite(pairs [][]*spec.Protocol, opts Options) (*SuiteReport, error) {
 			defer wg.Done()
 			for i := range next {
 				j := jobs[i]
-				report.Results[i] = RunFused(j.fusion, j.shape, j.assign, opts)
+				results[i] = RunFusedCtx(ctx, j.fusion, j.shape, j.assign, opts)
 			}
 		}()
 	}
+dispatch:
 	for i := range jobs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return report, nil
+	return assembleSuite(ctx, results), nil
+}
+
+// assembleSuite compacts a possibly sparse result slice (cancellation
+// skips jobs) into the report, preserving the deterministic suite order.
+func assembleSuite(ctx context.Context, results []*Result) *SuiteReport {
+	report := &SuiteReport{Cancelled: ctx.Err() != nil}
+	for _, r := range results {
+		if r != nil {
+			report.Results = append(report.Results, r)
+		}
+	}
+	return report
 }

@@ -1,6 +1,7 @@
 package mcheck
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -106,6 +107,12 @@ type Options struct {
 	// OnProgress receives each report; it runs on the ticker goroutine and
 	// must not block for long.
 	OnProgress func(Progress)
+	// MemPool, when non-nil, is a shared accountant the lossy visited sets
+	// acquire their memory from (see MemPool): MemBudget stays this
+	// search's private cap, but the bytes under it must also fit in the
+	// pool, so concurrent searches on one host share one budget. Denied
+	// growth truncates with BudgetFull, exactly like a private cap.
+	MemPool *MemPool
 }
 
 // Progress is one periodic report of a running search (Options.OnProgress).
@@ -140,6 +147,7 @@ type Result struct {
 	Outcomes      memmodel.OutcomeSet // outcomes at quiescent states
 	Violations    []string            // invariant failures
 	Truncated     bool                // MaxStates (or the visited-table budget) hit
+	Cancelled     bool                // the context was cancelled mid-search (partial result)
 	MaxStates     int                 // the state budget that was in effect
 	SymmetryPerms int                 // symmetry group order in effect (1 = unreduced)
 	PORReduced    int                 // states expanded through an ample subset only (0 = POR off or never hit)
@@ -158,7 +166,7 @@ type Result struct {
 
 // Ok reports whether the search finished with no deadlocks or violations.
 func (r *Result) Ok() bool {
-	return r.Deadlocks == 0 && len(r.Violations) == 0 && !r.Truncated
+	return r.Deadlocks == 0 && len(r.Violations) == 0 && !r.Truncated && !r.Cancelled
 }
 
 // String summarizes the search one-line, naming the bound that fired on
@@ -198,6 +206,12 @@ func (r *Result) String() string {
 		}
 		s += " (" + knob + ")"
 	}
+	if r.Cancelled {
+		s += fmt.Sprintf("; cancelled: partial result, %d states expanded", r.States)
+		if lossy(r.Storage) {
+			s += " — a lower bound under " + r.Storage
+		}
+	}
 	return s
 }
 
@@ -223,6 +237,10 @@ type searchCtx struct {
 	loadKeys  [][]string // per core, per completed-load index
 	memKeys   []string   // per ObserveMem entry
 	stats     searchStats
+	// cancelled is raised by the context watcher goroutine; the search
+	// loops poll it at the same cadence as the state-budget check, so
+	// cancellation is cooperative and costs one atomic load per expansion.
+	cancelled atomic.Bool
 }
 
 // expandScratch is the per-worker reusable buffer set.
@@ -386,6 +404,19 @@ func (ctx *searchCtx) orbitOutcomes(s *System, set memmodel.OutcomeSet) {
 // state (modulo the MaxStates budget) and agree on state/transition/
 // deadlock counts and the outcome set.
 func Explore(initial *System, opts Options) *Result {
+	return ExploreCtx(context.Background(), initial, opts)
+}
+
+// ExploreCtx is Explore under a context: when cctx is cancelled (deadline,
+// SIGINT, a server DELETE-ing the job) the search stops cooperatively at
+// the next expansion boundary and returns the partial Result it has, with
+// Cancelled set and every storage/omission accounting field filled in —
+// the same shape a BudgetFull or MaxStates truncation reports. All worker
+// goroutines, the progress ticker and the context watcher have exited by
+// the time ExploreCtx returns, and spill temp files are removed; a
+// cancelled search leaks nothing and a rerun from the same inputs
+// produces the identical full Result.
+func ExploreCtx(cctx context.Context, initial *System, opts Options) *Result {
 	maxStates := opts.MaxStates
 	if maxStates <= 0 {
 		maxStates = DefaultMaxStates
@@ -397,7 +428,10 @@ func Explore(initial *System, opts Options) *Result {
 		workers = 1
 	}
 	ctx := newSearchCtx(initial, opts, maxStates, workers > 1)
+	stopWatch := watchCancel(cctx, ctx)
+	defer stopWatch()
 	visited := newVisited(opts, workers)
+	defer visited.release()
 	var seed expandScratch
 	visited.handle(0).Insert(ctx.encode(initial, &seed, nil))
 
@@ -450,6 +484,36 @@ func Explore(initial *System, opts Options) *Result {
 		res.SpilledBytes = sq.spilledBytes.Load()
 	}
 	return res
+}
+
+// watchCancel bridges a context's Done channel onto the search's polled
+// cancellation flag: the hot loops never select on a channel, they load
+// one atomic. The watcher goroutine exits when the context fires or when
+// the returned stop function runs (search finished first), so a completed
+// ExploreCtx leaves no goroutine behind. A context that can never be
+// cancelled (Background) spawns nothing.
+func watchCancel(cctx context.Context, ctx *searchCtx) func() {
+	if cctx.Done() == nil {
+		return func() {}
+	}
+	if cctx.Err() != nil { // already cancelled: skip the goroutine too
+		ctx.cancelled.Store(true)
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-cctx.Done():
+			ctx.cancelled.Store(true)
+		case <-done:
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }
 
 // startProgress spawns the Options.OnProgress ticker goroutine and returns
@@ -510,6 +574,10 @@ func exploreSeq(initial *System, ctx *searchCtx, visited visitedSet) *Result {
 			res.Truncated = true
 			break
 		}
+		if ctx.cancelled.Load() {
+			res.Cancelled = true
+			break
+		}
 		cur := queue[head]
 		queue[head] = nil // release the expanded state (recycled or collected)
 		ins.Begin()
@@ -544,6 +612,10 @@ func exploreSeqSpill(initial *System, ctx *searchCtx, visited visitedSet, sq *sp
 	for {
 		if visited.Size() > ctx.maxStates || visited.Full() {
 			res.Truncated = true
+			break
+		}
+		if ctx.cancelled.Load() {
+			res.Cancelled = true
 			break
 		}
 		enc, ok := sq.pop()
@@ -1162,7 +1234,7 @@ func (f *wsSpillFrontier) stop()        { f.stopped.Store(true) }
 // batches from a shared frontier, filter successors through the shared
 // visited set, and merge per-worker results at the end.
 func exploreParallel(ctx *searchCtx, workers int, visited visitedSet, f workSource) *Result {
-	var truncated atomic.Bool
+	var truncated, cancelled atomic.Bool
 
 	results := make([]*Result, workers)
 	var wg sync.WaitGroup
@@ -1186,6 +1258,15 @@ func exploreParallel(ctx *searchCtx, workers int, visited visitedSet, f workSour
 						f.settle(len(batch))
 						return
 					}
+					if ctx.cancelled.Load() {
+						// Same shutdown as truncation: stop the frontier so
+						// sibling workers' take returns nil, settle this
+						// batch, and let the merged result carry the flag.
+						cancelled.Store(true)
+						f.stop()
+						f.settle(len(batch))
+						return
+					}
 					ins.Begin()
 					ctx.expand(cur, res, &sc, ins.Insert, func(next *System) {
 						f.admit(w, &sc, next)
@@ -1204,7 +1285,7 @@ func exploreParallel(ctx *searchCtx, workers int, visited visitedSet, f workSour
 	wg.Wait()
 
 	merged := &Result{Outcomes: memmodel.OutcomeSet{}, MaxStates: ctx.maxStates,
-		Truncated: truncated.Load()}
+		Truncated: truncated.Load(), Cancelled: cancelled.Load()}
 	for _, res := range results {
 		merged.States += res.States
 		merged.Transitions += res.Transitions

@@ -62,15 +62,18 @@ type visitedSet interface {
 	load() float64
 	// stats returns the end-of-search accounting snapshot.
 	stats() storageStats
+	// release returns every byte the set acquired from a shared MemPool
+	// (a no-op for unpooled sets); called once when the search ends.
+	release()
 }
 
 // newVisited builds the visited set for the configured storage mode.
 func newVisited(opts Options, workers int) visitedSet {
 	switch {
 	case opts.Bitstate:
-		return newBloomSet(opts.MemBudget)
+		return newBloomSet(opts.MemBudget, opts.MemPool)
 	case opts.HashCompaction:
-		return newFPSet(opts.MemBudget, workers)
+		return newFPSet(opts.MemBudget, workers, opts.MemPool)
 	default:
 		return newExactSet()
 	}
@@ -204,6 +207,7 @@ func (v *exactSet) handle(int) inserter { return v }
 func (v *exactSet) Size() int           { return int(v.size.Load()) }
 func (v *exactSet) Full() bool          { return false }
 func (v *exactSet) load() float64       { return 0 }
+func (v *exactSet) release()            {} // exact mode is unpooled (see MemPool)
 
 func (v *exactSet) stats() storageStats {
 	slotBytes := int64(0)
@@ -374,12 +378,14 @@ type fpSet struct {
 	seq     atomic.Uint64 // even: stable; odd: growth in progress
 	full    atomic.Bool
 	growMu  sync.Mutex
-	maxLen  int     // slot-count cap from the memory budget
-	peak    float64 // highest pre-growth load factor; guarded by growMu
+	maxLen  int      // slot-count cap from the memory budget
+	peak    float64  // highest pre-growth load factor; guarded by growMu
+	pool    *MemPool // shared accountant (nil = private budget only)
+	pooled  int64    // bytes currently acquired from pool; guarded by growMu
 	handles []fpHandle
 }
 
-func newFPSet(memBudget int64, workers int) *fpSet {
+func newFPSet(memBudget int64, workers int, pool *MemPool) *fpSet {
 	maxBytes := memBudget
 	if maxBytes <= 0 {
 		maxBytes = fpDefaultMaxBytes
@@ -388,7 +394,7 @@ func newFPSet(memBudget int64, workers int) *fpSet {
 	for int64(maxLen)*2*8 <= maxBytes {
 		maxLen *= 2
 	}
-	s := &fpSet{maxLen: maxLen, handles: make([]fpHandle, workers)}
+	s := &fpSet{maxLen: maxLen, pool: pool, handles: make([]fpHandle, workers)}
 	for i := range s.handles {
 		s.handles[i].s = s
 	}
@@ -396,8 +402,22 @@ func newFPSet(memBudget int64, workers int) *fpSet {
 	if n > maxLen {
 		n = maxLen
 	}
+	// The initial table is small (512 KiB); if even that does not fit in a
+	// shared pool, start anyway — the first growth will be denied and the
+	// search truncates with BudgetFull rather than failing to start.
+	if pool.Acquire(int64(n) * 8) {
+		s.pooled = int64(n) * 8
+	}
 	s.cur.Store(newFPSlots(n))
 	return s
+}
+
+// release implements visitedSet: hand the acquired bytes back to the pool.
+func (s *fpSet) release() {
+	s.growMu.Lock()
+	s.pool.Release(s.pooled)
+	s.pooled = 0
+	s.growMu.Unlock()
 }
 
 func (s *fpSet) handle(w int) inserter { return &s.handles[w] }
@@ -493,6 +513,16 @@ func (s *fpSet) grow(old *fpSlots, probeFailed bool) {
 		}
 		return
 	}
+	// Under a shared pool the doubled generation must fit in the global
+	// accountant too: a denial is exactly the budget-cap case above — the
+	// memory exists, other searches hold it.
+	newBytes := int64(len(cur.slots)) * 2 * 8
+	if !s.pool.Acquire(newBytes) {
+		if probeFailed || s.load() >= fpFullLoad {
+			s.full.Store(true)
+		}
+		return
+	}
 	s.seq.Add(1) // odd: fresh inserts back off
 	for i := range s.handles {
 		h := &s.handles[i]
@@ -508,6 +538,13 @@ func (s *fpSet) grow(old *fpSlots, probeFailed bool) {
 	}
 	s.cur.Store(next)
 	s.seq.Add(1) // even: table stable again
+	// The old generation is garbage now; return its bytes to the pool.
+	oldBytes := int64(len(cur.slots)) * 8
+	if s.pooled >= oldBytes {
+		s.pool.Release(oldBytes)
+		s.pooled -= oldBytes
+	}
+	s.pooled += newBytes
 }
 
 // ---------------------------------------------------------------------------
@@ -539,9 +576,11 @@ type bloomSet struct {
 	stripes [bloomStripes]sync.Mutex
 	size    atomic.Int64
 	setBits atomic.Int64
+	pool    *MemPool
+	pooled  int64
 }
 
-func newBloomSet(memBudget int64) *bloomSet {
+func newBloomSet(memBudget int64, pool *MemPool) *bloomSet {
 	maxBytes := memBudget
 	if maxBytes <= 0 {
 		maxBytes = bloomDefaultBytes
@@ -550,7 +589,31 @@ func newBloomSet(memBudget int64) *bloomSet {
 	for bits*2/8 <= uint64(maxBytes) {
 		bits *= 2
 	}
-	return &bloomSet{words: make([]uint64, bits/64), mask: bits - 1}
+	// The filter is sized once up front, so a shared pool shapes it at
+	// creation: halve until the accountant grants the bytes. Omission
+	// grows with fill, so a smaller filter degrades accuracy, never
+	// soundness of a reported deadlock. The 8 KiB floor is taken
+	// unconditionally — accounting noise next to any real pool.
+	b := &bloomSet{pool: pool}
+	for bits > 1<<16 && !pool.Acquire(int64(bits/8)) {
+		bits /= 2
+	}
+	if pool != nil {
+		b.pooled = int64(bits / 8)
+		if bits == 1<<16 && !pool.Acquire(b.pooled) {
+			// Floor not grantable: account it anyway (forced overdraft).
+			pool.used.Add(b.pooled)
+		}
+	}
+	b.words = make([]uint64, bits/64)
+	b.mask = bits - 1
+	return b
+}
+
+// release implements visitedSet.
+func (b *bloomSet) release() {
+	b.pool.Release(b.pooled)
+	b.pooled = 0
 }
 
 // splitmix64 is the SplitMix64 finalizer: mixes a fingerprint into an

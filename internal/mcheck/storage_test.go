@@ -37,7 +37,7 @@ func encOf(i int) []byte {
 // doublings from the 64Ki initial table).
 func TestFPSetInsertSemantics(t *testing.T) {
 	const n = 190_000
-	s := newFPSet(0, 1)
+	s := newFPSet(0, 1, nil)
 	ins := s.handle(0)
 	for i := 0; i < n; i++ {
 		if !ins.Insert(encOf(i)) {
@@ -70,7 +70,7 @@ func TestFPSetInsertSemantics(t *testing.T) {
 // ~11 bytes/state. A slot-size or load-factor regression trips this.
 func TestBytesPerStateRegression(t *testing.T) {
 	const n = 190_000
-	s := newFPSet(0, 1)
+	s := newFPSet(0, 1, nil)
 	ins := s.handle(0)
 	for i := 0; i < n; i++ {
 		ins.Insert(encOf(i))
@@ -100,7 +100,7 @@ func TestFPSetExactlyOnceUnderContention(t *testing.T) {
 	if workers < 4 {
 		workers = 4
 	}
-	s := newFPSet(0, workers)
+	s := newFPSet(0, workers, nil)
 	claimed := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -142,7 +142,7 @@ func TestBloomSetExactlyOnceUnderContention(t *testing.T) {
 	if workers < 4 {
 		workers = 4
 	}
-	b := newBloomSet(64 << 20)
+	b := newBloomSet(64<<20, nil)
 	claimed := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -173,7 +173,7 @@ func TestBloomSetExactlyOnceUnderContention(t *testing.T) {
 // tiny MemBudget must declare itself Full near the saturation load and
 // reject further states instead of thrashing.
 func TestFPSetBudgetTruncation(t *testing.T) {
-	s := newFPSet(1, 1) // floor capacity: fpInitialSlots
+	s := newFPSet(1, 1, nil) // floor capacity: fpInitialSlots
 	ins := s.handle(0)
 	inserted := 0
 	for i := 0; i < 2*fpInitialSlots && !s.Full(); i++ {
@@ -204,7 +204,7 @@ func TestFPSetBudgetTruncation(t *testing.T) {
 // saturate it, so Size must fall short of the distinct count and the
 // omission estimate must approach 1.
 func TestBloomSetSemantics(t *testing.T) {
-	b := newBloomSet(1) // floor: 64Ki bits
+	b := newBloomSet(1, nil) // floor: 64Ki bits
 	if b.Insert(encOf(1)) != true {
 		t.Fatal("first insert not new")
 	}
